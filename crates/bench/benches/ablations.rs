@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out beyond the
+//! paper's own sweeps:
+//!
+//! * profile representation (table vs linear vs piece-wise vs k-NN) — how
+//!   much latency-prediction quality each representation gives up,
+//! * exploration noise σ² — the §V choice of 0.1 (4 devices) vs 1.0
+//!   (16 devices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use device_profile::{ComputeModel, DeviceType, ProfileRepr, Profiler, ProfilingOptions};
+use distredge::mdp::SplitEnv;
+use distredge::partitioner::{lc_pss, LcPssConfig};
+use distredge::splitter::{osds_train, OsdsConfig};
+use distredge::Scenario;
+use std::hint::black_box;
+
+fn bench_profile_reprs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_repr");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let gt = DeviceType::Nano.ground_truth();
+    let opts = ProfilingOptions { row_step: 2, repetitions: 1, noise_std: 0.0, seed: 1 };
+    let base = Profiler::profile(&model, &gt, opts, ProfileRepr::Table);
+    for (name, repr) in [
+        ("table", ProfileRepr::Table),
+        ("linear", ProfileRepr::Linear),
+        ("piecewise8", ProfileRepr::PiecewiseLinear { segments: 8 }),
+        ("knn3", ProfileRepr::Knn { k: 3 }),
+    ] {
+        let profiler = base.with_repr(repr);
+        group.bench_with_input(BenchmarkId::new("predict_all_layers", name), &profiler, |b, p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for layer in model.layers() {
+                    for rows in [1usize, 8, 32, layer.output.h] {
+                        acc += p.layer_latency_ms(layer, rows);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sigma_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("osds_sigma");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let cluster = Scenario::group_db(200.0).build_constant();
+    let compute = cluster.ground_truth_compute();
+    let scheme =
+        lc_pss(&model, &LcPssConfig { num_random_splits: 20, ..LcPssConfig::paper_defaults(4) }).unwrap();
+    for sigma in [0.1f64, 1.0] {
+        group.bench_with_input(BenchmarkId::new("train_15_episodes", format!("{sigma}")), &sigma, |b, &s| {
+            b.iter(|| {
+                let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
+                let mut cfg = OsdsConfig::fast(4).with_episodes(15).with_seed(3);
+                cfg.sigma_squared = s;
+                black_box(osds_train(&mut env, &cfg, None).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_reprs, bench_sigma_ablation);
+criterion_main!(benches);

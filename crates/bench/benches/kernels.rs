@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the tensor kernels used for functional
+//! verification (conv / pool, full and banded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tensor::ops::{conv2d, conv2d_rows, im2col_weight_len, maxpool2d, Activation};
+use tensor::shape::input_rows_for_output;
+use tensor::slice::slice_rows;
+use tensor::Tensor;
+
+fn conv_inputs(c_in: usize, h: usize, w: usize) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let input = Tensor::from_fn([c_in, h, w], |c, y, x| ((c * 31 + y * 7 + x) % 13) as f32 * 0.1);
+    let c_out = 32;
+    let weights: Vec<f32> =
+        (0..im2col_weight_len(c_in, c_out, 3)).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect();
+    let bias = vec![0.01; c_out];
+    (input, weights, bias)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(10);
+    for &h in &[32usize, 64] {
+        let (input, weights, bias) = conv_inputs(16, h, h);
+        group.bench_with_input(BenchmarkId::new("full", h), &h, |b, _| {
+            b.iter(|| {
+                black_box(conv2d(
+                    black_box(&input),
+                    &weights,
+                    &bias,
+                    32,
+                    3,
+                    1,
+                    1,
+                    Activation::Relu,
+                ))
+            })
+        });
+        // Banded: compute only the middle half of the output rows.
+        let (lo_out, hi_out) = (h / 4, 3 * h / 4);
+        let (lo, hi) = input_rows_for_output(lo_out, hi_out, 3, 1, 1, h);
+        let band = slice_rows(&input, lo, hi).unwrap();
+        group.bench_with_input(BenchmarkId::new("band_half", h), &h, |b, _| {
+            b.iter(|| {
+                black_box(
+                    conv2d_rows(
+                        black_box(&band),
+                        lo,
+                        h,
+                        lo_out,
+                        hi_out,
+                        &weights,
+                        &bias,
+                        32,
+                        3,
+                        1,
+                        1,
+                        Activation::Relu,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxpool2d");
+    group.sample_size(10);
+    let input = Tensor::from_fn([32, 64, 64], |c, y, x| ((c + y + x) % 7) as f32);
+    group.bench_function("2x2_stride2", |b| b.iter(|| black_box(maxpool2d(black_box(&input), 2, 2))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_pool);
+criterion_main!(benches);

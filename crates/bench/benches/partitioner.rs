@@ -1,0 +1,34 @@
+//! Criterion benchmarks of LC-PSS: partition-scheme search cost on the real
+//! model zoo (the lightweight-update claim of §VI-1 rests on this being
+//! cheap compared to AOFL's brute-force search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distredge::partitioner::{lc_pss, mean_partition_score, LcPssConfig, RandomSplits};
+use std::hint::black_box;
+
+fn bench_lcpss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_pss");
+    group.sample_size(10);
+    for (name, model) in [("vgg16", cnn_model::zoo::vgg16()), ("yolov2", cnn_model::zoo::yolov2())] {
+        let config = LcPssConfig { alpha: 0.75, num_random_splits: 30, num_devices: 4, seed: 1 };
+        group.bench_with_input(BenchmarkId::new("search", name), &model, |b, m| {
+            b.iter(|| black_box(lc_pss(black_box(m), &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_score");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let randoms = RandomSplits::generate(100, 4, 3);
+    let scheme = cnn_model::PartitionScheme::layer_by_layer(&model);
+    group.bench_function("vgg16_layerwise_100_randoms", |b| {
+        b.iter(|| black_box(mean_partition_score(&model, &scheme, &randoms, 0.75).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcpss, bench_score);
+criterion_main!(benches);

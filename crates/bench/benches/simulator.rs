@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the discrete-event simulator: cost of streaming
+//! images through an execution plan for small and large clusters.
+
+use cnn_model::PartitionScheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distredge::{Method, Scenario};
+use distredge::profiles::{ClusterProfiles, ProfilesConfig};
+use edgesim::{simulate, SimOptions};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    for (name, scenario) in [
+        ("DB_4_devices", Scenario::group_db(200.0)),
+        ("LB_16_devices", Scenario::group_lb()),
+    ] {
+        let cluster = scenario.build_constant();
+        let profiles = ClusterProfiles::collect(&model, &cluster, &ProfilesConfig::default());
+        let strategy = Method::DeepThings
+            .plan_baseline(&model, &profiles, &cluster.mean_bandwidths())
+            .unwrap();
+        let plan = strategy.to_plan(&model).unwrap();
+        let compute = cluster.ground_truth_compute();
+        group.bench_with_input(BenchmarkId::new("100_images_vgg16", name), &plan, |b, plan| {
+            b.iter(|| {
+                black_box(simulate(
+                    &model,
+                    &cluster,
+                    &compute,
+                    plan,
+                    SimOptions { num_images: 100, start_ms: 0.0 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let cluster = Scenario::group_db(200.0).build_constant();
+    group.bench_function("collect_profiles_vgg16_4_devices", |b| {
+        b.iter(|| {
+            black_box(ClusterProfiles::collect(&model, &cluster, &ProfilesConfig::default()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partition_plan_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let scheme = PartitionScheme::layer_by_layer(&model);
+    let splits: Vec<cnn_model::VolumeSplit> = scheme
+        .volumes()
+        .iter()
+        .map(|v| cnn_model::VolumeSplit::equal(4, v.last_output_height(&model)))
+        .collect();
+    group.bench_function("build_and_validate_layerwise_vgg16", |b| {
+        b.iter(|| {
+            let plan =
+                edgesim::ExecutionPlan::from_splits(&model, &scheme, &splits, 4).unwrap();
+            plan.validate(&model).unwrap();
+            black_box(plan)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_profiling, bench_partition_plan_validation);
+criterion_main!(benches);

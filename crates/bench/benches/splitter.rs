@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the OSDS training loop: episodes per second and
+//! single greedy rollouts (the online decision path of §V-F).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::mdp::SplitEnv;
+use distredge::partitioner::{lc_pss, LcPssConfig};
+use distredge::splitter::{greedy_rollout, osds_train, OsdsConfig};
+use edgesim::Cluster;
+use netsim::LinkConfig;
+use std::hint::black_box;
+
+fn db_cluster() -> Cluster {
+    Cluster::uniform(
+        vec![
+            DeviceSpec::new("xavier-0", DeviceType::Xavier),
+            DeviceSpec::new("xavier-1", DeviceType::Xavier),
+            DeviceSpec::new("nano-0", DeviceType::Nano),
+            DeviceSpec::new("nano-1", DeviceType::Nano),
+        ],
+        LinkConfig::constant(200.0),
+    )
+}
+
+fn bench_osds_episodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("osds");
+    group.sample_size(10);
+    let model = cnn_model::zoo::vgg16();
+    let cluster = db_cluster();
+    let compute = cluster.ground_truth_compute();
+    let scheme = lc_pss(&model, &LcPssConfig { num_random_splits: 20, ..LcPssConfig::paper_defaults(4) })
+        .unwrap();
+
+    group.bench_function("train_20_episodes_vgg16", |b| {
+        b.iter(|| {
+            let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
+            let cfg = OsdsConfig::fast(4).with_episodes(20).with_seed(1);
+            black_box(osds_train(&mut env, &cfg, None).unwrap())
+        })
+    });
+
+    // One greedy rollout of a trained actor (the per-window online cost).
+    let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
+    let outcome = osds_train(&mut env, &OsdsConfig::fast(4).with_episodes(30).with_seed(2), None).unwrap();
+    group.bench_function("greedy_rollout_vgg16", |b| {
+        let mut agent = outcome.agent.clone();
+        b.iter(|| {
+            let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
+            black_box(greedy_rollout(&mut env, &mut agent).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_osds_episodes);
+criterion_main!(benches);

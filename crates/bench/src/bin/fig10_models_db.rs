@@ -1,0 +1,22 @@
+//! Fig. 10 — IPS of the eight methods across the seven additional models
+//! (ResNet50, InceptionV3, YOLOv2, SSD-ResNet50, SSD-VGG16, OpenPose,
+//! VoxelNet) under Group DB @ 50 Mbps.
+
+use bench::{build_cluster, print_ips_table, print_json, run_group, HarnessConfig};
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let scenario = Scenario::group_db(50.0);
+    let cluster = build_cluster(&scenario, &harness);
+
+    let mut groups = Vec::new();
+    for model in cnn_model::zoo::all_models() {
+        if model.name() == "vgg16" {
+            continue; // VGG-16 is covered by Figs. 7-9.
+        }
+        groups.push(run_group(model.name().to_string(), &Method::ALL, &model, &cluster, &harness));
+    }
+    print_ips_table("Fig. 10: IPS per model, Group DB @ 50 Mbps", &groups);
+    print_json("fig10", &groups);
+}

@@ -1,0 +1,22 @@
+//! Fig. 11 — IPS of the eight methods across the seven additional models
+//! under Group NA (heterogeneous bandwidths) with Nano providers.
+
+use bench::{build_cluster, print_ips_table, print_json, run_group, HarnessConfig};
+use device_profile::DeviceType;
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let scenario = Scenario::group_na(DeviceType::Nano);
+    let cluster = build_cluster(&scenario, &harness);
+
+    let mut groups = Vec::new();
+    for model in cnn_model::zoo::all_models() {
+        if model.name() == "vgg16" {
+            continue;
+        }
+        groups.push(run_group(model.name().to_string(), &Method::ALL, &model, &cluster, &harness));
+    }
+    print_ips_table("Fig. 11: IPS per model, Group NA @ Nano", &groups);
+    print_json("fig11", &groups);
+}

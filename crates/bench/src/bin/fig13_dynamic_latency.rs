@@ -1,0 +1,51 @@
+//! Fig. 13 — Per-image processing latency over time for CoEdge, AOFL and
+//! DistrEdge under highly dynamic network conditions (four Nano providers,
+//! online re-planning).
+
+use bench::{print_json, HarnessConfig};
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::online::{dynamic_cluster, run_dynamic_experiment, OnlineConfig};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let devices: Vec<DeviceSpec> =
+        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect();
+    let cluster = dynamic_cluster(&devices, harness.seed);
+    let model = cnn_model::zoo::vgg16();
+
+    let mut config = OnlineConfig::standard(cluster.len());
+    config.distredge = harness.distredge_config(cluster.len());
+    config.images_per_window = harness.images.min(20);
+    config.finetune_episodes = (harness.episodes / 4).max(10);
+    config.seed = harness.seed;
+    let duration: f64 = std::env::var("DISTREDGE_DYNAMIC_MINUTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+    config.duration_minutes = duration;
+
+    let results = run_dynamic_experiment(&model, &cluster, &config).expect("dynamic experiment");
+
+    println!("=== Fig. 13: per-image latency (ms) over time, dynamic network (VGG-16, 4x Nano) ===");
+    print!("{:<10}", "min");
+    for r in &results {
+        print!("{:>14}", r.method);
+    }
+    println!();
+    let windows = results[0].points.len();
+    for w in 0..windows {
+        print!("{:<10.0}", results[0].points[w].minute);
+        for r in &results {
+            print!("{:>14.1}", r.points[w].latency_ms);
+        }
+        println!();
+    }
+    println!("\n--- means over the run ---");
+    for r in &results {
+        println!("{:<12} {:>10.1} ms", r.method, r.mean_latency_ms);
+    }
+    let distredge = results.iter().find(|r| r.method == "DistrEdge").unwrap().mean_latency_ms;
+    let aofl = results.iter().find(|r| r.method == "AOFL").unwrap().mean_latency_ms;
+    println!("\nDistrEdge latency is {:.0}% of AOFL's (paper: 40-65%)", 100.0 * distredge / aofl);
+    print_json("fig13", &results);
+}

@@ -1,0 +1,21 @@
+//! Fig. 15 — Maximum transmission latency and maximum computing latency
+//! among the four devices of Group DB @ 50 Mbps, per distribution method
+//! (VGG-16).  Explains *why* DistrEdge wins: layer-by-layer methods pay in
+//! transmission, equal/linear splitters pay in compute imbalance.
+
+use bench::{build_cluster, print_breakdown_table, print_json, run_group, HarnessConfig};
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let model = cnn_model::zoo::vgg16();
+    let scenario = Scenario::group_db(50.0);
+    let cluster = build_cluster(&scenario, &harness);
+
+    let group = run_group("DB@50Mbps", &Method::ALL, &model, &cluster, &harness);
+    print_breakdown_table(
+        "Fig. 15: max transmission / computing latency per method (DB, 50 Mbps, VGG-16)",
+        &group,
+    );
+    print_json("fig15", &group);
+}

@@ -1,0 +1,37 @@
+//! Fig. 4 — Sampled network throughput of shaped WiFi at 50/100/200/300 Mbps
+//! over a 60-minute window.
+//!
+//! Prints one row per 5-minute slot and per bandwidth cap, plus summary
+//! statistics, mirroring the trace plot of the paper.
+
+use netsim::{BandwidthTrace, TraceKind};
+
+fn main() {
+    let caps = [50.0, 100.0, 200.0, 300.0];
+    let traces: Vec<(f64, BandwidthTrace)> = caps
+        .iter()
+        .map(|&c| (c, BandwidthTrace::generate_default(TraceKind::Wifi { nominal_mbps: c, seed: 7 })))
+        .collect();
+
+    println!("=== Fig. 4: sampled WiFi throughput (Mbps), 60 min, 5-min slots ===");
+    print!("{:<10}", "slot(min)");
+    for (c, _) in &traces {
+        print!("{:>12}", format!("{c:.0} Mbps cap"));
+    }
+    println!();
+    for slot in 0..12 {
+        let start = slot as f64 * 5.0 * 60.0 * 1e3;
+        let end = start + 5.0 * 60.0 * 1e3;
+        print!("{:<10}", slot * 5);
+        for (_, t) in &traces {
+            print!("{:>12.1}", t.mean_mbps_window(start, end));
+        }
+        println!();
+    }
+    println!("\n{:<10}{:>12}{:>12}{:>12}", "cap", "mean", "min", "max");
+    for (c, t) in &traces {
+        let min = t.samples().iter().cloned().fold(f64::MAX, f64::min);
+        let max = t.samples().iter().cloned().fold(f64::MIN, f64::max);
+        println!("{:<10.0}{:>12.1}{:>12.1}{:>12.1}", c, t.mean_mbps(), min, max);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 5 — IPS of DistrEdge (VGG-16) with different LC-PSS α under four
+//! environment types:
+//!
+//! (a) four homogeneous devices (Nano) across bandwidths,
+//! (b) heterogeneous device types (Group DB),
+//! (c) heterogeneous network bandwidths (Group NA),
+//! (d) large-scale devices (Groups LB/LC/LD).
+//!
+//! The paper's observation: α = 0 (operations only) and α = 1 (transmission
+//! only) are both poor; α = 0.75 is best across environments.
+
+use bench::{build_cluster, print_json, HarnessConfig};
+use device_profile::DeviceType;
+use distredge::{evaluate_strategy, DistrEdge, Scenario};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AlphaPoint {
+    environment: String,
+    alpha: f64,
+    ips: f64,
+    num_volumes: usize,
+}
+
+fn run_env(
+    label: &str,
+    scenario: &Scenario,
+    alphas: &[f64],
+    harness: &HarnessConfig,
+    out: &mut Vec<AlphaPoint>,
+) {
+    let model = cnn_model::zoo::vgg16();
+    let cluster = build_cluster(scenario, harness);
+    for &alpha in alphas {
+        let mut cfg = harness.distredge_config(cluster.len());
+        cfg.lcpss.alpha = alpha;
+        let outcome = DistrEdge::plan(&model, &cluster, &cfg).expect("planning failed");
+        let report = evaluate_strategy(&model, &cluster, &outcome.strategy, harness.sim_options())
+            .expect("evaluation failed");
+        println!(
+            "{:<22} alpha={:<5} volumes={:<3} IPS={:.2}",
+            label,
+            alpha,
+            outcome.strategy.num_volumes(),
+            report.ips
+        );
+        out.push(AlphaPoint {
+            environment: label.to_string(),
+            alpha,
+            ips: report.ips,
+            num_volumes: outcome.strategy.num_volumes(),
+        });
+    }
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut points = Vec::new();
+
+    println!("=== Fig. 5: IPS vs alpha (VGG-16) ===");
+    // (a) homogeneous devices, sweep of bandwidths (200 Mbps shown in full;
+    //     other bandwidths follow the same ordering).
+    for bw in [50.0, 200.0] {
+        run_env(
+            &format!("(a) homogeneous@{bw:.0}"),
+            &Scenario::homogeneous(DeviceType::Nano, bw),
+            &alphas,
+            &harness,
+            &mut points,
+        );
+    }
+    // (b) heterogeneous device types.
+    run_env("(b) DB@200", &Scenario::group_db(200.0), &alphas, &harness, &mut points);
+    // (c) heterogeneous bandwidths.
+    run_env("(c) NA@Nano", &Scenario::group_na(DeviceType::Nano), &alphas, &harness, &mut points);
+    // (d) large-scale (16 devices).
+    run_env("(d) LB", &Scenario::group_lb(), &alphas, &harness, &mut points);
+
+    // Summary: best alpha per environment.
+    println!("\n--- best alpha per environment ---");
+    let mut envs: Vec<String> = points.iter().map(|p| p.environment.clone()).collect();
+    envs.dedup();
+    for env in envs {
+        let best = points
+            .iter()
+            .filter(|p| p.environment == env)
+            .max_by(|a, b| a.ips.partial_cmp(&b.ips).unwrap())
+            .unwrap();
+        println!("{:<22} best alpha = {:<5} ({:.2} IPS)", env, best.alpha, best.ips);
+    }
+    print_json("fig5", &points);
+}

@@ -1,0 +1,56 @@
+//! Fig. 6 — IPS of DistrEdge (VGG-16) against the number of random split
+//! decisions |Rrs| used by LC-PSS, repeated with different seeds to expose
+//! the variance: small |Rrs| gives unstable partitions (wide IPS range),
+//! |Rrs| ≥ 100 is stable.
+//!
+//! Cases: (a) Group DB @ 50 Mbps, (b) Group NA @ Nano.
+
+use bench::{build_cluster, print_json, HarnessConfig};
+use device_profile::DeviceType;
+use distredge::{evaluate_strategy, DistrEdge, Scenario};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct RrsPoint {
+    case: String,
+    rrs: usize,
+    min_ips: f64,
+    avg_ips: f64,
+    max_ips: f64,
+}
+
+fn run_case(label: &str, scenario: &Scenario, harness: &HarnessConfig, out: &mut Vec<RrsPoint>) {
+    let repeats: usize = std::env::var("DISTREDGE_RRS_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let model = cnn_model::zoo::vgg16();
+    let cluster = build_cluster(scenario, harness);
+    for rrs in [25usize, 50, 75, 100, 125, 150] {
+        let mut ips_values = Vec::with_capacity(repeats);
+        for rep in 0..repeats {
+            let mut cfg = harness.distredge_config(cluster.len());
+            cfg.lcpss.num_random_splits = rrs;
+            cfg.lcpss.seed = harness.seed.wrapping_add(rep as u64 * 977);
+            let outcome = DistrEdge::plan(&model, &cluster, &cfg).expect("planning failed");
+            let report =
+                evaluate_strategy(&model, &cluster, &outcome.strategy, harness.sim_options())
+                    .expect("evaluation failed");
+            ips_values.push(report.ips);
+        }
+        let min = ips_values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ips_values.iter().cloned().fold(f64::MIN, f64::max);
+        let avg = ips_values.iter().sum::<f64>() / ips_values.len() as f64;
+        println!("{label:<14} |Rrs|={rrs:<4} IPS min/avg/max = {min:.2} / {avg:.2} / {max:.2}");
+        out.push(RrsPoint { case: label.to_string(), rrs, min_ips: min, avg_ips: avg, max_ips: max });
+    }
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    println!("=== Fig. 6: IPS vs |Rrs| (VGG-16) ===");
+    let mut points = Vec::new();
+    run_case("(a) DB@50", &Scenario::group_db(50.0), &harness, &mut points);
+    run_case("(b) NA@Nano", &Scenario::group_na(DeviceType::Nano), &harness, &mut points);
+    print_json("fig6", &points);
+}

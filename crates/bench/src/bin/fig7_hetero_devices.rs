@@ -1,0 +1,37 @@
+//! Fig. 7 (+ Table I) — IPS of the eight methods under heterogeneous device
+//! groups DA/DB/DC (VGG-16), at 50 Mbps and 300 Mbps WiFi.
+
+use bench::{build_cluster, print_ips_table, print_json, run_group, HarnessConfig};
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let model = cnn_model::zoo::vgg16();
+
+    println!("=== Table I: heterogeneous device groups ===");
+    for s in Scenario::table1(50.0) {
+        println!(
+            "{:<4} {}",
+            s.name,
+            s.device_types.iter().map(|d| d.name()).collect::<Vec<_>>().join("+")
+        );
+    }
+
+    let mut all_groups = Vec::new();
+    for bw in [50.0, 300.0] {
+        let mut groups = Vec::new();
+        for scenario in Scenario::table1(bw) {
+            let cluster = build_cluster(&scenario, &harness);
+            groups.push(run_group(
+                format!("{}@{}Mbps", scenario.name, bw as u64),
+                &Method::ALL,
+                &model,
+                &cluster,
+                &harness,
+            ));
+        }
+        print_ips_table(&format!("Fig. 7: IPS, heterogeneous devices, {bw:.0} Mbps (VGG-16)"), &groups);
+        all_groups.extend(groups);
+    }
+    print_json("fig7", &all_groups);
+}

@@ -1,0 +1,41 @@
+//! Fig. 8 (+ Table II) — IPS of the eight methods under heterogeneous
+//! bandwidth groups NA–ND (VGG-16), with all-Nano and all-Xavier providers.
+
+use bench::{build_cluster, print_ips_table, print_json, run_group, HarnessConfig};
+use device_profile::DeviceType;
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let model = cnn_model::zoo::vgg16();
+
+    println!("=== Table II: heterogeneous bandwidth groups ===");
+    for s in Scenario::table2(DeviceType::Nano) {
+        println!(
+            "{:<4} {:?} Mbps",
+            s.name,
+            s.bandwidths_mbps.iter().map(|b| *b as u64).collect::<Vec<_>>()
+        );
+    }
+
+    let mut all_groups = Vec::new();
+    for device in [DeviceType::Nano, DeviceType::Xavier] {
+        let mut groups = Vec::new();
+        for scenario in Scenario::table2(device) {
+            let cluster = build_cluster(&scenario, &harness);
+            groups.push(run_group(
+                format!("{}@{}", scenario.name, device.name()),
+                &Method::ALL,
+                &model,
+                &cluster,
+                &harness,
+            ));
+        }
+        print_ips_table(
+            &format!("Fig. 8: IPS, heterogeneous networks, {} providers (VGG-16)", device.name()),
+            &groups,
+        );
+        all_groups.extend(groups);
+    }
+    print_json("fig8", &all_groups);
+}

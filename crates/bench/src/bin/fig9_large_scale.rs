@@ -1,0 +1,30 @@
+//! Fig. 9 (+ Table III) — IPS of the eight methods with 16 service providers
+//! (groups LA–LD, VGG-16).
+
+use bench::{build_cluster, print_ips_table, print_json, run_group, HarnessConfig};
+use distredge::{Method, Scenario};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let model = cnn_model::zoo::vgg16();
+
+    println!("=== Table III: large-scale groups (16 providers) ===");
+    for s in Scenario::table3() {
+        let summary: Vec<String> = s
+            .device_types
+            .iter()
+            .zip(&s.bandwidths_mbps)
+            .take(4)
+            .map(|(d, b)| format!("({:.0},{})", b, d.name()))
+            .collect();
+        println!("{:<4} {} x4", s.name, summary.join(" "));
+    }
+
+    let mut groups = Vec::new();
+    for scenario in Scenario::table3() {
+        let cluster = build_cluster(&scenario, &harness);
+        groups.push(run_group(scenario.name.clone(), &Method::ALL, &model, &cluster, &harness));
+    }
+    print_ips_table("Fig. 9: IPS, large-scale devices (VGG-16)", &groups);
+    print_json("fig9", &groups);
+}

@@ -1,0 +1,164 @@
+//! Operation and transmission totals of a distribution strategy — the two
+//! quantities the LC-PSS partitioner trades off through its score
+//! `Cp = α · T + (1 − α) · O` (paper Eq. 3).
+//!
+//! * `O` is the total number of operations executed across *all* split-parts.
+//!   Because split-parts of a multi-layer volume overlap (halo rows), `O`
+//!   grows as volumes get deeper and as more devices share a volume.
+//! * `T` is the total number of bytes that have to move between layer-volumes
+//!   (volume inputs for every part, plus the model input and the final output
+//!   returned to the requester).
+//!
+//! Both quantities are reported raw and normalised; LC-PSS scores use the
+//! normalised values so that `α` is a unit-free trade-off knob.
+
+use crate::model::Model;
+use crate::volume::{PartPlan, PartitionScheme, VolumeSplit};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Raw and normalised cost of one (partition scheme, split decisions) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyCost {
+    /// Total operations over all split-parts (includes halo redundancy).
+    pub total_ops: f64,
+    /// Total bytes crossing volume boundaries (includes model input and
+    /// final prefix output).
+    pub total_transmission: f64,
+    /// `total_ops` divided by the un-split model's operation count.
+    pub ops_ratio: f64,
+    /// `total_transmission` divided by the layer-by-layer transmission total.
+    pub transmission_ratio: f64,
+}
+
+impl StrategyCost {
+    /// The LC-PSS score `Cp = α · T̂ + (1 − α) · Ô` over normalised values.
+    pub fn score(&self, alpha: f64) -> f64 {
+        alpha * self.transmission_ratio + (1.0 - alpha) * self.ops_ratio
+    }
+}
+
+/// Computes the cost of a partition scheme under given per-volume splits.
+///
+/// `splits` must contain one [`VolumeSplit`] per volume of the scheme.
+pub fn strategy_cost(
+    model: &Model,
+    scheme: &PartitionScheme,
+    splits: &[VolumeSplit],
+) -> Result<StrategyCost> {
+    let volumes = scheme.volumes();
+    assert_eq!(
+        volumes.len(),
+        splits.len(),
+        "one split decision required per layer-volume"
+    );
+    let mut total_ops = 0.0;
+    let mut total_tx = model.input_bytes();
+    for (volume, split) in volumes.iter().zip(splits) {
+        let plans = PartPlan::plan_all(model, *volume, split)?;
+        for plan in &plans {
+            total_ops += plan.ops(model);
+            total_tx += plan.input_bytes(model);
+        }
+    }
+    // The distributable prefix output travels back towards the requester (or
+    // on to the FC-head device); count it once.
+    let last = &model.layers()[model.distributable_len() - 1];
+    total_tx += last.output_bytes();
+    total_ops += model.head_ops();
+
+    let prefix_ops: f64 = model.layers()[..model.distributable_len()]
+        .iter()
+        .map(|l| l.ops())
+        .sum::<f64>()
+        + model.head_ops();
+    let layerwise_tx = model.total_output_bytes() + model.input_bytes();
+    Ok(StrategyCost {
+        total_ops,
+        total_transmission: total_tx,
+        ops_ratio: total_ops / prefix_ops.max(1.0),
+        transmission_ratio: total_tx / layerwise_tx.max(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+    use crate::model::Model;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 64, 64),
+            &[
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::pool(2, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn equal_splits(model: &Model, scheme: &PartitionScheme, n: usize) -> Vec<VolumeSplit> {
+        scheme
+            .volumes()
+            .iter()
+            .map(|v| VolumeSplit::equal(n, v.last_output_height(model)))
+            .collect()
+    }
+
+    #[test]
+    fn single_volume_minimises_transmission() {
+        let m = model();
+        let fused = PartitionScheme::single_volume(&m);
+        let layered = PartitionScheme::layer_by_layer(&m);
+        let fused_cost = strategy_cost(&m, &fused, &equal_splits(&m, &fused, 4)).unwrap();
+        let layered_cost = strategy_cost(&m, &layered, &equal_splits(&m, &layered, 4)).unwrap();
+        assert!(fused_cost.total_transmission < layered_cost.total_transmission);
+    }
+
+    #[test]
+    fn layer_by_layer_minimises_ops() {
+        let m = model();
+        let fused = PartitionScheme::single_volume(&m);
+        let layered = PartitionScheme::layer_by_layer(&m);
+        let fused_cost = strategy_cost(&m, &fused, &equal_splits(&m, &fused, 4)).unwrap();
+        let layered_cost = strategy_cost(&m, &layered, &equal_splits(&m, &layered, 4)).unwrap();
+        // Per-layer splitting has no multi-layer halo redundancy, so it does
+        // the least (or equal) total work.
+        assert!(layered_cost.total_ops <= fused_cost.total_ops + 1.0);
+    }
+
+    #[test]
+    fn ops_ratio_at_least_one() {
+        let m = model();
+        let scheme = PartitionScheme::single_volume(&m);
+        let cost = strategy_cost(&m, &scheme, &equal_splits(&m, &scheme, 4)).unwrap();
+        assert!(cost.ops_ratio >= 1.0);
+        assert!(cost.transmission_ratio > 0.0);
+    }
+
+    #[test]
+    fn score_interpolates_between_extremes() {
+        let m = model();
+        let scheme = PartitionScheme::single_volume(&m);
+        let cost = strategy_cost(&m, &scheme, &equal_splits(&m, &scheme, 2)).unwrap();
+        assert!((cost.score(0.0) - cost.ops_ratio).abs() < 1e-12);
+        assert!((cost.score(1.0) - cost.transmission_ratio).abs() < 1e-12);
+        let mid = cost.score(0.5);
+        assert!(mid >= cost.ops_ratio.min(cost.transmission_ratio));
+        assert!(mid <= cost.ops_ratio.max(cost.transmission_ratio));
+    }
+
+    #[test]
+    #[should_panic(expected = "one split decision required")]
+    fn mismatched_splits_panic() {
+        let m = model();
+        let scheme = PartitionScheme::layer_by_layer(&m);
+        let _ = strategy_cost(&m, &scheme, &[]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for model construction and splitting.
+
+use std::fmt;
+
+/// Errors raised while building models or planning splits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A layer does not fit its input (e.g. filter larger than padded input).
+    InvalidGeometry {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A partition scheme is malformed (unsorted, out of range, …).
+    InvalidPartition(String),
+    /// A vertical split is malformed (cuts unsorted or out of range).
+    InvalidSplit(String),
+    /// A referenced layer or volume index is out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// The model contains no distributable (conv/pool) layers.
+    EmptyModel,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidGeometry { layer, reason } => {
+                write!(f, "layer {layer} has invalid geometry: {reason}")
+            }
+            ModelError::InvalidPartition(msg) => write!(f, "invalid partition scheme: {msg}"),
+            ModelError::InvalidSplit(msg) => write!(f, "invalid vertical split: {msg}"),
+            ModelError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range (len {len})")
+            }
+            ModelError::EmptyModel => write!(f, "model has no distributable layers"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ModelError::EmptyModel.to_string().contains("no distributable"));
+        assert!(ModelError::InvalidPartition("x".into()).to_string().contains("x"));
+        assert!(ModelError::InvalidSplit("y".into()).to_string().contains("y"));
+        assert!(ModelError::IndexOutOfRange { index: 3, len: 2 }.to_string().contains("3"));
+        assert!(ModelError::InvalidGeometry { layer: 1, reason: "z".into() }
+            .to_string()
+            .contains("z"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Execution of models and split-parts on the `tensor` engine.
+//!
+//! The distribution algorithms never need weights, but the reproduction must
+//! demonstrate that a distribution strategy is *functionally lossless*: the
+//! stitched outputs of the split-parts equal the output of the un-split
+//! model.  This module generates deterministic pseudo-random weights for a
+//! model, runs the full model, and runs individual split-parts from their
+//! [`PartPlan`]s so integration tests can compare the two.
+
+use crate::layer::{Layer, LayerOp};
+use crate::model::Model;
+use crate::volume::PartPlan;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::ops::{conv2d_rows, linear, maxpool2d_rows, Activation};
+use tensor::slice::slice_rows;
+use tensor::{Shape, Tensor};
+
+/// Deterministic weights for every layer of a model.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Per-layer `(weights, bias)`; pooling layers have empty vectors.
+    pub layers: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl ModelWeights {
+    /// Generates small random weights for `model`, seeded so that tests are
+    /// reproducible.
+    pub fn deterministic(model: &Model, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(model.len());
+        for layer in model.layers() {
+            let (w_len, b_len) = match layer.op {
+                LayerOp::Conv { c_out, f, .. } => (c_out * layer.input.c * f * f, c_out),
+                LayerOp::MaxPool { .. } => (0, 0),
+                LayerOp::Fc { out_features } => {
+                    (out_features * layer.input.volume(), out_features)
+                }
+            };
+            let w: Vec<f32> = (0..w_len).map(|_| rng.gen_range(-0.2..0.2)).collect();
+            let b: Vec<f32> = (0..b_len).map(|_| rng.gen_range(-0.1..0.1)).collect();
+            layers.push((w, b));
+        }
+        Self { layers }
+    }
+}
+
+/// Generates a deterministic input tensor for a model.
+pub fn deterministic_input(model: &Model, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let s = model.input();
+    Tensor::from_fn([s.c, s.h, s.w], |_, _, _| rng.gen_range(-1.0..1.0))
+}
+
+fn run_layer_full(layer: &Layer, weights: &(Vec<f32>, Vec<f32>), input: &Tensor) -> Result<Tensor> {
+    run_layer_rows(layer, weights, input, 0, 0, layer.output.h)
+}
+
+/// Runs one layer over a row band.
+///
+/// `input` carries original input rows `[in_row_offset, …)`; output rows
+/// `[out_lo, out_hi)` (full-layer coordinates) are produced.
+fn run_layer_rows(
+    layer: &Layer,
+    weights: &(Vec<f32>, Vec<f32>),
+    input: &Tensor,
+    in_row_offset: usize,
+    out_lo: usize,
+    out_hi: usize,
+) -> Result<Tensor> {
+    let t = match layer.op {
+        LayerOp::Conv { c_out, f, stride, padding, act } => conv2d_rows(
+            input,
+            in_row_offset,
+            layer.input.h,
+            out_lo,
+            out_hi,
+            &weights.0,
+            &weights.1,
+            c_out,
+            f,
+            stride,
+            padding,
+            act,
+        )
+        .map_err(|e| crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() })?,
+        LayerOp::MaxPool { f, stride } => {
+            maxpool2d_rows(input, in_row_offset, layer.input.h, out_lo, out_hi, f, stride).map_err(
+                |e| crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() },
+            )?
+        }
+        LayerOp::Fc { out_features } => {
+            linear(input, &weights.0, &weights.1, out_features, Activation::Relu).map_err(|e| {
+                crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() }
+            })?
+        }
+    };
+    Ok(t)
+}
+
+/// Runs the full model, returning the output of every layer (index `i` holds
+/// the output of layer `i`).
+pub fn run_full(model: &Model, weights: &ModelWeights, input: &Tensor) -> Result<Vec<Tensor>> {
+    let mut outputs = Vec::with_capacity(model.len());
+    let mut current = input.clone();
+    for (layer, w) in model.layers().iter().zip(&weights.layers) {
+        current = run_layer_full(layer, w, &current)?;
+        outputs.push(current.clone());
+    }
+    Ok(outputs)
+}
+
+/// Runs one split-part of a layer-volume.
+///
+/// `volume_input` is the *full* input feature map of the volume (the model
+/// input for the first volume, the previous volume's stitched output
+/// otherwise); the part extracts exactly the rows its [`PartPlan`] requires.
+/// Returns `None` for an empty part.
+pub fn run_part(
+    model: &Model,
+    weights: &ModelWeights,
+    plan: &PartPlan,
+    volume_input: &Tensor,
+) -> Result<Option<Tensor>> {
+    if plan.is_empty() {
+        return Ok(None);
+    }
+    let (in_lo, in_hi) = plan.input_rows;
+    let mut band = slice_rows(volume_input, in_lo, in_hi)
+        .map_err(|e| crate::ModelError::InvalidSplit(e.to_string()))?;
+    let mut band_offset = in_lo;
+    for lr in &plan.layers {
+        let layer = &model.layers()[lr.layer];
+        let w = &weights.layers[lr.layer];
+        let (out_lo, out_hi) = lr.out_rows;
+        band = run_layer_rows(layer, w, &band, band_offset, out_lo, out_hi)?;
+        band_offset = out_lo;
+    }
+    Ok(Some(band))
+}
+
+/// Shape of the model input as a tensor shape (convenience for examples).
+pub fn input_shape(model: &Model) -> Shape {
+    model.input()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::{LayerVolume, PartitionScheme, VolumeSplit};
+    use tensor::slice::concat_rows;
+
+    fn small_model() -> Model {
+        Model::new(
+            "exec-test",
+            Shape::new(2, 20, 16),
+            &[
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(6, 3, 1, 1),
+                LayerOp::fc(5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_full_produces_expected_shapes() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 7);
+        let input = deterministic_input(&m, 7);
+        let outs = run_full(&m, &w, &input).unwrap();
+        assert_eq!(outs.len(), 5);
+        assert_eq!(outs[0].shape(), [4, 20, 16]);
+        assert_eq!(outs[2].shape(), [4, 10, 8]);
+        assert_eq!(outs[3].shape(), [6, 10, 8]);
+        assert_eq!(outs[4].shape(), [5, 1, 1]);
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let m = small_model();
+        let a = ModelWeights::deterministic(&m, 42);
+        let b = ModelWeights::deterministic(&m, 42);
+        assert_eq!(a.layers[0].0, b.layers[0].0);
+        let c = ModelWeights::deterministic(&m, 43);
+        assert_ne!(a.layers[0].0, c.layers[0].0);
+    }
+
+    #[test]
+    fn split_parts_stitch_to_full_output() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 11);
+        let input = deterministic_input(&m, 11);
+        let full = run_full(&m, &w, &input).unwrap();
+
+        // Two volumes: [0,3) and [3,4); split each across 3 devices.
+        let scheme = PartitionScheme::new(&m, vec![0, 3, 4]).unwrap();
+        let mut volume_input = input.clone();
+        for volume in scheme.volumes() {
+            let h_last = volume.last_output_height(&m);
+            let split = VolumeSplit::new(vec![h_last / 4, h_last / 2], h_last);
+            let plans = PartPlan::plan_all(&m, volume, &split).unwrap();
+            let mut parts = Vec::new();
+            for plan in &plans {
+                if let Some(out) = run_part(&m, &w, plan, &volume_input).unwrap() {
+                    parts.push(out);
+                }
+            }
+            let stitched = concat_rows(&parts).unwrap();
+            let reference = &full[volume.end - 1];
+            assert!(
+                stitched.approx_eq(reference, 1e-4),
+                "volume {:?} mismatch: {}",
+                volume,
+                stitched.max_abs_diff(reference).unwrap()
+            );
+            volume_input = stitched;
+        }
+    }
+
+    #[test]
+    fn empty_part_returns_none() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 3);
+        let input = deterministic_input(&m, 3);
+        let v = LayerVolume::new(0, 3);
+        let plan = PartPlan::plan(&m, v, 5, 5).unwrap();
+        assert!(run_part(&m, &w, &plan, &input).unwrap().is_none());
+    }
+
+    #[test]
+    fn single_device_split_equals_full_volume() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 9);
+        let input = deterministic_input(&m, 9);
+        let full = run_full(&m, &w, &input).unwrap();
+        let v = LayerVolume::new(0, 4);
+        let plan = PartPlan::plan(&m, v, 0, v.last_output_height(&m)).unwrap();
+        let out = run_part(&m, &w, &plan, &input).unwrap().unwrap();
+        assert!(out.approx_eq(&full[3], 1e-4));
+    }
+}

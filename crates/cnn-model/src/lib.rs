@@ -1,0 +1,42 @@
+//! CNN model descriptions for the DistrEdge reproduction.
+//!
+//! The DistrEdge distribution algorithms never touch weights: they reason
+//! about *layer configurations* — input/output shapes, filter sizes, strides,
+//! operation counts and output byte counts — and about how a group of
+//! sequentially connected layers (a *layer-volume*) can be split along the
+//! height dimension of its last layer (the *Vertical-Splitting Law*, §III-B
+//! of the paper).  This crate provides:
+//!
+//! * [`layer`] — individual layer configurations with shape inference and
+//!   per-row operation/byte accounting,
+//! * [`model`] — whole models as sequential layer chains,
+//! * [`volume`] — layer-volumes, partition schemes, vertical splits and the
+//!   Vertical-Splitting Law (both the paper's Eq. 1–2 form and the exact
+//!   row-range form used for functional verification),
+//! * [`cost`] — operation and transmission totals of a distribution strategy
+//!   (the quantities scored by LC-PSS),
+//! * [`exec`] — execution of full models and of split-parts on the `tensor`
+//!   engine, used to verify that distribution is functionally lossless,
+//! * [`zoo`] — the eight evaluation models from §V-E as layer-configuration
+//!   tables.
+
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod layer;
+pub mod memory;
+pub mod model;
+pub mod volume;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use layer::{Layer, LayerOp};
+pub use model::Model;
+pub use volume::{LayerVolume, PartPlan, PartitionScheme, VolumeSplit};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Bytes per element for the FP16 precision used by the paper's TensorRT
+/// deployment.  All transmission-size computations use this constant.
+pub const BYTES_PER_ELEM: f64 = 2.0;

@@ -1,0 +1,186 @@
+//! Per-device memory footprint accounting.
+//!
+//! The paper argues (§VI-4) that memory is *not* a binding constraint for
+//! its setting: state-of-the-art CNNs need well under 1.5 GB while Jetson
+//! boards carry 4–32 GB.  This module makes that argument checkable for any
+//! model and any distribution strategy: it reports the weights, peak
+//! activation and halo-input bytes a split-part places on a device, so a
+//! deployment can verify the claim (and users targeting genuinely small
+//! devices can reject strategies that exceed a budget).
+
+use crate::layer::LayerOp;
+use crate::model::Model;
+use crate::volume::PartPlan;
+use crate::BYTES_PER_ELEM;
+use serde::{Deserialize, Serialize};
+
+/// Memory footprint of a piece of work, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Bytes of weights and biases that must be resident.
+    pub weights_bytes: f64,
+    /// Peak activation bytes (largest input + output pair held at once).
+    pub peak_activation_bytes: f64,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.weights_bytes + self.peak_activation_bytes
+    }
+
+    /// Accumulates another footprint assuming weights add up while peak
+    /// activations do not overlap in time (sequential volumes reuse buffers).
+    pub fn accumulate(&mut self, other: &MemoryFootprint) {
+        self.weights_bytes += other.weights_bytes;
+        self.peak_activation_bytes = self.peak_activation_bytes.max(other.peak_activation_bytes);
+    }
+}
+
+/// Weight bytes of one layer (FP16 storage, matching the transmission
+/// convention of the rest of the crate).
+pub fn layer_weight_bytes(model: &Model, layer_index: usize) -> f64 {
+    model.layers()[layer_index].weight_count() as f64 * BYTES_PER_ELEM
+}
+
+/// Memory footprint of running the *whole* model on one device.
+pub fn whole_model_footprint(model: &Model) -> MemoryFootprint {
+    let weights_bytes = model.parameter_count() as f64 * BYTES_PER_ELEM;
+    let mut peak = 0.0f64;
+    for layer in model.layers() {
+        let in_bytes = layer.input.volume() as f64 * BYTES_PER_ELEM;
+        let out_bytes = layer.output.volume() as f64 * BYTES_PER_ELEM;
+        peak = peak.max(in_bytes + out_bytes);
+    }
+    MemoryFootprint { weights_bytes, peak_activation_bytes: peak }
+}
+
+/// Memory footprint of executing one split-part on a device: the weights of
+/// every layer in the part's volume (full weights — vertical splitting does
+/// not shard weights) plus the peak of its banded input/output activations.
+pub fn part_footprint(model: &Model, part: &PartPlan) -> MemoryFootprint {
+    if part.is_empty() {
+        return MemoryFootprint::default();
+    }
+    let mut weights_bytes = 0.0;
+    let mut peak = 0.0f64;
+    for lr in &part.layers {
+        let layer = &model.layers()[lr.layer];
+        weights_bytes += layer.weight_count() as f64 * BYTES_PER_ELEM;
+        let in_rows = lr.in_rows.1 - lr.in_rows.0;
+        let out_rows = lr.out_rows.1 - lr.out_rows.0;
+        let in_bytes = layer.input_bytes_for_rows(in_rows);
+        let out_bytes = layer.output_bytes_for_rows(out_rows);
+        peak = peak.max(in_bytes + out_bytes);
+    }
+    MemoryFootprint { weights_bytes, peak_activation_bytes: peak }
+}
+
+/// Per-device memory footprint of a full set of per-volume part assignments
+/// (outer index: volume, inner index: device).  Weights accumulate across
+/// volumes (each device keeps every split-part it serves preloaded, as the
+/// paper's testbed does); activations are buffer-reused across volumes.
+pub fn per_device_footprints(model: &Model, volumes: &[Vec<PartPlan>]) -> Vec<MemoryFootprint> {
+    let num_devices = volumes.first().map(|v| v.len()).unwrap_or(0);
+    let mut out = vec![MemoryFootprint::default(); num_devices];
+    for volume in volumes {
+        for (device, part) in volume.iter().enumerate() {
+            let fp = part_footprint(model, part);
+            out[device].accumulate(&fp);
+        }
+    }
+    out
+}
+
+/// Checks a set of per-device footprints against a uniform per-device budget.
+pub fn within_budget(footprints: &[MemoryFootprint], budget_bytes: f64) -> bool {
+    footprints.iter().all(|f| f.total_bytes() <= budget_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp as L;
+    use crate::volume::{LayerVolume, VolumeSplit};
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "mem-test",
+            Shape::new(3, 64, 64),
+            &[L::conv(16, 3, 1, 1), L::conv(16, 3, 1, 1), L::pool(2, 2), L::fc(10)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn whole_model_footprint_matches_parameters() {
+        let m = model();
+        let fp = whole_model_footprint(&m);
+        assert_eq!(fp.weights_bytes, m.parameter_count() as f64 * BYTES_PER_ELEM);
+        assert!(fp.peak_activation_bytes > 0.0);
+        assert!(fp.total_bytes() > fp.weights_bytes);
+    }
+
+    #[test]
+    fn empty_part_needs_no_memory() {
+        let m = model();
+        let part = PartPlan::plan(&m, LayerVolume::new(0, 3), 5, 5).unwrap();
+        assert_eq!(part_footprint(&m, &part), MemoryFootprint::default());
+    }
+
+    #[test]
+    fn part_activation_scales_with_rows_but_weights_do_not() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        let small = part_footprint(&m, &PartPlan::plan(&m, v, 0, 8).unwrap());
+        let large = part_footprint(&m, &PartPlan::plan(&m, v, 0, 32).unwrap());
+        assert_eq!(small.weights_bytes, large.weights_bytes);
+        assert!(large.peak_activation_bytes > small.peak_activation_bytes);
+    }
+
+    #[test]
+    fn per_device_footprints_accumulate_weights_and_max_activations() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        let split = VolumeSplit::equal(2, 32);
+        let parts = PartPlan::plan_all(&m, v, &split).unwrap();
+        let footprints = per_device_footprints(&m, &[parts.clone(), parts]);
+        assert_eq!(footprints.len(), 2);
+        // Weights double because the same volume is counted twice…
+        let single = part_footprint(&m, &PartPlan::plan(&m, v, 0, 16).unwrap());
+        assert!((footprints[0].weights_bytes - 2.0 * single.weights_bytes).abs() < 1e-6);
+        // …while peak activations do not.
+        assert!(footprints[0].peak_activation_bytes <= single.peak_activation_bytes + 1e-6);
+    }
+
+    #[test]
+    fn budget_check() {
+        let m = model();
+        let fp = vec![whole_model_footprint(&m)];
+        assert!(within_budget(&fp, 1e12));
+        assert!(!within_budget(&fp, 1.0));
+    }
+
+    #[test]
+    fn paper_memory_claim_holds_for_the_zoo() {
+        // §VI-4: state-of-the-art CNN models consume less than ~1.5 GB while
+        // the edge devices carry 4-32 GB.  Check the whole zoo at FP16.
+        for m in crate::zoo::all_models() {
+            let fp = whole_model_footprint(&m);
+            assert!(
+                fp.total_bytes() < 1.5e9,
+                "{} needs {:.2} GB",
+                m.name(),
+                fp.total_bytes() / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn layer_weight_bytes_accessor() {
+        let m = model();
+        assert_eq!(layer_weight_bytes(&m, 2), 0.0, "pooling has no weights");
+        assert!(layer_weight_bytes(&m, 0) > 0.0);
+    }
+}

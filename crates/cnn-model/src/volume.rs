@@ -1,0 +1,521 @@
+//! Layer-volumes, partition schemes, vertical splits and the
+//! Vertical-Splitting Law (paper §III-A/B).
+//!
+//! * A **layer-volume** is a run of consecutive layers `[start, end)`.
+//! * A **partition scheme** divides the distributable prefix of a model into
+//!   layer-volumes (the *horizontal partition*).
+//! * A **vertical split** divides a layer-volume's last-layer output height
+//!   into per-device bands (a *split decision*, the action of the OSDS MDP).
+//! * The **Vertical-Splitting Law** (Eq. 1–2) propagates the output height of
+//!   the last sub-layer backwards to the input height of the first sub-layer.
+//!   [`PartPlan`] implements the exact row-range form of the law (including
+//!   padding and boundary clipping) so split-parts can be executed and
+//!   verified bit-for-bit; [`vsl_input_height`] implements the paper's
+//!   closed-form Eq. 1–2 for reference and for cost estimation.
+
+use crate::error::ModelError;
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use tensor::shape::input_rows_for_output;
+
+/// A run of consecutive layers `[start, end)` treated as one fused unit
+/// (the paper's layer-volume / fused-layers concept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerVolume {
+    /// Index of the first layer (inclusive).
+    pub start: usize,
+    /// Index one past the last layer (exclusive).
+    pub end: usize,
+}
+
+impl LayerVolume {
+    /// Creates a new layer-volume covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// Number of layers in the volume.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the volume is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The layers of this volume within `model`.
+    pub fn layers<'m>(&self, model: &'m Model) -> &'m [Layer] {
+        &model.layers()[self.start..self.end]
+    }
+
+    /// Output height of the volume's last layer.
+    pub fn last_output_height(&self, model: &Model) -> usize {
+        model.layers()[self.end - 1].output.h
+    }
+}
+
+/// A horizontal partition of a model's distributable prefix into
+/// layer-volumes, stored as sorted boundary indices.
+///
+/// Boundaries always include `0` and `distributable_len`; a scheme with
+/// boundaries `[0, 5, 18]` has two layer-volumes `[0,5)` and `[5,18)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionScheme {
+    boundaries: Vec<usize>,
+}
+
+impl PartitionScheme {
+    /// Validates and creates a partition scheme for `model`.
+    pub fn new(model: &Model, mut boundaries: Vec<usize>) -> Result<Self> {
+        let n = model.distributable_len();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        if boundaries.first() != Some(&0) || boundaries.last() != Some(&n) {
+            return Err(ModelError::InvalidPartition(format!(
+                "boundaries {boundaries:?} must start at 0 and end at {n}"
+            )));
+        }
+        Ok(Self { boundaries })
+    }
+
+    /// The scheme with a single layer-volume spanning the whole prefix
+    /// (DeepThings-style "one fused layer-volume").
+    pub fn single_volume(model: &Model) -> Self {
+        Self { boundaries: vec![0, model.distributable_len()] }
+    }
+
+    /// The scheme that makes every layer its own layer-volume
+    /// (CoEdge/MoDNN-style layer-by-layer distribution).
+    pub fn layer_by_layer(model: &Model) -> Self {
+        Self { boundaries: (0..=model.distributable_len()).collect() }
+    }
+
+    /// Sorted boundary indices (starts with 0, ends with the prefix length).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Number of layer-volumes.
+    pub fn num_volumes(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The layer-volumes of this scheme, in order.
+    pub fn volumes(&self) -> Vec<LayerVolume> {
+        self.boundaries
+            .windows(2)
+            .map(|w| LayerVolume::new(w[0], w[1]))
+            .collect()
+    }
+
+    /// Returns a new scheme with an extra boundary inserted (no-op if already
+    /// present).
+    pub fn with_boundary(&self, b: usize) -> Self {
+        let mut boundaries = self.boundaries.clone();
+        if !boundaries.contains(&b) {
+            boundaries.push(b);
+            boundaries.sort_unstable();
+        }
+        Self { boundaries }
+    }
+}
+
+/// A vertical split of one layer-volume across `n` devices: `n - 1` sorted
+/// cut points on the output height of the volume's last layer.
+///
+/// Device `i` receives output rows `[cuts[i-1], cuts[i])` (with `cuts[-1] = 0`
+/// and `cuts[n-1] = H`).  Cut points may coincide, which gives a device an
+/// empty share — the paper explicitly allows devices to receive no work.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VolumeSplit {
+    cuts: Vec<usize>,
+}
+
+impl VolumeSplit {
+    /// Creates a split from cut points; they are sorted and clamped to `h_last`.
+    pub fn new(mut cuts: Vec<usize>, h_last: usize) -> Self {
+        for c in &mut cuts {
+            *c = (*c).min(h_last);
+        }
+        cuts.sort_unstable();
+        Self { cuts }
+    }
+
+    /// An equal split of `h_last` rows across `n` devices (DeepThings /
+    /// DeeperThings style).
+    pub fn equal(n: usize, h_last: usize) -> Self {
+        let cuts = (1..n).map(|i| i * h_last / n).collect();
+        Self { cuts }
+    }
+
+    /// A split proportional to non-negative weights (CoEdge / MoDNN / AOFL
+    /// style linear-ratio splits).  Zero total weight falls back to equal.
+    pub fn proportional(weights: &[f64], h_last: usize) -> Self {
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 || weights.is_empty() {
+            return Self::equal(weights.len().max(1), h_last);
+        }
+        let mut cuts = Vec::with_capacity(weights.len().saturating_sub(1));
+        let mut acc = 0.0;
+        for w in &weights[..weights.len() - 1] {
+            acc += w.max(0.0);
+            cuts.push(((acc / total) * h_last as f64).round() as usize);
+        }
+        Self::new(cuts, h_last)
+    }
+
+    /// The sorted cut points.
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+
+    /// Number of devices this split addresses.
+    pub fn num_parts(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Per-device output row ranges `[lo, hi)` of the volume's last layer.
+    pub fn ranges(&self, h_last: usize) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::with_capacity(self.cuts.len() + 1);
+        let mut lo = 0usize;
+        for &c in &self.cuts {
+            let c = c.min(h_last);
+            ranges.push((lo, c.max(lo)));
+            lo = c.max(lo);
+        }
+        ranges.push((lo, h_last));
+        ranges
+    }
+
+    /// Number of rows each device receives.
+    pub fn row_counts(&self, h_last: usize) -> Vec<usize> {
+        self.ranges(h_last).into_iter().map(|(lo, hi)| hi - lo).collect()
+    }
+}
+
+/// The paper's Vertical-Splitting Law in closed form (Eq. 1 and Eq. 2):
+/// given the output height of a split-part's *last* sub-layer, returns the
+/// implied heights of every sub-layer's output, last-to-first, followed by
+/// the input height of the first sub-layer.
+///
+/// This is the un-clipped form the paper states (no padding/boundary
+/// adjustment); [`PartPlan`] gives the exact clipped row ranges.
+pub fn vsl_heights(model: &Model, volume: LayerVolume, h_out_last: usize) -> Vec<usize> {
+    let layers = volume.layers(model);
+    let mut heights = vec![0usize; layers.len() + 1];
+    heights[layers.len()] = h_out_last;
+    for i in (0..layers.len()).rev() {
+        let l = &layers[i];
+        let h_next = heights[i + 1];
+        // Eq. 1 / Eq. 2: h_in = (h_out - 1) * S + F  (zero stays zero).
+        heights[i] = if h_next == 0 { 0 } else { (h_next - 1) * l.stride() + l.filter() };
+    }
+    heights
+}
+
+/// Input height of a split-part's first sub-layer per the Vertical-Splitting
+/// Law (the first element of [`vsl_heights`]).
+pub fn vsl_input_height(model: &Model, volume: LayerVolume, h_out_last: usize) -> usize {
+    vsl_heights(model, volume, h_out_last)[0]
+}
+
+/// Row ranges of one layer within a split-part plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerRows {
+    /// Model-wide index of the layer.
+    pub layer: usize,
+    /// Output rows `[lo, hi)` (full-layer coordinates) this part produces.
+    pub out_rows: (usize, usize),
+    /// Input rows `[lo, hi)` (full-layer coordinates) this part consumes.
+    pub in_rows: (usize, usize),
+}
+
+impl LayerRows {
+    /// Number of output rows.
+    pub fn out_count(&self) -> usize {
+        self.out_rows.1 - self.out_rows.0
+    }
+}
+
+/// The exact work plan of one split-part of one layer-volume: per-layer
+/// output/input row ranges (with halos and boundary clipping) and the rows of
+/// the volume input the part needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartPlan {
+    /// The volume this plan belongs to.
+    pub volume: LayerVolume,
+    /// Per-layer row ranges, ordered first layer → last layer of the volume.
+    pub layers: Vec<LayerRows>,
+    /// Rows of the volume's *input* feature map this part needs `[lo, hi)`.
+    pub input_rows: (usize, usize),
+    /// Output rows of the volume's last layer this part produces `[lo, hi)`.
+    pub output_rows: (usize, usize),
+}
+
+impl PartPlan {
+    /// Plans the split-part of `volume` that produces output rows
+    /// `[out_lo, out_hi)` of the volume's last layer.
+    ///
+    /// An empty output range yields an empty plan (a device with no work).
+    pub fn plan(model: &Model, volume: LayerVolume, out_lo: usize, out_hi: usize) -> Result<Self> {
+        if volume.is_empty() || volume.end > model.distributable_len() {
+            return Err(ModelError::InvalidPartition(format!(
+                "volume {}..{} out of distributable range 0..{}",
+                volume.start,
+                volume.end,
+                model.distributable_len()
+            )));
+        }
+        let h_last = volume.last_output_height(model);
+        if out_hi > h_last || out_lo > out_hi {
+            return Err(ModelError::InvalidSplit(format!(
+                "output rows {out_lo}..{out_hi} out of range 0..{h_last}"
+            )));
+        }
+        let layers = volume.layers(model);
+        let mut rows = vec![
+            LayerRows { layer: 0, out_rows: (0, 0), in_rows: (0, 0) };
+            layers.len()
+        ];
+        if out_lo == out_hi {
+            // No work: every range stays empty.
+            let mut plan_layers = rows;
+            for (i, l) in layers.iter().enumerate() {
+                plan_layers[i].layer = l.index;
+            }
+            return Ok(PartPlan {
+                volume,
+                layers: plan_layers,
+                input_rows: (0, 0),
+                output_rows: (out_lo, out_hi),
+            });
+        }
+        // Walk backwards from the last layer, turning required output rows of
+        // layer i into required input rows, which are the required output
+        // rows of layer i-1.
+        let mut need = (out_lo, out_hi);
+        for i in (0..layers.len()).rev() {
+            let l = &layers[i];
+            let in_need = input_rows_for_output(
+                need.0,
+                need.1,
+                l.filter(),
+                l.stride(),
+                l.padding(),
+                l.input.h,
+            );
+            rows[i] = LayerRows { layer: l.index, out_rows: need, in_rows: in_need };
+            need = in_need;
+        }
+        Ok(PartPlan {
+            volume,
+            layers: rows,
+            input_rows: need,
+            output_rows: (out_lo, out_hi),
+        })
+    }
+
+    /// Plans all parts of a volume for a given vertical split.
+    pub fn plan_all(model: &Model, volume: LayerVolume, split: &VolumeSplit) -> Result<Vec<Self>> {
+        let h_last = volume.last_output_height(model);
+        split
+            .ranges(h_last)
+            .into_iter()
+            .map(|(lo, hi)| Self::plan(model, volume, lo, hi))
+            .collect()
+    }
+
+    /// Whether the part has no work.
+    pub fn is_empty(&self) -> bool {
+        self.output_rows.0 == self.output_rows.1
+    }
+
+    /// Total operations of this part (halo redundancy included).
+    pub fn ops(&self, model: &Model) -> f64 {
+        self.layers
+            .iter()
+            .map(|lr| model.layers()[lr.layer].ops_for_rows(lr.out_count()))
+            .sum()
+    }
+
+    /// Bytes of volume-input data this part consumes.
+    pub fn input_bytes(&self, model: &Model) -> f64 {
+        let rows = self.input_rows.1 - self.input_rows.0;
+        let first = &model.layers()[self.volume.start];
+        first.input_bytes_for_rows(rows)
+    }
+
+    /// Bytes of last-layer output this part produces.
+    pub fn output_bytes(&self, model: &Model) -> f64 {
+        let rows = self.output_rows.1 - self.output_rows.0;
+        let last = &model.layers()[self.volume.end - 1];
+        last.output_bytes_for_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 64, 64),
+            &[
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::fc(10),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_scheme_validation() {
+        let m = model();
+        assert!(PartitionScheme::new(&m, vec![0, 3, 5]).is_ok());
+        assert!(PartitionScheme::new(&m, vec![0, 3]).is_err());
+        assert!(PartitionScheme::new(&m, vec![1, 5]).is_err());
+        // Duplicates and unsorted input are normalised.
+        let p = PartitionScheme::new(&m, vec![5, 0, 3, 3]).unwrap();
+        assert_eq!(p.boundaries(), &[0, 3, 5]);
+        assert_eq!(p.num_volumes(), 2);
+    }
+
+    #[test]
+    fn special_schemes() {
+        let m = model();
+        assert_eq!(PartitionScheme::single_volume(&m).num_volumes(), 1);
+        assert_eq!(PartitionScheme::layer_by_layer(&m).num_volumes(), 5);
+    }
+
+    #[test]
+    fn with_boundary_is_idempotent() {
+        let m = model();
+        let p = PartitionScheme::single_volume(&m);
+        let p2 = p.with_boundary(2);
+        assert_eq!(p2.num_volumes(), 2);
+        assert_eq!(p2.with_boundary(2), p2);
+    }
+
+    #[test]
+    fn volume_accessors() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.layers(&m).len(), 3);
+        assert_eq!(v.last_output_height(&m), 32);
+    }
+
+    #[test]
+    fn equal_split_ranges() {
+        let s = VolumeSplit::equal(4, 32);
+        assert_eq!(s.cuts(), &[8, 16, 24]);
+        assert_eq!(s.ranges(32), vec![(0, 8), (8, 16), (16, 24), (24, 32)]);
+        assert_eq!(s.row_counts(32), vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn proportional_split() {
+        let s = VolumeSplit::proportional(&[1.0, 3.0], 32);
+        assert_eq!(s.ranges(32), vec![(0, 8), (8, 32)]);
+        // Zero weights fall back to equal.
+        let z = VolumeSplit::proportional(&[0.0, 0.0], 32);
+        assert_eq!(z.row_counts(32), vec![16, 16]);
+    }
+
+    #[test]
+    fn split_allows_empty_shares() {
+        let s = VolumeSplit::new(vec![0, 20], 20);
+        assert_eq!(s.ranges(20), vec![(0, 0), (0, 20), (20, 20)]);
+    }
+
+    #[test]
+    fn split_clamps_out_of_range_cuts() {
+        let s = VolumeSplit::new(vec![50, 10], 20);
+        assert_eq!(s.cuts(), &[10, 20]);
+    }
+
+    #[test]
+    fn vsl_closed_form_matches_paper() {
+        let m = model();
+        // Volume of the first three layers: conv3s1, conv3s1, pool2s2.
+        let v = LayerVolume::new(0, 3);
+        // h_out of pool = 4  ->  pool input = (4-1)*2+2 = 8
+        //                     -> conv input = (8-1)*1+3 = 10
+        //                     -> conv input = (10-1)*1+3 = 12
+        assert_eq!(vsl_heights(&m, v, 4), vec![12, 10, 8, 4]);
+        assert_eq!(vsl_input_height(&m, v, 4), 12);
+        assert_eq!(vsl_input_height(&m, v, 0), 0);
+    }
+
+    #[test]
+    fn part_plan_exact_rows() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        // Bottom half of the pooled output: rows 16..32 of layer 2.
+        let p = PartPlan::plan(&m, v, 16, 32).unwrap();
+        assert_eq!(p.output_rows, (16, 32));
+        // Pool rows 16..32 need conv-1 rows 32..64; conv rows 32..64 need
+        // conv-0 rows 31..64 (padding at the bottom edge); conv-0 rows 31..64
+        // need input rows 30..64.
+        assert_eq!(p.layers[2].in_rows, (32, 64));
+        assert_eq!(p.layers[1].in_rows, (31, 64));
+        assert_eq!(p.layers[0].in_rows, (30, 64));
+        assert_eq!(p.input_rows, (30, 64));
+    }
+
+    #[test]
+    fn part_plan_empty_share() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        let p = PartPlan::plan(&m, v, 10, 10).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.ops(&m), 0.0);
+        assert_eq!(p.input_bytes(&m), 0.0);
+        assert_eq!(p.output_bytes(&m), 0.0);
+    }
+
+    #[test]
+    fn part_plan_rejects_bad_ranges() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        assert!(PartPlan::plan(&m, v, 0, 33).is_err());
+        assert!(PartPlan::plan(&m, v, 5, 3).is_err());
+        // Volume that reaches into the FC head is rejected.
+        assert!(PartPlan::plan(&m, LayerVolume::new(3, 6), 0, 1).is_err());
+    }
+
+    #[test]
+    fn plan_all_covers_output_exactly() {
+        let m = model();
+        let v = LayerVolume::new(0, 5);
+        let split = VolumeSplit::equal(3, v.last_output_height(&m));
+        let plans = PartPlan::plan_all(&m, v, &split).unwrap();
+        assert_eq!(plans.len(), 3);
+        let total_rows: usize = plans.iter().map(|p| p.output_rows.1 - p.output_rows.0).sum();
+        assert_eq!(total_rows, v.last_output_height(&m));
+    }
+
+    #[test]
+    fn halo_redundancy_increases_ops() {
+        let m = model();
+        let v = LayerVolume::new(0, 3);
+        let whole = PartPlan::plan(&m, v, 0, 32).unwrap().ops(&m);
+        let split = VolumeSplit::equal(4, 32);
+        let split_ops: f64 = PartPlan::plan_all(&m, v, &split)
+            .unwrap()
+            .iter()
+            .map(|p| p.ops(&m))
+            .sum();
+        assert!(split_ops > whole, "split ops {split_ops} should exceed whole {whole}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification models: VGG-16, ResNet-50, Inception-V3.
+
+use crate::layer::LayerOp;
+use crate::model::Model;
+use tensor::Shape;
+
+/// VGG-16 at 224×224 (Simonyan & Zisserman): thirteen 3×3 convolutions,
+/// five max-pools and the 4096/4096/1000 fully-connected head.
+pub fn vgg16() -> Model {
+    use LayerOp as L;
+    let ops = [
+        L::conv(64, 3, 1, 1),
+        L::conv(64, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(128, 3, 1, 1),
+        L::conv(128, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::pool(2, 2),
+        L::fc(4096),
+        L::fc(4096),
+        L::fc(1000),
+    ];
+    Model::new("vgg16", Shape::new(3, 224, 224), &ops).expect("vgg16 table is valid")
+}
+
+/// Appends one unrolled ResNet bottleneck block (`1×1 → 3×3 → 1×1`).
+fn bottleneck(ops: &mut Vec<LayerOp>, mid: usize, out: usize, stride_3x3: usize) {
+    ops.push(LayerOp::conv(mid, 1, 1, 0));
+    ops.push(LayerOp::conv(mid, 3, stride_3x3, 1));
+    ops.push(LayerOp::conv(out, 1, 1, 0));
+}
+
+/// Builds the ResNet-50 convolutional trunk onto `ops` (stem + 4 stages),
+/// shared between [`resnet50`] and the SSD-ResNet-50 detector.
+pub(crate) fn resnet50_trunk(ops: &mut Vec<LayerOp>) {
+    ops.push(LayerOp::conv(64, 7, 2, 3));
+    ops.push(LayerOp::pool(2, 2));
+    // conv2_x: 3 blocks at 1/4 resolution.
+    for _ in 0..3 {
+        bottleneck(ops, 64, 256, 1);
+    }
+    // conv3_x: 4 blocks, first downsamples.
+    for i in 0..4 {
+        bottleneck(ops, 128, 512, if i == 0 { 2 } else { 1 });
+    }
+    // conv4_x: 6 blocks, first downsamples.
+    for i in 0..6 {
+        bottleneck(ops, 256, 1024, if i == 0 { 2 } else { 1 });
+    }
+    // conv5_x: 3 blocks, first downsamples.
+    for i in 0..3 {
+        bottleneck(ops, 512, 2048, if i == 0 { 2 } else { 1 });
+    }
+}
+
+/// ResNet-50 at 224×224 as a sequential bottleneck trunk (identity shortcuts
+/// dropped; see the zoo module documentation), global pooling approximated by
+/// a 7×7 max-pool, and the 1000-way head.
+pub fn resnet50() -> Model {
+    let mut ops = Vec::new();
+    resnet50_trunk(&mut ops);
+    ops.push(LayerOp::pool(7, 7));
+    ops.push(LayerOp::fc(1000));
+    Model::new("resnet50", Shape::new(3, 224, 224), &ops).expect("resnet50 table is valid")
+}
+
+/// Inception-V3 at 299×299 as a sequential stem plus per-block
+/// `1×1 → 3×3` equivalents of the inception modules (see the zoo module
+/// documentation for the approximation rationale).
+pub fn inception_v3() -> Model {
+    use LayerOp as L;
+    let mut ops = vec![
+        L::conv(32, 3, 2, 0),
+        L::conv(32, 3, 1, 0),
+        L::conv(64, 3, 1, 1),
+        L::pool(3, 2),
+        L::conv(80, 1, 1, 0),
+        L::conv(192, 3, 1, 0),
+        L::pool(3, 2),
+    ];
+    // 3 × inception-A at 35×35 (output 288 channels).
+    for _ in 0..3 {
+        ops.push(L::conv(96, 1, 1, 0));
+        ops.push(L::conv(288, 3, 1, 1));
+    }
+    // Reduction-A to 17×17.
+    ops.push(L::conv(768, 3, 2, 0));
+    // 4 × inception-B at 17×17 (output 768 channels).
+    for _ in 0..4 {
+        ops.push(L::conv(256, 1, 1, 0));
+        ops.push(L::conv(768, 3, 1, 1));
+    }
+    // Reduction-B to 8×8.
+    ops.push(L::conv(1280, 3, 2, 0));
+    // 2 × inception-C at 8×8 (output 2048 channels).
+    for _ in 0..2 {
+        ops.push(L::conv(448, 1, 1, 0));
+        ops.push(L::conv(2048, 3, 1, 1));
+    }
+    ops.push(L::pool(8, 8));
+    ops.push(L::fc(1000));
+    Model::new("inception_v3", Shape::new(3, 299, 299), &ops).expect("inception table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_structure() {
+        let m = vgg16();
+        assert_eq!(m.len(), 21);
+        assert_eq!(m.distributable_len(), 18);
+        assert_eq!(m.prefix_output(), Shape::new(512, 7, 7));
+        // Published parameter count is ~138 M.
+        let params = m.parameter_count() as f64;
+        assert!(params > 130e6 && params < 145e6, "params = {params:.3e}");
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let m = resnet50();
+        // Stem (2) + (3+4+6+3) blocks * 3 layers + pool = 51 distributable.
+        assert_eq!(m.distributable_len(), 2 + 16 * 3 + 1);
+        assert_eq!(m.prefix_output(), Shape::new(2048, 1, 1));
+        assert_eq!(m.layers()[2].input.h, 56);
+    }
+
+    #[test]
+    fn inception_v3_structure() {
+        let m = inception_v3();
+        assert_eq!(m.prefix_output(), Shape::new(2048, 1, 1));
+        // Spatial sizes follow the published 35 / 17 / 8 schedule.
+        let heights: Vec<usize> = m.layers().iter().map(|l| l.output.h).collect();
+        assert!(heights.contains(&35));
+        assert!(heights.contains(&17));
+        assert!(heights.contains(&8));
+    }
+}

@@ -1,0 +1,125 @@
+//! The eight evaluation models of the paper (§V-E) as layer-configuration
+//! tables.
+//!
+//! DistrEdge (and every baseline it compares against) treats a CNN as a
+//! sequential chain of convolution / pooling layers followed by an optional
+//! fully-connected head.  Branching architectures are therefore represented
+//! by their sequential backbone trunks with equivalent per-stage channel
+//! counts, spatial resolutions and operation totals:
+//!
+//! * **ResNet-50 / SSD-ResNet-50** — bottleneck blocks are unrolled into
+//!   their 1×1 / 3×3 / 1×1 convolution sequences; the identity shortcuts
+//!   (which add negligible FLOPs and no extra transmission in a fused
+//!   volume) are dropped.
+//! * **Inception-V3** — each inception block is replaced by a 3×3
+//!   convolution with the block's concatenated output channel count, which
+//!   preserves the output shape and approximates the block FLOPs.
+//! * **SSD / YOLOv2 / OpenPose** — detection and pose heads are kept as
+//!   convolutions (they are convolutional in the originals).
+//! * **VoxelNet** — the sparse voxel feature encoder and 3-D middle layers
+//!   are projected onto an equivalent-FLOP 2-D bird's-eye-view convolution
+//!   stack feeding the original region-proposal network.
+//!
+//! These substitutions preserve exactly the quantities the distribution
+//! algorithms consume — per-layer heights, widths, channels, filter sizes,
+//! strides, operation counts and output byte counts — which is what matters
+//! for reproducing the *relative* performance of the distribution methods.
+
+mod classification;
+mod detection;
+mod pose;
+
+pub use classification::{inception_v3, resnet50, vgg16};
+pub use detection::{ssd_resnet50, ssd_vgg16, voxelnet, yolov2};
+pub use pose::openpose;
+
+use crate::model::Model;
+
+/// All zoo model constructors keyed by their canonical names, in the order
+/// the paper's Fig. 10/11 present them.
+pub fn all_models() -> Vec<Model> {
+    vec![
+        vgg16(),
+        resnet50(),
+        inception_v3(),
+        yolov2(),
+        ssd_resnet50(),
+        ssd_vgg16(),
+        openpose(),
+        voxelnet(),
+    ]
+}
+
+/// Looks a model up by name (case-insensitive, hyphen/underscore-insensitive).
+pub fn by_name(name: &str) -> Option<Model> {
+    let canon: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    match canon.as_str() {
+        "vgg16" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        "inceptionv3" => Some(inception_v3()),
+        "yolov2" => Some(yolov2()),
+        "ssdresnet50" => Some(ssd_resnet50()),
+        "ssdvgg16" => Some(ssd_vgg16()),
+        "openpose" => Some(openpose()),
+        "voxelnet" => Some(voxelnet()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build() {
+        let models = all_models();
+        assert_eq!(models.len(), 8);
+        for m in &models {
+            assert!(m.distributable_len() >= 10, "{} too shallow", m.name());
+            assert!(m.total_ops() > 1e9, "{} ops implausibly small", m.name());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_variants() {
+        assert!(by_name("VGG-16").is_some());
+        assert!(by_name("vgg16").is_some());
+        assert!(by_name("SSD_ResNet50").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let models = all_models();
+        let mut names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn vgg16_flops_in_published_range() {
+        // VGG-16 at 224x224 is ~30.9 GFLOPs (counting MACs x2) for the conv
+        // stack plus ~0.25 GFLOPs for the FC head.
+        let ops = vgg16().total_ops();
+        assert!(ops > 28e9 && ops < 34e9, "VGG-16 ops = {ops:.3e}");
+    }
+
+    #[test]
+    fn resnet50_flops_in_published_range() {
+        // ResNet-50 at 224x224 is ~7.7 GFLOPs; the sequential trunk
+        // approximation should stay within a factor ~1.3 of that.
+        let ops = resnet50().total_ops();
+        assert!(ops > 6e9 && ops < 11e9, "ResNet-50 ops = {ops:.3e}");
+    }
+
+    #[test]
+    fn detection_models_are_heavier_than_classification() {
+        assert!(yolov2().total_ops() > resnet50().total_ops());
+        assert!(ssd_vgg16().total_ops() > vgg16().total_ops() * 0.8);
+    }
+}

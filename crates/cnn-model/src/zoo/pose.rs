@@ -1,0 +1,69 @@
+//! OpenPose (multi-person 2-D pose estimation).
+
+use crate::layer::LayerOp;
+use crate::model::Model;
+use tensor::Shape;
+
+/// OpenPose at 368×368: the VGG-19 feature prefix (through conv4_4, reduced
+/// to 128 channels) followed by two refinement stages of wide 7×7
+/// convolutions producing part-affinity-field and heat-map channels.
+///
+/// The original cascades six stages; two stages reproduce the published
+/// body-25 cost profile closely enough for distribution experiments while
+/// keeping the layer table readable (the remaining stages are identical in
+/// configuration, so adding them changes only the total, not the shape of
+/// the per-layer cost curve).
+pub fn openpose() -> Model {
+    use LayerOp as L;
+    let mut ops = vec![
+        // VGG-19 prefix.
+        L::conv(64, 3, 1, 1),
+        L::conv(64, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(128, 3, 1, 1),
+        L::conv(128, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        // CPM feature reduction.
+        L::conv(256, 3, 1, 1),
+        L::conv(128, 3, 1, 1),
+    ];
+    // Two refinement stages: five 7x7x128 convolutions, a 1x1x128 and the
+    // 57-channel output (38 PAF + 19 heat-map channels).
+    for _ in 0..2 {
+        for _ in 0..5 {
+            ops.push(L::conv(128, 7, 1, 3));
+        }
+        ops.push(L::conv(128, 1, 1, 0));
+        ops.push(L::conv(57, 1, 1, 0));
+    }
+    Model::new("openpose", Shape::new(3, 368, 368), &ops).expect("openpose table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openpose_structure() {
+        let m = openpose();
+        assert!(m.head_layers().is_empty());
+        // The CPM stages run at 1/8 resolution: 368 / 8 = 46.
+        assert_eq!(m.prefix_output().h, 46);
+        assert_eq!(m.prefix_output().c, 57);
+        assert!(m.total_ops() > 30e9, "openpose ops = {:.3e}", m.total_ops());
+    }
+
+    #[test]
+    fn stages_use_wide_filters() {
+        let m = openpose();
+        let wide = m.layers().iter().filter(|l| l.filter() == 7).count();
+        assert_eq!(wide, 10);
+    }
+}

@@ -1,0 +1,315 @@
+//! The offline profiling step DistrEdge's controller performs (§V-A).
+//!
+//! For every layer of the model and every device type, the profiler measures
+//! the computing latency against the number of output rows (granularity 1 in
+//! the paper), repeating each measurement and averaging.  On the physical
+//! testbed the measurement is a TensorRT Profiler run; here it queries the
+//! ground-truth device model, optionally with multiplicative measurement
+//! noise, which reproduces the same pipeline: everything downstream sees
+//! *profiled* numbers, never the ground truth itself.
+
+use crate::device::{ComputeModel, GroundTruthModel};
+use crate::regress::Regressor;
+use cnn_model::{Layer, Model};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How profiled measurements are turned into a latency predictor — the three
+/// representations §IV explicitly allows plus the raw table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileRepr {
+    /// Use the measured table directly (nearest measured point).
+    Table,
+    /// Ordinary least-squares linear regression per layer.
+    Linear,
+    /// Piece-wise linear regression with a fixed number of segments.
+    PiecewiseLinear {
+        /// Number of segments.
+        segments: usize,
+    },
+    /// k-nearest-neighbour averaging.
+    Knn {
+        /// Number of neighbours.
+        k: usize,
+    },
+}
+
+/// Options controlling a profiling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingOptions {
+    /// Measure every `step`-th row count (1 = the paper's granularity).
+    pub row_step: usize,
+    /// Number of repetitions averaged per measurement point (paper: 100).
+    pub repetitions: usize,
+    /// Multiplicative measurement noise (standard deviation, e.g. 0.02).
+    pub noise_std: f64,
+    /// RNG seed for the measurement noise.
+    pub seed: u64,
+}
+
+impl Default for ProfilingOptions {
+    fn default() -> Self {
+        Self { row_step: 1, repetitions: 5, noise_std: 0.02, seed: 7 }
+    }
+}
+
+/// The measured latency table of one layer on one device: latency (ms)
+/// against output row count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerLatencyTable {
+    /// Model-wide layer index.
+    pub layer: usize,
+    /// Measured `(rows, latency_ms)` points, sorted by rows.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl LayerLatencyTable {
+    /// Latency at the nearest measured row count.
+    pub fn nearest(&self, rows: usize) -> f64 {
+        if rows == 0 || self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .min_by_key(|(r, _)| r.abs_diff(rows))
+            .map(|&(_, l)| l)
+            .unwrap_or(0.0)
+    }
+
+    /// Largest measured row count.
+    pub fn max_rows(&self) -> usize {
+        self.points.last().map(|&(r, _)| r).unwrap_or(0)
+    }
+}
+
+/// A profiled device: per-layer latency predictors built from measurements.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    /// Raw measured tables, one per model layer.
+    pub tables: Vec<LayerLatencyTable>,
+    repr: ProfileRepr,
+    regressors: Vec<Regressor>,
+}
+
+impl Profiler {
+    /// Profiles `device` over every layer of `model`.
+    pub fn profile(
+        model: &Model,
+        device: &GroundTruthModel,
+        options: ProfilingOptions,
+        repr: ProfileRepr,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut tables = Vec::with_capacity(model.len());
+        for layer in model.layers() {
+            let h = layer.output.h.max(1);
+            let step = options.row_step.max(1);
+            let mut points = Vec::new();
+            let mut rows = 1usize;
+            loop {
+                let mut acc = 0.0;
+                for _ in 0..options.repetitions.max(1) {
+                    let noise = if options.noise_std > 0.0 {
+                        1.0 + rng.gen_range(-1.0..1.0) * options.noise_std
+                    } else {
+                        1.0
+                    };
+                    acc += device.layer_latency_ms(layer, rows) * noise;
+                }
+                points.push((rows, acc / options.repetitions.max(1) as f64));
+                if rows >= h {
+                    break;
+                }
+                rows = (rows + step).min(h);
+            }
+            tables.push(LayerLatencyTable { layer: layer.index, points });
+        }
+        let regressors = tables.iter().map(|t| Regressor::fit(t, repr)).collect();
+        Self { tables, repr, regressors }
+    }
+
+    /// The representation this profiler predicts with.
+    pub fn repr(&self) -> ProfileRepr {
+        self.repr
+    }
+
+    /// Re-fits the profiler with a different representation, reusing the
+    /// measured tables (no new measurements).
+    pub fn with_repr(&self, repr: ProfileRepr) -> Self {
+        let regressors = self.tables.iter().map(|t| Regressor::fit(t, repr)).collect();
+        Self { tables: self.tables.clone(), repr, regressors }
+    }
+
+    /// Predicted latency of `rows` output rows of layer `layer_index`.
+    pub fn predict(&self, layer_index: usize, rows: usize) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        match self.regressors.get(layer_index) {
+            Some(r) => r.predict(rows).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// A per-layer "computing capability" figure: full-layer work divided by
+    /// profiled full-layer latency.  This is exactly the linear summary the
+    /// baseline methods (CoEdge, MoDNN, MeDNN, AOFL) reduce a device to.
+    pub fn linear_capability(&self, model: &Model) -> f64 {
+        let mut ops = 0.0;
+        let mut lat = 0.0;
+        for (layer, table) in model.layers().iter().zip(&self.tables) {
+            if !layer.is_splittable() {
+                continue;
+            }
+            ops += layer.ops();
+            lat += table.nearest(layer.output.h);
+        }
+        if lat <= 0.0 {
+            0.0
+        } else {
+            ops / lat
+        }
+    }
+}
+
+impl ComputeModel for Profiler {
+    fn layer_latency_ms(&self, layer: &Layer, out_rows: usize) -> f64 {
+        self.predict(layer.index, out_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use cnn_model::{LayerOp, Model};
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "prof-test",
+            Shape::new(3, 64, 64),
+            &[LayerOp::conv(16, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(32, 3, 1, 1)],
+        )
+        .unwrap()
+    }
+
+    fn noiseless() -> ProfilingOptions {
+        ProfilingOptions { row_step: 1, repetitions: 1, noise_std: 0.0, seed: 1 }
+    }
+
+    #[test]
+    fn table_covers_all_rows() {
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let p = Profiler::profile(&m, &gt, noiseless(), ProfileRepr::Table);
+        assert_eq!(p.tables.len(), 3);
+        assert_eq!(p.tables[0].max_rows(), 64);
+        assert_eq!(p.tables[1].max_rows(), 32);
+        assert_eq!(p.tables[0].points.len(), 64);
+    }
+
+    #[test]
+    fn table_repr_reproduces_ground_truth_exactly() {
+        let m = model();
+        let gt = DeviceType::Tx2.ground_truth();
+        let p = Profiler::profile(&m, &gt, noiseless(), ProfileRepr::Table);
+        for layer in m.layers() {
+            for rows in [1usize, 7, 20, layer.output.h] {
+                let truth = gt.layer_latency_ms(layer, rows);
+                let pred = p.layer_latency_ms(layer, rows);
+                assert!((truth - pred).abs() < 1e-9, "rows {rows}: {pred} vs {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_predicts_zero() {
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let p = Profiler::profile(&m, &gt, noiseless(), ProfileRepr::Linear);
+        assert_eq!(p.predict(0, 0), 0.0);
+    }
+
+    #[test]
+    fn proportional_capability_underestimates_small_bands_on_gpu() {
+        // The baselines reduce a device to a single "capability" value and
+        // assume latency scales proportionally with the split size.  On a
+        // GPU device with launch overhead and poor small-batch utilisation,
+        // that proportional model badly under-predicts the cost of a tiny
+        // band — the modelling error the paper blames for the baselines'
+        // computing-latency imbalance (§V-G, Fig. 14/15).
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let layer = &m.layers()[0];
+        let truth = gt.layer_latency_ms(layer, 2);
+        let proportional =
+            gt.layer_latency_ms(layer, layer.output.h) * 2.0 / layer.output.h as f64;
+        assert!(
+            proportional < truth * 0.5,
+            "proportional {proportional} should badly undershoot truth {truth}"
+        );
+    }
+
+    #[test]
+    fn piecewise_beats_linear_on_nonlinear_curve() {
+        let m = model();
+        let gt = DeviceType::Xavier.ground_truth();
+        let table = Profiler::profile(&m, &gt, noiseless(), ProfileRepr::Table);
+        let lin = table.with_repr(ProfileRepr::Linear);
+        let pw = table.with_repr(ProfileRepr::PiecewiseLinear { segments: 8 });
+        let layer = &m.layers()[0];
+        let err = |p: &Profiler| -> f64 {
+            (1..=layer.output.h)
+                .map(|r| (p.layer_latency_ms(layer, r) - gt.layer_latency_ms(layer, r)).abs())
+                .sum()
+        };
+        assert!(err(&pw) <= err(&lin));
+    }
+
+    #[test]
+    fn knn_is_close_to_table() {
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let p = Profiler::profile(&m, &gt, noiseless(), ProfileRepr::Knn { k: 3 });
+        let layer = &m.layers()[0];
+        let truth = gt.layer_latency_ms(layer, 30);
+        let pred = p.layer_latency_ms(layer, 30);
+        assert!((truth - pred).abs() / truth < 0.1);
+    }
+
+    #[test]
+    fn capability_ordering_matches_device_ordering() {
+        let m = model();
+        let caps: Vec<f64> = DeviceType::ALL
+            .iter()
+            .map(|d| {
+                Profiler::profile(&m, &d.ground_truth(), noiseless(), ProfileRepr::Table)
+                    .linear_capability(&m)
+            })
+            .collect();
+        assert!(caps[0] < caps[1] && caps[1] < caps[2] && caps[2] < caps[3], "{caps:?}");
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let opts = ProfilingOptions { noise_std: 0.05, ..ProfilingOptions::default() };
+        let a = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
+        let b = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
+        assert_eq!(a.tables[0].points, b.tables[0].points);
+    }
+
+    #[test]
+    fn coarse_row_step_shrinks_table() {
+        let m = model();
+        let gt = DeviceType::Nano.ground_truth();
+        let opts = ProfilingOptions { row_step: 8, repetitions: 1, noise_std: 0.0, seed: 1 };
+        let p = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
+        assert!(p.tables[0].points.len() <= 10);
+        // The last point still covers the full height.
+        assert_eq!(p.tables[0].max_rows(), 64);
+    }
+}

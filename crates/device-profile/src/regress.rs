@@ -1,0 +1,254 @@
+//! Latency-profile regressors: the representations DistrEdge accepts for a
+//! device's profiling results (§IV: "regression models (e.g., linear
+//! regression, piece-wise linear regression, k-nearest-neighbor) or a
+//! measured data table").
+
+use crate::profiler::{LayerLatencyTable, ProfileRepr};
+use serde::{Deserialize, Serialize};
+
+/// Ordinary least-squares fit `latency ≈ slope · rows + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressor {
+    /// Milliseconds per output row.
+    pub slope: f64,
+    /// Fixed offset in milliseconds.
+    pub intercept: f64,
+}
+
+impl LinearRegressor {
+    /// Fits a line through the measured points.
+    pub fn fit(points: &[(usize, f64)]) -> Self {
+        let n = points.len() as f64;
+        if points.is_empty() {
+            return Self { slope: 0.0, intercept: 0.0 };
+        }
+        if points.len() == 1 {
+            let (r, l) = points[0];
+            return Self { slope: if r > 0 { l / r as f64 } else { 0.0 }, intercept: 0.0 };
+        }
+        let sx: f64 = points.iter().map(|&(r, _)| r as f64).sum();
+        let sy: f64 = points.iter().map(|&(_, l)| l).sum();
+        let sxx: f64 = points.iter().map(|&(r, _)| (r as f64) * (r as f64)).sum();
+        let sxy: f64 = points.iter().map(|&(r, l)| r as f64 * l).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return Self { slope: 0.0, intercept: sy / n };
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Self { slope, intercept }
+    }
+
+    /// Predicted latency for `rows` output rows.
+    pub fn predict(&self, rows: usize) -> f64 {
+        self.slope * rows as f64 + self.intercept
+    }
+}
+
+/// Piece-wise linear interpolation over a fixed number of knots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearRegressor {
+    /// Knot points `(rows, latency_ms)`, sorted by rows.
+    pub knots: Vec<(usize, f64)>,
+}
+
+impl PiecewiseLinearRegressor {
+    /// Fits `segments + 1` knots over the measured points by sampling the
+    /// table at (approximately) evenly spaced row counts.
+    pub fn fit(points: &[(usize, f64)], segments: usize) -> Self {
+        if points.is_empty() {
+            return Self { knots: Vec::new() };
+        }
+        let segments = segments.max(1);
+        let n = points.len();
+        let mut knots = Vec::with_capacity(segments + 1);
+        for s in 0..=segments {
+            let idx = (s * (n - 1)) / segments;
+            let p = points[idx];
+            if knots.last() != Some(&p) {
+                knots.push(p);
+            }
+        }
+        Self { knots }
+    }
+
+    /// Predicted latency for `rows` output rows (linear interpolation,
+    /// clamped to the knot range).
+    pub fn predict(&self, rows: usize) -> f64 {
+        if self.knots.is_empty() {
+            return 0.0;
+        }
+        let r = rows as f64;
+        if r <= self.knots[0].0 as f64 {
+            return self.knots[0].1;
+        }
+        if r >= self.knots[self.knots.len() - 1].0 as f64 {
+            return self.knots[self.knots.len() - 1].1;
+        }
+        for w in self.knots.windows(2) {
+            let (x0, y0) = (w[0].0 as f64, w[0].1);
+            let (x1, y1) = (w[1].0 as f64, w[1].1);
+            if r >= x0 && r <= x1 {
+                if (x1 - x0).abs() < 1e-12 {
+                    return y1;
+                }
+                return y0 + (y1 - y0) * (r - x0) / (x1 - x0);
+            }
+        }
+        self.knots[self.knots.len() - 1].1
+    }
+}
+
+/// k-nearest-neighbour averaging over the measured table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// The measured points, sorted by rows.
+    pub points: Vec<(usize, f64)>,
+    /// Number of neighbours averaged.
+    pub k: usize,
+}
+
+impl KnnRegressor {
+    /// Builds the regressor from measured points.
+    pub fn fit(points: &[(usize, f64)], k: usize) -> Self {
+        Self { points: points.to_vec(), k: k.max(1) }
+    }
+
+    /// Predicted latency: mean of the `k` nearest measured points.
+    pub fn predict(&self, rows: usize) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut by_dist: Vec<&(usize, f64)> = self.points.iter().collect();
+        by_dist.sort_by_key(|(r, _)| r.abs_diff(rows));
+        let k = self.k.min(by_dist.len());
+        by_dist[..k].iter().map(|(_, l)| l).sum::<f64>() / k as f64
+    }
+}
+
+/// A fitted per-layer latency predictor in any of the supported
+/// representations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Regressor {
+    /// Raw table lookup (nearest measured point).
+    Table(LayerLatencyTable),
+    /// Linear regression.
+    Linear(LinearRegressor),
+    /// Piece-wise linear regression.
+    Piecewise(PiecewiseLinearRegressor),
+    /// k-NN averaging.
+    Knn(KnnRegressor),
+}
+
+impl Regressor {
+    /// Fits the requested representation to a measured table.
+    pub fn fit(table: &LayerLatencyTable, repr: ProfileRepr) -> Self {
+        match repr {
+            ProfileRepr::Table => Regressor::Table(table.clone()),
+            ProfileRepr::Linear => Regressor::Linear(LinearRegressor::fit(&table.points)),
+            ProfileRepr::PiecewiseLinear { segments } => {
+                Regressor::Piecewise(PiecewiseLinearRegressor::fit(&table.points, segments))
+            }
+            ProfileRepr::Knn { k } => Regressor::Knn(KnnRegressor::fit(&table.points, k)),
+        }
+    }
+
+    /// Predicted latency for `rows` output rows.
+    pub fn predict(&self, rows: usize) -> f64 {
+        match self {
+            Regressor::Table(t) => t.nearest(rows),
+            Regressor::Linear(l) => l.predict(rows),
+            Regressor::Piecewise(p) => p.predict(rows),
+            Regressor::Knn(k) => k.predict(rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_points() -> Vec<(usize, f64)> {
+        (1..=20).map(|r| (r, 2.0 * r as f64 + 1.0)).collect()
+    }
+
+    fn curved_points() -> Vec<(usize, f64)> {
+        // Convex-ish curve similar to the GPU latency profile.
+        (1..=40).map(|r| (r, 5.0 + 0.5 * r as f64 + 20.0 / (r as f64 + 2.0))).collect()
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let fit = LinearRegressor::fit(&linear_points());
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.predict(10) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert_eq!(LinearRegressor::fit(&[]).predict(5), 0.0);
+        let single = LinearRegressor::fit(&[(4, 8.0)]);
+        assert!((single.predict(4) - 8.0).abs() < 1e-9);
+        // All-same-x points: slope collapses to zero, intercept to the mean.
+        let flat = LinearRegressor::fit(&[(3, 1.0), (3, 3.0)]);
+        assert!((flat.predict(3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_interpolates_exactly_at_knots() {
+        let pts = curved_points();
+        let pw = PiecewiseLinearRegressor::fit(&pts, 8);
+        for &(r, l) in &pw.knots {
+            assert!((pw.predict(r) - l).abs() < 1e-9);
+        }
+        // Clamped outside the range.
+        assert_eq!(pw.predict(0), pw.knots[0].1);
+        assert_eq!(pw.predict(1000), pw.knots.last().unwrap().1);
+    }
+
+    #[test]
+    fn piecewise_more_segments_reduce_error() {
+        let pts = curved_points();
+        let err = |segments: usize| -> f64 {
+            let pw = PiecewiseLinearRegressor::fit(&pts, segments);
+            pts.iter().map(|&(r, l)| (pw.predict(r) - l).abs()).sum()
+        };
+        assert!(err(16) <= err(2));
+    }
+
+    #[test]
+    fn knn_with_k1_is_nearest() {
+        let pts = curved_points();
+        let knn = KnnRegressor::fit(&pts, 1);
+        assert!((knn.predict(10) - pts[9].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_averages_neighbours() {
+        let pts = vec![(1, 1.0), (2, 3.0), (10, 100.0)];
+        let knn = KnnRegressor::fit(&pts, 2);
+        assert!((knn.predict(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_empty_is_zero() {
+        let knn = KnnRegressor::fit(&[], 3);
+        assert_eq!(knn.predict(7), 0.0);
+    }
+
+    #[test]
+    fn regressor_enum_dispatch() {
+        let table = LayerLatencyTable { layer: 0, points: linear_points() };
+        for repr in [
+            ProfileRepr::Table,
+            ProfileRepr::Linear,
+            ProfileRepr::PiecewiseLinear { segments: 4 },
+            ProfileRepr::Knn { k: 2 },
+        ] {
+            let r = Regressor::fit(&table, repr);
+            let pred = r.predict(10);
+            assert!((pred - 21.0).abs() < 2.0, "{repr:?} predicted {pred}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The end-to-end DistrEdge planner: profile the devices, partition the
+//! model with LC-PSS, then search the vertical splits with OSDS.
+
+use crate::mdp::SplitEnv;
+use crate::partitioner::{lc_pss, LcPssConfig};
+use crate::profiles::{ClusterProfiles, ProfilesConfig};
+use crate::splitter::{osds_train, OsdsConfig, OsdsOutcome};
+use crate::strategy::DistributionStrategy;
+use crate::Result;
+use cnn_model::Model;
+use edgesim::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a DistrEdge planning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistrEdgeConfig {
+    /// LC-PSS (partitioner) hyper-parameters.
+    pub lcpss: LcPssConfig,
+    /// OSDS (splitter) hyper-parameters.
+    pub osds: OsdsConfig,
+    /// Profiling configuration.
+    pub profiles: ProfilesConfig,
+    /// If `true`, OSDS observes latencies from the ground-truth device
+    /// models ("directly measured with real execution on devices"); if
+    /// `false` it observes profiled estimates ("estimated by the profiling
+    /// results").  Both are allowed by §IV-A; the default is profiled.
+    pub train_on_ground_truth: bool,
+}
+
+impl DistrEdgeConfig {
+    /// The paper's hyper-parameters for a cluster of `num_devices` providers.
+    pub fn paper(num_devices: usize) -> Self {
+        Self {
+            lcpss: LcPssConfig::paper_defaults(num_devices),
+            osds: OsdsConfig::paper_defaults(num_devices),
+            profiles: ProfilesConfig::default(),
+            train_on_ground_truth: false,
+        }
+    }
+
+    /// A reduced configuration for CI-scale runs (see `EXPERIMENTS.md`).
+    pub fn fast(num_devices: usize) -> Self {
+        Self {
+            lcpss: LcPssConfig { num_random_splits: 40, ..LcPssConfig::paper_defaults(num_devices) },
+            osds: OsdsConfig::fast(num_devices),
+            profiles: ProfilesConfig::default(),
+            train_on_ground_truth: false,
+        }
+    }
+
+    /// Overrides the OSDS episode budget.
+    pub fn with_episodes(mut self, episodes: usize) -> Self {
+        self.osds.max_episodes = episodes;
+        self
+    }
+
+    /// Overrides every RNG seed derived from this configuration.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.lcpss.seed = seed;
+        self.osds = self.osds.with_seed(seed);
+        self.profiles.options.seed = seed;
+        self
+    }
+}
+
+/// Everything a DistrEdge planning run produces.
+#[derive(Debug, Clone)]
+pub struct PlanningOutcome {
+    /// The distribution strategy to deploy.
+    pub strategy: DistributionStrategy,
+    /// The OSDS training record (learning curve, trained agent).
+    pub osds: OsdsOutcome,
+    /// The device profiles the controller collected.
+    pub profiles: ClusterProfiles,
+}
+
+/// The DistrEdge planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistrEdge;
+
+impl DistrEdge {
+    /// Plans a distribution strategy for `model` on `cluster`.
+    pub fn plan(model: &Model, cluster: &Cluster, config: &DistrEdgeConfig) -> Result<PlanningOutcome> {
+        let mut lcpss = config.lcpss;
+        lcpss.num_devices = cluster.len();
+        let profiles = ClusterProfiles::collect(model, cluster, &config.profiles);
+        let scheme = lc_pss(model, &lcpss)?;
+
+        let osds_outcome = if config.train_on_ground_truth {
+            let compute = cluster.ground_truth_compute();
+            let mut env = SplitEnv::new(model, cluster, &compute, &scheme);
+            osds_train(&mut env, &config.osds, None)?
+        } else {
+            let mut env = SplitEnv::new(model, cluster, &profiles, &scheme);
+            osds_train(&mut env, &config.osds, None)?
+        };
+
+        let strategy = DistributionStrategy::new(
+            "DistrEdge",
+            scheme,
+            osds_outcome.best_splits.clone(),
+            cluster.len(),
+        )?;
+        Ok(PlanningOutcome { strategy, osds: osds_outcome, profiles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::LayerOp;
+    use device_profile::{DeviceSpec, DeviceType};
+    use netsim::LinkConfig;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 64, 64),
+            &[
+                LayerOp::conv(24, 3, 1, 1),
+                LayerOp::conv(24, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(48, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::fc(10),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::uniform(
+            vec![
+                DeviceSpec::new("xavier", DeviceType::Xavier),
+                DeviceSpec::new("nano", DeviceType::Nano),
+            ],
+            LinkConfig::constant(200.0),
+        )
+    }
+
+    fn tiny_config() -> DistrEdgeConfig {
+        let mut c = DistrEdgeConfig::fast(2).with_episodes(25).with_seed(5);
+        c.lcpss.num_random_splits = 10;
+        c.osds.ddpg.actor_hidden = [24, 16, 12];
+        c.osds.ddpg.critic_hidden = [24, 16, 12, 12];
+        c
+    }
+
+    #[test]
+    fn config_builders() {
+        let paper = DistrEdgeConfig::paper(4);
+        assert_eq!(paper.osds.max_episodes, 4000);
+        assert!((paper.lcpss.alpha - 0.75).abs() < 1e-12);
+        let fast = DistrEdgeConfig::fast(16).with_episodes(7).with_seed(3);
+        assert_eq!(fast.osds.max_episodes, 7);
+        assert_eq!(fast.lcpss.seed, 3);
+        assert!((fast.osds.sigma_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_produces_deployable_strategy() {
+        let m = model();
+        let c = cluster();
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        assert_eq!(outcome.strategy.method, "DistrEdge");
+        assert_eq!(outcome.strategy.num_devices, 2);
+        let plan = outcome.strategy.to_plan(&m).unwrap();
+        plan.validate(&m).unwrap();
+        assert_eq!(outcome.osds.episode_latencies_ms.len(), 25);
+        assert_eq!(outcome.profiles.len(), 2);
+    }
+
+    #[test]
+    fn ground_truth_training_also_works() {
+        let m = model();
+        let c = cluster();
+        let mut cfg = tiny_config();
+        cfg.train_on_ground_truth = true;
+        cfg.osds.max_episodes = 10;
+        let outcome = DistrEdge::plan(&m, &c, &cfg).unwrap();
+        outcome.strategy.to_plan(&m).unwrap().validate(&m).unwrap();
+    }
+
+    #[test]
+    fn planned_strategy_favours_the_much_faster_device() {
+        // Xavier vs Pi3: the compute asymmetry is enormous (orders of
+        // magnitude), so even a small OSDS budget must learn to keep the Pi3
+        // share below the Xavier share.
+        let m = model();
+        let c = Cluster::uniform(
+            vec![
+                DeviceSpec::new("xavier", DeviceType::Xavier),
+                DeviceSpec::new("pi3", DeviceType::Pi3),
+            ],
+            LinkConfig::constant(200.0),
+        );
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        let shares = outcome.strategy.row_shares(&m);
+        assert!(
+            shares[0] > shares[1],
+            "Xavier share {} should exceed Pi3 share {}",
+            shares[0],
+            shares[1]
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the distredge crate.
+
+use std::fmt;
+
+/// Errors surfaced by planners, baselines and evaluation helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistrError {
+    /// An underlying model/split operation failed.
+    Model(cnn_model::ModelError),
+    /// A configuration is inconsistent (e.g. zero devices, bad α).
+    InvalidConfig(String),
+    /// A strategy does not match the cluster it is evaluated on.
+    StrategyMismatch(String),
+}
+
+impl fmt::Display for DistrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistrError::Model(e) => write!(f, "model error: {e}"),
+            DistrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DistrError::StrategyMismatch(msg) => write!(f, "strategy mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistrError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnn_model::ModelError> for DistrError {
+    fn from(e: cnn_model::ModelError) -> Self {
+        DistrError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DistrError::InvalidConfig("alpha out of range".into());
+        assert!(e.to_string().contains("alpha"));
+        let m: DistrError = cnn_model::ModelError::EmptyModel.into();
+        assert!(m.to_string().contains("model error"));
+        assert!(std::error::Error::source(&m).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+        let s = DistrError::StrategyMismatch("4 vs 2 devices".into());
+        assert!(s.to_string().contains("4 vs 2"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Online adaptation under highly dynamic networks (paper §V-F, Figs. 12–13).
+//!
+//! All three network-aware methods (CoEdge, AOFL, DistrEdge) monitor the
+//! per-device throughput and adapt their split decisions window by window:
+//!
+//! * **CoEdge** recomputes its layer-by-layer linear split from the
+//!   monitored bandwidths every window (it is cheap, but layer-by-layer).
+//! * **AOFL** recomputes its fused-volume linear split, but its brute-force
+//!   partition search is slow — the paper measures ~10 minutes on the
+//!   controller — so its updated strategy only takes effect with that lag.
+//! * **DistrEdge** keeps the trained actor online: every window it rolls the
+//!   actor out against the monitored conditions; when the average
+//!   throughput changes significantly it re-runs the lightweight LC-PSS and
+//!   fine-tunes the actor for a small number of episodes (20–210 s in the
+//!   paper), taking effect on the next window.
+
+use crate::api::DistrEdgeConfig;
+use crate::baselines::Method;
+use crate::evaluate::evaluate_strategy;
+use crate::mdp::SplitEnv;
+use crate::partitioner::lc_pss;
+use crate::profiles::ClusterProfiles;
+use crate::splitter::{greedy_rollout, osds_train};
+use crate::strategy::DistributionStrategy;
+use crate::Result;
+use cnn_model::Model;
+use device_profile::DeviceSpec;
+use edgesim::{Cluster, SimOptions};
+use netsim::LinkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the dynamic-network experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Length of one monitoring / adaptation window, in minutes.
+    pub window_minutes: f64,
+    /// Total experiment duration, in minutes (the paper plots 60).
+    pub duration_minutes: f64,
+    /// Images measured per window.
+    pub images_per_window: usize,
+    /// DistrEdge planning configuration (initial training budget etc.).
+    pub distredge: DistrEdgeConfig,
+    /// Episodes used when fine-tuning the actor after a significant change.
+    pub finetune_episodes: usize,
+    /// Relative bandwidth change that counts as "significant" and triggers
+    /// re-partitioning + fine-tuning.
+    pub significant_change: f64,
+    /// Number of windows AOFL's strategy update lags behind (its brute-force
+    /// partition search takes ~10 minutes on the controller).
+    pub aofl_lag_windows: usize,
+    /// RNG seed for the dynamic traces.
+    pub seed: u64,
+}
+
+impl OnlineConfig {
+    /// A small but representative default (used by the Fig. 13 harness).
+    pub fn standard(num_devices: usize) -> Self {
+        Self {
+            window_minutes: 2.0,
+            duration_minutes: 60.0,
+            images_per_window: 20,
+            distredge: DistrEdgeConfig::fast(num_devices),
+            finetune_episodes: 40,
+            significant_change: 0.2,
+            aofl_lag_windows: 5,
+            seed: 9,
+        }
+    }
+}
+
+/// Mean per-image latency measured in one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlinePoint {
+    /// Window start, in minutes since the experiment began.
+    pub minute: f64,
+    /// Mean per-image processing latency in this window (ms).
+    pub latency_ms: f64,
+}
+
+/// The Fig. 13 series of one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineResult {
+    /// Method name.
+    pub method: String,
+    /// One point per window.
+    pub points: Vec<OnlinePoint>,
+    /// Mean latency over the whole experiment.
+    pub mean_latency_ms: f64,
+}
+
+impl OnlineResult {
+    fn from_points(method: &str, points: Vec<OnlinePoint>) -> Self {
+        let mean = if points.is_empty() {
+            0.0
+        } else {
+            points.iter().map(|p| p.latency_ms).sum::<f64>() / points.len() as f64
+        };
+        Self { method: method.to_string(), points, mean_latency_ms: mean }
+    }
+}
+
+/// Builds the §V-F testbed: `num_devices` devices of one type, each behind
+/// an independent highly dynamic link (Fig. 12).
+pub fn dynamic_cluster(devices: &[DeviceSpec], seed: u64) -> Cluster {
+    let links: Vec<LinkConfig> = (0..devices.len())
+        .map(|i| LinkConfig::dynamic(seed.wrapping_add(i as u64 * 131)))
+        .collect();
+    Cluster::new(devices.to_vec(), &links)
+}
+
+/// Monitored mean bandwidth of every link over a window.
+fn monitored_bandwidths(cluster: &Cluster, start_ms: f64, end_ms: f64) -> Vec<f64> {
+    (0..cluster.len())
+        .map(|i| cluster.link(i).trace().mean_mbps_window(start_ms, end_ms))
+        .collect()
+}
+
+/// A constant-bandwidth "estimator" view of a cluster, reflecting what the
+/// controller believes the network looks like right now.
+fn estimator_cluster(cluster: &Cluster, bandwidths: &[f64]) -> Cluster {
+    let configs: Vec<LinkConfig> = bandwidths.iter().map(|&bw| LinkConfig::constant(bw)).collect();
+    Cluster::new(cluster.devices().to_vec(), &configs)
+}
+
+fn measure_window(
+    model: &Model,
+    cluster: &Cluster,
+    strategy: &DistributionStrategy,
+    start_ms: f64,
+    images: usize,
+) -> Result<f64> {
+    let report = evaluate_strategy(
+        model,
+        cluster,
+        strategy,
+        SimOptions { num_images: images, start_ms },
+    )?;
+    Ok(report.mean_latency_ms)
+}
+
+/// Runs the dynamic-network experiment for CoEdge, AOFL and DistrEdge and
+/// returns one latency-over-time series per method.
+pub fn run_dynamic_experiment(
+    model: &Model,
+    cluster: &Cluster,
+    config: &OnlineConfig,
+) -> Result<Vec<OnlineResult>> {
+    let window_ms = config.window_minutes * 60.0 * 1e3;
+    let num_windows = (config.duration_minutes / config.window_minutes).ceil() as usize;
+    let profiles = ClusterProfiles::collect(model, cluster, &config.distredge.profiles);
+
+    // --- Initial DistrEdge training on the first window's conditions.
+    let initial_bw = monitored_bandwidths(cluster, 0.0, window_ms);
+    let est0 = estimator_cluster(cluster, &initial_bw);
+    let mut lcpss = config.distredge.lcpss;
+    lcpss.num_devices = cluster.len();
+    let mut scheme = lc_pss(model, &lcpss)?;
+    let mut agent = {
+        let mut env = SplitEnv::new(model, &est0, &profiles, &scheme);
+        osds_train(&mut env, &config.distredge.osds, None)?.agent
+    };
+    let mut bw_at_last_replan = initial_bw.clone();
+
+    // --- AOFL keeps a lagging strategy.
+    let mut aofl_strategy =
+        Method::Aofl.plan_baseline(model, &profiles, &initial_bw)?;
+    let mut aofl_pending: Option<(usize, DistributionStrategy)> = None;
+
+    let mut coedge_points = Vec::with_capacity(num_windows);
+    let mut aofl_points = Vec::with_capacity(num_windows);
+    let mut distredge_points = Vec::with_capacity(num_windows);
+
+    for w in 0..num_windows {
+        let start_ms = w as f64 * window_ms;
+        let minute = w as f64 * config.window_minutes;
+        // What the controller monitored over the previous window.
+        let monitor_start = if w == 0 { 0.0 } else { start_ms - window_ms };
+        let bw = monitored_bandwidths(cluster, monitor_start, start_ms.max(window_ms));
+
+        // CoEdge: cheap, recomputed every window.
+        let coedge = Method::CoEdge.plan_baseline(model, &profiles, &bw)?;
+        coedge_points.push(OnlinePoint {
+            minute,
+            latency_ms: measure_window(model, cluster, &coedge, start_ms, config.images_per_window)?,
+        });
+
+        // AOFL: schedules an update that lands `aofl_lag_windows` later.
+        if aofl_pending.is_none() {
+            let updated = Method::Aofl.plan_baseline(model, &profiles, &bw)?;
+            aofl_pending = Some((w + config.aofl_lag_windows, updated));
+        }
+        if let Some((due, strategy)) = &aofl_pending {
+            if *due <= w {
+                aofl_strategy = strategy.clone();
+                aofl_pending = None;
+            }
+        }
+        aofl_points.push(OnlinePoint {
+            minute,
+            latency_ms: measure_window(model, cluster, &aofl_strategy, start_ms, config.images_per_window)?,
+        });
+
+        // DistrEdge: significant change => re-partition + fine-tune.
+        let changed = bw
+            .iter()
+            .zip(&bw_at_last_replan)
+            .any(|(new, old)| (new - old).abs() / old.max(1.0) > config.significant_change);
+        if changed {
+            scheme = lc_pss(model, &lcpss)?;
+            let est = estimator_cluster(cluster, &bw);
+            let mut env = SplitEnv::new(model, &est, &profiles, &scheme);
+            let finetune_cfg = config.distredge.osds.with_episodes(config.finetune_episodes);
+            agent = osds_train(&mut env, &finetune_cfg, Some(agent))?.agent;
+            bw_at_last_replan = bw.clone();
+        }
+        let est = estimator_cluster(cluster, &bw);
+        let mut env = SplitEnv::new(model, &est, &profiles, &scheme);
+        let rollout = greedy_rollout(&mut env, &mut agent)?;
+        // The controller deploys whichever of {actor rollout, equal split}
+        // its latency estimator prefers under the monitored conditions —
+        // the equal split is a degenerate member of the search space and
+        // costs nothing to evaluate, so the online decision never regresses
+        // below it even right after a network change, before fine-tuning
+        // has caught up.
+        let equal: Vec<cnn_model::VolumeSplit> = scheme
+            .volumes()
+            .iter()
+            .map(|v| cnn_model::VolumeSplit::equal(cluster.len(), v.last_output_height(model)))
+            .collect();
+        let splits = if env.evaluate_splits(&rollout)? <= env.evaluate_splits(&equal)? {
+            rollout
+        } else {
+            equal
+        };
+        let strategy = DistributionStrategy::new("DistrEdge", scheme.clone(), splits, cluster.len())?;
+        distredge_points.push(OnlinePoint {
+            minute,
+            latency_ms: measure_window(model, cluster, &strategy, start_ms, config.images_per_window)?,
+        });
+    }
+
+    Ok(vec![
+        OnlineResult::from_points("CoEdge", coedge_points),
+        OnlineResult::from_points("AOFL", aofl_points),
+        OnlineResult::from_points("DistrEdge", distredge_points),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::LayerOp;
+    use device_profile::DeviceType;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 64, 64),
+            &[
+                LayerOp::conv(24, 3, 1, 1),
+                LayerOp::conv(24, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(48, 3, 1, 1),
+                LayerOp::pool(2, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn devices() -> Vec<DeviceSpec> {
+        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect()
+    }
+
+    fn tiny_online_config() -> OnlineConfig {
+        let mut distredge = DistrEdgeConfig::fast(4).with_episodes(15).with_seed(2);
+        distredge.lcpss.num_random_splits = 8;
+        distredge.osds.ddpg.actor_hidden = [24, 16, 12];
+        distredge.osds.ddpg.critic_hidden = [24, 16, 12, 12];
+        OnlineConfig {
+            window_minutes: 2.0,
+            duration_minutes: 8.0,
+            images_per_window: 3,
+            distredge,
+            finetune_episodes: 5,
+            significant_change: 0.2,
+            aofl_lag_windows: 2,
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn dynamic_cluster_has_independent_traces() {
+        let c = dynamic_cluster(&devices(), 3);
+        let bw = c.mean_bandwidths();
+        assert_eq!(bw.len(), 4);
+        // Independent seeds -> the traces differ.
+        assert!(bw.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn experiment_produces_three_series_with_all_windows() {
+        let m = model();
+        let c = dynamic_cluster(&devices(), 7);
+        let cfg = tiny_online_config();
+        let results = run_dynamic_experiment(&m, &c, &cfg).unwrap();
+        assert_eq!(results.len(), 3);
+        let expected_windows = (cfg.duration_minutes / cfg.window_minutes).ceil() as usize;
+        for r in &results {
+            assert_eq!(r.points.len(), expected_windows, "{}", r.method);
+            assert!(r.mean_latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn layer_by_layer_coedge_is_the_slowest_series() {
+        let m = model();
+        let c = dynamic_cluster(&devices(), 11);
+        let cfg = tiny_online_config();
+        let results = run_dynamic_experiment(&m, &c, &cfg).unwrap();
+        let get = |name: &str| results.iter().find(|r| r.method == name).unwrap().mean_latency_ms;
+        let coedge = get("CoEdge");
+        let aofl = get("AOFL");
+        let distredge = get("DistrEdge");
+        assert!(coedge > aofl, "CoEdge {coedge} should be slower than AOFL {aofl}");
+        assert!(coedge > distredge, "CoEdge {coedge} should be slower than DistrEdge {distredge}");
+    }
+}

@@ -1,0 +1,268 @@
+//! LC-PSS — Layer-Configuration based Partition Scheme Search
+//! (paper Algorithm 1).
+//!
+//! LC-PSS finds the horizontal partition (the set of layer-volume
+//! boundaries) greedily: starting from a single volume spanning the whole
+//! distributable prefix, it repeatedly tries to insert one extra boundary
+//! into each existing volume, keeping an insertion only if it lowers the
+//! partition score `C̄p` — the score `Cp = α·T + (1 − α)·O` of Eq. 3
+//! averaged over a fixed set of *random* split decisions `Rrs` (Eq. 4).
+//! Averaging over random splits makes the partition choice robust to
+//! whatever vertical splits OSDS later picks.
+
+use crate::Result;
+use cnn_model::cost::strategy_cost;
+use cnn_model::{Model, PartitionScheme, VolumeSplit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of LC-PSS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LcPssConfig {
+    /// Trade-off between transmission (α → 1) and operations (α → 0);
+    /// the paper settles on 0.75 (Fig. 5).
+    pub alpha: f64,
+    /// Number of random split decisions `|Rrs|`; the paper settles on 100
+    /// (Fig. 6).
+    pub num_random_splits: usize,
+    /// Number of service providers the random splits address.
+    pub num_devices: usize,
+    /// RNG seed for the random split decisions.
+    pub seed: u64,
+}
+
+impl LcPssConfig {
+    /// The paper's default hyper-parameters for a given cluster size.
+    pub fn paper_defaults(num_devices: usize) -> Self {
+        Self { alpha: 0.75, num_random_splits: 100, num_devices, seed: 42 }
+    }
+}
+
+/// A fixed set of random split decisions, expressed as sorted cut-point
+/// fractions in `[0, 1]` so the same decision set can be applied to any
+/// layer-volume height.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomSplits {
+    fractions: Vec<Vec<f64>>,
+}
+
+impl RandomSplits {
+    /// Draws `count` random split decisions for `num_devices` devices.
+    pub fn generate(count: usize, num_devices: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cuts = num_devices.saturating_sub(1);
+        let fractions = (0..count.max(1))
+            .map(|_| {
+                let mut f: Vec<f64> = (0..cuts).map(|_| rng.gen_range(0.0..1.0)).collect();
+                f.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+                f
+            })
+            .collect();
+        Self { fractions }
+    }
+
+    /// Number of decisions in the set.
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// Materialises decision `i` for a volume whose last layer has height `h`.
+    pub fn split_for(&self, i: usize, h: usize) -> VolumeSplit {
+        let cuts = self.fractions[i % self.fractions.len()]
+            .iter()
+            .map(|f| (f * h as f64).round() as usize)
+            .collect();
+        VolumeSplit::new(cuts, h)
+    }
+}
+
+/// Mean partition score `C̄p` of a scheme over the random split set (Eq. 4).
+pub fn mean_partition_score(
+    model: &Model,
+    scheme: &PartitionScheme,
+    randoms: &RandomSplits,
+    alpha: f64,
+) -> Result<f64> {
+    let volumes = scheme.volumes();
+    let mut total = 0.0;
+    for i in 0..randoms.len() {
+        let splits: Vec<VolumeSplit> = volumes
+            .iter()
+            .map(|v| randoms.split_for(i, v.last_output_height(model)))
+            .collect();
+        let cost = strategy_cost(model, scheme, &splits)?;
+        total += cost.score(alpha);
+    }
+    Ok(total / randoms.len() as f64)
+}
+
+/// Runs LC-PSS and returns the partition scheme it settles on.
+pub fn lc_pss(model: &Model, config: &LcPssConfig) -> Result<PartitionScheme> {
+    let randoms =
+        RandomSplits::generate(config.num_random_splits, config.num_devices, config.seed);
+    lc_pss_with_randoms(model, config.alpha, &randoms)
+}
+
+/// LC-PSS with an externally supplied random split set (lets Fig. 6 reuse
+/// and resample the set).
+pub fn lc_pss_with_randoms(
+    model: &Model,
+    alpha: f64,
+    randoms: &RandomSplits,
+) -> Result<PartitionScheme> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(crate::DistrError::InvalidConfig(format!("alpha {alpha} outside [0, 1]")));
+    }
+    let mut scheme = PartitionScheme::single_volume(model);
+    let mut current_score = mean_partition_score(model, &scheme, randoms, alpha)?;
+    loop {
+        let boundaries = scheme.boundaries().to_vec();
+        let mut additions: Vec<usize> = Vec::new();
+        // For every existing volume, find the best single boundary to insert.
+        for seg in boundaries.windows(2) {
+            let (lo, hi) = (seg[0], seg[1]);
+            if hi - lo < 2 {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in lo + 1..hi {
+                let candidate = scheme.with_boundary(j);
+                let score = mean_partition_score(model, &candidate, randoms, alpha)?;
+                if best.map(|(_, s)| score < s).unwrap_or(true) {
+                    best = Some((j, score));
+                }
+            }
+            if let Some((j, score)) = best {
+                if score < current_score - 1e-12 {
+                    additions.push(j);
+                }
+            }
+        }
+        if additions.is_empty() {
+            break;
+        }
+        let mut next = scheme.clone();
+        for j in additions {
+            next = next.with_boundary(j);
+        }
+        let next_score = mean_partition_score(model, &next, randoms, alpha)?;
+        // Accept the combined insertions only if they help overall; otherwise
+        // accept the single best insertion and continue.
+        if next_score < current_score - 1e-12 {
+            scheme = next;
+            current_score = next_score;
+        } else {
+            break;
+        }
+    }
+    Ok(scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::LayerOp;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 64, 64),
+            &[
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(32, 3, 1, 1),
+                LayerOp::conv(32, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(64, 3, 1, 1),
+                LayerOp::pool(2, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_splits_are_sorted_and_reproducible() {
+        let a = RandomSplits::generate(10, 4, 7);
+        let b = RandomSplits::generate(10, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        for i in 0..a.len() {
+            let s = a.split_for(i, 64);
+            let c = s.cuts();
+            assert!(c.windows(2).all(|w| w[0] <= w[1]));
+            assert!(c.iter().all(|&v| v <= 64));
+        }
+    }
+
+    #[test]
+    fn random_splits_single_device_has_no_cuts() {
+        let r = RandomSplits::generate(5, 1, 1);
+        assert!(r.split_for(0, 32).cuts().is_empty());
+    }
+
+    #[test]
+    fn alpha_zero_prefers_many_volumes() {
+        // α = 0 scores only operations; layer-by-layer minimises halo
+        // redundancy so LC-PSS should fragment the model heavily.
+        let m = model();
+        let cfg0 = LcPssConfig { alpha: 0.0, num_random_splits: 20, num_devices: 4, seed: 1 };
+        let cfg1 = LcPssConfig { alpha: 1.0, num_random_splits: 20, num_devices: 4, seed: 1 };
+        let p0 = lc_pss(&m, &cfg0).unwrap();
+        let p1 = lc_pss(&m, &cfg1).unwrap();
+        assert!(
+            p0.num_volumes() > p1.num_volumes(),
+            "alpha=0 gives {} volumes, alpha=1 gives {}",
+            p0.num_volumes(),
+            p1.num_volumes()
+        );
+        // α = 1 scores only transmission; a single volume is optimal.
+        assert_eq!(p1.num_volumes(), 1);
+    }
+
+    #[test]
+    fn intermediate_alpha_is_between_extremes() {
+        let m = model();
+        let p = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 20, num_devices: 4, seed: 1 })
+            .unwrap();
+        assert!(p.num_volumes() >= 1);
+        assert!(p.num_volumes() <= m.distributable_len());
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let m = model();
+        assert!(lc_pss(&m, &LcPssConfig { alpha: 1.5, num_random_splits: 5, num_devices: 2, seed: 1 })
+            .is_err());
+    }
+
+    #[test]
+    fn score_improves_or_stays_relative_to_single_volume() {
+        let m = model();
+        let randoms = RandomSplits::generate(20, 4, 3);
+        let single = PartitionScheme::single_volume(&m);
+        let single_score = mean_partition_score(&m, &single, &randoms, 0.5).unwrap();
+        let found = lc_pss_with_randoms(&m, 0.5, &randoms).unwrap();
+        let found_score = mean_partition_score(&m, &found, &randoms, 0.5).unwrap();
+        assert!(found_score <= single_score + 1e-9);
+    }
+
+    #[test]
+    fn more_randoms_stabilise_the_result() {
+        // With a large |Rrs| the partition found should not depend on the
+        // seed (Fig. 6's observation).
+        let m = model();
+        let a = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 150, num_devices: 4, seed: 1 })
+            .unwrap();
+        let b = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 150, num_devices: 4, seed: 99 })
+            .unwrap();
+        assert_eq!(a.boundaries(), b.boundaries());
+    }
+}

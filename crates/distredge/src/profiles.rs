@@ -1,0 +1,195 @@
+//! Per-device latency profiles — everything the DistrEdge controller (and
+//! the baselines) are allowed to know about the devices.
+//!
+//! The controller never sees the ground-truth compute models: it sees the
+//! profiling results (§V-A) in whatever representation was requested, and it
+//! sees the monitored mean bandwidth of each link.  This module packages
+//! those views and adapts them to the `edgesim` stepper so the OSDS training
+//! environment can estimate latencies from profiles exactly as the paper
+//! describes.
+
+use cnn_model::{Model, PartPlan};
+use device_profile::{ProfileRepr, Profiler, ProfilingOptions};
+use edgesim::{Cluster, PartCompute};
+use serde::{Deserialize, Serialize};
+
+/// Profiling configuration shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilesConfig {
+    /// Profile representation handed to DistrEdge (table by default).
+    pub repr: ProfileRepr,
+    /// Measurement options (row step, repetitions, noise).
+    pub options: ProfilingOptions,
+}
+
+impl Default for ProfilesConfig {
+    fn default() -> Self {
+        Self {
+            repr: ProfileRepr::Table,
+            // Row step 4 keeps profiling cheap while staying close to the
+            // paper's granularity-1 tables; the figure binaries can lower it.
+            options: ProfilingOptions { row_step: 4, repetitions: 3, noise_std: 0.01, seed: 17 },
+        }
+    }
+}
+
+/// The profiled view of a cluster for one model: one [`Profiler`] per device.
+#[derive(Debug, Clone)]
+pub struct ClusterProfiles {
+    profilers: Vec<Profiler>,
+    capabilities: Vec<f64>,
+}
+
+impl ClusterProfiles {
+    /// Profiles every device of `cluster` over `model`.
+    pub fn collect(model: &Model, cluster: &Cluster, config: &ProfilesConfig) -> Self {
+        let mut profilers = Vec::with_capacity(cluster.len());
+        for (i, device) in cluster.devices().iter().enumerate() {
+            let mut opts = config.options;
+            opts.seed = config.options.seed.wrapping_add(i as u64);
+            profilers.push(Profiler::profile(model, &device.ground_truth(), opts, config.repr));
+        }
+        let capabilities = profilers.iter().map(|p| p.linear_capability(model)).collect();
+        Self { profilers, capabilities }
+    }
+
+    /// Number of profiled devices.
+    pub fn len(&self) -> usize {
+        self.profilers.len()
+    }
+
+    /// Whether there are no profiled devices.
+    pub fn is_empty(&self) -> bool {
+        self.profilers.is_empty()
+    }
+
+    /// The profiler of device `i`.
+    pub fn profiler(&self, i: usize) -> &Profiler {
+        &self.profilers[i]
+    }
+
+    /// Linear "computing capability" (ops per ms) of each device — the
+    /// single-number summary the linear baselines use.
+    pub fn capabilities(&self) -> &[f64] {
+        &self.capabilities
+    }
+
+    /// Profiled latency of the full per-layer computation on device `i`
+    /// (used by the layer-by-layer baselines).
+    pub fn full_layer_latency(&self, device: usize, layer_index: usize, rows: usize) -> f64 {
+        self.profilers[device].predict(layer_index, rows)
+    }
+
+    /// Re-profiles nothing but swaps the representation (used by the profile
+    /// ablation bench).
+    pub fn with_repr(&self, repr: ProfileRepr) -> Self {
+        let profilers: Vec<Profiler> = self.profilers.iter().map(|p| p.with_repr(repr)).collect();
+        let capabilities = self.capabilities.clone();
+        Self { profilers, capabilities }
+    }
+}
+
+impl PartCompute for ClusterProfiles {
+    fn part_compute_ms(&self, device: usize, model: &Model, part: &PartPlan) -> f64 {
+        let p = &self.profilers[device];
+        part.layers
+            .iter()
+            .map(|lr| {
+                if lr.out_count() == 0 {
+                    0.0
+                } else {
+                    p.predict(model.layers()[lr.layer].index, lr.out_count())
+                }
+            })
+            .sum()
+    }
+
+    fn head_compute_ms(&self, device: usize, model: &Model) -> f64 {
+        let p = &self.profilers[device];
+        model
+            .head_layers()
+            .iter()
+            .map(|l| p.predict(l.index, l.output.h))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::{LayerOp, LayerVolume};
+    use device_profile::{DeviceSpec, DeviceType};
+    use edgesim::GroundTruthCompute;
+    use netsim::LinkConfig;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 48, 48),
+            &[LayerOp::conv(16, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(32, 3, 1, 1), LayerOp::fc(10)],
+        )
+        .unwrap()
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::uniform(
+            vec![
+                DeviceSpec::new("xavier", DeviceType::Xavier),
+                DeviceSpec::new("nano", DeviceType::Nano),
+            ],
+            LinkConfig::constant(100.0),
+        )
+    }
+
+    #[test]
+    fn collect_profiles_every_device() {
+        let m = model();
+        let c = cluster();
+        let p = ClusterProfiles::collect(&m, &c, &ProfilesConfig::default());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.capabilities()[0] > p.capabilities()[1], "Xavier beats Nano");
+    }
+
+    #[test]
+    fn profiled_compute_tracks_ground_truth() {
+        let m = model();
+        let c = cluster();
+        let config = ProfilesConfig {
+            repr: ProfileRepr::Table,
+            options: ProfilingOptions { row_step: 1, repetitions: 1, noise_std: 0.0, seed: 1 },
+        };
+        let profiles = ClusterProfiles::collect(&m, &c, &config);
+        let truth = c.ground_truth_compute();
+        let part = PartPlan::plan(&m, LayerVolume::new(0, 3), 0, 12).unwrap();
+        for device in 0..2 {
+            let p = profiles.part_compute_ms(device, &m, &part);
+            let t = truth.part_compute_ms(device, &m, &part);
+            assert!((p - t).abs() / t < 0.02, "device {device}: {p} vs {t}");
+        }
+        let hp = profiles.head_compute_ms(0, &m);
+        let ht = GroundTruthCompute::from_models(vec![DeviceType::Xavier.ground_truth()])
+            .head_compute_ms(0, &m);
+        assert!((hp - ht).abs() / ht < 0.02);
+    }
+
+    #[test]
+    fn with_repr_changes_representation_not_measurements() {
+        let m = model();
+        let c = cluster();
+        let p = ClusterProfiles::collect(&m, &c, &ProfilesConfig::default());
+        let linear = p.with_repr(ProfileRepr::Linear);
+        assert_eq!(linear.len(), p.len());
+        assert_eq!(linear.capabilities(), p.capabilities());
+    }
+
+    #[test]
+    fn empty_part_costs_nothing() {
+        let m = model();
+        let c = cluster();
+        let p = ClusterProfiles::collect(&m, &c, &ProfilesConfig::default());
+        let part = PartPlan::plan(&m, LayerVolume::new(0, 3), 4, 4).unwrap();
+        assert_eq!(p.part_compute_ms(0, &m, &part), 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The evaluation scenarios of Tables I, II and III: device-type groups,
+//! bandwidth groups and the 16-device large-scale groups.
+
+use device_profile::{DeviceSpec, DeviceType};
+use edgesim::Cluster;
+use netsim::LinkConfig;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation scenario: a named list of (bandwidth, device-type) pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Group name as used in the paper (e.g. `"DB"`, `"NA"`, `"LC"`).
+    pub name: String,
+    /// Per-provider device types.
+    pub device_types: Vec<DeviceType>,
+    /// Per-provider WiFi bandwidth caps in Mbps.
+    pub bandwidths_mbps: Vec<f64>,
+}
+
+impl Scenario {
+    /// Creates a scenario from parallel device/bandwidth lists.
+    pub fn new(name: impl Into<String>, device_types: Vec<DeviceType>, bandwidths_mbps: Vec<f64>) -> Self {
+        assert_eq!(device_types.len(), bandwidths_mbps.len(), "device/bandwidth length mismatch");
+        Self { name: name.into(), device_types, bandwidths_mbps }
+    }
+
+    /// Number of service providers.
+    pub fn len(&self) -> usize {
+        self.device_types.len()
+    }
+
+    /// Whether the scenario has no providers (never true for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.device_types.is_empty()
+    }
+
+    /// Builds the cluster: one shaped-WiFi link per provider, seeded
+    /// per-provider so traces differ between devices but runs are
+    /// reproducible.
+    pub fn build(&self, seed: u64) -> Cluster {
+        let devices: Vec<DeviceSpec> = self
+            .device_types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| DeviceSpec::new(format!("{}-{}-{i}", self.name.to_lowercase(), t.name().to_lowercase()), *t))
+            .collect();
+        let links: Vec<LinkConfig> = self
+            .bandwidths_mbps
+            .iter()
+            .enumerate()
+            .map(|(i, &bw)| LinkConfig::wifi(bw, seed.wrapping_add(i as u64)))
+            .collect();
+        Cluster::new(devices, &links)
+    }
+
+    /// Builds the cluster with *constant* links (useful for estimators and
+    /// unit tests where trace noise is unwanted).
+    pub fn build_constant(&self) -> Cluster {
+        let devices: Vec<DeviceSpec> = self
+            .device_types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| DeviceSpec::new(format!("{}-{}-{i}", self.name.to_lowercase(), t.name().to_lowercase()), *t))
+            .collect();
+        let links: Vec<LinkConfig> =
+            self.bandwidths_mbps.iter().map(|&bw| LinkConfig::constant(bw)).collect();
+        Cluster::new(devices, &links)
+    }
+
+    // --- §V-C / Fig. 5(a): homogeneous reference case -----------------------
+
+    /// Four identical devices behind the same bandwidth.
+    pub fn homogeneous(device: DeviceType, bandwidth_mbps: f64) -> Self {
+        Self::new(
+            format!("HOM-{}-{}", device.name(), bandwidth_mbps as u64),
+            vec![device; 4],
+            vec![bandwidth_mbps; 4],
+        )
+    }
+
+    // --- Table I: heterogeneous device types (shared bandwidth) -------------
+
+    /// Group DA: 2×TX2 + 2×Nano.
+    pub fn group_da(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            "DA",
+            vec![DeviceType::Tx2, DeviceType::Tx2, DeviceType::Nano, DeviceType::Nano],
+            vec![bandwidth_mbps; 4],
+        )
+    }
+
+    /// Group DB: 2×Xavier + 2×Nano.
+    pub fn group_db(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            "DB",
+            vec![DeviceType::Xavier, DeviceType::Xavier, DeviceType::Nano, DeviceType::Nano],
+            vec![bandwidth_mbps; 4],
+        )
+    }
+
+    /// Group DC: Xavier + TX2 + Nano + Pi3.
+    pub fn group_dc(bandwidth_mbps: f64) -> Self {
+        Self::new(
+            "DC",
+            vec![DeviceType::Xavier, DeviceType::Tx2, DeviceType::Nano, DeviceType::Pi3],
+            vec![bandwidth_mbps; 4],
+        )
+    }
+
+    /// All of Table I for a given bandwidth.
+    pub fn table1(bandwidth_mbps: f64) -> Vec<Self> {
+        vec![Self::group_da(bandwidth_mbps), Self::group_db(bandwidth_mbps), Self::group_dc(bandwidth_mbps)]
+    }
+
+    // --- Table II: heterogeneous bandwidths (shared device type) ------------
+
+    /// Group NA: 50×2 + 200×2 Mbps.
+    pub fn group_na(device: DeviceType) -> Self {
+        Self::new("NA", vec![device; 4], vec![50.0, 50.0, 200.0, 200.0])
+    }
+
+    /// Group NB: 100×2 + 200×2 Mbps.
+    pub fn group_nb(device: DeviceType) -> Self {
+        Self::new("NB", vec![device; 4], vec![100.0, 100.0, 200.0, 200.0])
+    }
+
+    /// Group NC: 200×2 + 300×2 Mbps.
+    pub fn group_nc(device: DeviceType) -> Self {
+        Self::new("NC", vec![device; 4], vec![200.0, 200.0, 300.0, 300.0])
+    }
+
+    /// Group ND: 50 + 100 + 200 + 300 Mbps.
+    pub fn group_nd(device: DeviceType) -> Self {
+        Self::new("ND", vec![device; 4], vec![50.0, 100.0, 200.0, 300.0])
+    }
+
+    /// All of Table II for a given device type.
+    pub fn table2(device: DeviceType) -> Vec<Self> {
+        vec![Self::group_na(device), Self::group_nb(device), Self::group_nc(device), Self::group_nd(device)]
+    }
+
+    // --- Table III: large-scale groups (16 providers) -----------------------
+
+    fn large(name: &str, quad: [(f64, DeviceType); 4]) -> Self {
+        let mut types = Vec::with_capacity(16);
+        let mut bws = Vec::with_capacity(16);
+        for _ in 0..4 {
+            for &(bw, t) in &quad {
+                bws.push(bw);
+                types.push(t);
+            }
+        }
+        Self::new(name, types, bws)
+    }
+
+    /// Group LA: {(300, Nano), (200, Nano), (100, Nano), (50, Nano)} × 4.
+    pub fn group_la() -> Self {
+        Self::large(
+            "LA",
+            [
+                (300.0, DeviceType::Nano),
+                (200.0, DeviceType::Nano),
+                (100.0, DeviceType::Nano),
+                (50.0, DeviceType::Nano),
+            ],
+        )
+    }
+
+    /// Group LB: {(300, Pi3), (200, Nano), (100, TX2), (50, Xavier)} × 4.
+    pub fn group_lb() -> Self {
+        Self::large(
+            "LB",
+            [
+                (300.0, DeviceType::Pi3),
+                (200.0, DeviceType::Nano),
+                (100.0, DeviceType::Tx2),
+                (50.0, DeviceType::Xavier),
+            ],
+        )
+    }
+
+    /// Group LC: {(200, Pi3), (200, Nano), (200, TX2), (200, Xavier)} × 4.
+    pub fn group_lc() -> Self {
+        Self::large(
+            "LC",
+            [
+                (200.0, DeviceType::Pi3),
+                (200.0, DeviceType::Nano),
+                (200.0, DeviceType::Tx2),
+                (200.0, DeviceType::Xavier),
+            ],
+        )
+    }
+
+    /// Group LD: {(50, Pi3), (100, Nano), (200, TX2), (300, Xavier)} × 4.
+    pub fn group_ld() -> Self {
+        Self::large(
+            "LD",
+            [
+                (50.0, DeviceType::Pi3),
+                (100.0, DeviceType::Nano),
+                (200.0, DeviceType::Tx2),
+                (300.0, DeviceType::Xavier),
+            ],
+        )
+    }
+
+    /// All of Table III.
+    pub fn table3() -> Vec<Self> {
+        vec![Self::group_la(), Self::group_lb(), Self::group_lc(), Self::group_ld()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t1 = Scenario::table1(50.0);
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t1[0].name, "DA");
+        assert_eq!(t1[1].device_types, vec![DeviceType::Xavier, DeviceType::Xavier, DeviceType::Nano, DeviceType::Nano]);
+        assert!(t1[2].device_types.contains(&DeviceType::Pi3));
+        assert!(t1.iter().all(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let t2 = Scenario::table2(DeviceType::Nano);
+        assert_eq!(t2.len(), 4);
+        assert_eq!(t2[0].bandwidths_mbps, vec![50.0, 50.0, 200.0, 200.0]);
+        assert_eq!(t2[3].bandwidths_mbps, vec![50.0, 100.0, 200.0, 300.0]);
+        assert!(t2.iter().all(|s| s.device_types.iter().all(|d| *d == DeviceType::Nano)));
+    }
+
+    #[test]
+    fn table3_has_sixteen_devices_each() {
+        for s in Scenario::table3() {
+            assert_eq!(s.len(), 16, "{}", s.name);
+        }
+        let lc = Scenario::group_lc();
+        assert!(lc.bandwidths_mbps.iter().all(|&b| (b - 200.0).abs() < 1e-9));
+        let lb = Scenario::group_lb();
+        // LB pairs the fastest device with the slowest link.
+        let xavier_idx = lb.device_types.iter().position(|d| *d == DeviceType::Xavier).unwrap();
+        assert_eq!(lb.bandwidths_mbps[xavier_idx], 50.0);
+    }
+
+    #[test]
+    fn build_produces_matching_cluster() {
+        let s = Scenario::group_dc(300.0);
+        let c = s.build(1);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.devices()[3].device_type, DeviceType::Pi3);
+        // Shaped WiFi stays below its cap.
+        for (mean, cap) in c.mean_bandwidths().iter().zip(&s.bandwidths_mbps) {
+            assert!(mean < cap && *mean > cap * 0.6);
+        }
+        let constant = s.build_constant();
+        for (mean, cap) in constant.mean_bandwidths().iter().zip(&s.bandwidths_mbps) {
+            assert!((mean - cap).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn homogeneous_scenario() {
+        let s = Scenario::homogeneous(DeviceType::Tx2, 200.0);
+        assert_eq!(s.len(), 4);
+        assert!(s.device_types.iter().all(|d| *d == DeviceType::Tx2));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lists_panic() {
+        let _ = Scenario::new("bad", vec![DeviceType::Nano], vec![50.0, 100.0]);
+    }
+}

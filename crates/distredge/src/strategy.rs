@@ -1,0 +1,193 @@
+//! Distribution strategies: the output of DistrEdge and of every baseline.
+
+use crate::error::DistrError;
+use crate::Result;
+use cnn_model::{Model, PartitionScheme, VolumeSplit};
+use edgesim::ExecutionPlan;
+use serde::{Deserialize, Serialize};
+
+/// A complete CNN inference distribution strategy: a horizontal partition
+/// into layer-volumes plus one vertical split decision per volume.
+///
+/// The special forms of Fig. 1 are all expressible: a single volume split
+/// across devices (parallel distribution), one volume per layer with each
+/// volume on one device (sequential distribution), and a single volume on a
+/// single device (offloading).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionStrategy {
+    /// Name of the method that produced the strategy (for reporting).
+    pub method: String,
+    /// The horizontal partition.
+    pub scheme: PartitionScheme,
+    /// One vertical split per layer-volume, index-aligned with
+    /// `scheme.volumes()`.
+    pub splits: Vec<VolumeSplit>,
+    /// Number of service providers the splits address.
+    pub num_devices: usize,
+}
+
+impl DistributionStrategy {
+    /// Creates a strategy, checking that splits and volumes line up.
+    pub fn new(
+        method: impl Into<String>,
+        scheme: PartitionScheme,
+        splits: Vec<VolumeSplit>,
+        num_devices: usize,
+    ) -> Result<Self> {
+        if scheme.num_volumes() != splits.len() {
+            return Err(DistrError::StrategyMismatch(format!(
+                "{} volumes but {} split decisions",
+                scheme.num_volumes(),
+                splits.len()
+            )));
+        }
+        if num_devices == 0 {
+            return Err(DistrError::InvalidConfig("a strategy needs at least one device".into()));
+        }
+        for split in &splits {
+            if split.num_parts() != num_devices {
+                return Err(DistrError::StrategyMismatch(format!(
+                    "split addresses {} devices, strategy declares {}",
+                    split.num_parts(),
+                    num_devices
+                )));
+            }
+        }
+        Ok(Self { method: method.into(), scheme, splits, num_devices })
+    }
+
+    /// Lowers the strategy into an executable plan for the simulator.
+    pub fn to_plan(&self, model: &Model) -> Result<ExecutionPlan> {
+        ExecutionPlan::from_splits(model, &self.scheme, &self.splits, self.num_devices)
+            .map_err(DistrError::from)
+    }
+
+    /// Number of layer-volumes.
+    pub fn num_volumes(&self) -> usize {
+        self.scheme.num_volumes()
+    }
+
+    /// Per-device memory footprint of deploying this strategy (weights of
+    /// every assigned split-part plus peak activation bands) — lets a
+    /// deployment check the paper's §VI-4 "memory is not a constraint"
+    /// argument, or enforce a budget on genuinely small devices.
+    pub fn memory_footprints(&self, model: &Model) -> Result<Vec<cnn_model::memory::MemoryFootprint>> {
+        let mut volumes = Vec::with_capacity(self.scheme.num_volumes());
+        for (volume, split) in self.scheme.volumes().iter().zip(&self.splits) {
+            volumes.push(cnn_model::PartPlan::plan_all(model, *volume, split)?);
+        }
+        Ok(cnn_model::memory::per_device_footprints(model, &volumes))
+    }
+
+    /// Per-device share (fraction of all output rows across volumes) —
+    /// useful for inspecting how skewed a strategy is.
+    pub fn row_shares(&self, model: &Model) -> Vec<f64> {
+        let mut totals = vec![0.0f64; self.num_devices];
+        let mut all = 0.0f64;
+        for (volume, split) in self.scheme.volumes().iter().zip(&self.splits) {
+            let h = volume.last_output_height(model);
+            for (i, rows) in split.row_counts(h).iter().enumerate() {
+                totals[i] += *rows as f64;
+                all += *rows as f64;
+            }
+        }
+        if all <= 0.0 {
+            return totals;
+        }
+        totals.iter().map(|t| t / all).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::LayerOp;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "t",
+            Shape::new(3, 32, 32),
+            &[LayerOp::conv(8, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(8, 3, 1, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_split_count() {
+        let m = model();
+        let scheme = PartitionScheme::new(&m, vec![0, 2, 3]).unwrap();
+        let ok = DistributionStrategy::new(
+            "test",
+            scheme.clone(),
+            vec![VolumeSplit::equal(2, 16), VolumeSplit::equal(2, 16)],
+            2,
+        );
+        assert!(ok.is_ok());
+        let bad = DistributionStrategy::new("test", scheme, vec![VolumeSplit::equal(2, 16)], 2);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn new_validates_device_count() {
+        let m = model();
+        let scheme = PartitionScheme::single_volume(&m);
+        let bad = DistributionStrategy::new("t", scheme.clone(), vec![VolumeSplit::equal(3, 16)], 2);
+        assert!(bad.is_err());
+        let zero = DistributionStrategy::new("t", scheme, vec![VolumeSplit::equal(1, 16)], 0);
+        assert!(zero.is_err());
+    }
+
+    #[test]
+    fn to_plan_roundtrip() {
+        let m = model();
+        let scheme = PartitionScheme::single_volume(&m);
+        let s = DistributionStrategy::new(
+            "test",
+            scheme,
+            vec![VolumeSplit::equal(2, m.prefix_output().h)],
+            2,
+        )
+        .unwrap();
+        let plan = s.to_plan(&m).unwrap();
+        plan.validate(&m).unwrap();
+        assert_eq!(plan.num_volumes(), 1);
+    }
+
+    #[test]
+    fn memory_footprints_cover_every_device() {
+        let m = model();
+        let scheme = PartitionScheme::single_volume(&m);
+        let s = DistributionStrategy::new(
+            "test",
+            scheme,
+            vec![VolumeSplit::new(vec![4], m.prefix_output().h)],
+            2,
+        )
+        .unwrap();
+        let fps = s.memory_footprints(&m).unwrap();
+        assert_eq!(fps.len(), 2);
+        // Both devices hold rows, so both need weights and activations.
+        assert!(fps.iter().all(|f| f.total_bytes() > 0.0));
+        // The device with the larger share needs at least as much activation
+        // memory.
+        assert!(fps[1].peak_activation_bytes >= fps[0].peak_activation_bytes);
+    }
+
+    #[test]
+    fn row_shares_sum_to_one() {
+        let m = model();
+        let scheme = PartitionScheme::new(&m, vec![0, 2, 3]).unwrap();
+        let s = DistributionStrategy::new(
+            "test",
+            scheme,
+            vec![VolumeSplit::equal(2, 16), VolumeSplit::new(vec![4], 16)],
+            2,
+        )
+        .unwrap();
+        let shares = s.row_shares(&m);
+        assert_eq!(shares.len(), 2);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(shares[1] > shares[0]);
+    }
+}

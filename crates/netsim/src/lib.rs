@@ -1,0 +1,36 @@
+//! Network substrate for the DistrEdge reproduction.
+//!
+//! The paper's testbed connects devices through 5 GHz WiFi whose bandwidth
+//! is shaped by an OpenWrt router (50–300 Mbps) and measures transmission
+//! latency *including* the I/O reading/writing delay on both ends (§II-B,
+//! §V-A).  This crate reproduces that substrate:
+//!
+//! * [`trace`] — time-varying bandwidth traces and generators for the three
+//!   regimes the paper uses: constant, lightly fluctuating WiFi (Fig. 4) and
+//!   highly dynamic (Fig. 12),
+//! * [`link`] — point-to-point links that turn a byte count and a start time
+//!   into a transfer latency by integrating over the trace and adding the
+//!   fixed I/O overhead.
+
+pub mod link;
+pub mod trace;
+
+pub use link::{Link, LinkConfig};
+pub use trace::{BandwidthTrace, TraceKind};
+
+/// Converts megabits per second into bytes per millisecond.
+pub fn mbps_to_bytes_per_ms(mbps: f64) -> f64 {
+    mbps * 1e6 / 8.0 / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversion() {
+        // 8 Mbps = 1 MB/s = 1000 bytes per ms.
+        assert!((mbps_to_bytes_per_ms(8.0) - 1000.0).abs() < 1e-9);
+        assert!((mbps_to_bytes_per_ms(300.0) - 37_500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Point-to-point links between devices (and between the requester and the
+//! devices).
+
+use crate::trace::{BandwidthTrace, TraceKind};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a link used to build a [`Link`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Bandwidth regime of the link.
+    pub kind: TraceKind,
+    /// Fixed I/O reading/writing overhead added to every non-empty transfer,
+    /// in milliseconds.  The paper measures transmission latency "from the
+    /// time when the data are read from the computing unit … to the time
+    /// when the data are loaded to the memory on the receiving device", so
+    /// this overhead is part of every hop.
+    pub io_overhead_ms: f64,
+}
+
+impl LinkConfig {
+    /// Default I/O overhead used throughout the reproduction (per transfer,
+    /// both ends combined).
+    pub const DEFAULT_IO_OVERHEAD_MS: f64 = 2.0;
+
+    /// A WiFi link shaped to `nominal_mbps` with the default I/O overhead.
+    pub fn wifi(nominal_mbps: f64, seed: u64) -> Self {
+        Self {
+            kind: TraceKind::Wifi { nominal_mbps, seed },
+            io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS,
+        }
+    }
+
+    /// A constant-bandwidth link (for estimators and tests).
+    pub fn constant(mbps: f64) -> Self {
+        Self { kind: TraceKind::Constant { mbps }, io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS }
+    }
+
+    /// A highly dynamic link (Fig. 12).
+    pub fn dynamic(seed: u64) -> Self {
+        Self { kind: TraceKind::HighlyDynamic { seed }, io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS }
+    }
+
+    /// Builds the concrete link (generates its trace).
+    pub fn build(&self) -> Link {
+        Link::new(BandwidthTrace::generate_default(self.kind), self.io_overhead_ms)
+    }
+}
+
+/// A concrete link: a bandwidth trace plus fixed per-transfer I/O overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    trace: BandwidthTrace,
+    io_overhead_ms: f64,
+}
+
+impl Link {
+    /// Creates a link from a trace and an I/O overhead.
+    pub fn new(trace: BandwidthTrace, io_overhead_ms: f64) -> Self {
+        Self { trace, io_overhead_ms }
+    }
+
+    /// A link that models local (same-device) data movement: no bandwidth
+    /// limit, no I/O overhead.
+    pub fn local() -> Self {
+        Self {
+            trace: BandwidthTrace::from_samples(vec![1e9], 1e3),
+            io_overhead_ms: 0.0,
+        }
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// The fixed per-transfer I/O overhead in ms.
+    pub fn io_overhead_ms(&self) -> f64 {
+        self.io_overhead_ms
+    }
+
+    /// Latency of transferring `bytes` starting at `start_ms`: I/O overhead
+    /// plus the trace-integrated wire time.  Empty transfers are free.
+    pub fn transfer_latency_ms(&self, bytes: f64, start_ms: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.io_overhead_ms + self.trace.transfer_time_ms(bytes, start_ms)
+    }
+
+    /// Latency estimate using the *average* bandwidth over a recent window —
+    /// this is what CoEdge/AOFL-style methods compute from monitored
+    /// throughput (they do not know the future trace).
+    pub fn estimate_latency_ms(&self, bytes: f64, window_start_ms: f64, window_end_ms: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let mbps = self.trace.mean_mbps_window(window_start_ms, window_end_ms).max(0.01);
+        self.io_overhead_ms + bytes / crate::mbps_to_bytes_per_ms(mbps)
+    }
+
+    /// Mean bandwidth of the link's trace (Mbps).
+    pub fn mean_mbps(&self) -> f64 {
+        self.trace.mean_mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_link_latency() {
+        let link = LinkConfig::constant(80.0).build();
+        // 1 MB at 10 000 bytes/ms = 100 ms + 2 ms I/O.
+        let ms = link.transfer_latency_ms(1_000_000.0, 0.0);
+        assert!((ms - 102.0).abs() < 1e-6, "got {ms}");
+    }
+
+    #[test]
+    fn empty_transfer_is_free() {
+        let link = LinkConfig::constant(80.0).build();
+        assert_eq!(link.transfer_latency_ms(0.0, 123.0), 0.0);
+        assert_eq!(link.estimate_latency_ms(0.0, 0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn local_link_is_effectively_instant() {
+        let link = Link::local();
+        assert!(link.transfer_latency_ms(10_000_000.0, 0.0) < 0.1);
+    }
+
+    #[test]
+    fn wifi_link_slower_than_nominal() {
+        let link = LinkConfig::wifi(100.0, 1).build();
+        let nominal_ms = 1_000_000.0 / crate::mbps_to_bytes_per_ms(100.0);
+        let actual = link.transfer_latency_ms(1_000_000.0, 0.0);
+        assert!(actual > nominal_ms, "shaped WiFi cannot beat its cap");
+    }
+
+    #[test]
+    fn estimate_tracks_window_average() {
+        let trace = BandwidthTrace::from_samples(vec![10.0, 10.0, 90.0, 90.0], 1000.0);
+        let link = Link::new(trace, 2.0);
+        let slow = link.estimate_latency_ms(1_000_000.0, 0.0, 2000.0);
+        let fast = link.estimate_latency_ms(1_000_000.0, 2000.0, 4000.0);
+        assert!(slow > fast * 5.0, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn io_overhead_dominates_small_transfers() {
+        let link = LinkConfig::constant(300.0).build();
+        // A 1 KB transfer is dominated by the 2 ms I/O overhead.
+        let ms = link.transfer_latency_ms(1_000.0, 0.0);
+        assert!(ms > 2.0 && ms < 2.1);
+    }
+
+    #[test]
+    fn dynamic_link_builds() {
+        let link = LinkConfig::dynamic(7).build();
+        assert!(link.mean_mbps() > 30.0 && link.mean_mbps() < 110.0);
+        assert!(link.transfer_latency_ms(500_000.0, 0.0) > 0.0);
+    }
+}

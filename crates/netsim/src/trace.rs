@@ -1,0 +1,264 @@
+//! Time-varying bandwidth traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// The bandwidth regimes used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A perfectly constant bandwidth (useful for unit tests and estimators).
+    Constant {
+        /// Bandwidth in Mbps.
+        mbps: f64,
+    },
+    /// The lightly fluctuating shaped-WiFi traces of Fig. 4: the achieved
+    /// throughput hovers a little below the configured bandwidth cap with
+    /// small auto-correlated fluctuations.
+    Wifi {
+        /// Nominal (router-configured) bandwidth in Mbps.
+        nominal_mbps: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The highly dynamic traces of Fig. 12: the throughput jumps between
+    /// levels in the 40–100 Mbps range every few minutes with large
+    /// fluctuations.
+    HighlyDynamic {
+        /// RNG seed (one per device in §V-F).
+        seed: u64,
+    },
+}
+
+/// A sampled bandwidth trace: throughput in Mbps at a fixed sampling
+/// interval, indexed by time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Samples in Mbps.
+    samples: Vec<f64>,
+    /// Interval between samples, in milliseconds.
+    interval_ms: f64,
+}
+
+impl BandwidthTrace {
+    /// Default trace length: 60 minutes (the span of Fig. 4 / Fig. 12).
+    pub const DEFAULT_DURATION_MS: f64 = 60.0 * 60.0 * 1e3;
+    /// Default sampling interval: one second.
+    pub const DEFAULT_INTERVAL_MS: f64 = 1e3;
+
+    /// Creates a trace from raw samples.
+    pub fn from_samples(samples: Vec<f64>, interval_ms: f64) -> Self {
+        assert!(!samples.is_empty(), "a trace needs at least one sample");
+        assert!(interval_ms > 0.0, "sampling interval must be positive");
+        Self { samples, interval_ms }
+    }
+
+    /// Generates a trace of the given kind covering `duration_ms`.
+    pub fn generate(kind: TraceKind, duration_ms: f64) -> Self {
+        let interval = Self::DEFAULT_INTERVAL_MS;
+        let n = (duration_ms / interval).ceil().max(1.0) as usize;
+        let samples = match kind {
+            TraceKind::Constant { mbps } => vec![mbps.max(0.1); n],
+            TraceKind::Wifi { nominal_mbps, seed } => wifi_samples(nominal_mbps, seed, n),
+            TraceKind::HighlyDynamic { seed } => dynamic_samples(seed, n),
+        };
+        Self { samples, interval_ms: interval }
+    }
+
+    /// Generates the default 60-minute trace.
+    pub fn generate_default(kind: TraceKind) -> Self {
+        Self::generate(kind, Self::DEFAULT_DURATION_MS)
+    }
+
+    /// The sampling interval in milliseconds.
+    pub fn interval_ms(&self) -> f64 {
+        self.interval_ms
+    }
+
+    /// The raw samples in Mbps.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Bandwidth (Mbps) at an absolute time; the trace repeats cyclically so
+    /// long simulations never run off the end.
+    pub fn bandwidth_at(&self, time_ms: f64) -> f64 {
+        let idx = (time_ms.max(0.0) / self.interval_ms) as usize % self.samples.len();
+        self.samples[idx]
+    }
+
+    /// Mean bandwidth over the whole trace.
+    pub fn mean_mbps(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean bandwidth over a window `[start_ms, end_ms)` (cyclic).
+    pub fn mean_mbps_window(&self, start_ms: f64, end_ms: f64) -> f64 {
+        if end_ms <= start_ms {
+            return self.bandwidth_at(start_ms);
+        }
+        let mut t = start_ms;
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        while t < end_ms {
+            acc += self.bandwidth_at(t);
+            n += 1;
+            t += self.interval_ms;
+        }
+        acc / n.max(1) as f64
+    }
+
+    /// Time (ms) to move `bytes` across the trace starting at `start_ms`,
+    /// integrating the time-varying bandwidth sample by sample.
+    pub fn transfer_time_ms(&self, bytes: f64, start_ms: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let mut remaining = bytes;
+        let mut t = start_ms.max(0.0);
+        let mut elapsed = 0.0;
+        // Guard against pathological zero-bandwidth traces.
+        let max_iterations = self.samples.len() * 1000 + 1000;
+        for _ in 0..max_iterations {
+            let bw = self.bandwidth_at(t).max(0.01);
+            let rate = crate::mbps_to_bytes_per_ms(bw);
+            // Time remaining in the current sample slot.
+            let slot_end = (t / self.interval_ms).floor() * self.interval_ms + self.interval_ms;
+            let slot_left = (slot_end - t).max(1e-9);
+            let can_move = rate * slot_left;
+            if can_move >= remaining {
+                return elapsed + remaining / rate;
+            }
+            remaining -= can_move;
+            elapsed += slot_left;
+            t = slot_end;
+        }
+        elapsed
+    }
+}
+
+/// Lightly fluctuating WiFi throughput: an AR(1) process around ~88 % of the
+/// nominal bandwidth with ~3 % relative noise, clamped to a plausible band.
+fn wifi_samples(nominal_mbps: f64, seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5150);
+    let mean = nominal_mbps * 0.88;
+    let noise = Normal::new(0.0, nominal_mbps * 0.03).expect("valid normal");
+    let rho = 0.9;
+    let mut value = mean;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        value = mean + rho * (value - mean) + noise.sample(&mut rng);
+        out.push(value.clamp(nominal_mbps * 0.6, nominal_mbps * 0.98));
+    }
+    out
+}
+
+/// Highly dynamic throughput: the level jumps uniformly within 40–100 Mbps
+/// every 3–8 minutes, with 8 % relative noise on top (Fig. 12).
+fn dynamic_samples(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd11a);
+    let mut out = Vec::with_capacity(n);
+    let mut level: f64 = rng.gen_range(40.0..100.0);
+    let mut until = 0usize;
+    for i in 0..n {
+        if i >= until {
+            level = rng.gen_range(40.0..100.0);
+            until = i + rng.gen_range(180..480);
+        }
+        let noisy = level * (1.0 + rng.gen_range(-0.08..0.08));
+        out.push(noisy.clamp(30.0, 110.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_is_flat() {
+        let t = BandwidthTrace::generate(TraceKind::Constant { mbps: 200.0 }, 10_000.0);
+        assert!(t.samples().iter().all(|&s| (s - 200.0).abs() < 1e-9));
+        assert_eq!(t.bandwidth_at(0.0), 200.0);
+        assert_eq!(t.bandwidth_at(9_999.0), 200.0);
+    }
+
+    #[test]
+    fn trace_wraps_cyclically() {
+        let t = BandwidthTrace::from_samples(vec![10.0, 20.0], 1000.0);
+        assert_eq!(t.bandwidth_at(0.0), 10.0);
+        assert_eq!(t.bandwidth_at(1_500.0), 20.0);
+        assert_eq!(t.bandwidth_at(2_500.0), 10.0);
+    }
+
+    #[test]
+    fn wifi_trace_stays_below_nominal() {
+        for nominal in [50.0, 100.0, 200.0, 300.0] {
+            let t = BandwidthTrace::generate_default(TraceKind::Wifi { nominal_mbps: nominal, seed: 3 });
+            assert!(t.samples().iter().all(|&s| s <= nominal && s >= nominal * 0.5));
+            let mean = t.mean_mbps();
+            assert!(mean > nominal * 0.7 && mean < nominal * 0.95, "mean {mean} for {nominal}");
+        }
+    }
+
+    #[test]
+    fn wifi_trace_is_reproducible() {
+        let a = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 9 }, 60_000.0);
+        let b = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 9 }, 60_000.0);
+        assert_eq!(a, b);
+        let c = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 10 }, 60_000.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dynamic_trace_covers_expected_range_and_varies() {
+        let t = BandwidthTrace::generate_default(TraceKind::HighlyDynamic { seed: 4 });
+        let min = t.samples().iter().cloned().fold(f64::MAX, f64::min);
+        let max = t.samples().iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min >= 30.0 && max <= 110.0);
+        // It must actually be dynamic: spread over at least 30 Mbps.
+        assert!(max - min > 30.0, "min {min} max {max}");
+    }
+
+    #[test]
+    fn transfer_time_constant_bandwidth() {
+        let t = BandwidthTrace::generate(TraceKind::Constant { mbps: 80.0 }, 10_000.0);
+        // 80 Mbps = 10 MB/s = 10_000 bytes/ms; 1 MB should take 100 ms.
+        let ms = t.transfer_time_ms(1_000_000.0, 0.0);
+        assert!((ms - 100.0).abs() < 1e-6, "got {ms}");
+        assert_eq!(t.transfer_time_ms(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_integrates_across_level_change() {
+        // 1 s at 8 Mbps (1000 bytes/ms) then 80 Mbps (10000 bytes/ms).
+        let t = BandwidthTrace::from_samples(vec![8.0, 80.0], 1000.0);
+        // 1.5 MB: 1 MB in the first second, remaining 0.5 MB at 10k/ms = 50 ms.
+        let ms = t.transfer_time_ms(1_500_000.0, 0.0);
+        assert!((ms - 1050.0).abs() < 1e-3, "got {ms}");
+    }
+
+    #[test]
+    fn transfer_time_mid_slot_start() {
+        let t = BandwidthTrace::from_samples(vec![8.0, 80.0], 1000.0);
+        // Starting half-way through the slow slot: 0.5 s at 1000 bytes/ms
+        // moves 0.5 MB, then the rest at 10x speed.
+        let ms = t.transfer_time_ms(1_000_000.0, 500.0);
+        assert!((ms - 550.0).abs() < 1e-3, "got {ms}");
+    }
+
+    #[test]
+    fn mean_window_tracks_level_changes() {
+        let t = BandwidthTrace::from_samples(vec![10.0, 10.0, 90.0, 90.0], 1000.0);
+        assert!((t.mean_mbps_window(0.0, 2000.0) - 10.0).abs() < 1e-9);
+        assert!((t.mean_mbps_window(2000.0, 4000.0) - 90.0).abs() < 1e-9);
+        assert!((t.mean_mbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_panics() {
+        let _ = BandwidthTrace::from_samples(vec![], 1000.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al.) — the continuous
+//! action-space actor-critic algorithm the OSDS splitter trains.
+
+use crate::adam::Adam;
+use crate::mlp::{ActKind, Mlp};
+use crate::replay::Transition;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a DDPG agent.  The defaults follow §V of the paper:
+/// actor hidden layers {400, 200, 100}, critic hidden layers
+/// {400, 200, 100, 100}, learning rates 1e-4 / 1e-3, γ = 0.99.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Soft target-update coefficient τ.
+    pub tau: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Actor hidden layer sizes.
+    pub actor_hidden: [usize; 3],
+    /// Critic hidden layer sizes.
+    pub critic_hidden: [usize; 4],
+    /// RNG seed for network initialisation.
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            tau: 0.005,
+            actor_lr: 1e-4,
+            critic_lr: 1e-3,
+            actor_hidden: [400, 200, 100],
+            critic_hidden: [400, 200, 100, 100],
+            seed: 0,
+        }
+    }
+}
+
+/// A DDPG actor-critic agent with target networks.
+#[derive(Debug, Clone)]
+pub struct DdpgAgent {
+    /// State dimensionality.
+    pub state_dim: usize,
+    /// Action dimensionality.
+    pub action_dim: usize,
+    config: DdpgConfig,
+    actor: Mlp,
+    critic: Mlp,
+    actor_target: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+}
+
+impl DdpgAgent {
+    /// Creates a new agent for the given state/action dimensionalities.
+    pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig) -> Self {
+        let a = config.actor_hidden;
+        let c = config.critic_hidden;
+        let actor_dims = [state_dim, a[0], a[1], a[2], action_dim];
+        let critic_dims = [state_dim + action_dim, c[0], c[1], c[2], c[3], 1];
+        let actor = Mlp::new(&actor_dims, ActKind::Tanh, config.seed.wrapping_add(1));
+        let critic = Mlp::new(&critic_dims, ActKind::Identity, config.seed.wrapping_add(2));
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        let actor_opt = Adam::new(actor.num_params(), config.actor_lr);
+        let critic_opt = Adam::new(critic.num_params(), config.critic_lr);
+        Self {
+            state_dim,
+            action_dim,
+            config,
+            actor,
+            critic,
+            actor_target,
+            critic_target,
+            actor_opt,
+            critic_opt,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> DdpgConfig {
+        self.config
+    }
+
+    /// Deterministic policy: actor output in `[-1, 1]^action_dim`.
+    pub fn act(&mut self, state: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(state.len(), self.state_dim);
+        self.actor.forward(state)
+    }
+
+    /// Critic value `Q(s, a)`.
+    pub fn q_value(&mut self, state: &[f64], action: &[f64]) -> f64 {
+        let mut input = Vec::with_capacity(self.state_dim + self.action_dim);
+        input.extend_from_slice(state);
+        input.extend_from_slice(action);
+        self.critic.forward(&input)[0]
+    }
+
+    /// One DDPG update over a mini-batch.  Returns `(critic_loss, actor_loss)`
+    /// for monitoring.
+    pub fn update(&mut self, batch: &[Transition]) -> (f64, f64) {
+        if batch.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = batch.len() as f64;
+        let gamma = self.config.gamma;
+
+        // --- Critic update: minimise (Q(s,a) - y)² with
+        //     y = r + γ (1-done) Q'(s', μ'(s')).
+        let mut targets = Vec::with_capacity(batch.len());
+        for t in batch {
+            let y = if t.done {
+                t.reward
+            } else {
+                let next_action = self.actor_target.forward(&t.next_state);
+                let mut input = t.next_state.clone();
+                input.extend_from_slice(&next_action);
+                t.reward + gamma * self.critic_target.forward(&input)[0]
+            };
+            targets.push(y);
+        }
+        self.critic.zero_grad();
+        let mut critic_loss = 0.0;
+        for (t, &y) in batch.iter().zip(&targets) {
+            let mut input = t.state.clone();
+            input.extend_from_slice(&t.action);
+            let q = self.critic.forward(&input)[0];
+            let err = q - y;
+            critic_loss += err * err / n;
+            self.critic.backward(&[2.0 * err / n]);
+        }
+        self.critic_opt.step(&mut self.critic);
+
+        // --- Actor update: maximise Q(s, μ(s)), i.e. minimise -Q.
+        self.actor.zero_grad();
+        let mut actor_loss = 0.0;
+        for t in batch {
+            let action = self.actor.forward(&t.state);
+            let mut input = t.state.clone();
+            input.extend_from_slice(&action);
+            self.critic.zero_grad();
+            let q = self.critic.forward(&input)[0];
+            actor_loss += -q / n;
+            // dL/dQ = -1/n; propagate through the critic to get dL/d(action).
+            let grad_input = self.critic.backward(&[-1.0 / n]);
+            let grad_action = &grad_input[self.state_dim..];
+            self.actor.backward(grad_action);
+        }
+        // The critic gradients accumulated while differentiating the actor
+        // objective must not be applied.
+        self.critic.zero_grad();
+        self.actor_opt.step(&mut self.actor);
+
+        // --- Soft-update target networks.
+        self.actor_target.soft_update_from(&self.actor, self.config.tau);
+        self.critic_target.soft_update_from(&self.critic, self.config.tau);
+
+        (critic_loss, actor_loss)
+    }
+
+    /// Snapshot of the current actor parameters (used to store `Actor*` in
+    /// Algorithm 2).
+    pub fn actor_params(&self) -> Vec<f64> {
+        self.actor.params_flat()
+    }
+
+    /// Restores actor parameters from a snapshot.
+    pub fn set_actor_params(&mut self, params: &[f64]) {
+        self.actor.set_params_flat(params);
+    }
+
+    /// Snapshot of the current critic parameters (Algorithm 2's `Critic*`).
+    pub fn critic_params(&self) -> Vec<f64> {
+        self.critic.params_flat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::ReplayBuffer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config(seed: u64) -> DdpgConfig {
+        DdpgConfig {
+            actor_hidden: [32, 24, 16],
+            critic_hidden: [32, 24, 16, 16],
+            actor_lr: 1e-3,
+            critic_lr: 3e-3,
+            seed,
+            ..DdpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn act_is_bounded_and_correct_dim() {
+        let mut agent = DdpgAgent::new(5, 3, small_config(1));
+        let a = agent.act(&[0.1, -0.5, 0.3, 0.0, 0.9]);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn update_on_empty_batch_is_noop() {
+        let mut agent = DdpgAgent::new(3, 2, small_config(2));
+        let before = agent.actor_params();
+        let (cl, al) = agent.update(&[]);
+        assert_eq!((cl, al), (0.0, 0.0));
+        assert_eq!(agent.actor_params(), before);
+    }
+
+    #[test]
+    fn critic_loss_decreases_on_fixed_batch() {
+        // A fixed supervised-style batch: the critic should fit the targets.
+        let mut agent = DdpgAgent::new(2, 1, small_config(3));
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch: Vec<Transition> = (0..32)
+            .map(|_| {
+                let s = vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+                let a = vec![rng.gen_range(-1.0..1.0)];
+                let r = s[0] + a[0];
+                Transition { state: s.clone(), action: a, reward: r, next_state: s, done: true }
+            })
+            .collect();
+        let (first_loss, _) = agent.update(&batch);
+        let mut last_loss = first_loss;
+        for _ in 0..200 {
+            let (l, _) = agent.update(&batch);
+            last_loss = l;
+        }
+        assert!(last_loss < first_loss * 0.2, "first {first_loss}, last {last_loss}");
+    }
+
+    /// A one-step continuous bandit: reward = 1 - (a - 0.6)².  DDPG should
+    /// steer the deterministic policy towards a ≈ 0.6.
+    #[test]
+    fn solves_continuous_bandit() {
+        let mut agent = DdpgAgent::new(1, 1, small_config(7));
+        let mut buffer = ReplayBuffer::new(4096);
+        let mut rng = StdRng::seed_from_u64(11);
+        let state = vec![0.5];
+        for episode in 0..600 {
+            let mut action = agent.act(&state);
+            // Exploration noise decaying over time.
+            let sigma = if episode < 400 { 0.4 } else { 0.05 };
+            action[0] = (action[0] + rng.gen_range(-sigma..sigma)).clamp(-1.0, 1.0);
+            let reward = 1.0 - (action[0] - 0.6) * (action[0] - 0.6);
+            buffer.push(Transition {
+                state: state.clone(),
+                action,
+                reward,
+                next_state: state.clone(),
+                done: true,
+            });
+            let batch = buffer.sample(32, &mut rng);
+            agent.update(&batch);
+        }
+        let final_action = agent.act(&state)[0];
+        assert!(
+            (final_action - 0.6).abs() < 0.25,
+            "policy should approach 0.6, got {final_action}"
+        );
+    }
+
+    #[test]
+    fn actor_param_snapshot_roundtrip() {
+        let mut agent = DdpgAgent::new(3, 2, small_config(9));
+        let snap = agent.actor_params();
+        // Perturb by training on a dummy batch.
+        let batch = vec![Transition {
+            state: vec![0.1, 0.2, 0.3],
+            action: vec![0.0, 0.0],
+            reward: 1.0,
+            next_state: vec![0.1, 0.2, 0.3],
+            done: true,
+        }];
+        for _ in 0..5 {
+            agent.update(&batch);
+        }
+        assert_ne!(agent.actor_params(), snap);
+        agent.set_actor_params(&snap);
+        assert_eq!(agent.actor_params(), snap);
+        assert!(!agent.critic_params().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! A small, self-contained neural-network and deep-reinforcement-learning
+//! library: exactly what the OSDS splitter (paper Algorithm 2) needs and
+//! nothing more.
+//!
+//! The paper trains a DDPG agent whose actor is a three-hidden-layer MLP
+//! ({400, 200, 100}) and whose critic is a four-hidden-layer MLP
+//! ({400, 200, 100, 100}).  The Rust RL ecosystem is thin, so this crate
+//! implements the pieces directly:
+//!
+//! * [`mlp`] — dense layers with manual forward/backward passes,
+//! * [`adam`] — the Adam optimiser,
+//! * [`replay`] — a uniform-sampling replay buffer,
+//! * [`noise`] — Gaussian exploration noise,
+//! * [`ddpg`] — the actor-critic agent with target networks and soft
+//!   updates (Lillicrap et al., the algorithm the paper cites).
+//!
+//! Everything uses `f64` and plain `Vec`s; the networks involved are tiny
+//! (a few hundred units), so clarity wins over SIMD cleverness here.
+
+pub mod adam;
+pub mod ddpg;
+pub mod mlp;
+pub mod noise;
+pub mod replay;
+
+pub use adam::Adam;
+pub use ddpg::{DdpgAgent, DdpgConfig};
+pub use mlp::{ActKind, Mlp};
+pub use noise::GaussianNoise;
+pub use replay::{ReplayBuffer, Transition};

@@ -1,0 +1,359 @@
+//! Multi-layer perceptrons with manual forward/backward passes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Identity (used for output layers of critics).
+    Identity,
+    /// Rectified linear unit (hidden layers).
+    Relu,
+    /// Hyperbolic tangent (actor output, bounded actions).
+    Tanh,
+}
+
+impl ActKind {
+    fn forward(self, x: f64) -> f64 {
+        match self {
+            ActKind::Identity => x,
+            ActKind::Relu => x.max(0.0),
+            ActKind::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    fn backward_from_output(self, y: f64) -> f64 {
+        match self {
+            ActKind::Identity => 1.0,
+            ActKind::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    act: ActKind,
+    /// Row-major `[out][in]`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    /// Accumulated gradients (same layout as `w` / `b`).
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    /// Caches from the most recent forward pass.
+    last_input: Vec<f64>,
+    last_output: Vec<f64>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, act: ActKind, rng: &mut StdRng) -> Self {
+        // He/Xavier-style scaling keeps tiny MLPs well-conditioned.
+        let scale = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let b = vec![0.0; out_dim];
+        Self {
+            in_dim,
+            out_dim,
+            act,
+            w,
+            b,
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            last_input: Vec::new(),
+            last_output: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            y.push(self.act.forward(acc));
+        }
+        self.last_input = x.to_vec();
+        self.last_output = y.clone();
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns dL/dx.
+    fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_in = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let dz = grad_out[o] * self.act.backward_from_output(self.last_output[o]);
+            self.grad_b[o] += dz;
+            let row_w = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.grad_w[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += dz * self.last_input[i];
+                grad_in[i] += dz * row_w[i];
+            }
+        }
+        grad_in
+    }
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes.
+    ///
+    /// `dims = [in, h1, …, out]`; every hidden layer uses ReLU and the output
+    /// layer uses `output_act`.
+    pub fn new(dims: &[usize], output_act: ActKind, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i == dims.len() - 2 { output_act } else { ActKind::Relu };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, &mut rng));
+        }
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Forward pass (caches activations for a subsequent backward pass).
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass from an output gradient; accumulates parameter
+    /// gradients and returns the gradient with respect to the input.
+    pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        let mut grad = grad_out.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.grad_w.iter_mut().for_each(|g| *g = 0.0);
+            layer.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Copies all parameters into a flat vector (weights then biases, layer
+    /// by layer).
+    pub fn params_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Copies the accumulated gradients into a flat vector (same layout as
+    /// [`Mlp::params_flat`]).
+    pub fn grads_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(&l.grad_w);
+            out.extend_from_slice(&l.grad_b);
+        }
+        out
+    }
+
+    /// Overwrites the parameters from a flat vector.
+    pub fn set_params_flat(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_params());
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let wl = l.w.len();
+            l.w.copy_from_slice(&params[offset..offset + wl]);
+            offset += wl;
+            let bl = l.b.len();
+            l.b.copy_from_slice(&params[offset..offset + bl]);
+            offset += bl;
+        }
+    }
+
+    /// Soft-updates this network towards `source`:
+    /// `θ ← τ·θ_source + (1 − τ)·θ`.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        let src = source.params_flat();
+        let mut dst = self.params_flat();
+        for (d, s) in dst.iter_mut().zip(&src) {
+            *d = tau * s + (1.0 - tau) * *d;
+        }
+        self.set_params_flat(&dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut mlp = Mlp::new(&[4, 8, 3], ActKind::Tanh, 1);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        let y = mlp.forward(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 3);
+        assert!(y.iter().all(|v| v.abs() <= 1.0), "tanh output is bounded");
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mlp = Mlp::new(&[4, 8, 3], ActKind::Identity, 1);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut mlp = Mlp::new(&[3, 5, 2], ActKind::Identity, 2);
+        let p = mlp.params_flat();
+        let mut p2 = p.clone();
+        p2[0] += 1.0;
+        mlp.set_params_flat(&p2);
+        assert_eq!(mlp.params_flat(), p2);
+    }
+
+    #[test]
+    fn deterministic_initialisation() {
+        let a = Mlp::new(&[3, 4, 1], ActKind::Identity, 42);
+        let b = Mlp::new(&[3, 4, 1], ActKind::Identity, 42);
+        assert_eq!(a.params_flat(), b.params_flat());
+        let c = Mlp::new(&[3, 4, 1], ActKind::Identity, 43);
+        assert_ne!(a.params_flat(), c.params_flat());
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Finite-difference check of dL/dθ for L = 0.5 * ||y||².
+        let mut mlp = Mlp::new(&[3, 6, 2], ActKind::Tanh, 7);
+        let x = [0.3, -0.7, 0.5];
+        let loss = |m: &mut Mlp| -> f64 {
+            let y = m.forward(&x);
+            0.5 * y.iter().map(|v| v * v).sum::<f64>()
+        };
+        // Analytic gradients.
+        mlp.zero_grad();
+        let y = mlp.forward(&x);
+        mlp.backward(&y); // dL/dy = y
+        let analytic = mlp.grads_flat();
+        // Numeric gradients for a handful of parameters.
+        let params = mlp.params_flat();
+        let eps = 1e-6;
+        for idx in [0usize, 5, 11, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            mlp.set_params_flat(&plus);
+            let lp = loss(&mut mlp);
+            mlp.set_params_flat(&minus);
+            let lm = loss(&mut mlp);
+            mlp.set_params_flat(&params);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        // Finite-difference check of dL/dx.
+        let mut mlp = Mlp::new(&[3, 5, 1], ActKind::Identity, 9);
+        let x = [0.2, 0.4, -0.1];
+        let forward_loss = |m: &mut Mlp, x: &[f64]| -> f64 { m.forward(x)[0] };
+        mlp.zero_grad();
+        let _ = mlp.forward(&x);
+        let grad_in = mlp.backward(&[1.0]);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let numeric = (forward_loss(&mut mlp, &xp) - forward_loss(&mut mlp, &xm)) / (2.0 * eps);
+            assert!((numeric - grad_in[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut mlp = Mlp::new(&[2, 3, 1], ActKind::Identity, 5);
+        let _ = mlp.forward(&[1.0, 2.0]);
+        let _ = mlp.backward(&[1.0]);
+        assert!(mlp.grads_flat().iter().any(|g| g.abs() > 0.0));
+        mlp.zero_grad();
+        assert!(mlp.grads_flat().iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let source = Mlp::new(&[2, 4, 1], ActKind::Identity, 1);
+        let mut target = Mlp::new(&[2, 4, 1], ActKind::Identity, 2);
+        for _ in 0..2000 {
+            target.soft_update_from(&source, 0.01);
+        }
+        let max_diff = target
+            .params_flat()
+            .iter()
+            .zip(source.params_flat())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-6, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn soft_update_with_tau_one_copies() {
+        let source = Mlp::new(&[2, 3, 1], ActKind::Identity, 1);
+        let mut target = Mlp::new(&[2, 3, 1], ActKind::Identity, 2);
+        target.soft_update_from(&source, 1.0);
+        assert_eq!(target.params_flat(), source.params_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_dims_panics() {
+        let _ = Mlp::new(&[3], ActKind::Identity, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Exploration noise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Zero-mean Gaussian exploration noise with configurable variance
+/// (Algorithm 2 uses `N(0, σ²)` added to the actor output during the
+/// exploration phase).
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    normal: Normal<f64>,
+    rng: StdRng,
+}
+
+impl GaussianNoise {
+    /// Creates noise with the given variance `σ²`.
+    pub fn new(sigma_squared: f64, seed: u64) -> Self {
+        let sigma = sigma_squared.max(0.0).sqrt();
+        Self {
+            normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid normal"),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one noise sample.
+    pub fn sample(&mut self) -> f64 {
+        self.normal.sample(&mut self.rng)
+    }
+
+    /// Adds noise element-wise to an action vector.
+    pub fn perturb(&mut self, action: &mut [f64]) {
+        for a in action {
+            *a += self.sample();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_configuration() {
+        let mut n = GaussianNoise::new(0.1, 42);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.1).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn perturb_changes_values() {
+        let mut n = GaussianNoise::new(1.0, 7);
+        let mut a = vec![0.0; 8];
+        n.perturb(&mut a);
+        assert!(a.iter().any(|v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mut a = GaussianNoise::new(0.5, 11);
+        let mut b = GaussianNoise::new(0.5, 11);
+        for _ in 0..10 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn zero_variance_is_effectively_silent() {
+        let mut n = GaussianNoise::new(0.0, 1);
+        assert!(n.sample().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors raised by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: [usize; 3],
+        /// Shape of the right-hand operand.
+        right: [usize; 3],
+    },
+    /// A row range is out of bounds or empty.
+    InvalidRowRange {
+        /// Requested start row (inclusive).
+        start: usize,
+        /// Requested end row (exclusive).
+        end: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+    /// A kernel was configured inconsistently (e.g. weight size vs. channels).
+    KernelConfig(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::InvalidRowRange { start, end, rows } => {
+                write!(f, "invalid row range {start}..{end} for tensor with {rows} rows")
+            }
+            TensorError::KernelConfig(msg) => write!(f, "kernel configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { len: 3, expected: 6 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("6"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { left: [1, 2, 3], right: [4, 5, 6] };
+        assert!(e.to_string().contains("[1, 2, 3]"));
+    }
+
+    #[test]
+    fn display_row_range() {
+        let e = TensorError::InvalidRowRange { start: 5, end: 2, rows: 10 };
+        assert!(e.to_string().contains("5..2"));
+    }
+
+    #[test]
+    fn display_kernel_config() {
+        let e = TensorError::KernelConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::KernelConfig("x".into()));
+    }
+}

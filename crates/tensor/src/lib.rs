@@ -1,0 +1,40 @@
+//! Minimal dense tensor library used by the DistrEdge reproduction.
+//!
+//! The distribution algorithms in the `distredge` crate only reason about
+//! layer *configurations* (shapes, FLOPs, byte counts), but the reproduction
+//! also needs to demonstrate that a vertical split of a layer-volume is
+//! *functionally* exact: running each split-part on its slice of the input
+//! and stitching the outputs back together must reproduce the output of the
+//! un-split layer-volume bit-for-bit.  This crate provides the small CHW
+//! tensor type and the convolution / pooling / linear kernels needed for
+//! that verification, plus the runnable examples.
+//!
+//! Kernels are written for clarity first, but the convolution is
+//! parallelised over output channels with rayon so that the examples and
+//! integration tests stay fast.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::{Tensor, ops};
+//!
+//! let input = Tensor::filled([3, 8, 8], 1.0);
+//! // Weights laid out [c_out][c_in][f][f], one bias per output channel.
+//! let weights = vec![0.5; ops::im2col_weight_len(3, 4, 3)];
+//! let bias = vec![0.0; 4];
+//! let out = ops::conv2d(&input, &weights, &bias, 4, 3, 1, 1, ops::Activation::Relu);
+//! assert_eq!(out.shape(), [4, 8, 8]);
+//! ```
+
+pub mod error;
+pub mod ops;
+pub mod shape;
+pub mod slice;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,81 @@
+//! Element-wise activation functions.
+
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a convolution or linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no activation).
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.1 (used by the YOLO family).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::None => v,
+            Activation::Relu => v.max(0.0),
+            Activation::LeakyRelu => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    0.1 * v
+                }
+            }
+            Activation::Tanh => v.tanh(),
+        }
+    }
+}
+
+/// Applies an activation in place over an entire tensor.
+pub fn apply_activation(t: &mut Tensor, act: Activation) {
+    if act == Activation::None {
+        return;
+    }
+    for v in t.data_mut() {
+        *v = act.apply(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        assert!((Activation::LeakyRelu.apply(-2.0) + 0.2).abs() < 1e-6);
+        assert_eq!(Activation::LeakyRelu.apply(2.0), 2.0);
+    }
+
+    #[test]
+    fn tanh_bounds() {
+        assert!(Activation::Tanh.apply(100.0) <= 1.0);
+        assert!(Activation::Tanh.apply(-100.0) >= -1.0);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(Activation::None.apply(-5.5), -5.5);
+    }
+
+    #[test]
+    fn apply_activation_in_place() {
+        let mut t = Tensor::from_vec([1, 1, 4], vec![-1.0, 0.0, 1.0, -2.0]).unwrap();
+        apply_activation(&mut t, Activation::Relu);
+        assert_eq!(t.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Direct 2-D convolution kernels.
+//!
+//! Two entry points are provided:
+//!
+//! * [`conv2d`] — convolve a full input tensor.
+//! * [`conv2d_rows`] — convolve a *row band*: the input tensor only carries a
+//!   band of the original input rows (plus halo), and only a band of output
+//!   rows is produced.  Zero padding is applied relative to the *original*
+//!   layer geometry so that stitched bands reproduce the full convolution
+//!   exactly.  This is the kernel used to execute split-parts.
+
+use super::activation::Activation;
+use crate::error::TensorError;
+use crate::shape::{conv_out_dim, input_rows_for_output, Shape};
+use crate::{Result, Tensor};
+use rayon::prelude::*;
+
+/// Length of a weight buffer for a convolution, in `[c_out][c_in][f][f]`
+/// layout.
+pub const fn im2col_weight_len(c_in: usize, c_out: usize, f: usize) -> usize {
+    c_out * c_in * f * f
+}
+
+/// Full 2-D convolution over the whole input.
+///
+/// `weights` is laid out `[c_out][c_in][f][f]`, `bias` has one entry per
+/// output channel.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Tensor {
+    let h_in = input.height();
+    let out_h = conv_out_dim(h_in, f, stride, padding).expect("invalid conv geometry");
+    conv2d_rows(input, 0, h_in, 0, out_h, weights, bias, c_out, f, stride, padding, act)
+        .expect("full conv2d over valid geometry cannot fail")
+}
+
+/// Convolution of a row band.
+///
+/// * `input` holds original input rows `[in_row_offset, in_row_offset + input.height())`.
+/// * `orig_h_in` is the height of the *full* layer input; zero padding is
+///   applied at rows `< 0` and `>= orig_h_in` only.
+/// * Output rows `[out_start, out_end)` (in full-layer coordinates) are
+///   produced.
+///
+/// Returns an error if the input band does not cover every real input row the
+/// requested output rows need.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_rows(
+    input: &Tensor,
+    in_row_offset: usize,
+    orig_h_in: usize,
+    out_start: usize,
+    out_end: usize,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let [c_in, band_h, w_in] = input.shape();
+    if weights.len() != im2col_weight_len(c_in, c_out, f) {
+        return Err(TensorError::KernelConfig(format!(
+            "conv weights length {} != c_out*c_in*f*f = {}",
+            weights.len(),
+            im2col_weight_len(c_in, c_out, f)
+        )));
+    }
+    if bias.len() != c_out {
+        return Err(TensorError::KernelConfig(format!(
+            "conv bias length {} != c_out {}",
+            bias.len(),
+            c_out
+        )));
+    }
+    let out_h_full = conv_out_dim(orig_h_in, f, stride, padding)
+        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input".into()))?;
+    let out_w = conv_out_dim(input.width(), f, stride, padding)
+        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input width".into()))?;
+    if out_end > out_h_full || out_start >= out_end {
+        return Err(TensorError::InvalidRowRange {
+            start: out_start,
+            end: out_end,
+            rows: out_h_full,
+        });
+    }
+    // Check halo coverage: the real input rows needed must lie inside the band.
+    let (need_lo, need_hi) =
+        input_rows_for_output(out_start, out_end, f, stride, padding, orig_h_in);
+    if need_lo < in_row_offset || need_hi > in_row_offset + band_h {
+        return Err(TensorError::KernelConfig(format!(
+            "input band rows {}..{} do not cover required rows {}..{}",
+            in_row_offset,
+            in_row_offset + band_h,
+            need_lo,
+            need_hi
+        )));
+    }
+
+    let out_rows = out_end - out_start;
+    let plane_in = band_h * w_in;
+    let in_data = input.data();
+    let pad = padding as isize;
+
+    // One output channel plane per rayon task.
+    let planes: Vec<Vec<f32>> = (0..c_out)
+        .into_par_iter()
+        .map(|oc| {
+            let mut plane = vec![0.0f32; out_rows * out_w];
+            let w_base = oc * c_in * f * f;
+            for (oy_local, oy) in (out_start..out_end).enumerate() {
+                let iy0 = oy as isize * stride as isize - pad;
+                for ox in 0..out_w {
+                    let ix0 = ox as isize * stride as isize - pad;
+                    let mut acc = bias[oc];
+                    for ic in 0..c_in {
+                        let w_ch = w_base + ic * f * f;
+                        let in_ch = ic * plane_in;
+                        for ky in 0..f {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= orig_h_in as isize {
+                                continue;
+                            }
+                            let band_y = iy as usize - in_row_offset;
+                            let row_base = in_ch + band_y * w_in;
+                            let w_row = w_ch + ky * f;
+                            for kx in 0..f {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w_in as isize {
+                                    continue;
+                                }
+                                acc += in_data[row_base + ix as usize] * weights[w_row + kx];
+                            }
+                        }
+                    }
+                    plane[oy_local * out_w + ox] = act.apply(acc);
+                }
+            }
+            plane
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(c_out * out_rows * out_w);
+    for plane in planes {
+        data.extend_from_slice(&plane);
+    }
+    Tensor::from_vec(Shape::new(c_out, out_rows, out_w), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{concat_rows, slice_rows};
+    use crate::shape::input_rows_for_output;
+
+    fn det_weights(c_in: usize, c_out: usize, f: usize) -> Vec<f32> {
+        (0..im2col_weight_len(c_in, c_out, f))
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.25)
+            .collect()
+    }
+
+    fn det_input(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_fn([c, h, w], |c, y, x| ((c * 31 + y * 7 + x * 3) % 11) as f32 * 0.5 - 2.0)
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 conv with identity weights and zero bias copies the input.
+        let input = det_input(2, 5, 5);
+        let weights = vec![1.0, 0.0, 0.0, 1.0]; // [c_out=2][c_in=2][1][1]
+        let bias = vec![0.0, 0.0];
+        let out = conv2d(&input, &weights, &bias, 2, 1, 1, 0, Activation::None);
+        assert!(out.approx_eq(&input, 1e-6));
+    }
+
+    #[test]
+    fn bias_only_kernel() {
+        let input = Tensor::zeros([1, 4, 4]);
+        let weights = vec![0.0; 9];
+        let bias = vec![2.5];
+        let out = conv2d(&input, &weights, &bias, 1, 3, 1, 1, Activation::None);
+        assert!(out.data().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn output_shape_stride_two() {
+        let input = det_input(3, 11, 11);
+        let weights = det_weights(3, 4, 3);
+        let bias = vec![0.1; 4];
+        let out = conv2d(&input, &weights, &bias, 4, 3, 2, 1, Activation::Relu);
+        assert_eq!(out.shape(), [4, 6, 6]);
+    }
+
+    #[test]
+    fn known_small_convolution() {
+        // Single channel 3x3 input, 2x2 filter of ones, stride 1, no padding:
+        // output[y][x] = sum of the 2x2 window.
+        let input = Tensor::from_vec([1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let weights = vec![1.0; 4];
+        let bias = vec![0.0];
+        let out = conv2d(&input, &weights, &bias, 1, 2, 1, 0, Activation::None);
+        assert_eq!(out.shape(), [1, 2, 2]);
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn rows_band_matches_full_conv() {
+        let input = det_input(3, 16, 9);
+        let weights = det_weights(3, 5, 3);
+        let bias = vec![0.05; 5];
+        let (f, s, p) = (3, 1, 1);
+        let full = conv2d(&input, &weights, &bias, 5, f, s, p, Activation::Relu);
+
+        // Split output rows into 0..6, 6..11, 11..16 and compute each band from
+        // the minimal halo slice of the input.
+        let cuts = [6usize, 11, 16];
+        let mut start = 0usize;
+        let mut bands = Vec::new();
+        for &end in &cuts {
+            let (lo, hi) = input_rows_for_output(start, end, f, s, p, input.height());
+            let band_in = slice_rows(&input, lo, hi).unwrap();
+            let band_out = conv2d_rows(
+                &band_in, lo, input.height(), start, end, &weights, &bias, 5, f, s, p,
+                Activation::Relu,
+            )
+            .unwrap();
+            bands.push(band_out);
+            start = end;
+        }
+        let stitched = concat_rows(&bands).unwrap();
+        assert!(stitched.approx_eq(&full, 1e-5));
+    }
+
+    #[test]
+    fn rows_band_rejects_missing_halo() {
+        let input = det_input(1, 10, 5);
+        let weights = det_weights(1, 1, 3);
+        let bias = vec![0.0];
+        // Band carries rows 4..6 only but output rows 4..6 need input 3..7.
+        let band = slice_rows(&input, 4, 6).unwrap();
+        let r = conv2d_rows(&band, 4, 10, 4, 6, &weights, &bias, 1, 3, 1, 1, Activation::None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_bad_weight_length() {
+        let input = det_input(2, 5, 5);
+        let r = conv2d_rows(
+            &input, 0, 5, 0, 5, &[0.0; 10], &[0.0], 1, 3, 1, 1, Activation::None,
+        );
+        assert!(matches!(r, Err(TensorError::KernelConfig(_))));
+    }
+
+    #[test]
+    fn rejects_bad_bias_length() {
+        let input = det_input(2, 5, 5);
+        let weights = det_weights(2, 3, 3);
+        let r = conv2d_rows(
+            &input, 0, 5, 0, 5, &weights, &[0.0; 2], 3, 3, 1, 1, Activation::None,
+        );
+        assert!(matches!(r, Err(TensorError::KernelConfig(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_output_rows() {
+        let input = det_input(1, 8, 8);
+        let weights = det_weights(1, 1, 3);
+        let r = conv2d_rows(
+            &input, 0, 8, 0, 9, &weights, &[0.0], 1, 3, 1, 1, Activation::None,
+        );
+        assert!(r.is_err());
+    }
+}

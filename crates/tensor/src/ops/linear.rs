@@ -1,0 +1,82 @@
+//! Fully-connected (linear) layer kernel.
+
+use super::activation::Activation;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::{Result, Tensor};
+
+/// Fully-connected layer: `out[o] = act(bias[o] + sum_i w[o][i] * in[i])`.
+///
+/// The input tensor is flattened in CHW order; `weights` is laid out
+/// `[out][in]`.  The result is a `[out, 1, 1]` tensor.
+pub fn linear(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let in_features = input.len();
+    if weights.len() != in_features * out_features {
+        return Err(TensorError::KernelConfig(format!(
+            "linear weights length {} != out*in = {}",
+            weights.len(),
+            in_features * out_features
+        )));
+    }
+    if bias.len() != out_features {
+        return Err(TensorError::KernelConfig(format!(
+            "linear bias length {} != out {}",
+            bias.len(),
+            out_features
+        )));
+    }
+    let x = input.data();
+    let mut out = Vec::with_capacity(out_features);
+    for o in 0..out_features {
+        let row = &weights[o * in_features..(o + 1) * in_features];
+        let mut acc = bias[o];
+        for (w, v) in row.iter().zip(x) {
+            acc += w * v;
+        }
+        out.push(act.apply(acc));
+    }
+    Tensor::from_vec(Shape::new(out_features, 1, 1), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix() {
+        let input = Tensor::from_vec([3, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let weights = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let out = linear(&input, &weights, &[0.0; 3], 3, Activation::None).unwrap();
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_and_relu() {
+        let input = Tensor::from_vec([2, 1, 1], vec![1.0, -1.0]).unwrap();
+        // out0 = 1*1 + 1*(-1) - 5 = -5 -> relu 0 ; out1 = 2*1 + 0 + 1 = 3
+        let weights = vec![1.0, 1.0, 2.0, 0.0];
+        let out = linear(&input, &weights, &[-5.0, 1.0], 2, Activation::Relu).unwrap();
+        assert_eq!(out.data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn flattens_spatial_input() {
+        let input = Tensor::filled([2, 2, 2], 1.0);
+        let weights = vec![1.0; 8];
+        let out = linear(&input, &weights, &[0.0], 1, Activation::None).unwrap();
+        assert_eq!(out.data(), &[8.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::filled([2, 1, 1], 1.0);
+        assert!(linear(&input, &[1.0; 3], &[0.0], 2, Activation::None).is_err());
+        assert!(linear(&input, &[1.0; 4], &[0.0; 3], 2, Activation::None).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Compute kernels: convolution, pooling, activation, and linear layers.
+
+mod activation;
+mod conv;
+mod linear;
+mod pool;
+
+pub use activation::{apply_activation, Activation};
+pub use conv::{conv2d, conv2d_rows, im2col_weight_len};
+pub use linear::linear;
+pub use pool::{maxpool2d, maxpool2d_rows};

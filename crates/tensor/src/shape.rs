@@ -1,0 +1,167 @@
+//! CHW shape helpers shared by the tensor type and the kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// A channel-height-width shape.
+///
+/// All tensors in this crate are rank-3 in CHW order; vectors are represented
+/// as `[c, 1, 1]`.  The type is tiny and `Copy`, so it is passed by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height (rows).
+    pub h: usize,
+    /// Spatial width (columns).
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn volume(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Number of elements in one channel plane.
+    pub const fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Returns the shape as a `[c, h, w]` array.
+    pub const fn as_array(&self) -> [usize; 3] {
+        [self.c, self.h, self.w]
+    }
+
+    /// Output spatial size of a convolution/pooling over this shape.
+    ///
+    /// Uses the standard formula `(in + 2p - f) / s + 1` independently for
+    /// height and width.  Returns `None` if the kernel does not fit.
+    pub fn conv_output(&self, f: usize, stride: usize, padding: usize) -> Option<(usize, usize)> {
+        conv_out_dim(self.h, f, stride, padding)
+            .zip(conv_out_dim(self.w, f, stride, padding))
+    }
+}
+
+impl From<[usize; 3]> for Shape {
+    fn from(a: [usize; 3]) -> Self {
+        Shape::new(a[0], a[1], a[2])
+    }
+}
+
+/// Output size of a convolution along one dimension.
+///
+/// Returns `None` when the padded input is smaller than the filter or when
+/// the stride is zero.
+pub fn conv_out_dim(input: usize, f: usize, stride: usize, padding: usize) -> Option<usize> {
+    if stride == 0 || f == 0 {
+        return None;
+    }
+    let padded = input + 2 * padding;
+    if padded < f {
+        return None;
+    }
+    Some((padded - f) / stride + 1)
+}
+
+/// Input rows required to produce output rows `[out_start, out_end)` of a
+/// convolution/pooling with filter `f`, stride `s`, padding `p` over an input
+/// of height `h_in`.
+///
+/// The returned range is clipped to `[0, h_in)`; the caller is responsible
+/// for zero-padding rows that fall outside the input (the kernels in this
+/// crate handle padding internally, so the clipped range is exactly the set
+/// of *real* input rows touched).
+pub fn input_rows_for_output(
+    out_start: usize,
+    out_end: usize,
+    f: usize,
+    s: usize,
+    p: usize,
+    h_in: usize,
+) -> (usize, usize) {
+    if out_end <= out_start {
+        return (0, 0);
+    }
+    let lo = (out_start * s).saturating_sub(p);
+    let hi_unclipped = (out_end - 1) * s + f;
+    let hi = hi_unclipped.saturating_sub(p).min(h_in);
+    (lo.min(h_in), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_plane() {
+        let s = Shape::new(3, 4, 5);
+        assert_eq!(s.volume(), 60);
+        assert_eq!(s.plane(), 20);
+        assert_eq!(s.as_array(), [3, 4, 5]);
+    }
+
+    #[test]
+    fn conv_out_dim_same_padding() {
+        // 3x3, stride 1, padding 1 keeps the size.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), Some(224));
+    }
+
+    #[test]
+    fn conv_out_dim_downsample() {
+        // 2x2 max-pool with stride 2 halves the size.
+        assert_eq!(conv_out_dim(224, 2, 2, 0), Some(112));
+        // 7x7 stride-2 conv with padding 3 on 224 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), Some(112));
+    }
+
+    #[test]
+    fn conv_out_dim_invalid() {
+        assert_eq!(conv_out_dim(2, 5, 1, 0), None);
+        assert_eq!(conv_out_dim(5, 3, 0, 0), None);
+        assert_eq!(conv_out_dim(5, 0, 1, 0), None);
+    }
+
+    #[test]
+    fn conv_output_on_shape() {
+        let s = Shape::new(3, 10, 12);
+        assert_eq!(s.conv_output(3, 1, 1), Some((10, 12)));
+        assert_eq!(s.conv_output(2, 2, 0), Some((5, 6)));
+    }
+
+    #[test]
+    fn input_rows_identity_stride() {
+        // 3x3 stride 1 padding 1: output row r needs input rows r-1..r+2,
+        // so rows 0..4 need real input rows 0..5 (row -1 is padding).
+        assert_eq!(input_rows_for_output(0, 4, 3, 1, 1, 10), (0, 5));
+        assert_eq!(input_rows_for_output(4, 10, 3, 1, 1, 10), (3, 10));
+    }
+
+    #[test]
+    fn input_rows_pooling() {
+        // 2x2 stride 2: output rows 3..5 need input rows 6..10.
+        assert_eq!(input_rows_for_output(3, 5, 2, 2, 0, 16), (6, 10));
+    }
+
+    #[test]
+    fn input_rows_empty_output() {
+        assert_eq!(input_rows_for_output(5, 5, 3, 1, 1, 10), (0, 0));
+        assert_eq!(input_rows_for_output(7, 3, 3, 1, 1, 10), (0, 0));
+    }
+
+    #[test]
+    fn input_rows_clipped_to_input() {
+        // Large request is clipped to the available rows.
+        assert_eq!(input_rows_for_output(0, 100, 3, 1, 1, 10), (0, 10));
+    }
+
+    #[test]
+    fn shape_from_array() {
+        let s: Shape = [2usize, 3, 4].into();
+        assert_eq!(s, Shape::new(2, 3, 4));
+    }
+}

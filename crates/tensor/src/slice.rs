@@ -1,0 +1,159 @@
+//! Height-dimension slicing and stitching.
+//!
+//! DistrEdge vertically splits a layer-volume along the *height* dimension of
+//! its last layer.  Functionally that means: each split-part receives a band
+//! of input rows (with halo), computes a band of output rows, and the bands
+//! are concatenated back along the height axis.  These helpers implement the
+//! row-band extraction and concatenation used by the verification tests and
+//! the runnable examples.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::{Result, Tensor};
+
+/// Extracts rows `[start, end)` of every channel into a new tensor.
+pub fn slice_rows(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    let [c, h, w] = t.shape();
+    if start >= end || end > h {
+        return Err(TensorError::InvalidRowRange { start, end, rows: h });
+    }
+    let rows = end - start;
+    let mut data = Vec::with_capacity(c * rows * w);
+    for ch in 0..c {
+        let plane = t.channel(ch);
+        data.extend_from_slice(&plane[start * w..end * w]);
+    }
+    Tensor::from_vec(Shape::new(c, rows, w), data)
+}
+
+/// Concatenates tensors along the height dimension.
+///
+/// All inputs must share channel count and width.  Empty input list is an
+/// error.
+pub fn concat_rows(parts: &[Tensor]) -> Result<Tensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| TensorError::KernelConfig("concat_rows requires at least one part".into()))?;
+    let [c, _, w] = first.shape();
+    let mut total_rows = 0usize;
+    for p in parts {
+        let [pc, ph, pw] = p.shape();
+        if pc != c || pw != w {
+            return Err(TensorError::ShapeMismatch { left: first.shape(), right: p.shape() });
+        }
+        total_rows += ph;
+    }
+    let mut out = Tensor::zeros(Shape::new(c, total_rows, w));
+    let mut row_offset = 0usize;
+    for p in parts {
+        let [_, ph, _] = p.shape();
+        for ch in 0..c {
+            let src = p.channel(ch);
+            let dst_plane_start = ch * total_rows * w;
+            let dst_start = dst_plane_start + row_offset * w;
+            out.data_mut()[dst_start..dst_start + ph * w].copy_from_slice(src);
+        }
+        row_offset += ph;
+    }
+    Ok(out)
+}
+
+/// Splits a tensor into consecutive row bands given cut points.
+///
+/// `cuts` are exclusive upper bounds for each band except the last, e.g.
+/// cuts `[3, 7]` over a height-10 tensor yields bands `0..3`, `3..7`,
+/// `7..10`.  Bands of zero height yield `None` entries so callers can model
+/// devices that receive no work.
+pub fn split_rows_at(t: &Tensor, cuts: &[usize]) -> Result<Vec<Option<Tensor>>> {
+    let h = t.height();
+    let mut bounds = Vec::with_capacity(cuts.len() + 2);
+    bounds.push(0usize);
+    bounds.extend_from_slice(cuts);
+    bounds.push(h);
+    let mut parts = Vec::with_capacity(bounds.len() - 1);
+    for win in bounds.windows(2) {
+        let (a, b) = (win[0], win[1]);
+        if b < a || b > h {
+            return Err(TensorError::InvalidRowRange { start: a, end: b, rows: h });
+        }
+        if a == b {
+            parts.push(None);
+        } else {
+            parts.push(Some(slice_rows(t, a, b)?));
+        }
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_fn([2, 6, 3], |c, y, x| (c * 1000 + y * 10 + x) as f32)
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrip() {
+        let t = sample();
+        let a = slice_rows(&t, 0, 2).unwrap();
+        let b = slice_rows(&t, 2, 5).unwrap();
+        let c = slice_rows(&t, 5, 6).unwrap();
+        let back = concat_rows(&[a, b, c]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn slice_rows_shape() {
+        let t = sample();
+        let s = slice_rows(&t, 1, 4).unwrap();
+        assert_eq!(s.shape(), [2, 3, 3]);
+        assert_eq!(s.get(0, 0, 0), 10.0);
+        assert_eq!(s.get(1, 2, 2), 1032.0);
+    }
+
+    #[test]
+    fn slice_rows_invalid() {
+        let t = sample();
+        assert!(slice_rows(&t, 3, 3).is_err());
+        assert!(slice_rows(&t, 4, 2).is_err());
+        assert!(slice_rows(&t, 0, 7).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_width() {
+        let a = Tensor::zeros([1, 2, 3]);
+        let b = Tensor::zeros([1, 2, 4]);
+        assert!(concat_rows(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_empty() {
+        assert!(concat_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn split_rows_at_with_empty_band() {
+        let t = sample();
+        let parts = split_rows_at(&t, &[0, 4]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert!(parts[0].is_none());
+        assert_eq!(parts[1].as_ref().unwrap().height(), 4);
+        assert_eq!(parts[2].as_ref().unwrap().height(), 2);
+    }
+
+    #[test]
+    fn split_rows_at_rejects_decreasing_cuts() {
+        let t = sample();
+        assert!(split_rows_at(&t, &[4, 2]).is_err());
+    }
+
+    #[test]
+    fn split_rows_then_concat_ignoring_empties() {
+        let t = sample();
+        let parts = split_rows_at(&t, &[2, 2, 5]).unwrap();
+        let non_empty: Vec<Tensor> = parts.into_iter().flatten().collect();
+        let back = concat_rows(&non_empty).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,47 @@
+//! Online adaptation under a highly dynamic network (paper §V-F): CoEdge,
+//! AOFL and DistrEdge re-plan as the monitored bandwidth changes, and their
+//! per-image latency is tracked over time.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example dynamic_network
+//! ```
+
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::online::{dynamic_cluster, run_dynamic_experiment, OnlineConfig};
+use distredge::DistrEdgeConfig;
+
+fn main() {
+    let model = cnn_model::zoo::vgg16();
+    let devices: Vec<DeviceSpec> =
+        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect();
+    let cluster = dynamic_cluster(&devices, 21);
+
+    let mut config = OnlineConfig::standard(cluster.len());
+    config.duration_minutes = 20.0;
+    config.window_minutes = 2.0;
+    config.images_per_window = 10;
+    config.distredge = DistrEdgeConfig::fast(cluster.len()).with_episodes(80).with_seed(21);
+    config.finetune_episodes = 20;
+
+    println!("running {} minutes of highly dynamic network conditions…", config.duration_minutes);
+    let results = run_dynamic_experiment(&model, &cluster, &config).expect("experiment failed");
+
+    print!("{:<10}", "minute");
+    for r in &results {
+        print!("{:>14}", r.method);
+    }
+    println!();
+    for w in 0..results[0].points.len() {
+        print!("{:<10.0}", results[0].points[w].minute);
+        for r in &results {
+            print!("{:>14.1}", r.points[w].latency_ms);
+        }
+        println!();
+    }
+    println!("\nmean per-image latency over the run:");
+    for r in &results {
+        println!("  {:<12} {:>8.1} ms", r.method, r.mean_latency_ms);
+    }
+}

@@ -1,0 +1,47 @@
+//! Compare all eight distribution methods on the most heterogeneous device
+//! group of the paper (Table I, Group DC: Xavier + TX2 + Nano + Pi3) — the
+//! case where equal-split and linear-ratio baselines suffer most.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use distredge::{evaluate::compare_methods, DistrEdgeConfig, Method, Scenario};
+use edgesim::SimOptions;
+
+fn main() {
+    let model = cnn_model::zoo::vgg16();
+    let scenario = Scenario::group_dc(50.0);
+    let cluster = scenario.build(11);
+
+    println!("Group DC @ 50 Mbps:");
+    for (device, bw) in cluster.devices().iter().zip(&scenario.bandwidths_mbps) {
+        println!("  {:<14} {:>6.0} Mbps", device.name, bw);
+    }
+
+    let config = DistrEdgeConfig::fast(cluster.len()).with_episodes(120).with_seed(3);
+    let options = SimOptions { num_images: 30, start_ms: 0.0 };
+    let results = compare_methods(&Method::ALL, &model, &cluster, &config, options)
+        .expect("method comparison failed");
+
+    println!(
+        "\n{:<14}{:>8}{:>14}{:>16}{:>16}{:>10}",
+        "method", "IPS", "latency (ms)", "max trans (ms)", "max comp (ms)", "volumes"
+    );
+    for r in &results {
+        println!(
+            "{:<14}{:>8.2}{:>14.1}{:>16.1}{:>16.1}{:>10}",
+            r.method, r.ips, r.mean_latency_ms, r.max_transmission_ms, r.max_compute_ms, r.num_volumes
+        );
+    }
+    if let Some(speedup) = distredge::evaluate::distredge_speedup(&results) {
+        println!("\nDistrEdge speedup over the best baseline: {speedup:.2}x");
+    }
+    println!(
+        "\nNote how the layer-by-layer methods (CoEdge/MoDNN/MeDNN) pay in transmission\n\
+         latency while the equal-split methods (DeepThings/DeeperThings) pay in compute\n\
+         imbalance on the slow Pi3 — the two failure modes Fig. 15 of the paper shows."
+    );
+}

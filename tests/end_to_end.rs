@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: planning, lowering, simulating and
+//! comparing distribution strategies end to end.
+
+use cnn_model::{LayerOp, Model};
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::evaluate::{compare_methods, distredge_speedup, evaluate_method};
+use distredge::{DistrEdge, DistrEdgeConfig, Method, Scenario};
+use edgesim::{Cluster, SimOptions};
+use netsim::LinkConfig;
+use tensor::Shape;
+
+fn small_model() -> Model {
+    Model::new(
+        "itest",
+        Shape::new(3, 64, 64),
+        &[
+            LayerOp::conv(24, 3, 1, 1),
+            LayerOp::conv(24, 3, 1, 1),
+            LayerOp::pool(2, 2),
+            LayerOp::conv(48, 3, 1, 1),
+            LayerOp::conv(48, 3, 1, 1),
+            LayerOp::pool(2, 2),
+            LayerOp::fc(10),
+        ],
+    )
+    .unwrap()
+}
+
+fn tiny_config(n: usize) -> DistrEdgeConfig {
+    let mut c = DistrEdgeConfig::fast(n).with_episodes(40).with_seed(13);
+    c.lcpss.num_random_splits = 12;
+    c.osds.ddpg.actor_hidden = [32, 24, 16];
+    c.osds.ddpg.critic_hidden = [32, 24, 16, 16];
+    c
+}
+
+#[test]
+fn distredge_plans_lower_and_simulate_on_every_table1_group() {
+    let model = small_model();
+    for scenario in Scenario::table1(100.0) {
+        let cluster = scenario.build_constant();
+        let outcome = DistrEdge::plan(&model, &cluster, &tiny_config(cluster.len())).unwrap();
+        let plan = outcome.strategy.to_plan(&model).unwrap();
+        plan.validate(&model).unwrap();
+        let report = distredge::evaluate_strategy(
+            &model,
+            &cluster,
+            &outcome.strategy,
+            SimOptions { num_images: 5, start_ms: 0.0 },
+        )
+        .unwrap();
+        assert!(report.ips > 0.0, "{}: zero IPS", scenario.name);
+    }
+}
+
+#[test]
+fn all_methods_compare_on_a_heterogeneous_cluster() {
+    let model = small_model();
+    let cluster = Scenario::group_dc(100.0).build_constant();
+    let results = compare_methods(
+        &Method::ALL,
+        &model,
+        &cluster,
+        &tiny_config(cluster.len()),
+        SimOptions { num_images: 5, start_ms: 0.0 },
+    )
+    .unwrap();
+    assert_eq!(results.len(), Method::ALL.len());
+    for r in &results {
+        assert!(r.ips > 0.0, "{} has zero IPS", r.method);
+        assert!(r.mean_latency_ms.is_finite());
+    }
+    assert!(distredge_speedup(&results).is_some());
+}
+
+#[test]
+fn distredge_beats_equal_split_when_devices_are_extremely_unequal() {
+    // Xavier + Pi3: equal split strands half the rows on a device that is
+    // two orders of magnitude slower, so even a modest OSDS budget must win.
+    let model = small_model();
+    let cluster = Cluster::uniform(
+        vec![
+            DeviceSpec::new("xavier", DeviceType::Xavier),
+            DeviceSpec::new("pi3", DeviceType::Pi3),
+        ],
+        LinkConfig::constant(200.0),
+    );
+    let cfg = tiny_config(cluster.len());
+    let options = SimOptions { num_images: 5, start_ms: 0.0 };
+    let distredge = evaluate_method(Method::DistrEdge, &model, &cluster, &cfg, options).unwrap();
+    let equal = evaluate_method(Method::DeepThings, &model, &cluster, &cfg, options).unwrap();
+    assert!(
+        distredge.ips > equal.ips,
+        "DistrEdge {} IPS should beat equal split {} IPS",
+        distredge.ips,
+        equal.ips
+    );
+}
+
+#[test]
+fn layer_by_layer_baselines_pay_in_transmission() {
+    let model = small_model();
+    let cluster = Scenario::group_db(50.0).build_constant();
+    let cfg = tiny_config(cluster.len());
+    let options = SimOptions { num_images: 5, start_ms: 0.0 };
+    let coedge = evaluate_method(Method::CoEdge, &model, &cluster, &cfg, options).unwrap();
+    let aofl = evaluate_method(Method::Aofl, &model, &cluster, &cfg, options).unwrap();
+    assert!(
+        coedge.max_transmission_ms > aofl.max_transmission_ms,
+        "CoEdge trans {} should exceed AOFL trans {}",
+        coedge.max_transmission_ms,
+        aofl.max_transmission_ms
+    );
+}
+
+#[test]
+fn zoo_models_plan_with_cheap_baselines_on_table2() {
+    // Every zoo model must survive planning + lowering + a short simulation
+    // with the analytic baselines (DistrEdge training is covered elsewhere;
+    // this guards the full model zoo against geometry regressions).
+    let options = SimOptions { num_images: 2, start_ms: 0.0 };
+    for model in cnn_model::zoo::all_models() {
+        let cluster = Scenario::group_nd(DeviceType::Xavier).build_constant();
+        let cfg = tiny_config(cluster.len());
+        for method in [Method::DeepThings, Method::Aofl, Method::Offload] {
+            let r = evaluate_method(method, &model, &cluster, &cfg, options).unwrap();
+            assert!(r.ips > 0.0, "{} on {} has zero IPS", method.name(), model.name());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Integration test of the memory-footprint accounting (paper §VI-4): the
+//! whole model zoo fits the paper's "< 1.5 GB" envelope, and distributing a
+//! model never places more activation memory on a device than running it
+//! whole would, while per-device weight memory never exceeds the whole
+//! model's weights.
+
+use cnn_model::memory::{whole_model_footprint, within_budget};
+use distredge::evaluate::plan_method;
+use distredge::{DistrEdgeConfig, Method, Scenario};
+
+#[test]
+fn zoo_models_fit_the_papers_memory_envelope() {
+    for model in cnn_model::zoo::all_models() {
+        let fp = whole_model_footprint(&model);
+        assert!(
+            fp.total_bytes() < 1.5e9,
+            "{} needs {:.2} GB, above the paper's envelope",
+            model.name(),
+            fp.total_bytes() / 1e9
+        );
+    }
+}
+
+#[test]
+fn distribution_never_inflates_per_device_memory_beyond_the_whole_model() {
+    let model = cnn_model::zoo::vgg16();
+    let cluster = Scenario::group_db(100.0).build_constant();
+    let cfg = DistrEdgeConfig::fast(cluster.len()).with_episodes(1).with_seed(1);
+    let whole = whole_model_footprint(&model);
+
+    for method in [Method::DeepThings, Method::Aofl, Method::CoEdge, Method::Offload] {
+        let strategy = plan_method(method, &model, &cluster, &cfg).unwrap();
+        let footprints = strategy.memory_footprints(&model).unwrap();
+        assert_eq!(footprints.len(), cluster.len());
+        for fp in &footprints {
+            assert!(
+                fp.peak_activation_bytes <= whole.peak_activation_bytes + 1.0,
+                "{}: activation {} exceeds whole-model peak {}",
+                method.name(),
+                fp.peak_activation_bytes,
+                whole.peak_activation_bytes
+            );
+            assert!(
+                fp.weights_bytes <= whole.weights_bytes + 1.0,
+                "{}: weights {} exceed whole-model weights {}",
+                method.name(),
+                fp.weights_bytes,
+                whole.weights_bytes
+            );
+        }
+        // Every device stays far below a 4 GB Jetson Nano budget.
+        assert!(within_budget(&footprints, 4e9), "{} breaks a 4 GB budget", method.name());
+    }
+}
+
+#[test]
+fn offload_concentrates_memory_on_a_single_device() {
+    let model = cnn_model::zoo::resnet50();
+    let cluster = Scenario::group_dc(100.0).build_constant();
+    let cfg = DistrEdgeConfig::fast(cluster.len()).with_episodes(1).with_seed(1);
+    let strategy = plan_method(Method::Offload, &model, &cluster, &cfg).unwrap();
+    let footprints = strategy.memory_footprints(&model).unwrap();
+    let loaded: Vec<usize> = footprints
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.total_bytes() > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(loaded.len(), 1, "offload must load exactly one device: {loaded:?}");
+}

@@ -1,0 +1,124 @@
+//! Property-based integration tests over distribution strategies: any valid
+//! vertical split must lower to a valid execution plan, cover every output
+//! row exactly once, and yield a finite positive simulated latency that
+//! improves (or at least does not degrade) with more bandwidth.
+
+use cnn_model::{LayerOp, Model, PartitionScheme, VolumeSplit};
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::DistributionStrategy;
+use edgesim::{simulate, Cluster, SimOptions};
+use netsim::LinkConfig;
+use proptest::prelude::*;
+use tensor::Shape;
+
+fn model() -> Model {
+    Model::new(
+        "prop",
+        Shape::new(3, 48, 48),
+        &[
+            LayerOp::conv(16, 3, 1, 1),
+            LayerOp::conv(16, 3, 1, 1),
+            LayerOp::pool(2, 2),
+            LayerOp::conv(32, 3, 1, 1),
+            LayerOp::pool(2, 2),
+            LayerOp::fc(10),
+        ],
+    )
+    .unwrap()
+}
+
+fn cluster(mbps: f64) -> Cluster {
+    Cluster::uniform(
+        vec![
+            DeviceSpec::new("xavier", DeviceType::Xavier),
+            DeviceSpec::new("tx2", DeviceType::Tx2),
+            DeviceSpec::new("nano", DeviceType::Nano),
+        ],
+        LinkConfig::constant(mbps),
+    )
+}
+
+/// Builds a strategy from arbitrary raw cut fractions and an arbitrary
+/// boundary mask.
+fn strategy_from(
+    model: &Model,
+    boundary_mask: &[bool],
+    fractions: &[(f64, f64)],
+) -> DistributionStrategy {
+    let n = model.distributable_len();
+    let mut boundaries = vec![0usize, n];
+    for (i, &keep) in boundary_mask.iter().enumerate() {
+        let b = i + 1;
+        if keep && b < n {
+            boundaries.push(b);
+        }
+    }
+    let scheme = PartitionScheme::new(model, boundaries).unwrap();
+    let splits: Vec<VolumeSplit> = scheme
+        .volumes()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let h = v.last_output_height(model);
+            let (a, b) = fractions[i % fractions.len()];
+            let mut cuts = vec![(a * h as f64) as usize, (b * h as f64) as usize];
+            cuts.sort_unstable();
+            VolumeSplit::new(cuts, h)
+        })
+        .collect();
+    DistributionStrategy::new("prop", scheme, splits, 3).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any strategy built from arbitrary cuts lowers to a plan that covers
+    /// every output row exactly once and simulates to a finite latency.
+    #[test]
+    fn arbitrary_strategies_lower_and_simulate(
+        boundary_mask in proptest::collection::vec(any::<bool>(), 4),
+        fractions in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..6),
+    ) {
+        let model = model();
+        let strategy = strategy_from(&model, &boundary_mask, &fractions);
+        let plan = strategy.to_plan(&model).unwrap();
+        plan.validate(&model).unwrap();
+
+        let cluster = cluster(100.0);
+        let compute = cluster.ground_truth_compute();
+        let report = simulate(&model, &cluster, &compute, &plan, SimOptions { num_images: 2, start_ms: 0.0 });
+        prop_assert!(report.mean_latency_ms.is_finite());
+        prop_assert!(report.mean_latency_ms > 0.0);
+        prop_assert!(report.ips > 0.0);
+    }
+
+    /// More bandwidth never makes the same strategy slower (constant links,
+    /// identical compute): transmission time is monotone in link rate.
+    #[test]
+    fn latency_is_monotone_in_bandwidth(
+        fractions in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..4),
+    ) {
+        let model = model();
+        let strategy = strategy_from(&model, &[true, false, true, false], &fractions);
+        let plan = strategy.to_plan(&model).unwrap();
+        let slow = cluster(20.0);
+        let fast = cluster(300.0);
+        let slow_report = simulate(&model, &slow, &slow.ground_truth_compute(), &plan, SimOptions { num_images: 2, start_ms: 0.0 });
+        let fast_report = simulate(&model, &fast, &fast.ground_truth_compute(), &plan, SimOptions { num_images: 2, start_ms: 0.0 });
+        prop_assert!(fast_report.mean_latency_ms <= slow_report.mean_latency_ms + 1e-6);
+    }
+
+    /// Row shares of any strategy form a probability distribution.
+    #[test]
+    fn row_shares_are_a_distribution(
+        boundary_mask in proptest::collection::vec(any::<bool>(), 4),
+        fractions in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..6),
+    ) {
+        let model = model();
+        let strategy = strategy_from(&model, &boundary_mask, &fractions);
+        let shares = strategy.row_shares(&model);
+        prop_assert_eq!(shares.len(), 3);
+        prop_assert!(shares.iter().all(|s| (0.0..=1.0 + 1e-9).contains(s)));
+        prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
