@@ -19,7 +19,12 @@ fn bench_profile_reprs(c: &mut Criterion) {
     group.sample_size(10);
     let model = cnn_model::zoo::vgg16();
     let gt = DeviceType::Nano.ground_truth();
-    let opts = ProfilingOptions { row_step: 2, repetitions: 1, noise_std: 0.0, seed: 1 };
+    let opts = ProfilingOptions {
+        row_step: 2,
+        repetitions: 1,
+        noise_std: 0.0,
+        seed: 1,
+    };
     let base = Profiler::profile(&model, &gt, opts, ProfileRepr::Table);
     for (name, repr) in [
         ("table", ProfileRepr::Table),
@@ -28,17 +33,21 @@ fn bench_profile_reprs(c: &mut Criterion) {
         ("knn3", ProfileRepr::Knn { k: 3 }),
     ] {
         let profiler = base.with_repr(repr);
-        group.bench_with_input(BenchmarkId::new("predict_all_layers", name), &profiler, |b, p| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for layer in model.layers() {
-                    for rows in [1usize, 8, 32, layer.output.h] {
-                        acc += p.layer_latency_ms(layer, rows);
+        group.bench_with_input(
+            BenchmarkId::new("predict_all_layers", name),
+            &profiler,
+            |b, p| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for layer in model.layers() {
+                        for rows in [1usize, 8, 32, layer.output.h] {
+                            acc += p.layer_latency_ms(layer, rows);
+                        }
                     }
-                }
-                black_box(acc)
-            })
-        });
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -49,17 +58,27 @@ fn bench_sigma_ablation(c: &mut Criterion) {
     let model = cnn_model::zoo::vgg16();
     let cluster = Scenario::group_db(200.0).build_constant();
     let compute = cluster.ground_truth_compute();
-    let scheme =
-        lc_pss(&model, &LcPssConfig { num_random_splits: 20, ..LcPssConfig::paper_defaults(4) }).unwrap();
+    let scheme = lc_pss(
+        &model,
+        &LcPssConfig {
+            num_random_splits: 20,
+            ..LcPssConfig::paper_defaults(4)
+        },
+    )
+    .unwrap();
     for sigma in [0.1f64, 1.0] {
-        group.bench_with_input(BenchmarkId::new("train_15_episodes", format!("{sigma}")), &sigma, |b, &s| {
-            b.iter(|| {
-                let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
-                let mut cfg = OsdsConfig::fast(4).with_episodes(15).with_seed(3);
-                cfg.sigma_squared = s;
-                black_box(osds_train(&mut env, &cfg, None).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_15_episodes", format!("{sigma}")),
+            &sigma,
+            |b, &s| {
+                b.iter(|| {
+                    let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
+                    let mut cfg = OsdsConfig::fast(4).with_episodes(15).with_seed(3);
+                    cfg.sigma_squared = s;
+                    black_box(osds_train(&mut env, &cfg, None).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -9,10 +9,13 @@ use tensor::slice::slice_rows;
 use tensor::Tensor;
 
 fn conv_inputs(c_in: usize, h: usize, w: usize) -> (Tensor, Vec<f32>, Vec<f32>) {
-    let input = Tensor::from_fn([c_in, h, w], |c, y, x| ((c * 31 + y * 7 + x) % 13) as f32 * 0.1);
+    let input = Tensor::from_fn([c_in, h, w], |c, y, x| {
+        ((c * 31 + y * 7 + x) % 13) as f32 * 0.1
+    });
     let c_out = 32;
-    let weights: Vec<f32> =
-        (0..im2col_weight_len(c_in, c_out, 3)).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect();
+    let weights: Vec<f32> = (0..im2col_weight_len(c_in, c_out, 3))
+        .map(|i| ((i % 11) as f32 - 5.0) * 0.05)
+        .collect();
     let bias = vec![0.01; c_out];
     (input, weights, bias)
 }
@@ -69,7 +72,9 @@ fn bench_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxpool2d");
     group.sample_size(10);
     let input = Tensor::from_fn([32, 64, 64], |c, y, x| ((c + y + x) % 7) as f32);
-    group.bench_function("2x2_stride2", |b| b.iter(|| black_box(maxpool2d(black_box(&input), 2, 2))));
+    group.bench_function("2x2_stride2", |b| {
+        b.iter(|| black_box(maxpool2d(black_box(&input), 2, 2)))
+    });
     group.finish();
 }
 

@@ -9,8 +9,16 @@ use std::hint::black_box;
 fn bench_lcpss(c: &mut Criterion) {
     let mut group = c.benchmark_group("lc_pss");
     group.sample_size(10);
-    for (name, model) in [("vgg16", cnn_model::zoo::vgg16()), ("yolov2", cnn_model::zoo::yolov2())] {
-        let config = LcPssConfig { alpha: 0.75, num_random_splits: 30, num_devices: 4, seed: 1 };
+    for (name, model) in [
+        ("vgg16", cnn_model::zoo::vgg16()),
+        ("yolov2", cnn_model::zoo::yolov2()),
+    ] {
+        let config = LcPssConfig {
+            alpha: 0.75,
+            num_random_splits: 30,
+            num_devices: 4,
+            seed: 1,
+        };
         group.bench_with_input(BenchmarkId::new("search", name), &model, |b, m| {
             b.iter(|| black_box(lc_pss(black_box(m), &config).unwrap()))
         });

@@ -3,8 +3,8 @@
 
 use cnn_model::PartitionScheme;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use distredge::{Method, Scenario};
 use distredge::profiles::{ClusterProfiles, ProfilesConfig};
+use distredge::{Method, Scenario};
 use edgesim::{simulate, SimOptions};
 use std::hint::black_box;
 
@@ -23,17 +23,24 @@ fn bench_simulate(c: &mut Criterion) {
             .unwrap();
         let plan = strategy.to_plan(&model).unwrap();
         let compute = cluster.ground_truth_compute();
-        group.bench_with_input(BenchmarkId::new("100_images_vgg16", name), &plan, |b, plan| {
-            b.iter(|| {
-                black_box(simulate(
-                    &model,
-                    &cluster,
-                    &compute,
-                    plan,
-                    SimOptions { num_images: 100, start_ms: 0.0 },
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("100_images_vgg16", name),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    black_box(simulate(
+                        &model,
+                        &cluster,
+                        &compute,
+                        plan,
+                        SimOptions {
+                            num_images: 100,
+                            start_ms: 0.0,
+                        },
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -45,7 +52,11 @@ fn bench_profiling(c: &mut Criterion) {
     let cluster = Scenario::group_db(200.0).build_constant();
     group.bench_function("collect_profiles_vgg16_4_devices", |b| {
         b.iter(|| {
-            black_box(ClusterProfiles::collect(&model, &cluster, &ProfilesConfig::default()))
+            black_box(ClusterProfiles::collect(
+                &model,
+                &cluster,
+                &ProfilesConfig::default(),
+            ))
         })
     });
     group.finish();
@@ -63,8 +74,7 @@ fn bench_partition_plan_validation(c: &mut Criterion) {
         .collect();
     group.bench_function("build_and_validate_layerwise_vgg16", |b| {
         b.iter(|| {
-            let plan =
-                edgesim::ExecutionPlan::from_splits(&model, &scheme, &splits, 4).unwrap();
+            let plan = edgesim::ExecutionPlan::from_splits(&model, &scheme, &splits, 4).unwrap();
             plan.validate(&model).unwrap();
             black_box(plan)
         })
@@ -72,5 +82,10 @@ fn bench_partition_plan_validation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulate, bench_profiling, bench_partition_plan_validation);
+criterion_group!(
+    benches,
+    bench_simulate,
+    bench_profiling,
+    bench_partition_plan_validation
+);
 criterion_main!(benches);

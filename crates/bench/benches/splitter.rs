@@ -28,8 +28,14 @@ fn bench_osds_episodes(c: &mut Criterion) {
     let model = cnn_model::zoo::vgg16();
     let cluster = db_cluster();
     let compute = cluster.ground_truth_compute();
-    let scheme = lc_pss(&model, &LcPssConfig { num_random_splits: 20, ..LcPssConfig::paper_defaults(4) })
-        .unwrap();
+    let scheme = lc_pss(
+        &model,
+        &LcPssConfig {
+            num_random_splits: 20,
+            ..LcPssConfig::paper_defaults(4)
+        },
+    )
+    .unwrap();
 
     group.bench_function("train_20_episodes_vgg16", |b| {
         b.iter(|| {
@@ -41,7 +47,12 @@ fn bench_osds_episodes(c: &mut Criterion) {
 
     // One greedy rollout of a trained actor (the per-window online cost).
     let mut env = SplitEnv::new(&model, &cluster, &compute, &scheme);
-    let outcome = osds_train(&mut env, &OsdsConfig::fast(4).with_episodes(30).with_seed(2), None).unwrap();
+    let outcome = osds_train(
+        &mut env,
+        &OsdsConfig::fast(4).with_episodes(30).with_seed(2),
+        None,
+    )
+    .unwrap();
     group.bench_function("greedy_rollout_vgg16", |b| {
         let mut agent = outcome.agent.clone();
         b.iter(|| {

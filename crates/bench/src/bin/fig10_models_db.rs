@@ -15,7 +15,13 @@ fn main() {
         if model.name() == "vgg16" {
             continue; // VGG-16 is covered by Figs. 7-9.
         }
-        groups.push(run_group(model.name().to_string(), &Method::ALL, &model, &cluster, &harness));
+        groups.push(run_group(
+            model.name().to_string(),
+            &Method::ALL,
+            &model,
+            &cluster,
+            &harness,
+        ));
     }
     print_ips_table("Fig. 10: IPS per model, Group DB @ 50 Mbps", &groups);
     print_json("fig10", &groups);

@@ -15,7 +15,13 @@ fn main() {
         if model.name() == "vgg16" {
             continue;
         }
-        groups.push(run_group(model.name().to_string(), &Method::ALL, &model, &cluster, &harness));
+        groups.push(run_group(
+            model.name().to_string(),
+            &Method::ALL,
+            &model,
+            &cluster,
+            &harness,
+        ));
     }
     print_ips_table("Fig. 11: IPS per model, Group NA @ Nano", &groups);
     print_json("fig11", &groups);

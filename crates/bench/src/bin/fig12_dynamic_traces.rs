@@ -1,13 +1,17 @@
 //! Fig. 12 — Sampled throughput of the four highly dynamic per-device
 //! network traces used by the §V-F experiment.
 
-use distredge::online::dynamic_cluster;
 use device_profile::{DeviceSpec, DeviceType};
+use distredge::online::dynamic_cluster;
 
 fn main() {
-    let devices: Vec<DeviceSpec> =
-        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect();
-    let seed = std::env::var("DISTREDGE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(9u64);
+    let devices: Vec<DeviceSpec> = (0..4)
+        .map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano))
+        .collect();
+    let seed = std::env::var("DISTREDGE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9u64);
     let cluster = dynamic_cluster(&devices, seed);
 
     println!("=== Fig. 12: highly dynamic throughput (Mbps), 60 min, 5-min slots ===");
@@ -21,9 +25,15 @@ fn main() {
         let end = start + 5.0 * 60.0 * 1e3;
         print!("{:<10}", slot * 5);
         for i in 0..cluster.len() {
-            print!("{:>12.1}", cluster.link(i).trace().mean_mbps_window(start, end));
+            print!(
+                "{:>12.1}",
+                cluster.link(i).trace().mean_mbps_window(start, end)
+            );
         }
         println!();
     }
-    println!("\nmean bandwidths over the hour: {:?}", cluster.mean_bandwidths());
+    println!(
+        "\nmean bandwidths over the hour: {:?}",
+        cluster.mean_bandwidths()
+    );
 }

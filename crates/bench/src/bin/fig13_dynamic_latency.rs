@@ -8,8 +8,9 @@ use distredge::online::{dynamic_cluster, run_dynamic_experiment, OnlineConfig};
 
 fn main() {
     let harness = HarnessConfig::from_env();
-    let devices: Vec<DeviceSpec> =
-        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect();
+    let devices: Vec<DeviceSpec> = (0..4)
+        .map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano))
+        .collect();
     let cluster = dynamic_cluster(&devices, harness.seed);
     let model = cnn_model::zoo::vgg16();
 
@@ -26,7 +27,9 @@ fn main() {
 
     let results = run_dynamic_experiment(&model, &cluster, &config).expect("dynamic experiment");
 
-    println!("=== Fig. 13: per-image latency (ms) over time, dynamic network (VGG-16, 4x Nano) ===");
+    println!(
+        "=== Fig. 13: per-image latency (ms) over time, dynamic network (VGG-16, 4x Nano) ==="
+    );
     print!("{:<10}", "min");
     for r in &results {
         print!("{:>14}", r.method);
@@ -44,8 +47,19 @@ fn main() {
     for r in &results {
         println!("{:<12} {:>10.1} ms", r.method, r.mean_latency_ms);
     }
-    let distredge = results.iter().find(|r| r.method == "DistrEdge").unwrap().mean_latency_ms;
-    let aofl = results.iter().find(|r| r.method == "AOFL").unwrap().mean_latency_ms;
-    println!("\nDistrEdge latency is {:.0}% of AOFL's (paper: 40-65%)", 100.0 * distredge / aofl);
+    let distredge = results
+        .iter()
+        .find(|r| r.method == "DistrEdge")
+        .unwrap()
+        .mean_latency_ms;
+    let aofl = results
+        .iter()
+        .find(|r| r.method == "AOFL")
+        .unwrap()
+        .mean_latency_ms;
+    println!(
+        "\nDistrEdge latency is {:.0}% of AOFL's (paper: 40-65%)",
+        100.0 * distredge / aofl
+    );
     print_json("fig13", &results);
 }

@@ -10,7 +10,15 @@ fn main() {
     let caps = [50.0, 100.0, 200.0, 300.0];
     let traces: Vec<(f64, BandwidthTrace)> = caps
         .iter()
-        .map(|&c| (c, BandwidthTrace::generate_default(TraceKind::Wifi { nominal_mbps: c, seed: 7 })))
+        .map(|&c| {
+            (
+                c,
+                BandwidthTrace::generate_default(TraceKind::Wifi {
+                    nominal_mbps: c,
+                    seed: 7,
+                }),
+            )
+        })
         .collect();
 
     println!("=== Fig. 4: sampled WiFi throughput (Mbps), 60 min, 5-min slots ===");
@@ -32,6 +40,12 @@ fn main() {
     for (c, t) in &traces {
         let min = t.samples().iter().cloned().fold(f64::MAX, f64::min);
         let max = t.samples().iter().cloned().fold(f64::MIN, f64::max);
-        println!("{:<10.0}{:>12.1}{:>12.1}{:>12.1}", c, t.mean_mbps(), min, max);
+        println!(
+            "{:<10.0}{:>12.1}{:>12.1}{:>12.1}",
+            c,
+            t.mean_mbps(),
+            min,
+            max
+        );
     }
 }

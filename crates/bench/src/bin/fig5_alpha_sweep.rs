@@ -71,11 +71,29 @@ fn main() {
         );
     }
     // (b) heterogeneous device types.
-    run_env("(b) DB@200", &Scenario::group_db(200.0), &alphas, &harness, &mut points);
+    run_env(
+        "(b) DB@200",
+        &Scenario::group_db(200.0),
+        &alphas,
+        &harness,
+        &mut points,
+    );
     // (c) heterogeneous bandwidths.
-    run_env("(c) NA@Nano", &Scenario::group_na(DeviceType::Nano), &alphas, &harness, &mut points);
+    run_env(
+        "(c) NA@Nano",
+        &Scenario::group_na(DeviceType::Nano),
+        &alphas,
+        &harness,
+        &mut points,
+    );
     // (d) large-scale (16 devices).
-    run_env("(d) LB", &Scenario::group_lb(), &alphas, &harness, &mut points);
+    run_env(
+        "(d) LB",
+        &Scenario::group_lb(),
+        &alphas,
+        &harness,
+        &mut points,
+    );
 
     // Summary: best alpha per environment.
     println!("\n--- best alpha per environment ---");
@@ -87,7 +105,10 @@ fn main() {
             .filter(|p| p.environment == env)
             .max_by(|a, b| a.ips.partial_cmp(&b.ips).unwrap())
             .unwrap();
-        println!("{:<22} best alpha = {:<5} ({:.2} IPS)", env, best.alpha, best.ips);
+        println!(
+            "{:<22} best alpha = {:<5} ({:.2} IPS)",
+            env, best.alpha, best.ips
+        );
     }
     print_json("fig5", &points);
 }

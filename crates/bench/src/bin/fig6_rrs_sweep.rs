@@ -42,7 +42,13 @@ fn run_case(label: &str, scenario: &Scenario, harness: &HarnessConfig, out: &mut
         let max = ips_values.iter().cloned().fold(f64::MIN, f64::max);
         let avg = ips_values.iter().sum::<f64>() / ips_values.len() as f64;
         println!("{label:<14} |Rrs|={rrs:<4} IPS min/avg/max = {min:.2} / {avg:.2} / {max:.2}");
-        out.push(RrsPoint { case: label.to_string(), rrs, min_ips: min, avg_ips: avg, max_ips: max });
+        out.push(RrsPoint {
+            case: label.to_string(),
+            rrs,
+            min_ips: min,
+            avg_ips: avg,
+            max_ips: max,
+        });
     }
 }
 
@@ -50,7 +56,17 @@ fn main() {
     let harness = HarnessConfig::from_env();
     println!("=== Fig. 6: IPS vs |Rrs| (VGG-16) ===");
     let mut points = Vec::new();
-    run_case("(a) DB@50", &Scenario::group_db(50.0), &harness, &mut points);
-    run_case("(b) NA@Nano", &Scenario::group_na(DeviceType::Nano), &harness, &mut points);
+    run_case(
+        "(a) DB@50",
+        &Scenario::group_db(50.0),
+        &harness,
+        &mut points,
+    );
+    run_case(
+        "(b) NA@Nano",
+        &Scenario::group_na(DeviceType::Nano),
+        &harness,
+        &mut points,
+    );
     print_json("fig6", &points);
 }

@@ -13,7 +13,11 @@ fn main() {
         println!(
             "{:<4} {}",
             s.name,
-            s.device_types.iter().map(|d| d.name()).collect::<Vec<_>>().join("+")
+            s.device_types
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
+                .join("+")
         );
     }
 
@@ -30,7 +34,10 @@ fn main() {
                 &harness,
             ));
         }
-        print_ips_table(&format!("Fig. 7: IPS, heterogeneous devices, {bw:.0} Mbps (VGG-16)"), &groups);
+        print_ips_table(
+            &format!("Fig. 7: IPS, heterogeneous devices, {bw:.0} Mbps (VGG-16)"),
+            &groups,
+        );
         all_groups.extend(groups);
     }
     print_json("fig7", &all_groups);

@@ -14,7 +14,10 @@ fn main() {
         println!(
             "{:<4} {:?} Mbps",
             s.name,
-            s.bandwidths_mbps.iter().map(|b| *b as u64).collect::<Vec<_>>()
+            s.bandwidths_mbps
+                .iter()
+                .map(|b| *b as u64)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -32,7 +35,10 @@ fn main() {
             ));
         }
         print_ips_table(
-            &format!("Fig. 8: IPS, heterogeneous networks, {} providers (VGG-16)", device.name()),
+            &format!(
+                "Fig. 8: IPS, heterogeneous networks, {} providers (VGG-16)",
+                device.name()
+            ),
             &groups,
         );
         all_groups.extend(groups);

@@ -23,7 +23,13 @@ fn main() {
     let mut groups = Vec::new();
     for scenario in Scenario::table3() {
         let cluster = build_cluster(&scenario, &harness);
-        groups.push(run_group(scenario.name.clone(), &Method::ALL, &model, &cluster, &harness));
+        groups.push(run_group(
+            scenario.name.clone(),
+            &Method::ALL,
+            &model,
+            &cluster,
+            &harness,
+        ));
     }
     print_ips_table("Fig. 9: IPS, large-scale devices (VGG-16)", &groups);
     print_json("fig9", &groups);

@@ -42,14 +42,19 @@ impl HarnessConfig {
     /// Reads the configuration from the environment.
     pub fn from_env() -> Self {
         let get = |key: &str, default: usize| -> usize {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         Self {
             episodes: get("DISTREDGE_EPISODES", 300),
             images: get("DISTREDGE_IMAGES", 30),
             random_splits: get("DISTREDGE_RANDOM_SPLITS", 40),
             seed: get("DISTREDGE_SEED", 7) as u64,
-            paper_scale: std::env::var("DISTREDGE_PAPER_SCALE").map(|v| v == "1").unwrap_or(false),
+            paper_scale: std::env::var("DISTREDGE_PAPER_SCALE")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 
@@ -68,13 +73,22 @@ impl HarnessConfig {
 
     /// Simulation options for measurements.
     pub fn sim_options(&self) -> SimOptions {
-        SimOptions { num_images: self.images, start_ms: 0.0 }
+        SimOptions {
+            num_images: self.images,
+            start_ms: 0.0,
+        }
     }
 }
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        Self { episodes: 300, images: 30, random_splits: 40, seed: 7, paper_scale: false }
+        Self {
+            episodes: 300,
+            images: 30,
+            random_splits: 40,
+            seed: 7,
+            paper_scale: false,
+        }
     }
 }
 
@@ -108,7 +122,11 @@ pub fn run_group(
     let results =
         distredge::evaluate::compare_methods(methods, model, cluster, &cfg, harness.sim_options())
             .expect("method evaluation failed");
-    eprintln!("[group {label}] {} methods in {:.1?}", results.len(), started.elapsed());
+    eprintln!(
+        "[group {label}] {} methods in {:.1?}",
+        results.len(),
+        started.elapsed()
+    );
     FigureGroup { label, results }
 }
 
@@ -126,7 +144,11 @@ pub fn print_ips_table(title: &str, groups: &[FigureGroup]) {
         println!("(no data)");
         return;
     }
-    let methods: Vec<&str> = groups[0].results.iter().map(|r| r.method.as_str()).collect();
+    let methods: Vec<&str> = groups[0]
+        .results
+        .iter()
+        .map(|r| r.method.as_str())
+        .collect();
     print!("{:<18}", "group");
     for m in &methods {
         print!("{m:>14}");
@@ -148,7 +170,10 @@ pub fn print_ips_table(title: &str, groups: &[FigureGroup]) {
 /// latency per method.
 pub fn print_breakdown_table(title: &str, group: &FigureGroup) {
     println!("\n=== {title} ===");
-    println!("{:<16}{:>18}{:>18}{:>12}", "method", "max trans (ms)", "max compute (ms)", "IPS");
+    println!(
+        "{:<16}{:>18}{:>18}{:>12}",
+        "method", "max trans (ms)", "max compute (ms)", "IPS"
+    );
     for r in &group.results {
         println!(
             "{:<16}{:>18.2}{:>18.2}{:>12.2}",
@@ -183,7 +208,10 @@ mod tests {
 
     #[test]
     fn paper_scale_uses_paper_config() {
-        let h = HarnessConfig { paper_scale: true, ..HarnessConfig::default() };
+        let h = HarnessConfig {
+            paper_scale: true,
+            ..HarnessConfig::default()
+        };
         let cfg = h.distredge_config(4);
         assert_eq!(cfg.osds.max_episodes, 4000);
         assert_eq!(cfg.osds.ddpg.actor_hidden, [400, 200, 100]);
@@ -192,11 +220,17 @@ mod tests {
     #[test]
     fn group_runs_baselines_end_to_end() {
         // A tiny smoke test of the harness itself with cheap methods only.
-        let h = HarnessConfig { images: 3, ..HarnessConfig::default() };
+        let h = HarnessConfig {
+            images: 3,
+            ..HarnessConfig::default()
+        };
         let model = cnn_model::Model::new(
             "tiny",
             tensor::Shape::new(3, 32, 32),
-            &[cnn_model::LayerOp::conv(8, 3, 1, 1), cnn_model::LayerOp::pool(2, 2)],
+            &[
+                cnn_model::LayerOp::conv(8, 3, 1, 1),
+                cnn_model::LayerOp::pool(2, 2),
+            ],
         )
         .unwrap();
         let scenario = Scenario::new(
@@ -205,9 +239,15 @@ mod tests {
             vec![100.0, 100.0],
         );
         let cluster = scenario.build_constant();
-        let group = run_group("T", &[Method::DeepThings, Method::Offload], &model, &cluster, &h);
+        let group = run_group(
+            "T",
+            &[Method::DeepThings, Method::Offload],
+            &model,
+            &cluster,
+            &h,
+        );
         assert_eq!(group.results.len(), 2);
-        print_ips_table("smoke", &[group.clone()]);
+        print_ips_table("smoke", std::slice::from_ref(&group));
         print_breakdown_table("smoke", &group);
         print_json("smoke", &group);
     }

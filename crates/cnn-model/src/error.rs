@@ -51,12 +51,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ModelError::EmptyModel.to_string().contains("no distributable"));
-        assert!(ModelError::InvalidPartition("x".into()).to_string().contains("x"));
-        assert!(ModelError::InvalidSplit("y".into()).to_string().contains("y"));
-        assert!(ModelError::IndexOutOfRange { index: 3, len: 2 }.to_string().contains("3"));
-        assert!(ModelError::InvalidGeometry { layer: 1, reason: "z".into() }
+        assert!(ModelError::EmptyModel
             .to_string()
-            .contains("z"));
+            .contains("no distributable"));
+        assert!(ModelError::InvalidPartition("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ModelError::InvalidSplit("y".into())
+            .to_string()
+            .contains("y"));
+        assert!(ModelError::IndexOutOfRange { index: 3, len: 2 }
+            .to_string()
+            .contains("3"));
+        assert!(ModelError::InvalidGeometry {
+            layer: 1,
+            reason: "z".into()
+        }
+        .to_string()
+        .contains("z"));
     }
 }

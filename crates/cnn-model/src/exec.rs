@@ -34,9 +34,7 @@ impl ModelWeights {
             let (w_len, b_len) = match layer.op {
                 LayerOp::Conv { c_out, f, .. } => (c_out * layer.input.c * f * f, c_out),
                 LayerOp::MaxPool { .. } => (0, 0),
-                LayerOp::Fc { out_features } => {
-                    (out_features * layer.input.volume(), out_features)
-                }
+                LayerOp::Fc { out_features } => (out_features * layer.input.volume(), out_features),
             };
             let w: Vec<f32> = (0..w_len).map(|_| rng.gen_range(-0.2..0.2)).collect();
             let b: Vec<f32> = (0..b_len).map(|_| rng.gen_range(-0.1..0.1)).collect();
@@ -70,7 +68,13 @@ fn run_layer_rows(
     out_hi: usize,
 ) -> Result<Tensor> {
     let t = match layer.op {
-        LayerOp::Conv { c_out, f, stride, padding, act } => conv2d_rows(
+        LayerOp::Conv {
+            c_out,
+            f,
+            stride,
+            padding,
+            act,
+        } => conv2d_rows(
             input,
             in_row_offset,
             layer.input.h,
@@ -84,17 +88,34 @@ fn run_layer_rows(
             padding,
             act,
         )
-        .map_err(|e| crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() })?,
-        LayerOp::MaxPool { f, stride } => {
-            maxpool2d_rows(input, in_row_offset, layer.input.h, out_lo, out_hi, f, stride).map_err(
-                |e| crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() },
-            )?
-        }
-        LayerOp::Fc { out_features } => {
-            linear(input, &weights.0, &weights.1, out_features, Activation::Relu).map_err(|e| {
-                crate::ModelError::InvalidGeometry { layer: layer.index, reason: e.to_string() }
-            })?
-        }
+        .map_err(|e| crate::ModelError::InvalidGeometry {
+            layer: layer.index,
+            reason: e.to_string(),
+        })?,
+        LayerOp::MaxPool { f, stride } => maxpool2d_rows(
+            input,
+            in_row_offset,
+            layer.input.h,
+            out_lo,
+            out_hi,
+            f,
+            stride,
+        )
+        .map_err(|e| crate::ModelError::InvalidGeometry {
+            layer: layer.index,
+            reason: e.to_string(),
+        })?,
+        LayerOp::Fc { out_features } => linear(
+            input,
+            &weights.0,
+            &weights.1,
+            out_features,
+            Activation::Relu,
+        )
+        .map_err(|e| crate::ModelError::InvalidGeometry {
+            layer: layer.index,
+            reason: e.to_string(),
+        })?,
     };
     Ok(t)
 }
@@ -127,8 +148,39 @@ pub fn run_part(
         return Ok(None);
     }
     let (in_lo, in_hi) = plan.input_rows;
-    let mut band = slice_rows(volume_input, in_lo, in_hi)
+    let band = slice_rows(volume_input, in_lo, in_hi)
         .map_err(|e| crate::ModelError::InvalidSplit(e.to_string()))?;
+    run_part_on_band(model, weights, plan, band).map(Some)
+}
+
+/// Runs one split-part directly on its input band — the entry point the
+/// distributed runtime uses, where a provider only ever holds the halo band
+/// `[plan.input_rows.0, plan.input_rows.1)` it received over the wire, never
+/// the full volume input.
+///
+/// `band` must carry exactly the rows `plan.input_rows` of the volume input.
+/// Takes the band by value: the caller (the runtime's compute thread, or
+/// `run_part`) owns it and never needs it afterwards, so the hot path pays
+/// no copy before the first kernel.
+pub fn run_part_on_band(
+    model: &Model,
+    weights: &ModelWeights,
+    plan: &PartPlan,
+    band: Tensor,
+) -> Result<Tensor> {
+    let (in_lo, in_hi) = plan.input_rows;
+    if plan.is_empty() {
+        return Err(crate::ModelError::InvalidSplit(
+            "run_part_on_band called on an empty part".into(),
+        ));
+    }
+    if band.height() != in_hi - in_lo {
+        return Err(crate::ModelError::InvalidSplit(format!(
+            "band carries {} rows, part needs rows {in_lo}..{in_hi}",
+            band.height()
+        )));
+    }
+    let mut band = band;
     let mut band_offset = in_lo;
     for lr in &plan.layers {
         let layer = &model.layers()[lr.layer];
@@ -137,7 +189,19 @@ pub fn run_part(
         band = run_layer_rows(layer, w, &band, band_offset, out_lo, out_hi)?;
         band_offset = out_lo;
     }
-    Ok(Some(band))
+    Ok(band)
+}
+
+/// Runs the model's FC head (the layers past the distributable prefix) on
+/// the stitched output of the last layer-volume.  Returns the input
+/// unchanged for models without a head.
+pub fn run_head(model: &Model, weights: &ModelWeights, stitched: &Tensor) -> Result<Tensor> {
+    let mut current = stitched.clone();
+    for layer in model.head_layers() {
+        let w = &weights.layers[layer.index];
+        current = run_layer_full(layer, w, &current)?;
+    }
+    Ok(current)
 }
 
 /// Shape of the model input as a tensor shape (convenience for examples).
@@ -241,5 +305,59 @@ mod tests {
         let plan = PartPlan::plan(&m, v, 0, v.last_output_height(&m)).unwrap();
         let out = run_part(&m, &w, &plan, &input).unwrap().unwrap();
         assert!(out.approx_eq(&full[3], 1e-4));
+    }
+
+    #[test]
+    fn run_part_on_band_matches_run_part() {
+        // The runtime's entry point: the part executes on just its halo
+        // band (what arrived over the wire), never the full volume input.
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 13);
+        let input = deterministic_input(&m, 13);
+        let v = LayerVolume::new(0, 3);
+        let h = v.last_output_height(&m);
+        let plan = PartPlan::plan(&m, v, h / 3, h).unwrap();
+        let via_full = run_part(&m, &w, &plan, &input).unwrap().unwrap();
+        let band = slice_rows(&input, plan.input_rows.0, plan.input_rows.1).unwrap();
+        let via_band = run_part_on_band(&m, &w, &plan, band).unwrap();
+        assert_eq!(via_band, via_full);
+    }
+
+    #[test]
+    fn run_part_on_band_rejects_wrong_band_height() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 13);
+        let input = deterministic_input(&m, 13);
+        let v = LayerVolume::new(0, 3);
+        let plan = PartPlan::plan(&m, v, 0, 4).unwrap();
+        let wrong = slice_rows(&input, 0, 2).unwrap();
+        assert!(run_part_on_band(&m, &w, &plan, wrong).is_err());
+        let empty = PartPlan::plan(&m, v, 4, 4).unwrap();
+        assert!(run_part_on_band(&m, &w, &empty, input.clone()).is_err());
+    }
+
+    #[test]
+    fn run_head_matches_full_model_tail() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 17);
+        let input = deterministic_input(&m, 17);
+        let full = run_full(&m, &w, &input).unwrap();
+        // The head consumes the last distributable layer's output.
+        let prefix_out = &full[m.distributable_len() - 1];
+        let head_out = run_head(&m, &w, prefix_out).unwrap();
+        assert_eq!(&head_out, full.last().unwrap());
+    }
+
+    #[test]
+    fn run_head_is_identity_without_head() {
+        let m = Model::new(
+            "nohead",
+            Shape::new(2, 8, 8),
+            &[LayerOp::conv(3, 3, 1, 1), LayerOp::pool(2, 2)],
+        )
+        .unwrap();
+        let w = ModelWeights::deterministic(&m, 1);
+        let t = deterministic_input(&m, 1);
+        assert_eq!(run_head(&m, &w, &t).unwrap(), t);
     }
 }

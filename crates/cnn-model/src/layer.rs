@@ -44,12 +44,24 @@ pub enum LayerOp {
 impl LayerOp {
     /// Convenience constructor for a ReLU convolution.
     pub const fn conv(c_out: usize, f: usize, stride: usize, padding: usize) -> Self {
-        LayerOp::Conv { c_out, f, stride, padding, act: Activation::Relu }
+        LayerOp::Conv {
+            c_out,
+            f,
+            stride,
+            padding,
+            act: Activation::Relu,
+        }
     }
 
     /// Convenience constructor for a leaky-ReLU convolution (YOLO family).
     pub const fn conv_leaky(c_out: usize, f: usize, stride: usize, padding: usize) -> Self {
-        LayerOp::Conv { c_out, f, stride, padding, act: Activation::LeakyRelu }
+        LayerOp::Conv {
+            c_out,
+            f,
+            stride,
+            padding,
+            act: Activation::LeakyRelu,
+        }
     }
 
     /// Convenience constructor for a max-pooling layer.
@@ -86,16 +98,22 @@ impl Layer {
     /// Resolves a layer's output shape from its op and input shape.
     pub fn resolve(index: usize, op: LayerOp, input: Shape) -> Result<Self> {
         let output = match op {
-            LayerOp::Conv { c_out, f, stride, padding, .. } => {
-                let (h, w) = input
-                    .conv_output(f, stride, padding)
-                    .ok_or_else(|| ModelError::InvalidGeometry {
+            LayerOp::Conv {
+                c_out,
+                f,
+                stride,
+                padding,
+                ..
+            } => {
+                let (h, w) = input.conv_output(f, stride, padding).ok_or_else(|| {
+                    ModelError::InvalidGeometry {
                         layer: index,
                         reason: format!(
                             "conv f={f} s={stride} p={padding} does not fit input {}x{}",
                             input.h, input.w
                         ),
-                    })?;
+                    }
+                })?;
                 Shape::new(c_out, h, w)
             }
             LayerOp::MaxPool { f, stride } => {
@@ -103,13 +121,21 @@ impl Layer {
                 let w = conv_out_dim(input.w, f, stride, 0);
                 let (h, w) = h.zip(w).ok_or_else(|| ModelError::InvalidGeometry {
                     layer: index,
-                    reason: format!("pool f={f} s={stride} does not fit input {}x{}", input.h, input.w),
+                    reason: format!(
+                        "pool f={f} s={stride} does not fit input {}x{}",
+                        input.h, input.w
+                    ),
                 })?;
                 Shape::new(input.c, h, w)
             }
             LayerOp::Fc { out_features } => Shape::new(out_features, 1, 1),
         };
-        Ok(Layer { index, op, input, output })
+        Ok(Layer {
+            index,
+            op,
+            input,
+            output,
+        })
     }
 
     /// Filter size along the height dimension (1 for FC layers).

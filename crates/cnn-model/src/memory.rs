@@ -8,7 +8,6 @@
 //! deployment can verify the claim (and users targeting genuinely small
 //! devices can reject strategies that exceed a budget).
 
-use crate::layer::LayerOp;
 use crate::model::Model;
 use crate::volume::PartPlan;
 use crate::BYTES_PER_ELEM;
@@ -52,7 +51,10 @@ pub fn whole_model_footprint(model: &Model) -> MemoryFootprint {
         let out_bytes = layer.output.volume() as f64 * BYTES_PER_ELEM;
         peak = peak.max(in_bytes + out_bytes);
     }
-    MemoryFootprint { weights_bytes, peak_activation_bytes: peak }
+    MemoryFootprint {
+        weights_bytes,
+        peak_activation_bytes: peak,
+    }
 }
 
 /// Memory footprint of executing one split-part on a device: the weights of
@@ -73,7 +75,10 @@ pub fn part_footprint(model: &Model, part: &PartPlan) -> MemoryFootprint {
         let out_bytes = layer.output_bytes_for_rows(out_rows);
         peak = peak.max(in_bytes + out_bytes);
     }
-    MemoryFootprint { weights_bytes, peak_activation_bytes: peak }
+    MemoryFootprint {
+        weights_bytes,
+        peak_activation_bytes: peak,
+    }
 }
 
 /// Per-device memory footprint of a full set of per-volume part assignments
@@ -108,7 +113,12 @@ mod tests {
         Model::new(
             "mem-test",
             Shape::new(3, 64, 64),
-            &[L::conv(16, 3, 1, 1), L::conv(16, 3, 1, 1), L::pool(2, 2), L::fc(10)],
+            &[
+                L::conv(16, 3, 1, 1),
+                L::conv(16, 3, 1, 1),
+                L::pool(2, 2),
+                L::fc(10),
+            ],
         )
         .unwrap()
     }
@@ -117,7 +127,10 @@ mod tests {
     fn whole_model_footprint_matches_parameters() {
         let m = model();
         let fp = whole_model_footprint(&m);
-        assert_eq!(fp.weights_bytes, m.parameter_count() as f64 * BYTES_PER_ELEM);
+        assert_eq!(
+            fp.weights_bytes,
+            m.parameter_count() as f64 * BYTES_PER_ELEM
+        );
         assert!(fp.peak_activation_bytes > 0.0);
         assert!(fp.total_bytes() > fp.weights_bytes);
     }

@@ -46,7 +46,11 @@ impl Model {
         if layers.iter().filter(|l| l.is_splittable()).count() == 0 {
             return Err(ModelError::EmptyModel);
         }
-        Ok(Model { name, input, layers })
+        Ok(Model {
+            name,
+            input,
+            layers,
+        })
     }
 
     /// Model name (e.g. `"vgg16"`).
@@ -66,9 +70,10 @@ impl Model {
 
     /// A single layer by index.
     pub fn layer(&self, index: usize) -> Result<&Layer> {
-        self.layers
-            .get(index)
-            .ok_or(ModelError::IndexOutOfRange { index, len: self.layers.len() })
+        self.layers.get(index).ok_or(ModelError::IndexOutOfRange {
+            index,
+            len: self.layers.len(),
+        })
     }
 
     /// Total number of layers, including the FC head.
@@ -106,7 +111,10 @@ impl Model {
     /// of a fully layer-by-layer distribution; used to normalise LC-PSS
     /// transmission scores.
     pub fn total_output_bytes(&self) -> f64 {
-        self.layers[..self.distributable_len()].iter().map(Layer::output_bytes).sum()
+        self.layers[..self.distributable_len()]
+            .iter()
+            .map(Layer::output_bytes)
+            .sum()
     }
 
     /// Bytes of the model input (what the service requester ships out).
@@ -116,10 +124,7 @@ impl Model {
 
     /// Bytes of the final output (what is shipped back to the requester).
     pub fn final_output_bytes(&self) -> f64 {
-        self.layers
-            .last()
-            .map(|l| l.output_bytes())
-            .unwrap_or(0.0)
+        self.layers.last().map(|l| l.output_bytes()).unwrap_or(0.0)
     }
 
     /// Total number of weight parameters.
@@ -177,7 +182,11 @@ mod tests {
         let err = Model::new(
             "bad",
             Shape::new(3, 8, 8),
-            &[LayerOp::conv(4, 3, 1, 1), LayerOp::fc(10), LayerOp::conv(4, 1, 1, 0)],
+            &[
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::fc(10),
+                LayerOp::conv(4, 1, 1, 0),
+            ],
         );
         assert!(err.is_err());
     }

@@ -84,13 +84,17 @@ impl PartitionScheme {
     /// The scheme with a single layer-volume spanning the whole prefix
     /// (DeepThings-style "one fused layer-volume").
     pub fn single_volume(model: &Model) -> Self {
-        Self { boundaries: vec![0, model.distributable_len()] }
+        Self {
+            boundaries: vec![0, model.distributable_len()],
+        }
     }
 
     /// The scheme that makes every layer its own layer-volume
     /// (CoEdge/MoDNN-style layer-by-layer distribution).
     pub fn layer_by_layer(model: &Model) -> Self {
-        Self { boundaries: (0..=model.distributable_len()).collect() }
+        Self {
+            boundaries: (0..=model.distributable_len()).collect(),
+        }
     }
 
     /// Sorted boundary indices (starts with 0, ends with the prefix length).
@@ -192,7 +196,10 @@ impl VolumeSplit {
 
     /// Number of rows each device receives.
     pub fn row_counts(&self, h_last: usize) -> Vec<usize> {
-        self.ranges(h_last).into_iter().map(|(lo, hi)| hi - lo).collect()
+        self.ranges(h_last)
+            .into_iter()
+            .map(|(lo, hi)| hi - lo)
+            .collect()
     }
 }
 
@@ -211,7 +218,11 @@ pub fn vsl_heights(model: &Model, volume: LayerVolume, h_out_last: usize) -> Vec
         let l = &layers[i];
         let h_next = heights[i + 1];
         // Eq. 1 / Eq. 2: h_in = (h_out - 1) * S + F  (zero stays zero).
-        heights[i] = if h_next == 0 { 0 } else { (h_next - 1) * l.stride() + l.filter() };
+        heights[i] = if h_next == 0 {
+            0
+        } else {
+            (h_next - 1) * l.stride() + l.filter()
+        };
     }
     heights
 }
@@ -277,7 +288,11 @@ impl PartPlan {
         }
         let layers = volume.layers(model);
         let mut rows = vec![
-            LayerRows { layer: 0, out_rows: (0, 0), in_rows: (0, 0) };
+            LayerRows {
+                layer: 0,
+                out_rows: (0, 0),
+                in_rows: (0, 0)
+            };
             layers.len()
         ];
         if out_lo == out_hi {
@@ -307,7 +322,11 @@ impl PartPlan {
                 l.padding(),
                 l.input.h,
             );
-            rows[i] = LayerRows { layer: l.index, out_rows: need, in_rows: in_need };
+            rows[i] = LayerRows {
+                layer: l.index,
+                out_rows: need,
+                in_rows: in_need,
+            };
             need = in_need;
         }
         Ok(PartPlan {
@@ -501,7 +520,10 @@ mod tests {
         let split = VolumeSplit::equal(3, v.last_output_height(&m));
         let plans = PartPlan::plan_all(&m, v, &split).unwrap();
         assert_eq!(plans.len(), 3);
-        let total_rows: usize = plans.iter().map(|p| p.output_rows.1 - p.output_rows.0).sum();
+        let total_rows: usize = plans
+            .iter()
+            .map(|p| p.output_rows.1 - p.output_rows.0)
+            .sum();
         assert_eq!(total_rows, v.last_output_height(&m));
     }
 
@@ -516,6 +538,9 @@ mod tests {
             .iter()
             .map(|p| p.ops(&m))
             .sum();
-        assert!(split_ops > whole, "split ops {split_ops} should exceed whole {whole}");
+        assert!(
+            split_ops > whole,
+            "split ops {split_ops} should exceed whole {whole}"
+        );
     }
 }

@@ -34,6 +34,26 @@ pub fn vgg16() -> Model {
     Model::new("vgg16", Shape::new(3, 224, 224), &ops).expect("vgg16 table is valid")
 }
 
+/// A CIFAR-scale VGG-style model small enough to *execute* in milliseconds
+/// on naive CPU kernels — the workhorse of the `edge-runtime` tests and
+/// examples, where the full evaluation models would take minutes per image.
+/// Not part of [`super::all_models`] (which mirrors the paper's eight).
+pub fn tiny_vgg() -> Model {
+    use LayerOp as L;
+    let ops = [
+        L::conv(16, 3, 1, 1),
+        L::conv(16, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(32, 3, 1, 1),
+        L::conv(32, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(64, 3, 1, 1),
+        L::fc(64),
+        L::fc(10),
+    ];
+    Model::new("tiny-vgg", Shape::new(3, 32, 32), &ops).expect("tiny-vgg table is valid")
+}
+
 /// Appends one unrolled ResNet bottleneck block (`1×1 → 3×3 → 1×1`).
 fn bottleneck(ops: &mut Vec<LayerOp>, mid: usize, out: usize, stride_3x3: usize) {
     ops.push(LayerOp::conv(mid, 1, 1, 0));

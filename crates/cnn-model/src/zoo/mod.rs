@@ -29,7 +29,7 @@ mod classification;
 mod detection;
 mod pose;
 
-pub use classification::{inception_v3, resnet50, vgg16};
+pub use classification::{inception_v3, resnet50, tiny_vgg, vgg16};
 pub use detection::{ssd_resnet50, ssd_vgg16, voxelnet, yolov2};
 pub use pose::openpose;
 
@@ -66,6 +66,7 @@ pub fn by_name(name: &str) -> Option<Model> {
         "ssdvgg16" => Some(ssd_vgg16()),
         "openpose" => Some(openpose()),
         "voxelnet" => Some(voxelnet()),
+        "tinyvgg" => Some(tiny_vgg()),
         _ => None,
     }
 }

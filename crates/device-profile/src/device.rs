@@ -18,7 +18,12 @@ pub enum DeviceType {
 
 impl DeviceType {
     /// All device types, slowest to fastest.
-    pub const ALL: [DeviceType; 4] = [DeviceType::Pi3, DeviceType::Nano, DeviceType::Tx2, DeviceType::Xavier];
+    pub const ALL: [DeviceType; 4] = [
+        DeviceType::Pi3,
+        DeviceType::Nano,
+        DeviceType::Tx2,
+        DeviceType::Xavier,
+    ];
 
     /// Short display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -89,7 +94,10 @@ pub struct DeviceSpec {
 impl DeviceSpec {
     /// Creates a device spec.
     pub fn new(name: impl Into<String>, device_type: DeviceType) -> Self {
-        Self { name: name.into(), device_type }
+        Self {
+            name: name.into(),
+            device_type,
+        }
     }
 
     /// The ground-truth compute model of this device.
@@ -163,7 +171,9 @@ impl ComputeModel for GroundTruthModel {
         let g = self.row_granularity.max(1);
         let rows_eff = out_rows.div_ceil(g) * g;
         let rows_eff = rows_eff.min(layer.output.h.max(out_rows));
-        let work = layer.ops_for_rows(rows_eff).max(layer.ops_for_rows(out_rows));
+        let work = layer
+            .ops_for_rows(rows_eff)
+            .max(layer.ops_for_rows(out_rows));
         let util = self.utilisation(work);
         self.launch_overhead_ms + work / (self.peak_gflops * 1e9 * util) * 1e3
     }
@@ -176,7 +186,12 @@ mod tests {
     use tensor::Shape;
 
     fn conv_layer() -> Layer {
-        let m = Model::new("t", Shape::new(64, 112, 112), &[LayerOp::conv(128, 3, 1, 1)]).unwrap();
+        let m = Model::new(
+            "t",
+            Shape::new(64, 112, 112),
+            &[LayerOp::conv(128, 3, 1, 1)],
+        )
+        .unwrap();
         m.layers()[0]
     }
 
@@ -188,7 +203,10 @@ mod tests {
             .map(|d| d.ground_truth().full_layer_latency_ms(&layer))
             .collect();
         // Pi3 slowest, Xavier fastest.
-        assert!(lat[0] > lat[1] && lat[1] > lat[2] && lat[2] > lat[3], "latencies {lat:?}");
+        assert!(
+            lat[0] > lat[1] && lat[1] > lat[2] && lat[2] > lat[3],
+            "latencies {lat:?}"
+        );
         // Pi3 is more than an order of magnitude slower than Nano.
         assert!(lat[0] > 10.0 * lat[1]);
     }
@@ -268,7 +286,10 @@ mod tests {
         // Xavier, hundreds on Nano, seconds on Pi3).
         let m = cnn_model::zoo::vgg16();
         let total = |d: DeviceType| -> f64 {
-            m.layers().iter().map(|l| d.ground_truth().full_layer_latency_ms(l)).sum()
+            m.layers()
+                .iter()
+                .map(|l| d.ground_truth().full_layer_latency_ms(l))
+                .sum()
         };
         let xavier = total(DeviceType::Xavier);
         let nano = total(DeviceType::Nano);

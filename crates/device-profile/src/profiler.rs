@@ -50,7 +50,12 @@ pub struct ProfilingOptions {
 
 impl Default for ProfilingOptions {
     fn default() -> Self {
-        Self { row_step: 1, repetitions: 5, noise_std: 0.02, seed: 7 }
+        Self {
+            row_step: 1,
+            repetitions: 5,
+            noise_std: 0.02,
+            seed: 7,
+        }
     }
 }
 
@@ -123,10 +128,17 @@ impl Profiler {
                 }
                 rows = (rows + step).min(h);
             }
-            tables.push(LayerLatencyTable { layer: layer.index, points });
+            tables.push(LayerLatencyTable {
+                layer: layer.index,
+                points,
+            });
         }
         let regressors = tables.iter().map(|t| Regressor::fit(t, repr)).collect();
-        Self { tables, repr, regressors }
+        Self {
+            tables,
+            repr,
+            regressors,
+        }
     }
 
     /// The representation this profiler predicts with.
@@ -137,8 +149,16 @@ impl Profiler {
     /// Re-fits the profiler with a different representation, reusing the
     /// measured tables (no new measurements).
     pub fn with_repr(&self, repr: ProfileRepr) -> Self {
-        let regressors = self.tables.iter().map(|t| Regressor::fit(t, repr)).collect();
-        Self { tables: self.tables.clone(), repr, regressors }
+        let regressors = self
+            .tables
+            .iter()
+            .map(|t| Regressor::fit(t, repr))
+            .collect();
+        Self {
+            tables: self.tables.clone(),
+            repr,
+            regressors,
+        }
     }
 
     /// Predicted latency of `rows` output rows of layer `layer_index`.
@@ -190,13 +210,22 @@ mod tests {
         Model::new(
             "prof-test",
             Shape::new(3, 64, 64),
-            &[LayerOp::conv(16, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(32, 3, 1, 1)],
+            &[
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(32, 3, 1, 1),
+            ],
         )
         .unwrap()
     }
 
     fn noiseless() -> ProfilingOptions {
-        ProfilingOptions { row_step: 1, repetitions: 1, noise_std: 0.0, seed: 1 }
+        ProfilingOptions {
+            row_step: 1,
+            repetitions: 1,
+            noise_std: 0.0,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -219,7 +248,10 @@ mod tests {
             for rows in [1usize, 7, 20, layer.output.h] {
                 let truth = gt.layer_latency_ms(layer, rows);
                 let pred = p.layer_latency_ms(layer, rows);
-                assert!((truth - pred).abs() < 1e-9, "rows {rows}: {pred} vs {truth}");
+                assert!(
+                    (truth - pred).abs() < 1e-9,
+                    "rows {rows}: {pred} vs {truth}"
+                );
             }
         }
     }
@@ -244,8 +276,7 @@ mod tests {
         let gt = DeviceType::Nano.ground_truth();
         let layer = &m.layers()[0];
         let truth = gt.layer_latency_ms(layer, 2);
-        let proportional =
-            gt.layer_latency_ms(layer, layer.output.h) * 2.0 / layer.output.h as f64;
+        let proportional = gt.layer_latency_ms(layer, layer.output.h) * 2.0 / layer.output.h as f64;
         assert!(
             proportional < truth * 0.5,
             "proportional {proportional} should badly undershoot truth {truth}"
@@ -289,14 +320,20 @@ mod tests {
                     .linear_capability(&m)
             })
             .collect();
-        assert!(caps[0] < caps[1] && caps[1] < caps[2] && caps[2] < caps[3], "{caps:?}");
+        assert!(
+            caps[0] < caps[1] && caps[1] < caps[2] && caps[2] < caps[3],
+            "{caps:?}"
+        );
     }
 
     #[test]
     fn noise_is_reproducible() {
         let m = model();
         let gt = DeviceType::Nano.ground_truth();
-        let opts = ProfilingOptions { noise_std: 0.05, ..ProfilingOptions::default() };
+        let opts = ProfilingOptions {
+            noise_std: 0.05,
+            ..ProfilingOptions::default()
+        };
         let a = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
         let b = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
         assert_eq!(a.tables[0].points, b.tables[0].points);
@@ -306,7 +343,12 @@ mod tests {
     fn coarse_row_step_shrinks_table() {
         let m = model();
         let gt = DeviceType::Nano.ground_truth();
-        let opts = ProfilingOptions { row_step: 8, repetitions: 1, noise_std: 0.0, seed: 1 };
+        let opts = ProfilingOptions {
+            row_step: 8,
+            repetitions: 1,
+            noise_std: 0.0,
+            seed: 1,
+        };
         let p = Profiler::profile(&m, &gt, opts, ProfileRepr::Table);
         assert!(p.tables[0].points.len() <= 10);
         // The last point still covers the full height.

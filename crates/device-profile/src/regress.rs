@@ -20,11 +20,17 @@ impl LinearRegressor {
     pub fn fit(points: &[(usize, f64)]) -> Self {
         let n = points.len() as f64;
         if points.is_empty() {
-            return Self { slope: 0.0, intercept: 0.0 };
+            return Self {
+                slope: 0.0,
+                intercept: 0.0,
+            };
         }
         if points.len() == 1 {
             let (r, l) = points[0];
-            return Self { slope: if r > 0 { l / r as f64 } else { 0.0 }, intercept: 0.0 };
+            return Self {
+                slope: if r > 0 { l / r as f64 } else { 0.0 },
+                intercept: 0.0,
+            };
         }
         let sx: f64 = points.iter().map(|&(r, _)| r as f64).sum();
         let sy: f64 = points.iter().map(|&(_, l)| l).sum();
@@ -32,7 +38,10 @@ impl LinearRegressor {
         let sxy: f64 = points.iter().map(|&(r, l)| r as f64 * l).sum();
         let denom = n * sxx - sx * sx;
         if denom.abs() < 1e-12 {
-            return Self { slope: 0.0, intercept: sy / n };
+            return Self {
+                slope: 0.0,
+                intercept: sy / n,
+            };
         }
         let slope = (n * sxy - sx * sy) / denom;
         let intercept = (sy - slope * sx) / n;
@@ -111,7 +120,10 @@ pub struct KnnRegressor {
 impl KnnRegressor {
     /// Builds the regressor from measured points.
     pub fn fit(points: &[(usize, f64)], k: usize) -> Self {
-        Self { points: points.to_vec(), k: k.max(1) }
+        Self {
+            points: points.to_vec(),
+            k: k.max(1),
+        }
     }
 
     /// Predicted latency: mean of the `k` nearest measured points.
@@ -174,7 +186,9 @@ mod tests {
 
     fn curved_points() -> Vec<(usize, f64)> {
         // Convex-ish curve similar to the GPU latency profile.
-        (1..=40).map(|r| (r, 5.0 + 0.5 * r as f64 + 20.0 / (r as f64 + 2.0))).collect()
+        (1..=40)
+            .map(|r| (r, 5.0 + 0.5 * r as f64 + 20.0 / (r as f64 + 2.0)))
+            .collect()
     }
 
     #[test]
@@ -239,7 +253,10 @@ mod tests {
 
     #[test]
     fn regressor_enum_dispatch() {
-        let table = LayerLatencyTable { layer: 0, points: linear_points() };
+        let table = LayerLatencyTable {
+            layer: 0,
+            points: linear_points(),
+        };
         for repr in [
             ProfileRepr::Table,
             ProfileRepr::Linear,

@@ -1,5 +1,7 @@
 //! The end-to-end DistrEdge planner: profile the devices, partition the
-//! model with LC-PSS, then search the vertical splits with OSDS.
+//! model with LC-PSS, then search the vertical splits with OSDS — plus
+//! [`DistrEdge::deploy`], which hands a planned strategy to the
+//! `edge-runtime` and actually executes it with real kernels.
 
 use crate::mdp::SplitEnv;
 use crate::partitioner::{lc_pss, LcPssConfig};
@@ -7,9 +9,14 @@ use crate::profiles::{ClusterProfiles, ProfilesConfig};
 use crate::splitter::{osds_train, OsdsConfig, OsdsOutcome};
 use crate::strategy::DistributionStrategy;
 use crate::Result;
+use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
-use edgesim::Cluster;
+use edge_runtime::runtime::{execute, execute_in_process, RuntimeOptions};
+use edge_runtime::transport::{ChannelTransport, ShapedTransport};
+use edge_runtime::{report, RuntimeReport};
+use edgesim::{Cluster, SimReport};
 use serde::{Deserialize, Serialize};
+use tensor::Tensor;
 
 /// Configuration of a DistrEdge planning run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,7 +48,10 @@ impl DistrEdgeConfig {
     /// A reduced configuration for CI-scale runs (see `EXPERIMENTS.md`).
     pub fn fast(num_devices: usize) -> Self {
         Self {
-            lcpss: LcPssConfig { num_random_splits: 40, ..LcPssConfig::paper_defaults(num_devices) },
+            lcpss: LcPssConfig {
+                num_random_splits: 40,
+                ..LcPssConfig::paper_defaults(num_devices)
+            },
             osds: OsdsConfig::fast(num_devices),
             profiles: ProfilesConfig::default(),
             train_on_ground_truth: false,
@@ -80,7 +90,11 @@ pub struct DistrEdge;
 
 impl DistrEdge {
     /// Plans a distribution strategy for `model` on `cluster`.
-    pub fn plan(model: &Model, cluster: &Cluster, config: &DistrEdgeConfig) -> Result<PlanningOutcome> {
+    pub fn plan(
+        model: &Model,
+        cluster: &Cluster,
+        config: &DistrEdgeConfig,
+    ) -> Result<PlanningOutcome> {
         let mut lcpss = config.lcpss;
         lcpss.num_devices = cluster.len();
         let profiles = ClusterProfiles::collect(model, cluster, &config.profiles);
@@ -101,7 +115,115 @@ impl DistrEdge {
             osds_outcome.best_splits.clone(),
             cluster.len(),
         )?;
-        Ok(PlanningOutcome { strategy, osds: osds_outcome, profiles })
+        Ok(PlanningOutcome {
+            strategy,
+            osds: osds_outcome,
+            profiles,
+        })
+    }
+
+    /// Deploys a planned strategy onto the `edge-runtime` and executes it
+    /// with real tensor kernels: one concurrent provider worker per device,
+    /// streaming `images` through the cluster.
+    ///
+    /// Returns the measured report, the per-image outputs, and the
+    /// simulator's prediction under the runtime's own measured kernel times
+    /// — the measured-vs-predicted pair the evaluation compares.
+    pub fn deploy(
+        model: &Model,
+        cluster: &Cluster,
+        strategy: &DistributionStrategy,
+        images: &[Tensor],
+        options: &DeployOptions,
+    ) -> Result<Deployment> {
+        let plan = strategy.to_plan(model)?;
+        let weights = ModelWeights::deterministic(model, options.weight_seed);
+        let outcome = if options.shaped {
+            let mut transport = ShapedTransport::new(ChannelTransport::new(cluster.len()), cluster);
+            execute(
+                model,
+                &plan,
+                &weights,
+                images,
+                &mut transport,
+                &options.runtime,
+            )?
+        } else {
+            execute_in_process(model, &plan, &weights, images, &options.runtime)?
+        };
+        let predicted = if options.shaped {
+            report::predicted_report_on_cluster(
+                model,
+                cluster,
+                &plan,
+                &outcome.report,
+                images.len(),
+            )
+        } else {
+            report::predicted_report(model, &plan, &outcome.report, images.len())
+        };
+        Ok(Deployment {
+            report: outcome.report,
+            outputs: outcome.outputs,
+            predicted,
+        })
+    }
+}
+
+/// Options of [`DistrEdge::deploy`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeployOptions {
+    /// Runtime streaming options (images in flight, timeouts).
+    pub runtime: RuntimeOptions,
+    /// Pace every link with the cluster's bandwidth traces (token-bucket
+    /// shaping).  Off by default: the in-process wire is then effectively
+    /// infinite bandwidth, which is the regime the agreement tests use.
+    pub shaped: bool,
+    /// Seed of the deterministic weights loaded onto every provider.
+    pub weight_seed: u64,
+}
+
+impl Default for DeployOptions {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeOptions::default(),
+            shaped: false,
+            weight_seed: 7,
+        }
+    }
+}
+
+/// What [`DistrEdge::deploy`] returns.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The measured execution report.
+    pub report: RuntimeReport,
+    /// Final output per streamed image.
+    pub outputs: Vec<Tensor>,
+    /// The simulator's prediction under the runtime's measured kernel
+    /// times (ideal wire unless `shaped`).
+    pub predicted: SimReport,
+}
+
+impl Deployment {
+    /// Relative gap between measured IPS and the simulator's prediction:
+    /// `|measured - predicted| / predicted`.
+    ///
+    /// The simulator models the paper's closed-loop stream (one image in
+    /// flight), so the measured side is `sim.ips` for closed-loop runs
+    /// (`max_in_flight == 1`) and the wall-clock `measured_ips` otherwise —
+    /// under pipelining, per-image latencies include queueing and their
+    /// inverse no longer measures throughput.
+    pub fn ips_gap(&self) -> f64 {
+        if self.predicted.ips <= 0.0 {
+            return f64::INFINITY;
+        }
+        let measured = if self.report.max_in_flight_observed <= 1 {
+            self.report.sim.ips
+        } else {
+            self.report.measured_ips
+        };
+        (measured - self.predicted.ips).abs() / self.predicted.ips
     }
 }
 
@@ -180,6 +302,27 @@ mod tests {
         cfg.osds.max_episodes = 10;
         let outcome = DistrEdge::plan(&m, &c, &cfg).unwrap();
         outcome.strategy.to_plan(&m).unwrap().validate(&m).unwrap();
+    }
+
+    #[test]
+    fn deploy_executes_planned_strategy_with_real_kernels() {
+        use cnn_model::exec::{self, deterministic_input};
+        let m = cnn_model::zoo::tiny_vgg();
+        let c = cluster();
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        let images: Vec<_> = (0..2).map(|i| deterministic_input(&m, 50 + i)).collect();
+        let opts = DeployOptions::default();
+        let deployment = DistrEdge::deploy(&m, &c, &outcome.strategy, &images, &opts).unwrap();
+        assert_eq!(deployment.outputs.len(), 2);
+        // Outputs are bit-exact against single-device execution.
+        let weights = ModelWeights::deterministic(&m, opts.weight_seed);
+        for (img, out) in images.iter().zip(&deployment.outputs) {
+            let full = exec::run_full(&m, &weights, img).unwrap();
+            assert_eq!(out, full.last().unwrap());
+        }
+        assert!(deployment.report.sim.ips > 0.0);
+        assert!(deployment.predicted.ips > 0.0);
+        assert!(deployment.ips_gap().is_finite());
     }
 
     #[test]

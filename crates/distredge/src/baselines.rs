@@ -93,7 +93,11 @@ impl Method {
         profiles: &ClusterProfiles,
         bandwidths_mbps: &[f64],
     ) -> Result<DistributionStrategy> {
-        assert_eq!(profiles.len(), bandwidths_mbps.len(), "profiles/bandwidths mismatch");
+        assert_eq!(
+            profiles.len(),
+            bandwidths_mbps.len(),
+            "profiles/bandwidths mismatch"
+        );
         match self {
             Method::CoEdge => coedge(model, profiles, bandwidths_mbps),
             Method::MoDnn => modnn(model, profiles),
@@ -193,7 +197,9 @@ fn modnn(model: &Model, profiles: &ClusterProfiles) -> Result<DistributionStrate
         .expect("at least one distributable layer");
     let caps: Vec<f64> = (0..n)
         .map(|d| {
-            let lat = profiles.full_layer_latency(d, heaviest.index, heaviest.output.h).max(1e-6);
+            let lat = profiles
+                .full_layer_latency(d, heaviest.index, heaviest.output.h)
+                .max(1e-6);
             heaviest.ops() / lat
         })
         .collect();
@@ -240,7 +246,8 @@ fn coedge(
                 // (input bytes / link rate).  Rows are allocated inversely to
                 // this cost, which equalises the estimated per-device latency.
                 let compute = ops_per_row(layer) / caps[d].max(1e-6);
-                let transmit = input_bytes_per_row(layer) / mbps_to_bytes_per_ms(bandwidths_mbps[d]).max(1e-6);
+                let transmit =
+                    input_bytes_per_row(layer) / mbps_to_bytes_per_ms(bandwidths_mbps[d]).max(1e-6);
                 1.0 / (compute + transmit).max(1e-9)
             })
             .collect();
@@ -270,7 +277,8 @@ fn aofl(
         let weights: Vec<f64> = (0..n)
             .map(|d| {
                 let compute = vol_ops_per_row / caps[d].max(1e-6);
-                let transmit = in_bytes_per_row / mbps_to_bytes_per_ms(bandwidths_mbps[d]).max(1e-6);
+                let transmit =
+                    in_bytes_per_row / mbps_to_bytes_per_ms(bandwidths_mbps[d]).max(1e-6);
                 1.0 / (compute + transmit).max(1e-9)
             })
             .collect();
@@ -420,8 +428,14 @@ mod tests {
         );
         let p = ClusterProfiles::collect(&m, &c, &ProfilesConfig::default());
         let bw = c.mean_bandwidths();
-        let coedge = Method::CoEdge.plan_baseline(&m, &p, &bw).unwrap().row_shares(&m);
-        let modnn = Method::MoDnn.plan_baseline(&m, &p, &bw).unwrap().row_shares(&m);
+        let coedge = Method::CoEdge
+            .plan_baseline(&m, &p, &bw)
+            .unwrap()
+            .row_shares(&m);
+        let modnn = Method::MoDnn
+            .plan_baseline(&m, &p, &bw)
+            .unwrap()
+            .row_shares(&m);
         assert!(coedge[0] > coedge[1] + 0.05, "coedge {coedge:?}");
         assert!((modnn[0] - modnn[1]).abs() < 0.1, "modnn {modnn:?}");
     }

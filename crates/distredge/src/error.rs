@@ -11,6 +11,8 @@ pub enum DistrError {
     InvalidConfig(String),
     /// A strategy does not match the cluster it is evaluated on.
     StrategyMismatch(String),
+    /// Deploying a strategy onto the edge runtime failed.
+    Runtime(String),
 }
 
 impl fmt::Display for DistrError {
@@ -19,6 +21,7 @@ impl fmt::Display for DistrError {
             DistrError::Model(e) => write!(f, "model error: {e}"),
             DistrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DistrError::StrategyMismatch(msg) => write!(f, "strategy mismatch: {msg}"),
+            DistrError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }
@@ -35,6 +38,12 @@ impl std::error::Error for DistrError {
 impl From<cnn_model::ModelError> for DistrError {
     fn from(e: cnn_model::ModelError) -> Self {
         DistrError::Model(e)
+    }
+}
+
+impl From<edge_runtime::RuntimeError> for DistrError {
+    fn from(e: edge_runtime::RuntimeError) -> Self {
+        DistrError::Runtime(e.to_string())
     }
 }
 

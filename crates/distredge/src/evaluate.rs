@@ -63,7 +63,11 @@ pub fn evaluate_method(
 ) -> Result<MethodResult> {
     let strategy = plan_method(method, model, cluster, config)?;
     let report = evaluate_strategy(model, cluster, &strategy, options)?;
-    Ok(MethodResult::from_report(method.name(), &report, strategy.num_volumes()))
+    Ok(MethodResult::from_report(
+        method.name(),
+        &report,
+        strategy.num_volumes(),
+    ))
 }
 
 /// Plans a strategy for any method, baselines and DistrEdge alike.
@@ -145,7 +149,10 @@ mod tests {
     }
 
     fn options() -> SimOptions {
-        SimOptions { num_images: 5, start_ms: 0.0 }
+        SimOptions {
+            num_images: 5,
+            start_ms: 0.0,
+        }
     }
 
     #[test]
@@ -153,7 +160,12 @@ mod tests {
         let m = model();
         let cluster = Scenario::group_db(100.0).build_constant();
         let cfg = tiny_config(4);
-        for method in [Method::Offload, Method::DeepThings, Method::Aofl, Method::CoEdge] {
+        for method in [
+            Method::Offload,
+            Method::DeepThings,
+            Method::Aofl,
+            Method::CoEdge,
+        ] {
             let r = evaluate_method(method, &m, &cluster, &cfg, options()).unwrap();
             assert!(r.ips > 0.0, "{} has zero IPS", r.method);
             assert!(r.mean_latency_ms > 0.0);
@@ -177,7 +189,10 @@ mod tests {
         let m = model();
         let cluster = Scenario::new(
             "mini",
-            vec![device_profile::DeviceType::Xavier, device_profile::DeviceType::Nano],
+            vec![
+                device_profile::DeviceType::Xavier,
+                device_profile::DeviceType::Nano,
+            ],
             vec![200.0, 200.0],
         )
         .build_constant();

@@ -35,7 +35,7 @@ pub mod scenarios;
 pub mod splitter;
 pub mod strategy;
 
-pub use api::{DistrEdge, DistrEdgeConfig};
+pub use api::{DeployOptions, Deployment, DistrEdge, DistrEdgeConfig};
 pub use baselines::Method;
 pub use error::DistrError;
 pub use evaluate::{evaluate_method, evaluate_strategy, MethodResult};

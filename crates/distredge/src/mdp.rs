@@ -189,7 +189,11 @@ impl<'a> SplitEnv<'a> {
         } else {
             0.0
         };
-        Ok(StepOutcome { next_state: self.observe(), reward, done })
+        Ok(StepOutcome {
+            next_state: self.observe(),
+            reward,
+            done,
+        })
     }
 
     /// The split decisions taken so far in this episode.
@@ -220,7 +224,10 @@ impl<'a> SplitEnv<'a> {
             self.cluster,
             self.compute,
             &plan,
-            edgesim::SimOptions { num_images: 1, start_ms: 0.0 },
+            edgesim::SimOptions {
+                num_images: 1,
+                start_ms: 0.0,
+            },
         );
         Ok(report.mean_latency_ms)
     }
@@ -288,12 +295,18 @@ mod tests {
         let mut env = SplitEnv::new(&m, &c, &compute, &scheme);
         let s0 = env.reset();
         assert_eq!(s0.len(), env.state_dim());
-        assert!(s0[..2].iter().all(|&v| v == 0.0), "no latency accumulated yet");
+        assert!(
+            s0[..2].iter().all(|&v| v == 0.0),
+            "no latency accumulated yet"
+        );
 
         let r1 = env.step(&[0.0]).unwrap();
         assert!(!r1.done);
         assert_eq!(r1.reward, 0.0);
-        assert!(r1.next_state[..2].iter().any(|&v| v > 0.0), "latencies accumulated");
+        assert!(
+            r1.next_state[..2].iter().any(|&v| v > 0.0),
+            "latencies accumulated"
+        );
 
         let r2 = env.step(&[0.2]).unwrap();
         assert!(r2.done);

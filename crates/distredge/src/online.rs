@@ -95,7 +95,11 @@ impl OnlineResult {
         } else {
             points.iter().map(|p| p.latency_ms).sum::<f64>() / points.len() as f64
         };
-        Self { method: method.to_string(), points, mean_latency_ms: mean }
+        Self {
+            method: method.to_string(),
+            points,
+            mean_latency_ms: mean,
+        }
     }
 }
 
@@ -118,7 +122,10 @@ fn monitored_bandwidths(cluster: &Cluster, start_ms: f64, end_ms: f64) -> Vec<f6
 /// A constant-bandwidth "estimator" view of a cluster, reflecting what the
 /// controller believes the network looks like right now.
 fn estimator_cluster(cluster: &Cluster, bandwidths: &[f64]) -> Cluster {
-    let configs: Vec<LinkConfig> = bandwidths.iter().map(|&bw| LinkConfig::constant(bw)).collect();
+    let configs: Vec<LinkConfig> = bandwidths
+        .iter()
+        .map(|&bw| LinkConfig::constant(bw))
+        .collect();
     Cluster::new(cluster.devices().to_vec(), &configs)
 }
 
@@ -133,7 +140,10 @@ fn measure_window(
         model,
         cluster,
         strategy,
-        SimOptions { num_images: images, start_ms },
+        SimOptions {
+            num_images: images,
+            start_ms,
+        },
     )?;
     Ok(report.mean_latency_ms)
 }
@@ -162,8 +172,7 @@ pub fn run_dynamic_experiment(
     let mut bw_at_last_replan = initial_bw.clone();
 
     // --- AOFL keeps a lagging strategy.
-    let mut aofl_strategy =
-        Method::Aofl.plan_baseline(model, &profiles, &initial_bw)?;
+    let mut aofl_strategy = Method::Aofl.plan_baseline(model, &profiles, &initial_bw)?;
     let mut aofl_pending: Option<(usize, DistributionStrategy)> = None;
 
     let mut coedge_points = Vec::with_capacity(num_windows);
@@ -181,7 +190,13 @@ pub fn run_dynamic_experiment(
         let coedge = Method::CoEdge.plan_baseline(model, &profiles, &bw)?;
         coedge_points.push(OnlinePoint {
             minute,
-            latency_ms: measure_window(model, cluster, &coedge, start_ms, config.images_per_window)?,
+            latency_ms: measure_window(
+                model,
+                cluster,
+                &coedge,
+                start_ms,
+                config.images_per_window,
+            )?,
         });
 
         // AOFL: schedules an update that lands `aofl_lag_windows` later.
@@ -197,7 +212,13 @@ pub fn run_dynamic_experiment(
         }
         aofl_points.push(OnlinePoint {
             minute,
-            latency_ms: measure_window(model, cluster, &aofl_strategy, start_ms, config.images_per_window)?,
+            latency_ms: measure_window(
+                model,
+                cluster,
+                &aofl_strategy,
+                start_ms,
+                config.images_per_window,
+            )?,
         });
 
         // DistrEdge: significant change => re-partition + fine-tune.
@@ -209,7 +230,10 @@ pub fn run_dynamic_experiment(
             scheme = lc_pss(model, &lcpss)?;
             let est = estimator_cluster(cluster, &bw);
             let mut env = SplitEnv::new(model, &est, &profiles, &scheme);
-            let finetune_cfg = config.distredge.osds.with_episodes(config.finetune_episodes);
+            let finetune_cfg = config
+                .distredge
+                .osds
+                .with_episodes(config.finetune_episodes);
             agent = osds_train(&mut env, &finetune_cfg, Some(agent))?.agent;
             bw_at_last_replan = bw.clone();
         }
@@ -232,10 +256,17 @@ pub fn run_dynamic_experiment(
         } else {
             equal
         };
-        let strategy = DistributionStrategy::new("DistrEdge", scheme.clone(), splits, cluster.len())?;
+        let strategy =
+            DistributionStrategy::new("DistrEdge", scheme.clone(), splits, cluster.len())?;
         distredge_points.push(OnlinePoint {
             minute,
-            latency_ms: measure_window(model, cluster, &strategy, start_ms, config.images_per_window)?,
+            latency_ms: measure_window(
+                model,
+                cluster,
+                &strategy,
+                start_ms,
+                config.images_per_window,
+            )?,
         });
     }
 
@@ -269,7 +300,9 @@ mod tests {
     }
 
     fn devices() -> Vec<DeviceSpec> {
-        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect()
+        (0..4)
+            .map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano))
+            .collect()
     }
 
     fn tiny_online_config() -> OnlineConfig {
@@ -318,11 +351,23 @@ mod tests {
         let c = dynamic_cluster(&devices(), 11);
         let cfg = tiny_online_config();
         let results = run_dynamic_experiment(&m, &c, &cfg).unwrap();
-        let get = |name: &str| results.iter().find(|r| r.method == name).unwrap().mean_latency_ms;
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.method == name)
+                .unwrap()
+                .mean_latency_ms
+        };
         let coedge = get("CoEdge");
         let aofl = get("AOFL");
         let distredge = get("DistrEdge");
-        assert!(coedge > aofl, "CoEdge {coedge} should be slower than AOFL {aofl}");
-        assert!(coedge > distredge, "CoEdge {coedge} should be slower than DistrEdge {distredge}");
+        assert!(
+            coedge > aofl,
+            "CoEdge {coedge} should be slower than AOFL {aofl}"
+        );
+        assert!(
+            coedge > distredge,
+            "CoEdge {coedge} should be slower than DistrEdge {distredge}"
+        );
     }
 }

@@ -35,7 +35,12 @@ pub struct LcPssConfig {
 impl LcPssConfig {
     /// The paper's default hyper-parameters for a given cluster size.
     pub fn paper_defaults(num_devices: usize) -> Self {
-        Self { alpha: 0.75, num_random_splits: 100, num_devices, seed: 42 }
+        Self {
+            alpha: 0.75,
+            num_random_splits: 100,
+            num_devices,
+            seed: 42,
+        }
     }
 }
 
@@ -104,8 +109,7 @@ pub fn mean_partition_score(
 
 /// Runs LC-PSS and returns the partition scheme it settles on.
 pub fn lc_pss(model: &Model, config: &LcPssConfig) -> Result<PartitionScheme> {
-    let randoms =
-        RandomSplits::generate(config.num_random_splits, config.num_devices, config.seed);
+    let randoms = RandomSplits::generate(config.num_random_splits, config.num_devices, config.seed);
     lc_pss_with_randoms(model, config.alpha, &randoms)
 }
 
@@ -117,7 +121,9 @@ pub fn lc_pss_with_randoms(
     randoms: &RandomSplits,
 ) -> Result<PartitionScheme> {
     if !(0.0..=1.0).contains(&alpha) {
-        return Err(crate::DistrError::InvalidConfig(format!("alpha {alpha} outside [0, 1]")));
+        return Err(crate::DistrError::InvalidConfig(format!(
+            "alpha {alpha} outside [0, 1]"
+        )));
     }
     let mut scheme = PartitionScheme::single_volume(model);
     let mut current_score = mean_partition_score(model, &scheme, randoms, alpha)?;
@@ -213,8 +219,18 @@ mod tests {
         // α = 0 scores only operations; layer-by-layer minimises halo
         // redundancy so LC-PSS should fragment the model heavily.
         let m = model();
-        let cfg0 = LcPssConfig { alpha: 0.0, num_random_splits: 20, num_devices: 4, seed: 1 };
-        let cfg1 = LcPssConfig { alpha: 1.0, num_random_splits: 20, num_devices: 4, seed: 1 };
+        let cfg0 = LcPssConfig {
+            alpha: 0.0,
+            num_random_splits: 20,
+            num_devices: 4,
+            seed: 1,
+        };
+        let cfg1 = LcPssConfig {
+            alpha: 1.0,
+            num_random_splits: 20,
+            num_devices: 4,
+            seed: 1,
+        };
         let p0 = lc_pss(&m, &cfg0).unwrap();
         let p1 = lc_pss(&m, &cfg1).unwrap();
         assert!(
@@ -230,8 +246,16 @@ mod tests {
     #[test]
     fn intermediate_alpha_is_between_extremes() {
         let m = model();
-        let p = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 20, num_devices: 4, seed: 1 })
-            .unwrap();
+        let p = lc_pss(
+            &m,
+            &LcPssConfig {
+                alpha: 0.75,
+                num_random_splits: 20,
+                num_devices: 4,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert!(p.num_volumes() >= 1);
         assert!(p.num_volumes() <= m.distributable_len());
     }
@@ -239,8 +263,16 @@ mod tests {
     #[test]
     fn invalid_alpha_rejected() {
         let m = model();
-        assert!(lc_pss(&m, &LcPssConfig { alpha: 1.5, num_random_splits: 5, num_devices: 2, seed: 1 })
-            .is_err());
+        assert!(lc_pss(
+            &m,
+            &LcPssConfig {
+                alpha: 1.5,
+                num_random_splits: 5,
+                num_devices: 2,
+                seed: 1
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -259,10 +291,26 @@ mod tests {
         // With a large |Rrs| the partition found should not depend on the
         // seed (Fig. 6's observation).
         let m = model();
-        let a = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 150, num_devices: 4, seed: 1 })
-            .unwrap();
-        let b = lc_pss(&m, &LcPssConfig { alpha: 0.75, num_random_splits: 150, num_devices: 4, seed: 99 })
-            .unwrap();
+        let a = lc_pss(
+            &m,
+            &LcPssConfig {
+                alpha: 0.75,
+                num_random_splits: 150,
+                num_devices: 4,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let b = lc_pss(
+            &m,
+            &LcPssConfig {
+                alpha: 0.75,
+                num_random_splits: 150,
+                num_devices: 4,
+                seed: 99,
+            },
+        )
+        .unwrap();
         assert_eq!(a.boundaries(), b.boundaries());
     }
 }

@@ -28,7 +28,12 @@ impl Default for ProfilesConfig {
             repr: ProfileRepr::Table,
             // Row step 4 keeps profiling cheap while staying close to the
             // paper's granularity-1 tables; the figure binaries can lower it.
-            options: ProfilingOptions { row_step: 4, repetitions: 3, noise_std: 0.01, seed: 17 },
+            options: ProfilingOptions {
+                row_step: 4,
+                repetitions: 3,
+                noise_std: 0.01,
+                seed: 17,
+            },
         }
     }
 }
@@ -47,10 +52,21 @@ impl ClusterProfiles {
         for (i, device) in cluster.devices().iter().enumerate() {
             let mut opts = config.options;
             opts.seed = config.options.seed.wrapping_add(i as u64);
-            profilers.push(Profiler::profile(model, &device.ground_truth(), opts, config.repr));
+            profilers.push(Profiler::profile(
+                model,
+                &device.ground_truth(),
+                opts,
+                config.repr,
+            ));
         }
-        let capabilities = profilers.iter().map(|p| p.linear_capability(model)).collect();
-        Self { profilers, capabilities }
+        let capabilities = profilers
+            .iter()
+            .map(|p| p.linear_capability(model))
+            .collect();
+        Self {
+            profilers,
+            capabilities,
+        }
     }
 
     /// Number of profiled devices.
@@ -85,7 +101,10 @@ impl ClusterProfiles {
     pub fn with_repr(&self, repr: ProfileRepr) -> Self {
         let profilers: Vec<Profiler> = self.profilers.iter().map(|p| p.with_repr(repr)).collect();
         let capabilities = self.capabilities.clone();
-        Self { profilers, capabilities }
+        Self {
+            profilers,
+            capabilities,
+        }
     }
 }
 
@@ -127,7 +146,12 @@ mod tests {
         Model::new(
             "t",
             Shape::new(3, 48, 48),
-            &[LayerOp::conv(16, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(32, 3, 1, 1), LayerOp::fc(10)],
+            &[
+                LayerOp::conv(16, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(32, 3, 1, 1),
+                LayerOp::fc(10),
+            ],
         )
         .unwrap()
     }
@@ -149,7 +173,10 @@ mod tests {
         let p = ClusterProfiles::collect(&m, &c, &ProfilesConfig::default());
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
-        assert!(p.capabilities()[0] > p.capabilities()[1], "Xavier beats Nano");
+        assert!(
+            p.capabilities()[0] > p.capabilities()[1],
+            "Xavier beats Nano"
+        );
     }
 
     #[test]
@@ -158,7 +185,12 @@ mod tests {
         let c = cluster();
         let config = ProfilesConfig {
             repr: ProfileRepr::Table,
-            options: ProfilingOptions { row_step: 1, repetitions: 1, noise_std: 0.0, seed: 1 },
+            options: ProfilingOptions {
+                row_step: 1,
+                repetitions: 1,
+                noise_std: 0.0,
+                seed: 1,
+            },
         };
         let profiles = ClusterProfiles::collect(&m, &c, &config);
         let truth = c.ground_truth_compute();

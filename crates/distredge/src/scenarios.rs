@@ -19,9 +19,21 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates a scenario from parallel device/bandwidth lists.
-    pub fn new(name: impl Into<String>, device_types: Vec<DeviceType>, bandwidths_mbps: Vec<f64>) -> Self {
-        assert_eq!(device_types.len(), bandwidths_mbps.len(), "device/bandwidth length mismatch");
-        Self { name: name.into(), device_types, bandwidths_mbps }
+    pub fn new(
+        name: impl Into<String>,
+        device_types: Vec<DeviceType>,
+        bandwidths_mbps: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            device_types.len(),
+            bandwidths_mbps.len(),
+            "device/bandwidth length mismatch"
+        );
+        Self {
+            name: name.into(),
+            device_types,
+            bandwidths_mbps,
+        }
     }
 
     /// Number of service providers.
@@ -42,7 +54,16 @@ impl Scenario {
             .device_types
             .iter()
             .enumerate()
-            .map(|(i, t)| DeviceSpec::new(format!("{}-{}-{i}", self.name.to_lowercase(), t.name().to_lowercase()), *t))
+            .map(|(i, t)| {
+                DeviceSpec::new(
+                    format!(
+                        "{}-{}-{i}",
+                        self.name.to_lowercase(),
+                        t.name().to_lowercase()
+                    ),
+                    *t,
+                )
+            })
             .collect();
         let links: Vec<LinkConfig> = self
             .bandwidths_mbps
@@ -60,10 +81,22 @@ impl Scenario {
             .device_types
             .iter()
             .enumerate()
-            .map(|(i, t)| DeviceSpec::new(format!("{}-{}-{i}", self.name.to_lowercase(), t.name().to_lowercase()), *t))
+            .map(|(i, t)| {
+                DeviceSpec::new(
+                    format!(
+                        "{}-{}-{i}",
+                        self.name.to_lowercase(),
+                        t.name().to_lowercase()
+                    ),
+                    *t,
+                )
+            })
             .collect();
-        let links: Vec<LinkConfig> =
-            self.bandwidths_mbps.iter().map(|&bw| LinkConfig::constant(bw)).collect();
+        let links: Vec<LinkConfig> = self
+            .bandwidths_mbps
+            .iter()
+            .map(|&bw| LinkConfig::constant(bw))
+            .collect();
         Cluster::new(devices, &links)
     }
 
@@ -84,7 +117,12 @@ impl Scenario {
     pub fn group_da(bandwidth_mbps: f64) -> Self {
         Self::new(
             "DA",
-            vec![DeviceType::Tx2, DeviceType::Tx2, DeviceType::Nano, DeviceType::Nano],
+            vec![
+                DeviceType::Tx2,
+                DeviceType::Tx2,
+                DeviceType::Nano,
+                DeviceType::Nano,
+            ],
             vec![bandwidth_mbps; 4],
         )
     }
@@ -93,7 +131,12 @@ impl Scenario {
     pub fn group_db(bandwidth_mbps: f64) -> Self {
         Self::new(
             "DB",
-            vec![DeviceType::Xavier, DeviceType::Xavier, DeviceType::Nano, DeviceType::Nano],
+            vec![
+                DeviceType::Xavier,
+                DeviceType::Xavier,
+                DeviceType::Nano,
+                DeviceType::Nano,
+            ],
             vec![bandwidth_mbps; 4],
         )
     }
@@ -102,14 +145,23 @@ impl Scenario {
     pub fn group_dc(bandwidth_mbps: f64) -> Self {
         Self::new(
             "DC",
-            vec![DeviceType::Xavier, DeviceType::Tx2, DeviceType::Nano, DeviceType::Pi3],
+            vec![
+                DeviceType::Xavier,
+                DeviceType::Tx2,
+                DeviceType::Nano,
+                DeviceType::Pi3,
+            ],
             vec![bandwidth_mbps; 4],
         )
     }
 
     /// All of Table I for a given bandwidth.
     pub fn table1(bandwidth_mbps: f64) -> Vec<Self> {
-        vec![Self::group_da(bandwidth_mbps), Self::group_db(bandwidth_mbps), Self::group_dc(bandwidth_mbps)]
+        vec![
+            Self::group_da(bandwidth_mbps),
+            Self::group_db(bandwidth_mbps),
+            Self::group_dc(bandwidth_mbps),
+        ]
     }
 
     // --- Table II: heterogeneous bandwidths (shared device type) ------------
@@ -136,7 +188,12 @@ impl Scenario {
 
     /// All of Table II for a given device type.
     pub fn table2(device: DeviceType) -> Vec<Self> {
-        vec![Self::group_na(device), Self::group_nb(device), Self::group_nc(device), Self::group_nd(device)]
+        vec![
+            Self::group_na(device),
+            Self::group_nb(device),
+            Self::group_nc(device),
+            Self::group_nd(device),
+        ]
     }
 
     // --- Table III: large-scale groups (16 providers) -----------------------
@@ -207,7 +264,12 @@ impl Scenario {
 
     /// All of Table III.
     pub fn table3() -> Vec<Self> {
-        vec![Self::group_la(), Self::group_lb(), Self::group_lc(), Self::group_ld()]
+        vec![
+            Self::group_la(),
+            Self::group_lb(),
+            Self::group_lc(),
+            Self::group_ld(),
+        ]
     }
 }
 
@@ -220,7 +282,15 @@ mod tests {
         let t1 = Scenario::table1(50.0);
         assert_eq!(t1.len(), 3);
         assert_eq!(t1[0].name, "DA");
-        assert_eq!(t1[1].device_types, vec![DeviceType::Xavier, DeviceType::Xavier, DeviceType::Nano, DeviceType::Nano]);
+        assert_eq!(
+            t1[1].device_types,
+            vec![
+                DeviceType::Xavier,
+                DeviceType::Xavier,
+                DeviceType::Nano,
+                DeviceType::Nano
+            ]
+        );
         assert!(t1[2].device_types.contains(&DeviceType::Pi3));
         assert!(t1.iter().all(|s| s.len() == 4));
     }
@@ -231,7 +301,9 @@ mod tests {
         assert_eq!(t2.len(), 4);
         assert_eq!(t2[0].bandwidths_mbps, vec![50.0, 50.0, 200.0, 200.0]);
         assert_eq!(t2[3].bandwidths_mbps, vec![50.0, 100.0, 200.0, 300.0]);
-        assert!(t2.iter().all(|s| s.device_types.iter().all(|d| *d == DeviceType::Nano)));
+        assert!(t2
+            .iter()
+            .all(|s| s.device_types.iter().all(|d| *d == DeviceType::Nano)));
     }
 
     #[test]
@@ -243,7 +315,11 @@ mod tests {
         assert!(lc.bandwidths_mbps.iter().all(|&b| (b - 200.0).abs() < 1e-9));
         let lb = Scenario::group_lb();
         // LB pairs the fastest device with the slowest link.
-        let xavier_idx = lb.device_types.iter().position(|d| *d == DeviceType::Xavier).unwrap();
+        let xavier_idx = lb
+            .device_types
+            .iter()
+            .position(|d| *d == DeviceType::Xavier)
+            .unwrap();
         assert_eq!(lb.bandwidths_mbps[xavier_idx], 50.0);
     }
 

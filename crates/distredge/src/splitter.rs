@@ -119,13 +119,22 @@ pub fn osds_train(
     config: &OsdsConfig,
     warm_start: Option<DdpgAgent>,
 ) -> Result<OsdsOutcome> {
-    assert!(env.num_devices() >= 2, "OSDS needs at least two service providers");
+    assert!(
+        env.num_devices() >= 2,
+        "OSDS needs at least two service providers"
+    );
     let state_dim = env.state_dim();
     let action_dim = env.action_dim();
     let mut agent = match warm_start {
         Some(a) => {
-            assert_eq!(a.state_dim, state_dim, "warm-start agent state dim mismatch");
-            assert_eq!(a.action_dim, action_dim, "warm-start agent action dim mismatch");
+            assert_eq!(
+                a.state_dim, state_dim,
+                "warm-start agent state dim mismatch"
+            );
+            assert_eq!(
+                a.action_dim, action_dim,
+                "warm-start agent action dim mismatch"
+            );
             a
         }
         None => DdpgAgent::new(state_dim, action_dim, config.ddpg),
@@ -321,7 +330,11 @@ mod tests {
         assert!(outcome.best_latency_ms.is_finite() && outcome.best_latency_ms > 0.0);
         // The best latency can only improve on the training curve (it may
         // come from one of the scripted special-case episodes).
-        let min = outcome.episode_latencies_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = outcome
+            .episode_latencies_ms
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(outcome.best_latency_ms <= min + 1e-9);
         assert!(!outcome.best_actor_params.is_empty());
     }

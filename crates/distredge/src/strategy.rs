@@ -42,7 +42,9 @@ impl DistributionStrategy {
             )));
         }
         if num_devices == 0 {
-            return Err(DistrError::InvalidConfig("a strategy needs at least one device".into()));
+            return Err(DistrError::InvalidConfig(
+                "a strategy needs at least one device".into(),
+            ));
         }
         for split in &splits {
             if split.num_parts() != num_devices {
@@ -53,7 +55,12 @@ impl DistributionStrategy {
                 )));
             }
         }
-        Ok(Self { method: method.into(), scheme, splits, num_devices })
+        Ok(Self {
+            method: method.into(),
+            scheme,
+            splits,
+            num_devices,
+        })
     }
 
     /// Lowers the strategy into an executable plan for the simulator.
@@ -71,7 +78,10 @@ impl DistributionStrategy {
     /// every assigned split-part plus peak activation bands) — lets a
     /// deployment check the paper's §VI-4 "memory is not a constraint"
     /// argument, or enforce a budget on genuinely small devices.
-    pub fn memory_footprints(&self, model: &Model) -> Result<Vec<cnn_model::memory::MemoryFootprint>> {
+    pub fn memory_footprints(
+        &self,
+        model: &Model,
+    ) -> Result<Vec<cnn_model::memory::MemoryFootprint>> {
         let mut volumes = Vec::with_capacity(self.scheme.num_volumes());
         for (volume, split) in self.scheme.volumes().iter().zip(&self.splits) {
             volumes.push(cnn_model::PartPlan::plan_all(model, *volume, split)?);
@@ -108,7 +118,11 @@ mod tests {
         Model::new(
             "t",
             Shape::new(3, 32, 32),
-            &[LayerOp::conv(8, 3, 1, 1), LayerOp::pool(2, 2), LayerOp::conv(8, 3, 1, 1)],
+            &[
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(8, 3, 1, 1),
+            ],
         )
         .unwrap()
     }
@@ -132,7 +146,8 @@ mod tests {
     fn new_validates_device_count() {
         let m = model();
         let scheme = PartitionScheme::single_volume(&m);
-        let bad = DistributionStrategy::new("t", scheme.clone(), vec![VolumeSplit::equal(3, 16)], 2);
+        let bad =
+            DistributionStrategy::new("t", scheme.clone(), vec![VolumeSplit::equal(3, 16)], 2);
         assert!(bad.is_err());
         let zero = DistributionStrategy::new("t", scheme, vec![VolumeSplit::equal(1, 16)], 0);
         assert!(zero.is_err());

@@ -1,0 +1,438 @@
+//! The provider worker: the paper's three-thread receive / compute / send
+//! pipeline (§V-A), one worker per device.
+//!
+//! * the **receive** thread drains the device's transport inbox, decodes
+//!   frames and hands them to compute — so the wire never waits on a kernel;
+//! * the **compute** thread assembles input bands (halo rows may arrive from
+//!   several peers), runs the split-part kernels via
+//!   `cnn_model::exec::run_part_on_band`, and chains locally-satisfied
+//!   stages without touching the transport;
+//! * the **send** thread slices each computed band into per-destination
+//!   overlap rows and pushes them out — so a slow link never blocks the next
+//!   kernel.
+//!
+//! Frames for different images interleave freely, which is what makes the
+//! requester's multi-image streaming genuine pipelining.
+
+use crate::routing::{overlap, RouteTable};
+use crate::transport::FrameTx;
+use crate::wire::{Frame, FrameKind};
+use crate::{Result, RuntimeError};
+use cnn_model::exec::{self, ModelWeights};
+use cnn_model::Model;
+use edgesim::Endpoint;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use tensor::slice::slice_rows;
+use tensor::{Shape, Tensor};
+
+/// Configuration shared by every worker of one runtime execution.
+pub struct Shared {
+    /// The model being served.
+    pub model: Model,
+    /// Its deterministic weights (every provider preloads the full set; a
+    /// real deployment would ship only the layers of its parts).
+    pub weights: ModelWeights,
+    /// The precomputed routing table.
+    pub route: RouteTable,
+}
+
+/// An in-progress input band: rows arrive from several sources (peers, the
+/// requester, the local compute chain) and are stitched in place.
+pub(crate) struct Assembly {
+    needed: (usize, usize),
+    band: Tensor,
+    covered_rows: usize,
+}
+
+impl Assembly {
+    pub(crate) fn new(c: usize, w: usize, needed: (usize, usize)) -> Self {
+        Self {
+            needed,
+            band: Tensor::zeros(Shape::new(c, needed.1 - needed.0, w)),
+            covered_rows: 0,
+        }
+    }
+
+    /// Copies `rows` (full coordinates starting at `row_lo`) into the band.
+    /// Sources are disjoint by construction, so coverage is a row count.
+    pub(crate) fn insert(&mut self, row_lo: usize, rows: &Tensor) -> Result<()> {
+        let [c, h, w] = rows.shape();
+        let [bc, bh, bw] = self.band.shape();
+        if c != bc || w != bw {
+            return Err(RuntimeError::Execution(format!(
+                "band geometry mismatch: got [{c}, {h}, {w}], assembling [{bc}, {bh}, {bw}]"
+            )));
+        }
+        let lo = row_lo;
+        let hi = row_lo + h;
+        if lo < self.needed.0 || hi > self.needed.1 {
+            return Err(RuntimeError::Execution(format!(
+                "rows {lo}..{hi} outside needed {}..{}",
+                self.needed.0, self.needed.1
+            )));
+        }
+        let dst_lo = lo - self.needed.0;
+        for ch in 0..c {
+            let src = rows.channel(ch);
+            let dst_start = (ch * bh + dst_lo) * bw;
+            self.band.data_mut()[dst_start..dst_start + h * w].copy_from_slice(src);
+        }
+        self.covered_rows += h;
+        Ok(())
+    }
+
+    pub(crate) fn complete(&self) -> bool {
+        self.covered_rows >= self.needed.1 - self.needed.0
+    }
+
+    pub(crate) fn into_band(self) -> Tensor {
+        self.band
+    }
+}
+
+/// Receive-thread counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecvStats {
+    /// Frames taken off the transport.
+    pub frames_in: u64,
+    /// Encoded bytes taken off the transport.
+    pub bytes_in: u64,
+}
+
+/// Compute-thread counters.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeStats {
+    /// Total kernel time.
+    pub compute_ms: f64,
+    /// Kernel time per volume.
+    pub per_volume_ms: Vec<f64>,
+    /// Images whose part of each volume this device computed.
+    pub per_volume_images: Vec<u64>,
+    /// FC-head kernel time (head device only).
+    pub head_ms: f64,
+    /// Images whose head this device computed.
+    pub head_images: u64,
+    /// High-water mark of distinct images simultaneously in assembly —
+    /// direct evidence of cross-image pipelining on this device.
+    pub max_concurrent_images: usize,
+}
+
+/// Send-thread counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendStats {
+    /// Wall time spent inside `FrameTx::send` (wire + shaping time).
+    pub tx_ms: f64,
+    /// Frames pushed to peers / the requester.
+    pub frames_out: u64,
+    /// Encoded bytes pushed.
+    pub bytes_out: u64,
+}
+
+/// Join handles of one provider's three threads.
+pub struct ProviderHandle {
+    pub(crate) recv: JoinHandle<Result<RecvStats>>,
+    pub(crate) comp: JoinHandle<Result<ComputeStats>>,
+    pub(crate) send: JoinHandle<Result<SendStats>>,
+}
+
+enum OutMsg {
+    /// A computed volume-output band to distribute (stage = the volume).
+    Band {
+        image: u32,
+        stage: usize,
+        band: Arc<Tensor>,
+    },
+    /// The FC-head output, heading to the requester.
+    HeadResult { image: u32, tensor: Tensor },
+}
+
+/// Spawns the three threads of provider `d`.
+pub fn spawn_provider(
+    d: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<Vec<u8>>,
+    txs: HashMap<Endpoint, Box<dyn FrameTx>>,
+) -> ProviderHandle {
+    let (to_comp, comp_rx) = channel::<Frame>();
+    let (to_send, send_rx) = channel::<OutMsg>();
+
+    let recv = std::thread::Builder::new()
+        .name(format!("edge-rt-recv-{d}"))
+        .spawn(move || receive_loop(inbox, to_comp))
+        .expect("spawn receive thread");
+
+    let comp_shared = Arc::clone(&shared);
+    let comp = std::thread::Builder::new()
+        .name(format!("edge-rt-comp-{d}"))
+        .spawn(move || compute_loop(d, comp_shared, comp_rx, to_send))
+        .expect("spawn compute thread");
+
+    let send = std::thread::Builder::new()
+        .name(format!("edge-rt-send-{d}"))
+        .spawn(move || send_loop(d, shared, send_rx, txs))
+        .expect("spawn send thread");
+
+    ProviderHandle { recv, comp, send }
+}
+
+fn receive_loop(inbox: Receiver<Vec<u8>>, to_comp: Sender<Frame>) -> Result<RecvStats> {
+    let mut stats = RecvStats::default();
+    while let Ok(bytes) = inbox.recv() {
+        stats.frames_in += 1;
+        stats.bytes_in += bytes.len() as u64;
+        let frame = Frame::decode(&bytes)?;
+        let halt = frame.kind == FrameKind::Halt;
+        if to_comp.send(frame).is_err() {
+            break; // Compute died; stop pumping.
+        }
+        if halt {
+            break;
+        }
+    }
+    Ok(stats)
+}
+
+struct ComputeState {
+    d: usize,
+    shared: Arc<Shared>,
+    assemblies: HashMap<(u32, u32), Assembly>,
+    /// Open-assembly count per image — tracked incrementally so the
+    /// high-water mark costs O(1) per frame, not a scan of all assemblies.
+    open_images: HashMap<u32, usize>,
+    to_send: Sender<OutMsg>,
+    stats: ComputeStats,
+}
+
+fn compute_loop(
+    d: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<Frame>,
+    to_send: Sender<OutMsg>,
+) -> Result<ComputeStats> {
+    let num_volumes = shared.route.num_volumes;
+    let mut state = ComputeState {
+        d,
+        shared,
+        assemblies: HashMap::new(),
+        open_images: HashMap::new(),
+        to_send,
+        stats: ComputeStats {
+            per_volume_ms: vec![0.0; num_volumes],
+            per_volume_images: vec![0; num_volumes],
+            ..ComputeStats::default()
+        },
+    };
+    while let Ok(frame) = rx.recv() {
+        match frame.kind {
+            FrameKind::Halt => break,
+            FrameKind::Rows => state.handle_rows(frame)?,
+            FrameKind::Result => {
+                return Err(RuntimeError::Execution(format!(
+                    "provider {d} received a Result frame"
+                )))
+            }
+        }
+    }
+    Ok(state.stats)
+}
+
+impl ComputeState {
+    /// Inserts rows into the (image, stage) assembly; if that completes the
+    /// band, runs the compute chain from there.
+    fn handle_rows(&mut self, frame: Frame) -> Result<()> {
+        let image = frame.image;
+        let stage = frame.stage as usize;
+        if let Some(band) = self.insert(image, stage, frame.row_lo as usize, &frame.tensor)? {
+            self.run_chain(image, stage, band)?;
+        }
+        Ok(())
+    }
+
+    fn insert(
+        &mut self,
+        image: u32,
+        stage: usize,
+        row_lo: usize,
+        rows: &Tensor,
+    ) -> Result<Option<Tensor>> {
+        let needed = self
+            .shared
+            .route
+            .stage_needs(stage, self.d)
+            .ok_or_else(|| {
+                RuntimeError::Execution(format!(
+                    "device {} received rows for stage {stage} it does not participate in",
+                    self.d
+                ))
+            })?;
+        let (c, w) = self.shared.route.stage_geom(stage);
+        let key = (image, stage as u32);
+        let asm = match self.assemblies.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                *self.open_images.entry(image).or_insert(0) += 1;
+                self.stats.max_concurrent_images =
+                    self.stats.max_concurrent_images.max(self.open_images.len());
+                e.insert(Assembly::new(c, w, needed))
+            }
+        };
+        asm.insert(row_lo, rows)?;
+        if asm.complete() {
+            let asm = self.assemblies.remove(&key).expect("present");
+            if let Some(count) = self.open_images.get_mut(&image) {
+                *count -= 1;
+                if *count == 0 {
+                    self.open_images.remove(&image);
+                }
+            }
+            Ok(Some(asm.into_band()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Runs the kernels for `stage`, forwards the output, and keeps going
+    /// through any later stage this device can now complete locally.
+    fn run_chain(&mut self, image: u32, mut stage: usize, mut band: Tensor) -> Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let route = &shared.route;
+        let finish = route.num_volumes;
+        loop {
+            if stage == finish {
+                // Head gather complete: run the FC head, return the result.
+                let t0 = Instant::now();
+                let out = exec::run_head(&self.shared.model, &self.shared.weights, &band)?;
+                self.stats.head_ms += t0.elapsed().as_secs_f64() * 1e3;
+                self.stats.head_images += 1;
+                self.to_send
+                    .send(OutMsg::HeadResult { image, tensor: out })
+                    .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
+                return Ok(());
+            }
+
+            let part = &route.parts[stage][self.d];
+            let t0 = Instant::now();
+            let out = exec::run_part_on_band(&self.shared.model, &self.shared.weights, part, band)?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            self.stats.compute_ms += ms;
+            self.stats.per_volume_ms[stage] += ms;
+            self.stats.per_volume_images[stage] += 1;
+
+            let out = Arc::new(out);
+            let out_range = part.output_rows;
+            self.to_send
+                .send(OutMsg::Band {
+                    image,
+                    stage,
+                    band: Arc::clone(&out),
+                })
+                .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
+
+            // Keep whatever the next stage needs from us locally.
+            let next = stage + 1;
+            let Some(need) = route.stage_needs(next, self.d) else {
+                return Ok(());
+            };
+            let Some((lo, hi)) = overlap(out_range, need) else {
+                return Ok(());
+            };
+            let local = slice_rows(&out, lo - out_range.0, hi - out_range.0)?;
+            match self.insert(image, next, lo, &local)? {
+                Some(next_band) => {
+                    stage = next;
+                    band = next_band;
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
+fn send_loop(
+    d: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<OutMsg>,
+    mut txs: HashMap<Endpoint, Box<dyn FrameTx>>,
+) -> Result<SendStats> {
+    let mut stats = SendStats::default();
+    let timed_send = |txs: &mut HashMap<Endpoint, Box<dyn FrameTx>>,
+                      to: Endpoint,
+                      frame: &Frame,
+                      stats: &mut SendStats|
+     -> Result<()> {
+        let tx = txs
+            .get_mut(&to)
+            .ok_or_else(|| RuntimeError::Transport(format!("device {d} has no link to {to:?}")))?;
+        let t0 = Instant::now();
+        let n = tx.send(frame)?;
+        stats.tx_ms += t0.elapsed().as_secs_f64() * 1e3;
+        stats.frames_out += 1;
+        stats.bytes_out += n as u64;
+        Ok(())
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            OutMsg::Band { image, stage, band } => {
+                let out_lo = shared.route.out_ranges[stage][d].0;
+                for target in shared.route.send_targets(stage, d) {
+                    let (lo, hi) = target.rows;
+                    let rows = slice_rows(&band, lo - out_lo, hi - out_lo)?;
+                    let frame = Frame {
+                        kind: target.kind,
+                        image,
+                        stage: target.stage,
+                        row_lo: lo as u32,
+                        tensor: rows,
+                    };
+                    timed_send(&mut txs, target.to, &frame, &mut stats)?;
+                }
+            }
+            OutMsg::HeadResult { image, tensor } => {
+                let frame = Frame {
+                    kind: FrameKind::Result,
+                    image,
+                    stage: shared.route.finish_stage(),
+                    row_lo: 0,
+                    tensor,
+                };
+                timed_send(&mut txs, Endpoint::Requester, &frame, &mut stats)?;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_stitches_disjoint_spans() {
+        let mut asm = Assembly::new(2, 3, (4, 10));
+        assert!(!asm.complete());
+        let top = Tensor::from_fn([2, 2, 3], |c, y, x| (100 * c + 10 * y + x) as f32);
+        let bottom = Tensor::from_fn([2, 4, 3], |c, y, x| -((100 * c + 10 * y + x) as f32));
+        asm.insert(4, &top).unwrap();
+        assert!(!asm.complete());
+        asm.insert(6, &bottom).unwrap();
+        assert!(asm.complete());
+        let band = asm.into_band();
+        assert_eq!(band.shape(), [2, 6, 3]);
+        assert_eq!(band.get(0, 0, 1), 1.0); // top row 4 -> local row 0
+        assert_eq!(band.get(1, 2, 0), -100.0); // bottom row 6 -> local row 2
+    }
+
+    #[test]
+    fn assembly_rejects_out_of_range_rows() {
+        let mut asm = Assembly::new(1, 2, (0, 4));
+        let rows = Tensor::zeros([1, 2, 2]);
+        assert!(asm.insert(3, &rows).is_err()); // 3..5 leaves needed 0..4
+        let wrong_w = Tensor::zeros([1, 1, 3]);
+        assert!(asm.insert(0, &wrong_w).is_err());
+    }
+}

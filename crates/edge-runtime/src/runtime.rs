@@ -1,0 +1,475 @@
+//! The requester driver: streams images through the provider workers and
+//! assembles the measurement.
+//!
+//! The requester plays the phone of the paper's testbed: it scatters each
+//! image's input rows to the providers that need them, keeps up to
+//! `max_in_flight` images in the pipeline, stitches result rows back
+//! together, and timestamps everything.
+
+use crate::provider::{spawn_provider, Assembly, ProviderHandle, Shared};
+use crate::report::{DeviceMetrics, RuntimeReport};
+use crate::routing::RouteTable;
+use crate::transport::{ChannelTransport, FrameTx, Transport};
+use crate::wire::{Frame, FrameKind};
+use crate::{Result, RuntimeError};
+use cnn_model::exec::ModelWeights;
+use cnn_model::Model;
+use edgesim::{Endpoint, ExecutionPlan, SimReport};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor::slice::slice_rows;
+use tensor::Tensor;
+
+/// Options of a runtime execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Maximum images in flight at once.  `1` reproduces the paper's (and
+    /// the simulator's) closed loop — the requester waits for each result
+    /// before sending the next image; larger values pipeline.
+    pub max_in_flight: usize,
+    /// How long the requester waits for any single result frame before
+    /// declaring the cluster wedged.
+    pub recv_timeout: Duration,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 4,
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What an execution returns: the measurement and the per-image outputs.
+pub struct RuntimeOutcome {
+    /// Measured metrics.
+    pub report: RuntimeReport,
+    /// Final output tensor of every image, in stream order: the FC-head
+    /// output for models with a head, the stitched last-volume feature map
+    /// otherwise.
+    pub outputs: Vec<Tensor>,
+}
+
+/// Executes `plan` over the in-process channel fabric.
+pub fn execute_in_process(
+    model: &Model,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    images: &[Tensor],
+    options: &RuntimeOptions,
+) -> Result<RuntimeOutcome> {
+    let n = plan.volumes.first().map(|v| v.parts.len()).unwrap_or(0);
+    let mut transport = ChannelTransport::new(n);
+    execute(model, plan, weights, images, &mut transport, options)
+}
+
+/// Executes `plan` on concurrent provider workers over `transport`.
+pub fn execute(
+    model: &Model,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    images: &[Tensor],
+    transport: &mut dyn Transport,
+    options: &RuntimeOptions,
+) -> Result<RuntimeOutcome> {
+    if images.is_empty() {
+        return Err(RuntimeError::Execution("no images to stream".into()));
+    }
+    if options.max_in_flight == 0 {
+        return Err(RuntimeError::Execution(
+            "max_in_flight must be at least 1".into(),
+        ));
+    }
+    let input_shape = model.input();
+    for (i, img) in images.iter().enumerate() {
+        if img.shape() != input_shape.as_array() {
+            return Err(RuntimeError::Execution(format!(
+                "image {i} has shape {:?}, model expects {:?}",
+                img.shape(),
+                input_shape.as_array()
+            )));
+        }
+    }
+
+    let route = RouteTable::new(model, plan)?;
+    let n = route.num_devices;
+    let shared = Arc::new(Shared {
+        model: model.clone(),
+        weights: weights.clone(),
+        route: route.clone(),
+    });
+
+    // Wire up the fabric: requester inbox first, then one worker per device
+    // with links to every peer and back to the requester.
+    let requester_inbox = transport.inbox(Endpoint::Requester)?;
+    let mut handles: Vec<ProviderHandle> = Vec::with_capacity(n);
+    for d in 0..n {
+        let inbox = transport.inbox(Endpoint::Device(d))?;
+        let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
+        for peer in 0..n {
+            if peer != d {
+                txs.insert(
+                    Endpoint::Device(peer),
+                    transport.open(Endpoint::Device(d), Endpoint::Device(peer))?,
+                );
+            }
+        }
+        txs.insert(
+            Endpoint::Requester,
+            transport.open(Endpoint::Device(d), Endpoint::Requester)?,
+        );
+        handles.push(spawn_provider(d, Arc::clone(&shared), inbox, txs));
+    }
+    let mut requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
+        .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
+        .collect::<Result<_>>()?;
+
+    // Stream.
+    let scatter = route.scatter_targets();
+    let total = images.len();
+    let finish_stage = route.finish_stage();
+    let (result_c, result_w) = route.stage_geom(finish_stage as usize);
+    let has_head = route.head_device.is_some();
+
+    let mut scatter_ms = vec![0.0f64; n];
+    let mut latencies_ms = vec![0.0f64; total];
+    let mut starts: Vec<Option<Instant>> = vec![None; total];
+    let mut outputs: Vec<Option<Tensor>> = (0..total).map(|_| None).collect();
+    let mut result_asms: HashMap<u32, Assembly> = HashMap::new();
+    let mut sent = 0usize;
+    let mut completed = 0usize;
+    let mut max_in_flight_observed = 0usize;
+    let t_start = Instant::now();
+
+    // The stream loop runs inside a closure so the shutdown path below
+    // (halt + join) executes even when streaming fails — otherwise provider
+    // threads leak mid-error and a TcpTransport drop would deadlock on its
+    // reader threads.
+    let stream_result = (|| -> Result<()> {
+        while completed < total {
+            // Fill the pipeline.
+            while sent < total && sent - completed < options.max_in_flight {
+                let image = sent;
+                starts[image] = Some(Instant::now());
+                for &(d, (lo, hi)) in &scatter {
+                    let rows = slice_rows(&images[image], lo, hi)?;
+                    let frame = Frame {
+                        kind: FrameKind::Rows,
+                        image: image as u32,
+                        stage: 0,
+                        row_lo: lo as u32,
+                        tensor: rows,
+                    };
+                    let t0 = Instant::now();
+                    requester_txs[d].send(&frame)?;
+                    scatter_ms[d] += t0.elapsed().as_secs_f64() * 1e3;
+                }
+                sent += 1;
+                max_in_flight_observed = max_in_flight_observed.max(sent - completed);
+            }
+
+            // Wait for result rows.
+            let bytes = requester_inbox
+                .recv_timeout(options.recv_timeout)
+                .map_err(|_| RuntimeError::Transport("timed out waiting for results".into()))?;
+            let frame = Frame::decode(&bytes)?;
+            if frame.kind != FrameKind::Result {
+                return Err(RuntimeError::Execution(format!(
+                    "requester received unexpected {:?} frame",
+                    frame.kind
+                )));
+            }
+            let image = frame.image as usize;
+            if image >= total || outputs[image].is_some() {
+                return Err(RuntimeError::Execution(format!(
+                    "duplicate result for image {image}"
+                )));
+            }
+            let done = if has_head {
+                // The head output arrives whole.
+                Some(frame.tensor)
+            } else {
+                let asm = result_asms
+                    .entry(frame.image)
+                    .or_insert_with(|| Assembly::new(result_c, result_w, (0, route.last_height)));
+                asm.insert(frame.row_lo as usize, &frame.tensor)?;
+                if asm.complete() {
+                    Some(
+                        result_asms
+                            .remove(&frame.image)
+                            .expect("present")
+                            .into_band(),
+                    )
+                } else {
+                    None
+                }
+            };
+            if let Some(out) = done {
+                outputs[image] = Some(out);
+                let start = starts[image].expect("result for an image never sent");
+                latencies_ms[image] = start.elapsed().as_secs_f64() * 1e3;
+                completed += 1;
+            }
+        }
+        Ok(())
+    })();
+    let wall_ms = t_start.elapsed().as_secs_f64() * 1e3;
+
+    // Shutdown runs on both the success and the error path: halt every
+    // provider (best effort — a dead peer cannot be halted twice) and join
+    // all worker threads, so no thread outlives this call.
+    let mut shutdown_err: Option<RuntimeError> = None;
+    for tx in &mut requester_txs {
+        if let Err(e) = tx.send(&Frame::halt()) {
+            shutdown_err.get_or_insert(e);
+        }
+    }
+    let mut devices = Vec::with_capacity(n);
+    for (d, handle) in handles.into_iter().enumerate() {
+        let recv = join_worker(handle.recv, d, "receive");
+        let comp = join_worker(handle.comp, d, "compute");
+        let send = join_worker(handle.send, d, "send");
+        match (recv, comp, send) {
+            (Ok(recv), Ok(comp), Ok(send)) => devices.push(DeviceMetrics {
+                compute_ms: comp.compute_ms + comp.head_ms,
+                tx_ms: send.tx_ms,
+                scatter_ms: scatter_ms[d],
+                per_volume_ms: comp.per_volume_ms,
+                per_volume_images: comp.per_volume_images,
+                head_ms: comp.head_ms,
+                head_images: comp.head_images,
+                frames_in: recv.frames_in,
+                bytes_in: recv.bytes_in,
+                frames_out: send.frames_out,
+                bytes_out: send.bytes_out,
+                max_concurrent_images: comp.max_concurrent_images,
+            }),
+            (recv, comp, send) => {
+                for e in [recv.err(), comp.err(), send.err()].into_iter().flatten() {
+                    shutdown_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    // Streaming errors outrank shutdown collateral: they are the cause.
+    stream_result?;
+    if let Some(e) = shutdown_err {
+        return Err(e);
+    }
+
+    let compute_totals: Vec<f64> = devices.iter().map(|m| m.compute_ms).collect();
+    let tx_totals: Vec<f64> = devices.iter().map(|m| m.tx_ms + m.scatter_ms).collect();
+    let sim = SimReport::from_raw(latencies_ms, compute_totals, tx_totals);
+    let measured_ips = if wall_ms > 0.0 {
+        total as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+
+    let outputs: Vec<Tensor> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| o.ok_or_else(|| RuntimeError::Execution(format!("image {i} never finished"))))
+        .collect::<Result<_>>()?;
+
+    Ok(RuntimeOutcome {
+        report: RuntimeReport {
+            sim,
+            images: total,
+            wall_ms,
+            measured_ips,
+            max_in_flight_observed,
+            devices,
+        },
+        outputs,
+    })
+}
+
+fn join_worker<T>(handle: std::thread::JoinHandle<Result<T>>, d: usize, role: &str) -> Result<T> {
+    handle
+        .join()
+        .map_err(|_| RuntimeError::WorkerPanic(format!("device {d} {role} thread")))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_model::exec::{self, deterministic_input};
+    use cnn_model::{LayerOp, PartitionScheme, VolumeSplit};
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "runtime-test",
+            Shape::new(2, 24, 16),
+            &[
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::conv(6, 3, 1, 1),
+                LayerOp::fc(5),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn split_plan(m: &Model, devices: usize) -> ExecutionPlan {
+        let scheme = PartitionScheme::new(m, vec![0, 3, 4]).unwrap();
+        let splits: Vec<VolumeSplit> = scheme
+            .volumes()
+            .iter()
+            .map(|v| VolumeSplit::equal(devices, v.last_output_height(m)))
+            .collect();
+        ExecutionPlan::from_splits(m, &scheme, &splits, devices).unwrap()
+    }
+
+    fn reference_output(m: &Model, weights: &ModelWeights, input: &Tensor) -> Tensor {
+        let outs = exec::run_full(m, weights, input).unwrap();
+        outs.last().unwrap().clone()
+    }
+
+    #[test]
+    fn distributed_output_is_bit_exact() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 3);
+        let images: Vec<Tensor> = (0..3).map(|i| deterministic_input(&m, 100 + i)).collect();
+        let plan = split_plan(&m, 3);
+        let outcome =
+            execute_in_process(&m, &plan, &weights, &images, &RuntimeOptions::default()).unwrap();
+        assert_eq!(outcome.outputs.len(), 3);
+        for (img, out) in images.iter().zip(&outcome.outputs) {
+            let reference = reference_output(&m, &weights, img);
+            assert_eq!(
+                out, &reference,
+                "distributed output differs from single-device"
+            );
+        }
+    }
+
+    #[test]
+    fn headless_model_stitches_rows_at_requester() {
+        let m = Model::new(
+            "nohead",
+            Shape::new(2, 16, 12),
+            &[LayerOp::conv(3, 3, 1, 1), LayerOp::pool(2, 2)],
+        )
+        .unwrap();
+        let weights = ModelWeights::deterministic(&m, 5);
+        let images = vec![deterministic_input(&m, 9)];
+        let scheme = PartitionScheme::single_volume(&m);
+        let split = VolumeSplit::equal(2, m.prefix_output().h);
+        let plan = ExecutionPlan::from_splits(&m, &scheme, &[split], 2).unwrap();
+        let outcome =
+            execute_in_process(&m, &plan, &weights, &images, &RuntimeOptions::default()).unwrap();
+        let reference = reference_output(&m, &weights, &images[0]);
+        assert_eq!(outcome.outputs[0], reference);
+    }
+
+    #[test]
+    fn offload_plan_runs_on_one_device() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 1);
+        let images = vec![deterministic_input(&m, 2)];
+        let plan = ExecutionPlan::offload(&m, 1, 3).unwrap();
+        let outcome =
+            execute_in_process(&m, &plan, &weights, &images, &RuntimeOptions::default()).unwrap();
+        let reference = reference_output(&m, &weights, &images[0]);
+        assert_eq!(outcome.outputs[0], reference);
+        // Only device 1 computed anything.
+        assert!(outcome.report.devices[1].compute_ms > 0.0);
+        assert_eq!(outcome.report.devices[0].frames_in, 1); // halt only
+        assert_eq!(outcome.report.devices[2].frames_in, 1);
+    }
+
+    #[test]
+    fn pipelining_keeps_multiple_images_in_flight() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 7);
+        let images: Vec<Tensor> = (0..6).map(|i| deterministic_input(&m, i)).collect();
+        let plan = split_plan(&m, 2);
+        let opts = RuntimeOptions {
+            max_in_flight: 4,
+            ..RuntimeOptions::default()
+        };
+        let outcome = execute_in_process(&m, &plan, &weights, &images, &opts).unwrap();
+        assert!(
+            outcome.report.max_in_flight_observed >= 2,
+            "expected pipelining, saw {} in flight",
+            outcome.report.max_in_flight_observed
+        );
+    }
+
+    #[test]
+    fn closed_loop_keeps_one_image_in_flight() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 7);
+        let images: Vec<Tensor> = (0..3).map(|i| deterministic_input(&m, i)).collect();
+        let plan = split_plan(&m, 2);
+        let opts = RuntimeOptions {
+            max_in_flight: 1,
+            ..RuntimeOptions::default()
+        };
+        let outcome = execute_in_process(&m, &plan, &weights, &images, &opts).unwrap();
+        assert_eq!(outcome.report.max_in_flight_observed, 1);
+        for d in &outcome.report.devices {
+            assert!(d.max_concurrent_images <= 1);
+        }
+    }
+
+    #[test]
+    fn streaming_error_still_shuts_workers_down() {
+        // A mid-stream failure (here: an absurdly short result timeout) must
+        // not leak worker threads — over TCP a leaked worker would deadlock
+        // the transport's Drop on its reader threads.
+        use crate::transport::TcpTransport;
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 31);
+        let images: Vec<Tensor> = (0..3).map(|i| deterministic_input(&m, i)).collect();
+        let plan = split_plan(&m, 2);
+        let opts = RuntimeOptions {
+            max_in_flight: 2,
+            recv_timeout: Duration::from_micros(1),
+        };
+        let mut tcp = TcpTransport::new(2).unwrap();
+        let result = execute(&m, &plan, &weights, &images, &mut tcp, &opts);
+        assert!(result.is_err(), "a 1µs result timeout must fail");
+        // The real assertion: dropping the transport completes instead of
+        // hanging on leaked reader threads (the test harness would time out).
+        drop(tcp);
+    }
+
+    #[test]
+    fn rejects_bad_input_shape() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 7);
+        let images = vec![Tensor::zeros([1, 2, 3])];
+        let plan = split_plan(&m, 2);
+        let err = execute_in_process(&m, &plan, &weights, &images, &RuntimeOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 11);
+        let images: Vec<Tensor> = (0..4).map(|i| deterministic_input(&m, i)).collect();
+        let plan = split_plan(&m, 2);
+        let outcome =
+            execute_in_process(&m, &plan, &weights, &images, &RuntimeOptions::default()).unwrap();
+        let r = &outcome.report;
+        assert_eq!(r.sim.per_image_latency_ms.len(), 4);
+        assert!(r.sim.ips > 0.0);
+        assert!(r.measured_ips > 0.0);
+        assert_eq!(r.devices.len(), 2);
+        // Every device computed all four images of both volumes.
+        for d in &r.devices {
+            assert_eq!(d.per_volume_images, vec![4, 4]);
+            assert!(d.compute_ms > 0.0);
+        }
+        // The head ran on exactly one device.
+        let heads: u64 = r.devices.iter().map(|d| d.head_images).sum();
+        assert_eq!(heads, 4);
+    }
+}

@@ -1,0 +1,425 @@
+//! Transports: how frames move between the requester and the providers.
+//!
+//! The runtime only ever sees [`Transport`]: a fabric that opens directed
+//! [`FrameTx`] handles and hands out per-endpoint inboxes of encoded frames.
+//! Two fabrics are provided — an in-process channel fabric (the default,
+//! zero-copy apart from encode/decode) and a loopback-TCP fabric that
+//! pushes every frame through real sockets — plus [`ShapedTransport`], a
+//! decorator that paces sends with a token-bucket driven by `netsim`
+//! bandwidth traces so a laptop can reproduce the testbed's shaped WiFi.
+
+use crate::wire::Frame;
+use crate::{Result, RuntimeError};
+use edgesim::{Cluster, Endpoint};
+use netsim::BandwidthTrace;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sending half of a directed link.  Implementations serialize the frame
+/// onto their medium; the returned value is the encoded byte count.
+pub trait FrameTx: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<usize>;
+}
+
+/// A fabric connecting the requester and the providers.
+pub trait Transport {
+    /// Opens the directed link `from -> to`.
+    fn open(&mut self, from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>>;
+
+    /// Takes the inbox of `at`: every frame any peer sends to `at`, encoded.
+    /// Each endpoint's inbox can be taken once.
+    fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process channels
+// ---------------------------------------------------------------------------
+
+/// The default fabric: one mpsc channel per endpoint, frames byte-encoded so
+/// the wire format is exercised even in process.
+pub struct ChannelTransport {
+    senders: HashMap<Endpoint, Sender<Vec<u8>>>,
+    receivers: HashMap<Endpoint, Receiver<Vec<u8>>>,
+}
+
+impl ChannelTransport {
+    /// A fabric for `num_devices` providers plus the requester.
+    pub fn new(num_devices: usize) -> Self {
+        let mut senders = HashMap::new();
+        let mut receivers = HashMap::new();
+        let mut add = |ep: Endpoint| {
+            let (tx, rx) = channel();
+            senders.insert(ep, tx);
+            receivers.insert(ep, rx);
+        };
+        add(Endpoint::Requester);
+        for d in 0..num_devices {
+            add(Endpoint::Device(d));
+        }
+        Self { senders, receivers }
+    }
+}
+
+struct ChannelTx {
+    tx: Sender<Vec<u8>>,
+}
+
+impl FrameTx for ChannelTx {
+    fn send(&mut self, frame: &Frame) -> Result<usize> {
+        let bytes = frame.encode();
+        let n = bytes.len();
+        self.tx
+            .send(bytes)
+            .map_err(|_| RuntimeError::Transport("receiver endpoint is gone".into()))?;
+        Ok(n)
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn open(&mut self, _from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
+        let tx = self
+            .senders
+            .get(&to)
+            .ok_or_else(|| RuntimeError::Transport(format!("unknown endpoint {to:?}")))?
+            .clone();
+        Ok(Box::new(ChannelTx { tx }))
+    }
+
+    fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
+        self.receivers
+            .remove(&at)
+            .ok_or_else(|| RuntimeError::Transport(format!("inbox of {at:?} already taken")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback TCP
+// ---------------------------------------------------------------------------
+
+/// A fabric where every directed link is a real `TcpStream` over loopback:
+/// one listener per endpoint, one connection per `open`, and a reader thread
+/// per connection pumping length-prefixed frames into the endpoint's inbox.
+pub struct TcpTransport {
+    addrs: HashMap<Endpoint, SocketAddr>,
+    receivers: HashMap<Endpoint, Receiver<Vec<u8>>>,
+    shutdown: Arc<AtomicBool>,
+    accept_threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Binds loopback listeners for `num_devices` providers plus the
+    /// requester and starts their accept loops.
+    pub fn new(num_devices: usize) -> Result<Self> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut addrs = HashMap::new();
+        let mut receivers = HashMap::new();
+        let mut accept_threads = Vec::new();
+        let mut endpoints = vec![Endpoint::Requester];
+        endpoints.extend((0..num_devices).map(Endpoint::Device));
+        for ep in endpoints {
+            let listener = TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| RuntimeError::Transport(format!("bind failed: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| RuntimeError::Transport(format!("local_addr failed: {e}")))?;
+            let (tx, rx) = channel::<Vec<u8>>();
+            addrs.insert(ep, addr);
+            receivers.insert(ep, rx);
+            let flag = Arc::clone(&shutdown);
+            accept_threads.push(std::thread::spawn(move || {
+                accept_loop(listener, tx, flag);
+            }));
+        }
+        Ok(Self {
+            addrs,
+            receivers,
+            shutdown,
+            accept_threads,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: Sender<Vec<u8>>, shutdown: Arc<AtomicBool>) {
+    let mut readers = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { break };
+        let inbox = inbox.clone();
+        readers.push(std::thread::spawn(move || {
+            // Pump frames until the peer closes its half of the connection.
+            // Bytes are forwarded verbatim — decoding (and validation)
+            // happens once, in the endpoint's receive thread.
+            while let Ok(Some(bytes)) = read_raw_frame(&mut stream) {
+                if inbox.send(bytes).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+/// Reads one length-prefixed frame as raw bytes (prefix included), without
+/// decoding the payload.  Returns `None` on clean EOF at a frame boundary.
+fn read_raw_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>> {
+    use std::io::Read;
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(RuntimeError::Transport(format!("read failed: {e}"))),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut bytes = Vec::with_capacity(4 + len);
+    bytes.extend_from_slice(&len_buf);
+    bytes.resize(4 + len, 0);
+    stream
+        .read_exact(&mut bytes[4..])
+        .map_err(|e| RuntimeError::Transport(format!("truncated frame: {e}")))?;
+    Ok(Some(bytes))
+}
+
+struct TcpTx {
+    stream: TcpStream,
+}
+
+impl FrameTx for TcpTx {
+    fn send(&mut self, frame: &Frame) -> Result<usize> {
+        let bytes = frame.encode();
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| RuntimeError::Transport(format!("tcp write failed: {e}")))?;
+        Ok(bytes.len())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open(&mut self, _from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
+        let addr = self
+            .addrs
+            .get(&to)
+            .ok_or_else(|| RuntimeError::Transport(format!("unknown endpoint {to:?}")))?;
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| RuntimeError::Transport(format!("connect to {to:?} failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RuntimeError::Transport(format!("set_nodelay failed: {e}")))?;
+        Ok(Box::new(TcpTx { stream }))
+    }
+
+    fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
+        self.receivers
+            .remove(&at)
+            .ok_or_else(|| RuntimeError::Transport(format!("inbox of {at:?} already taken")))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake each accept loop with a throw-away connection.
+        for addr in self.addrs.values() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth shaping
+// ---------------------------------------------------------------------------
+
+/// Token-bucket pacing for one directed link: the sender blocks until the
+/// frame would have finished its wire time under the link's trace, so the
+/// receive side observes shaped-WiFi arrival times.
+struct ShapedTx {
+    inner: Box<dyn FrameTx>,
+    traces: Vec<BandwidthTrace>,
+    io_overhead_ms: f64,
+    started: Instant,
+    next_free_ms: f64,
+}
+
+impl FrameTx for ShapedTx {
+    fn send(&mut self, frame: &Frame) -> Result<usize> {
+        let bytes = frame.encoded_len() as f64;
+        let now_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        // The link is serial: a frame starts after the previous one drained.
+        let begin = now_ms.max(self.next_free_ms);
+        let mbps = self
+            .traces
+            .iter()
+            .map(|t| t.bandwidth_at(begin))
+            .fold(f64::INFINITY, f64::min)
+            .max(0.01);
+        let wire_ms = bytes / netsim::mbps_to_bytes_per_ms(mbps) + self.io_overhead_ms;
+        self.next_free_ms = begin + wire_ms;
+        let sleep_ms = self.next_free_ms - now_ms;
+        if sleep_ms > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(sleep_ms / 1e3));
+        }
+        self.inner.send(frame)
+    }
+}
+
+/// Decorates another fabric with per-link token-bucket shaping derived from
+/// a cluster's `netsim` traces.
+///
+/// A device↔device link is paced by the slower of the two devices' traces at
+/// the moment the frame departs — the same "bounded by the slower link"
+/// model the simulator uses.  Pacing is per directed pair, so simultaneous
+/// flows through one device do not yet contend (the simulator's per-link
+/// serialisation is the stronger model); treat shaped measurements as
+/// optimistic on fan-in heavy plans.
+pub struct ShapedTransport<T: Transport> {
+    inner: T,
+    device_links: Vec<(BandwidthTrace, f64)>,
+    started: Instant,
+}
+
+impl<T: Transport> ShapedTransport<T> {
+    /// Wraps `inner`, pacing each link with the matching device trace of
+    /// `cluster`.
+    pub fn new(inner: T, cluster: &Cluster) -> Self {
+        let device_links = (0..cluster.len())
+            .map(|d| {
+                let link = cluster.link(d);
+                (link.trace().clone(), link.io_overhead_ms())
+            })
+            .collect();
+        Self {
+            inner,
+            device_links,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for ShapedTransport<T> {
+    fn open(&mut self, from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
+        let inner = self.inner.open(from, to)?;
+        let mut traces = Vec::new();
+        let mut io_overhead_ms = 0.0f64;
+        for ep in [from, to] {
+            if let Endpoint::Device(d) = ep {
+                let (trace, io) = &self.device_links[d];
+                traces.push(trace.clone());
+                io_overhead_ms = io_overhead_ms.max(*io);
+            }
+        }
+        if traces.is_empty() {
+            // Requester-to-requester never happens; fall through unshaped.
+            return Ok(inner);
+        }
+        Ok(Box::new(ShapedTx {
+            inner,
+            traces,
+            io_overhead_ms,
+            started: self.started,
+            next_free_ms: 0.0,
+        }))
+    }
+
+    fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
+        self.inner.inbox(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FrameKind;
+    use tensor::Tensor;
+
+    fn frame(image: u32) -> Frame {
+        Frame {
+            kind: FrameKind::Rows,
+            image,
+            stage: 0,
+            row_lo: 0,
+            tensor: Tensor::filled([1, 2, 3], image as f32),
+        }
+    }
+
+    #[test]
+    fn channel_fabric_delivers_in_order() {
+        let mut fabric = ChannelTransport::new(2);
+        let mut tx = fabric
+            .open(Endpoint::Device(0), Endpoint::Device(1))
+            .unwrap();
+        let rx = fabric.inbox(Endpoint::Device(1)).unwrap();
+        tx.send(&frame(1)).unwrap();
+        tx.send(&frame(2)).unwrap();
+        let a = Frame::decode(&rx.recv().unwrap()).unwrap();
+        let b = Frame::decode(&rx.recv().unwrap()).unwrap();
+        assert_eq!(a.image, 1);
+        assert_eq!(b.image, 2);
+    }
+
+    #[test]
+    fn channel_inbox_taken_once() {
+        let mut fabric = ChannelTransport::new(1);
+        fabric.inbox(Endpoint::Device(0)).unwrap();
+        assert!(fabric.inbox(Endpoint::Device(0)).is_err());
+    }
+
+    #[test]
+    fn tcp_fabric_roundtrips_frames() {
+        let mut fabric = TcpTransport::new(2).unwrap();
+        let rx = fabric.inbox(Endpoint::Device(1)).unwrap();
+        let mut tx = fabric
+            .open(Endpoint::Device(0), Endpoint::Device(1))
+            .unwrap();
+        tx.send(&frame(7)).unwrap();
+        let got = Frame::decode(&rx.recv_timeout(Duration::from_secs(5)).unwrap()).unwrap();
+        assert_eq!(got, frame(7));
+        let mut tx2 = fabric
+            .open(Endpoint::Requester, Endpoint::Device(1))
+            .unwrap();
+        tx2.send(&Frame::halt()).unwrap();
+        let halt = Frame::decode(&rx.recv_timeout(Duration::from_secs(5)).unwrap()).unwrap();
+        assert_eq!(halt.kind, FrameKind::Halt);
+    }
+
+    #[test]
+    fn shaped_link_paces_sends() {
+        use device_profile::{DeviceSpec, DeviceType};
+        use netsim::LinkConfig;
+        // 8 Mbps => 1000 bytes/ms; a ~100 byte frame plus 2 ms I/O overhead
+        // should take ~2.1 ms; ten of them ~21 ms.
+        let cluster = Cluster::uniform(
+            vec![
+                DeviceSpec::new("a", DeviceType::Xavier),
+                DeviceSpec::new("b", DeviceType::Xavier),
+            ],
+            LinkConfig::constant(8.0),
+        );
+        let mut fabric = ShapedTransport::new(ChannelTransport::new(2), &cluster);
+        let rx = fabric.inbox(Endpoint::Device(1)).unwrap();
+        let mut tx = fabric
+            .open(Endpoint::Device(0), Endpoint::Device(1))
+            .unwrap();
+        let t0 = Instant::now();
+        for i in 0..10 {
+            tx.send(&frame(i)).unwrap();
+        }
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(elapsed_ms >= 15.0, "shaping too weak: {elapsed_ms:.2} ms");
+        for _ in 0..10 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+}

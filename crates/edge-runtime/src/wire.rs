@@ -1,0 +1,231 @@
+//! The binary wire format: length-prefixed frames carrying tensor slabs.
+//!
+//! Every message between endpoints is one frame:
+//!
+//! ```text
+//! [len: u32]                      -- bytes after this field
+//! [magic: u16 = 0xED6E]           -- "edge"
+//! [kind: u8]                      -- Rows / Result / Halt
+//! [image: u32]                    -- image sequence number
+//! [stage: u32]                    -- volume index the rows feed
+//!                                    (num_volumes = head gather / result)
+//! [row_lo: u32]                   -- first carried row, full coordinates
+//! [slab]                          -- tensor::slab encoding of the band
+//! ```
+//!
+//! The carried band is `[c, rows, w]`; `row_hi` is implied by `row_lo` plus
+//! the slab height.
+
+use crate::{Result, RuntimeError};
+use std::io::{Read, Write};
+use tensor::{slab, Tensor};
+
+/// Frame magic (sanity check against stream desync).
+pub const MAGIC: u16 = 0xED6E;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Rows of a volume's input feature map (or of the head gather).
+    Rows,
+    /// Rows of the final output, heading back to the requester.
+    Result,
+    /// Orderly shutdown marker.
+    Halt,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Rows => 0,
+            FrameKind::Result => 1,
+            FrameKind::Halt => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(FrameKind::Rows),
+            1 => Ok(FrameKind::Result),
+            2 => Ok(FrameKind::Halt),
+            other => Err(RuntimeError::Wire(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+/// One wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// Image sequence number.
+    pub image: u32,
+    /// Volume index the carried rows feed (`num_volumes` for the head
+    /// gather / final result).
+    pub stage: u32,
+    /// First carried row in full-feature-map coordinates.
+    pub row_lo: u32,
+    /// The row band, `[c, rows, w]`.
+    pub tensor: Tensor,
+}
+
+impl Frame {
+    /// The halt marker.
+    pub fn halt() -> Self {
+        Frame {
+            kind: FrameKind::Halt,
+            image: 0,
+            stage: 0,
+            row_lo: 0,
+            tensor: Tensor::zeros([0, 0, 0]),
+        }
+    }
+
+    /// One past the last carried row.
+    pub fn row_hi(&self) -> usize {
+        self.row_lo as usize + self.tensor.height()
+    }
+
+    /// Byte length of [`Frame::encode`]'s output, without encoding.
+    pub fn encoded_len(&self) -> usize {
+        let [c, h, w] = self.tensor.shape();
+        4 + 2 + 1 + 4 + 4 + 4 + slab::slab_len(c, h, w)
+    }
+
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let [c, h, w] = self.tensor.shape();
+        let body_len = 2 + 1 + 4 + 4 + 4 + slab::slab_len(c, h, w);
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.kind.to_u8());
+        out.extend_from_slice(&self.image.to_le_bytes());
+        out.extend_from_slice(&self.stage.to_le_bytes());
+        out.extend_from_slice(&self.row_lo.to_le_bytes());
+        slab::write_slab(&self.tensor, &mut out);
+        out
+    }
+
+    /// Decodes a frame body (the bytes *after* the length prefix).
+    pub fn decode_body(body: &[u8]) -> Result<Self> {
+        if body.len() < 15 {
+            return Err(RuntimeError::Wire(format!(
+                "frame body too short: {} bytes",
+                body.len()
+            )));
+        }
+        let magic = u16::from_le_bytes([body[0], body[1]]);
+        if magic != MAGIC {
+            return Err(RuntimeError::Wire(format!("bad magic {magic:#06x}")));
+        }
+        let kind = FrameKind::from_u8(body[2])?;
+        let image = u32::from_le_bytes([body[3], body[4], body[5], body[6]]);
+        let stage = u32::from_le_bytes([body[7], body[8], body[9], body[10]]);
+        let row_lo = u32::from_le_bytes([body[11], body[12], body[13], body[14]]);
+        let tensor = slab::from_slab(&body[15..])
+            .map_err(|e| RuntimeError::Wire(format!("bad slab: {e}")))?;
+        Ok(Frame {
+            kind,
+            image,
+            stage,
+            row_lo,
+            tensor,
+        })
+    }
+
+    /// Decodes a full encoding produced by [`Frame::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 {
+            return Err(RuntimeError::Wire("missing length prefix".into()));
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() != 4 + len {
+            return Err(RuntimeError::Wire(format!(
+                "length prefix {len} does not match body of {}",
+                bytes.len() - 4
+            )));
+        }
+        Self::decode_body(&bytes[4..])
+    }
+
+    /// Writes the frame to a byte stream (TCP framing).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        w.write_all(&self.encode())
+            .map_err(|e| RuntimeError::Transport(format!("write failed: {e}")))
+    }
+
+    /// Reads one frame from a byte stream.  Returns `None` on clean EOF at a
+    /// frame boundary.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Self>> {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(RuntimeError::Transport(format!("read failed: {e}"))),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)
+            .map_err(|e| RuntimeError::Transport(format!("truncated frame: {e}")))?;
+        Self::decode_body(&body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        Frame {
+            kind: FrameKind::Rows,
+            image: 42,
+            stage: 3,
+            row_lo: 17,
+            tensor: Tensor::from_fn([2, 4, 5], |c, y, x| (c * 100 + y * 10 + x) as f32 * 0.5),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = sample_frame();
+        let bytes = f.encode();
+        let back = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.row_hi(), 21);
+    }
+
+    #[test]
+    fn stream_roundtrip_multiple_frames() {
+        let a = sample_frame();
+        let b = Frame::halt();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        b.write_to(&mut buf).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap().unwrap(), a);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap().unwrap(), b);
+        assert!(Frame::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample_frame().encode();
+        bytes[4] ^= 0xFF;
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = sample_frame().encode();
+        assert!(Frame::decode(&bytes[..bytes.len() - 2]).is_err());
+        assert!(Frame::decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut bytes = sample_frame().encode();
+        bytes[6] = 9; // kind byte: 4 length + 2 magic
+        assert!(Frame::decode(&bytes).is_err());
+    }
+}

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// One end of a transfer: the service requester (the phone streaming images)
 /// or one of the service providers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Endpoint {
     /// The service requester.
     Requester,
@@ -82,7 +82,8 @@ impl Cluster {
             return 0.0;
         }
         match (from, to) {
-            (Endpoint::Requester, Endpoint::Device(d)) | (Endpoint::Device(d), Endpoint::Requester) => {
+            (Endpoint::Requester, Endpoint::Device(d))
+            | (Endpoint::Device(d), Endpoint::Requester) => {
                 self.links[d].transfer_latency_ms(bytes, at_ms)
             }
             (Endpoint::Device(a), Endpoint::Device(b)) => {
@@ -144,7 +145,11 @@ impl PartCompute for GroundTruthCompute {
 
     fn head_compute_ms(&self, device: usize, model: &Model) -> f64 {
         let gt = &self.models[device];
-        model.head_layers().iter().map(|l| gt.full_layer_latency_ms(l)).sum()
+        model
+            .head_layers()
+            .iter()
+            .map(|l| gt.full_layer_latency_ms(l))
+            .sum()
     }
 }
 
@@ -178,9 +183,18 @@ mod tests {
     #[test]
     fn same_endpoint_transfer_is_free() {
         let c = Cluster::uniform(devices(), LinkConfig::constant(100.0));
-        assert_eq!(c.transfer_ms(Endpoint::Device(0), Endpoint::Device(0), 1e6, 0.0), 0.0);
-        assert_eq!(c.transfer_ms(Endpoint::Requester, Endpoint::Requester, 1e6, 0.0), 0.0);
-        assert_eq!(c.transfer_ms(Endpoint::Device(0), Endpoint::Device(1), 0.0, 0.0), 0.0);
+        assert_eq!(
+            c.transfer_ms(Endpoint::Device(0), Endpoint::Device(0), 1e6, 0.0),
+            0.0
+        );
+        assert_eq!(
+            c.transfer_ms(Endpoint::Requester, Endpoint::Requester, 1e6, 0.0),
+            0.0
+        );
+        assert_eq!(
+            c.transfer_ms(Endpoint::Device(0), Endpoint::Device(1), 0.0, 0.0),
+            0.0
+        );
     }
 
     #[test]

@@ -27,12 +27,19 @@ impl SimReport {
         let images = per_image_latency_ms.len().max(1) as f64;
         let total_ms: f64 = per_image_latency_ms.iter().sum();
         let mean_latency_ms = total_ms / images;
-        let ips = if total_ms > 0.0 { images / (total_ms / 1e3) } else { 0.0 };
+        let ips = if total_ms > 0.0 {
+            images / (total_ms / 1e3)
+        } else {
+            0.0
+        };
         Self {
             per_image_latency_ms,
             ips,
             mean_latency_ms,
-            per_device_compute_ms: per_device_compute_totals.iter().map(|v| v / images).collect(),
+            per_device_compute_ms: per_device_compute_totals
+                .iter()
+                .map(|v| v / images)
+                .collect(),
             per_device_transmission_ms: per_device_transmission_totals
                 .iter()
                 .map(|v| v / images)
@@ -42,12 +49,18 @@ impl SimReport {
 
     /// The maximum per-device computing latency (the light bars of Fig. 15).
     pub fn max_compute_ms(&self) -> f64 {
-        self.per_device_compute_ms.iter().cloned().fold(0.0, f64::max)
+        self.per_device_compute_ms
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
     }
 
     /// The maximum per-device transmission latency (the dark bars of Fig. 15).
     pub fn max_transmission_ms(&self) -> f64 {
-        self.per_device_transmission_ms.iter().cloned().fold(0.0, f64::max)
+        self.per_device_transmission_ms
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
     }
 
     /// Latency at a given percentile (0–100) over the streamed images.
@@ -68,7 +81,11 @@ mod tests {
 
     #[test]
     fn ips_is_inverse_of_mean_latency() {
-        let r = SimReport::from_raw(vec![100.0, 100.0, 100.0], vec![50.0 * 3.0], vec![10.0 * 3.0]);
+        let r = SimReport::from_raw(
+            vec![100.0, 100.0, 100.0],
+            vec![50.0 * 3.0],
+            vec![10.0 * 3.0],
+        );
         assert!((r.mean_latency_ms - 100.0).abs() < 1e-9);
         assert!((r.ips - 10.0).abs() < 1e-9);
         assert!((r.per_device_compute_ms[0] - 50.0).abs() < 1e-9);

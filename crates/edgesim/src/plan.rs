@@ -84,7 +84,10 @@ impl ExecutionPlan {
                 .unwrap_or(0);
             Some(best)
         };
-        Ok(Self { volumes, head_device })
+        Ok(Self {
+            volumes,
+            head_device,
+        })
     }
 
     /// Single-device offload: the whole distributable prefix (and head) on

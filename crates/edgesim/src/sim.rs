@@ -22,7 +22,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        Self { num_images: 200, start_ms: 0.0 }
+        Self {
+            num_images: 200,
+            start_ms: 0.0,
+        }
     }
 }
 
@@ -46,7 +49,14 @@ pub fn simulate(
         let mut state = ClusterState::new(now, n);
         let mut location = DataLocation::Requester;
         for assignment in &plan.volumes {
-            let stats = advance_volume(model, cluster, compute, assignment, &mut location, &mut state);
+            let stats = advance_volume(
+                model,
+                cluster,
+                compute,
+                assignment,
+                &mut location,
+                &mut state,
+            );
             for d in 0..n {
                 compute_totals[d] += stats.compute_ms[d];
                 transmission_totals[d] += stats.transmission_ms[d];
@@ -54,8 +64,8 @@ pub fn simulate(
         }
         let last = plan.volumes.last().expect("plan has at least one volume");
         let fin = finish_image(model, cluster, compute, last, &state, plan.head_device);
-        for d in 0..n {
-            transmission_totals[d] += fin.transmission_ms[d];
+        for (total, t) in transmission_totals.iter_mut().zip(&fin.transmission_ms) {
+            *total += t;
         }
         if let Some(h) = plan.head_device {
             compute_totals[h] += fin.head_compute_ms;
@@ -129,7 +139,15 @@ mod tests {
         let m = model();
         let c = cluster(1, 1, 100.0);
         let plan = equal_plan(&m, vec![0, 5], 2);
-        let report = simulate_ground_truth(&m, &c, &plan, SimOptions { num_images: 10, start_ms: 0.0 });
+        let report = simulate_ground_truth(
+            &m,
+            &c,
+            &plan,
+            SimOptions {
+                num_images: 10,
+                start_ms: 0.0,
+            },
+        );
         assert_eq!(report.per_image_latency_ms.len(), 10);
         assert!(report.ips > 0.0);
         assert!(report.mean_latency_ms > 0.0);
@@ -141,7 +159,15 @@ mod tests {
         let m = model();
         let c = cluster(1, 1, 100.0);
         let plan = equal_plan(&m, vec![0, 5], 2);
-        let report = simulate_ground_truth(&m, &c, &plan, SimOptions { num_images: 5, start_ms: 0.0 });
+        let report = simulate_ground_truth(
+            &m,
+            &c,
+            &plan,
+            SimOptions {
+                num_images: 5,
+                start_ms: 0.0,
+            },
+        );
         let first = report.per_image_latency_ms[0];
         for &l in &report.per_image_latency_ms {
             assert!((l - first).abs() < 1e-6);
@@ -154,7 +180,10 @@ mod tests {
         let c = cluster(1, 1, 100.0);
         let fast = ExecutionPlan::offload(&m, 0, 2).unwrap();
         let slow = ExecutionPlan::offload(&m, 1, 2).unwrap();
-        let opts = SimOptions { num_images: 3, start_ms: 0.0 };
+        let opts = SimOptions {
+            num_images: 3,
+            start_ms: 0.0,
+        };
         let fast_r = simulate_ground_truth(&m, &c, &fast, opts);
         let slow_r = simulate_ground_truth(&m, &c, &slow, opts);
         assert!(fast_r.ips > slow_r.ips);
@@ -164,7 +193,10 @@ mod tests {
     fn higher_bandwidth_increases_ips() {
         let m = model();
         let plan = equal_plan(&m, vec![0, 5], 2);
-        let opts = SimOptions { num_images: 3, start_ms: 0.0 };
+        let opts = SimOptions {
+            num_images: 3,
+            start_ms: 0.0,
+        };
         let slow = simulate_ground_truth(&m, &cluster(1, 1, 20.0), &plan, opts);
         let fast = simulate_ground_truth(&m, &cluster(1, 1, 300.0), &plan, opts);
         assert!(fast.ips > slow.ips);
@@ -180,7 +212,10 @@ mod tests {
         let c = cluster(1, 1, 50.0);
         let fused = equal_plan(&m, vec![0, 5], 2);
         let layered = equal_plan(&m, (0..=5).collect(), 2);
-        let opts = SimOptions { num_images: 3, start_ms: 0.0 };
+        let opts = SimOptions {
+            num_images: 3,
+            start_ms: 0.0,
+        };
         let fused_r = simulate_ground_truth(&m, &c, &fused, opts);
         let layered_r = simulate_ground_truth(&m, &c, &layered, opts);
         assert!(fused_r.ips > layered_r.ips);
@@ -197,7 +232,10 @@ mod tests {
         let c2 = cluster(2, 0, 300.0);
         let split_plan = equal_plan(&m, vec![0, m.distributable_len()], 2);
         let offload_plan = ExecutionPlan::offload(&m, 0, 2).unwrap();
-        let opts = SimOptions { num_images: 3, start_ms: 0.0 };
+        let opts = SimOptions {
+            num_images: 3,
+            start_ms: 0.0,
+        };
         let split_r = simulate_ground_truth(&m, &c2, &split_plan, opts);
         let offload_r = simulate_ground_truth(&m, &c2, &offload_plan, opts);
         assert!(
@@ -213,8 +251,24 @@ mod tests {
         let m = model();
         let c = cluster(1, 1, 100.0);
         let plan = equal_plan(&m, vec![0, 5], 2);
-        let a = simulate_ground_truth(&m, &c, &plan, SimOptions { num_images: 2, start_ms: 0.0 });
-        let b = simulate_ground_truth(&m, &c, &plan, SimOptions { num_images: 2, start_ms: 120_000.0 });
+        let a = simulate_ground_truth(
+            &m,
+            &c,
+            &plan,
+            SimOptions {
+                num_images: 2,
+                start_ms: 0.0,
+            },
+        );
+        let b = simulate_ground_truth(
+            &m,
+            &c,
+            &plan,
+            SimOptions {
+                num_images: 2,
+                start_ms: 120_000.0,
+            },
+        );
         assert!((a.mean_latency_ms - b.mean_latency_ms).abs() < 1e-6);
     }
 }

@@ -31,13 +31,19 @@ pub struct ClusterState {
 impl ClusterState {
     /// Fresh state for an image starting at `start_ms` on `n` devices.
     pub fn new(start_ms: f64, n: usize) -> Self {
-        Self { image_start_ms: start_ms, ready_ms: vec![start_ms; n] }
+        Self {
+            image_start_ms: start_ms,
+            ready_ms: vec![start_ms; n],
+        }
     }
 
     /// Accumulated latency of each device relative to the image start (the
     /// `T_l` vector of the MDP state, Eq. 7).
     pub fn accumulated_latencies(&self) -> Vec<f64> {
-        self.ready_ms.iter().map(|r| r - self.image_start_ms).collect()
+        self.ready_ms
+            .iter()
+            .map(|r| r - self.image_start_ms)
+            .collect()
     }
 }
 
@@ -103,7 +109,12 @@ pub fn advance_volume(
         match location {
             DataLocation::Requester => {
                 let bytes = (needed.1 - needed.0) as f64 * in_row_bytes;
-                let t = cluster.transfer_ms(Endpoint::Requester, Endpoint::Device(i), bytes, state.image_start_ms);
+                let t = cluster.transfer_ms(
+                    Endpoint::Requester,
+                    Endpoint::Device(i),
+                    bytes,
+                    state.image_start_ms,
+                );
                 data_ready = state.image_start_ms + t;
                 max_transfer = t;
             }
@@ -134,9 +145,7 @@ pub fn advance_volume(
     }
 
     state.ready_ms = new_ready;
-    *location = DataLocation::Devices(
-        assignment.parts.iter().map(|p| p.output_rows).collect(),
-    );
+    *location = DataLocation::Devices(assignment.parts.iter().map(|p| p.output_rows).collect());
     stats
 }
 
@@ -177,7 +186,12 @@ pub fn finish_image(
             }
             let rows = part.output_rows.1 - part.output_rows.0;
             let bytes = rows as f64 * out_row_bytes;
-            let t = cluster.transfer_ms(Endpoint::Device(j), Endpoint::Device(h), bytes, state.ready_ms[j]);
+            let t = cluster.transfer_ms(
+                Endpoint::Device(j),
+                Endpoint::Device(h),
+                bytes,
+                state.ready_ms[j],
+            );
             transmission_ms[j] += t;
             head_ready = head_ready.max(state.ready_ms[j] + t);
         }
@@ -190,7 +204,11 @@ pub fn finish_image(
             head_done,
         );
         transmission_ms[h] += back;
-        return FinishStats { finish_ms: head_done + back, transmission_ms, head_compute_ms: head_ms };
+        return FinishStats {
+            finish_ms: head_done + back,
+            transmission_ms,
+            head_compute_ms: head_ms,
+        };
     } else {
         // No head: every holder returns its rows to the requester directly.
         let mut finish = state.image_start_ms;
@@ -200,13 +218,22 @@ pub fn finish_image(
             }
             let rows = part.output_rows.1 - part.output_rows.0;
             let bytes = rows as f64 * out_row_bytes;
-            let t = cluster.transfer_ms(Endpoint::Device(j), Endpoint::Requester, bytes, state.ready_ms[j]);
+            let t = cluster.transfer_ms(
+                Endpoint::Device(j),
+                Endpoint::Requester,
+                bytes,
+                state.ready_ms[j],
+            );
             transmission_ms[j] += t;
             finish = finish.max(state.ready_ms[j] + t);
         }
         finish
     };
-    FinishStats { finish_ms, transmission_ms, head_compute_ms: 0.0 }
+    FinishStats {
+        finish_ms,
+        transmission_ms,
+        head_compute_ms: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +289,14 @@ mod tests {
         let plan = plan(&m, 2);
         let mut state = ClusterState::new(0.0, 2);
         let mut location = DataLocation::Requester;
-        let stats = advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
+        let stats = advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
         assert!(state.ready_ms.iter().all(|&r| r > 0.0));
         assert!(stats.compute_ms.iter().all(|&v| v > 0.0));
         assert!(stats.transmission_ms.iter().all(|&v| v > 0.0));
@@ -283,7 +317,14 @@ mod tests {
         let plan = plan(&m, 2);
         let mut state = ClusterState::new(0.0, 2);
         let mut location = DataLocation::Requester;
-        advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
+        advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
         // Device 1 is a Nano, device 0 a Xavier: equal split leaves the Nano behind.
         assert!(state.ready_ms[1] > state.ready_ms[0]);
     }
@@ -300,7 +341,14 @@ mod tests {
         let plan = ExecutionPlan::from_splits(&m, &scheme, &[split], 2).unwrap();
         let mut state = ClusterState::new(5.0, 2);
         let mut location = DataLocation::Requester;
-        let stats = advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
+        let stats = advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
         assert_eq!(state.ready_ms[1], 5.0);
         assert_eq!(stats.compute_ms[1], 0.0);
     }
@@ -313,7 +361,14 @@ mod tests {
         let plan = plan(&m, 2);
         let mut state = ClusterState::new(0.0, 2);
         let mut location = DataLocation::Requester;
-        advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
+        advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
         let fin = finish_image(&m, &c, &compute, &plan.volumes[0], &state, plan.head_device);
         assert!(fin.finish_ms > state.ready_ms.iter().cloned().fold(0.0, f64::max));
         assert!(fin.head_compute_ms > 0.0);
@@ -333,7 +388,14 @@ mod tests {
         assert!(plan.head_device.is_none());
         let mut state = ClusterState::new(0.0, 2);
         let mut location = DataLocation::Requester;
-        advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
+        advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
         let fin = finish_image(&m, &c, &compute, &plan.volumes[0], &state, None);
         assert!(fin.finish_ms > 0.0);
         assert_eq!(fin.head_compute_ms, 0.0);
@@ -356,8 +418,22 @@ mod tests {
         let plan = ExecutionPlan::from_splits(&m, &scheme, &splits, 2).unwrap();
         let mut state = ClusterState::new(0.0, 2);
         let mut location = DataLocation::Requester;
-        let s0 = advance_volume(&m, &c, &compute, &plan.volumes[0], &mut location, &mut state);
-        let s1 = advance_volume(&m, &c, &compute, &plan.volumes[1], &mut location, &mut state);
+        let s0 = advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[0],
+            &mut location,
+            &mut state,
+        );
+        let s1 = advance_volume(
+            &m,
+            &c,
+            &compute,
+            &plan.volumes[1],
+            &mut location,
+            &mut state,
+        );
         assert!(s1.transmission_ms[0] < s0.transmission_ms[0]);
     }
 }

@@ -32,17 +32,26 @@ impl LinkConfig {
 
     /// A constant-bandwidth link (for estimators and tests).
     pub fn constant(mbps: f64) -> Self {
-        Self { kind: TraceKind::Constant { mbps }, io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS }
+        Self {
+            kind: TraceKind::Constant { mbps },
+            io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS,
+        }
     }
 
     /// A highly dynamic link (Fig. 12).
     pub fn dynamic(seed: u64) -> Self {
-        Self { kind: TraceKind::HighlyDynamic { seed }, io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS }
+        Self {
+            kind: TraceKind::HighlyDynamic { seed },
+            io_overhead_ms: Self::DEFAULT_IO_OVERHEAD_MS,
+        }
     }
 
     /// Builds the concrete link (generates its trace).
     pub fn build(&self) -> Link {
-        Link::new(BandwidthTrace::generate_default(self.kind), self.io_overhead_ms)
+        Link::new(
+            BandwidthTrace::generate_default(self.kind),
+            self.io_overhead_ms,
+        )
     }
 }
 
@@ -56,7 +65,10 @@ pub struct Link {
 impl Link {
     /// Creates a link from a trace and an I/O overhead.
     pub fn new(trace: BandwidthTrace, io_overhead_ms: f64) -> Self {
-        Self { trace, io_overhead_ms }
+        Self {
+            trace,
+            io_overhead_ms,
+        }
     }
 
     /// A link that models local (same-device) data movement: no bandwidth
@@ -94,7 +106,10 @@ impl Link {
         if bytes <= 0.0 {
             return 0.0;
         }
-        let mbps = self.trace.mean_mbps_window(window_start_ms, window_end_ms).max(0.01);
+        let mbps = self
+            .trace
+            .mean_mbps_window(window_start_ms, window_end_ms)
+            .max(0.01);
         self.io_overhead_ms + bytes / crate::mbps_to_bytes_per_ms(mbps)
     }
 

@@ -51,7 +51,10 @@ impl BandwidthTrace {
     pub fn from_samples(samples: Vec<f64>, interval_ms: f64) -> Self {
         assert!(!samples.is_empty(), "a trace needs at least one sample");
         assert!(interval_ms > 0.0, "sampling interval must be positive");
-        Self { samples, interval_ms }
+        Self {
+            samples,
+            interval_ms,
+        }
     }
 
     /// Generates a trace of the given kind covering `duration_ms`.
@@ -63,7 +66,10 @@ impl BandwidthTrace {
             TraceKind::Wifi { nominal_mbps, seed } => wifi_samples(nominal_mbps, seed, n),
             TraceKind::HighlyDynamic { seed } => dynamic_samples(seed, n),
         };
-        Self { samples, interval_ms: interval }
+        Self {
+            samples,
+            interval_ms: interval,
+        }
     }
 
     /// Generates the default 60-minute trace.
@@ -195,19 +201,46 @@ mod tests {
     #[test]
     fn wifi_trace_stays_below_nominal() {
         for nominal in [50.0, 100.0, 200.0, 300.0] {
-            let t = BandwidthTrace::generate_default(TraceKind::Wifi { nominal_mbps: nominal, seed: 3 });
-            assert!(t.samples().iter().all(|&s| s <= nominal && s >= nominal * 0.5));
+            let t = BandwidthTrace::generate_default(TraceKind::Wifi {
+                nominal_mbps: nominal,
+                seed: 3,
+            });
+            assert!(t
+                .samples()
+                .iter()
+                .all(|&s| s <= nominal && s >= nominal * 0.5));
             let mean = t.mean_mbps();
-            assert!(mean > nominal * 0.7 && mean < nominal * 0.95, "mean {mean} for {nominal}");
+            assert!(
+                mean > nominal * 0.7 && mean < nominal * 0.95,
+                "mean {mean} for {nominal}"
+            );
         }
     }
 
     #[test]
     fn wifi_trace_is_reproducible() {
-        let a = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 9 }, 60_000.0);
-        let b = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 9 }, 60_000.0);
+        let a = BandwidthTrace::generate(
+            TraceKind::Wifi {
+                nominal_mbps: 200.0,
+                seed: 9,
+            },
+            60_000.0,
+        );
+        let b = BandwidthTrace::generate(
+            TraceKind::Wifi {
+                nominal_mbps: 200.0,
+                seed: 9,
+            },
+            60_000.0,
+        );
         assert_eq!(a, b);
-        let c = BandwidthTrace::generate(TraceKind::Wifi { nominal_mbps: 200.0, seed: 10 }, 60_000.0);
+        let c = BandwidthTrace::generate(
+            TraceKind::Wifi {
+                nominal_mbps: 200.0,
+                seed: 10,
+            },
+            60_000.0,
+        );
         assert_ne!(a, c);
     }
 

@@ -66,15 +66,20 @@ mod tests {
     fn adam_fits_a_line() {
         let mut net = Mlp::new(&[1, 16, 1], ActKind::Identity, 3);
         let mut opt = Adam::new(net.num_params(), 1e-2);
-        let data: Vec<(f64, f64)> = (0..20).map(|i| {
-            let x = i as f64 / 10.0 - 1.0;
-            (x, 2.0 * x + 1.0)
-        }).collect();
+        let data: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 10.0 - 1.0;
+                (x, 2.0 * x + 1.0)
+            })
+            .collect();
         let mse = |net: &mut Mlp| -> f64 {
-            data.iter().map(|&(x, y)| {
-                let p = net.forward(&[x])[0];
-                (p - y) * (p - y)
-            }).sum::<f64>() / data.len() as f64
+            data.iter()
+                .map(|&(x, y)| {
+                    let p = net.forward(&[x])[0];
+                    (p - y) * (p - y)
+                })
+                .sum::<f64>()
+                / data.len() as f64
         };
         let before = mse(&mut net);
         for _ in 0..500 {
@@ -109,7 +114,11 @@ mod tests {
         net.zero_grad();
         opt.step(&mut net);
         let after = net.params_flat();
-        let max_diff = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let max_diff = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
         assert!(max_diff < 1e-12);
     }
 

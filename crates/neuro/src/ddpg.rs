@@ -158,8 +158,10 @@ impl DdpgAgent {
         self.actor_opt.step(&mut self.actor);
 
         // --- Soft-update target networks.
-        self.actor_target.soft_update_from(&self.actor, self.config.tau);
-        self.critic_target.soft_update_from(&self.critic, self.config.tau);
+        self.actor_target
+            .soft_update_from(&self.actor, self.config.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.config.tau);
 
         (critic_loss, actor_loss)
     }
@@ -226,7 +228,13 @@ mod tests {
                 let s = vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
                 let a = vec![rng.gen_range(-1.0..1.0)];
                 let r = s[0] + a[0];
-                Transition { state: s.clone(), action: a, reward: r, next_state: s, done: true }
+                Transition {
+                    state: s.clone(),
+                    action: a,
+                    reward: r,
+                    next_state: s,
+                    done: true,
+                }
             })
             .collect();
         let (first_loss, _) = agent.update(&batch);
@@ -235,7 +243,10 @@ mod tests {
             let (l, _) = agent.update(&batch);
             last_loss = l;
         }
-        assert!(last_loss < first_loss * 0.2, "first {first_loss}, last {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.2,
+            "first {first_loss}, last {last_loss}"
+        );
     }
 
     /// A one-step continuous bandit: reward = 1 - (a - 0.6)².  DDPG should

@@ -61,7 +61,9 @@ impl Dense {
     fn new(in_dim: usize, out_dim: usize, act: ActKind, rng: &mut StdRng) -> Self {
         // He/Xavier-style scaling keeps tiny MLPs well-conditioned.
         let scale = (2.0 / (in_dim + out_dim) as f64).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         let b = vec![0.0; out_dim];
         Self {
             in_dim,
@@ -96,8 +98,8 @@ impl Dense {
     fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
         debug_assert_eq!(grad_out.len(), self.out_dim);
         let mut grad_in = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let dz = grad_out[o] * self.act.backward_from_output(self.last_output[o]);
+        for (o, g) in grad_out.iter().enumerate() {
+            let dz = g * self.act.backward_from_output(self.last_output[o]);
             self.grad_b[o] += dz;
             let row_w = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let row_g = &mut self.grad_w[o * self.in_dim..(o + 1) * self.in_dim];
@@ -122,11 +124,18 @@ impl Mlp {
     /// `dims = [in, h1, …, out]`; every hidden layer uses ReLU and the output
     /// layer uses `output_act`.
     pub fn new(dims: &[usize], output_act: ActKind, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act = if i == dims.len() - 2 { output_act } else { ActKind::Relu };
+            let act = if i == dims.len() - 2 {
+                output_act
+            } else {
+                ActKind::Relu
+            };
             layers.push(Dense::new(dims[i], dims[i + 1], act, &mut rng));
         }
         Self { layers }

@@ -45,7 +45,8 @@ mod tests {
         let mut n = GaussianNoise::new(0.1, 42);
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 0.1).abs() < 0.01, "var {var}");
     }

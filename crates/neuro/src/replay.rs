@@ -32,7 +32,11 @@ impl ReplayBuffer {
     /// Creates a buffer holding at most `capacity` transitions.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        Self { capacity, data: Vec::with_capacity(capacity.min(4096)), next: 0 }
+        Self {
+            capacity,
+            data: Vec::with_capacity(capacity.min(4096)),
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -64,7 +68,9 @@ impl ReplayBuffer {
         if self.data.len() >= n {
             self.data.choose_multiple(rng, n).cloned().collect()
         } else {
-            (0..n).map(|_| self.data[rng.gen_range(0..self.data.len())].clone()).collect()
+            (0..n)
+                .map(|_| self.data[rng.gen_range(0..self.data.len())].clone())
+                .collect()
         }
     }
 }
@@ -76,7 +82,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(v: f64) -> Transition {
-        Transition { state: vec![v], action: vec![v], reward: v, next_state: vec![v], done: false }
+        Transition {
+            state: vec![v],
+            action: vec![v],
+            reward: v,
+            next_state: vec![v],
+            done: false,
+        }
     }
 
     #[test]

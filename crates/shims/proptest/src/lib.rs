@@ -1,0 +1,371 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the slice of proptest the workspace's property tests use: the
+//! `proptest!` macro, range / tuple / `any` / `collection::vec` strategies,
+//! and `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.  Cases are
+//! generated from a deterministic per-test seed (derived from the test
+//! name), so failures are reproducible; there is no shrinking — a failing
+//! case panics with the assertion message directly.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Builds the deterministic generator for a named test (FNV-1a over the name).
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng { state: h }
+}
+
+/// Why a test case did not pass.
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case, try another.
+    Reject,
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+/// Run configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        })*
+    };
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.next_f64() as f32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a full-range default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Accepted length arguments for [`vec`]: an exact length or a range.
+    pub trait IntoLenRange {
+        /// Draws a length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLenRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl IntoLenRange for Range<i32> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            assert!(
+                0 <= self.start && self.start < self.end,
+                "bad vec length range"
+            );
+            self.start as usize + (rng.next_u64() as usize) % ((self.end - self.start) as usize)
+        }
+    }
+
+    /// `Vec` strategy: `len` elements drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a `Vec` strategy.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("{} ({}:{})", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The property-test macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest shim: too many rejected cases in {} ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(any::<bool>(), 2..5),
+            exact in crate::collection::vec(0usize..10, 4),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline shim for `rand_distr`: just the `Normal` distribution (the only
+//! one the workspace uses), sampled with the Box–Muller transform.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Distributions sampling values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 is kept strictly positive so ln() stays finite.
+        let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_match() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..40_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let n = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 5.0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline shim for `rayon`.
+//!
+//! The workspace only parallelises `(0..n).into_par_iter().map(f).collect()`
+//! (one conv output-channel plane per task), so the shim implements exactly
+//! that shape — with real `std::thread::scope` parallelism, chunked over the
+//! available cores, preserving output order.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Starts a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel range, ready to collect.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Runs the map across threads and collects results in index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FromIterator<T>,
+    {
+        parallel_map_range(self.range, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+fn parallel_map_range<T, F>(range: Range<usize>, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = range.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let start = range.start;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = start + w * chunk;
+            let hi = (lo + chunk).min(range.end);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let v: Vec<String> = (3..4).into_par_iter().map(|i| format!("{i}")).collect();
+        assert_eq!(v, vec!["3".to_string()]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no registry access, so this crate re-implements
+//! the two derive macros the workspace uses, without `syn`/`quote`: the type
+//! definition is token-scanned directly.  `#[derive(Serialize)]` emits a real
+//! `serde::Serialize::to_value` implementation (externally-tagged enums, like
+//! real serde's default); `#[derive(Deserialize)]` emits a marker impl.
+//!
+//! Supported shapes — everything the workspace derives on: non-generic
+//! structs (named, tuple, unit) and non-generic enums whose variants are
+//! unit, tuple or struct-like.  `#[serde(...)]` helper attributes are
+//! accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum TypeDef {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: variants as (name, fields) where fields mirrors the struct forms.
+    Enum(Vec<(String, VariantFields)>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts top-level comma-separated items in a token slice, tracking angle
+/// bracket depth so commas inside `Vec<(A, B)>`-style types do not split.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1usize;
+    let mut saw_token_in_item = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_token_in_item = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_in_item = true;
+    }
+    if !saw_token_in_item {
+        // Trailing comma: the last "item" is empty.
+        items -= 1;
+    }
+    items
+}
+
+/// Parses named fields out of a brace group body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':', then skip the type until a top-level comma.
+        let mut depth = 0i32;
+        let mut done = false;
+        while i < tokens.len() && !done {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => done = true,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<(String, VariantFields)> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantFields::Tuple(count_top_level_items(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantFields::Named(parse_named_fields(&body))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Parses a derive input into (type name, definition).
+fn parse(input: TokenStream) -> (String, TypeDef) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Generic parameters are not supported (nothing in the workspace derives
+    // on a generic type); fail loudly rather than emit a broken impl.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let def = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                TypeDef::Struct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                TypeDef::TupleStruct(count_top_level_items(&body))
+            }
+            _ => TypeDef::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                TypeDef::Enum(parse_enum_variants(&body))
+            }
+            other => panic!("serde shim derive: malformed enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    (name, def)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, def) = parse(input);
+    let body = match def {
+        TypeDef::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::json::Value::Object(obj)"
+            )
+        }
+        TypeDef::TupleStruct(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        TypeDef::UnitStruct => "::serde::json::Value::Null".to_string(),
+        TypeDef::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::json::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::json::Value::Object(vec![(\"{v}\".to_string(), ::serde::json::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}

@@ -1,0 +1,31 @@
+//! Offline shim for `serde_json`: JSON text output over the `serde` shim's
+//! value tree.  Only `to_string` is provided — nothing in the workspace
+//! parses JSON.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s role in signatures.  The shim
+/// serializer is total, so this is never actually produced.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_vec_of_floats() {
+        assert_eq!(super::to_string(&vec![1.0f64, 2.5]).unwrap(), "[1,2.5]");
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! slice of serde the workspace actually uses: `#[derive(Serialize)]`
+//! producing a JSON value tree ([`json::Value`]), a marker `Deserialize`
+//! trait so the derives compile, and enough `Serialize` impls for the field
+//! types that appear in the workspace's derived structs.
+
+// Lets the derive-generated `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! A minimal JSON value tree plus renderer (consumed by the `serde_json`
+    //! shim's `to_string`).
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Renders the value as compact JSON.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out);
+            out
+        }
+
+        fn render_into(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Number(n) => {
+                    if n.is_finite() {
+                        if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                            out.push_str(&format!("{}", *n as i64));
+                        } else {
+                            out.push_str(&format!("{n}"));
+                        }
+                    } else {
+                        // JSON has no NaN/Infinity; serde_json emits null.
+                        out.push_str("null");
+                    }
+                }
+                Value::String(s) => escape_into(s, out),
+                Value::Array(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.render_into(out);
+                    }
+                    out.push(']');
+                }
+                Value::Object(entries) => {
+                    out.push('{');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        escape_into(k, out);
+                        out.push(':');
+                        v.render_into(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Serialization into a [`json::Value`] tree.
+///
+/// Real serde serializes through a visitor; the workspace only ever converts
+/// values to JSON text, so the shim collapses the pipeline into one method.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` compiles.  Nothing in the
+/// workspace deserializes, so there is no method to implement.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        })*
+    };
+}
+
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Named {
+        a: usize,
+        b: Vec<(usize, usize)>,
+        c: Option<String>,
+    }
+
+    #[derive(Serialize)]
+    enum Mixed {
+        Unit,
+        One(usize),
+        Pair { x: f64, y: f64 },
+    }
+
+    #[test]
+    fn derived_struct_serializes_to_object() {
+        let v = Named {
+            a: 3,
+            b: vec![(1, 2)],
+            c: None,
+        }
+        .to_value();
+        assert_eq!(v.render(), "{\"a\":3,\"b\":[[1,2]],\"c\":null}");
+    }
+
+    #[test]
+    fn derived_enum_is_externally_tagged() {
+        assert_eq!(Mixed::Unit.to_value().render(), "\"Unit\"");
+        assert_eq!(Mixed::One(7).to_value().render(), "{\"One\":7}");
+        assert_eq!(
+            Mixed::Pair { x: 1.5, y: -2.0 }.to_value().render(),
+            "{\"Pair\":{\"x\":1.5,\"y\":-2}}"
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            Value::String("a\"b\\c\n".to_string()).render(),
+            "\"a\\\"b\\\\c\\n\""
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Value::Number(f64::NAN).render(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).render(), "null");
+    }
+}

@@ -36,13 +36,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "data length {len} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {len} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
             TensorError::InvalidRowRange { start, end, rows } => {
-                write!(f, "invalid row range {start}..{end} for tensor with {rows} rows")
+                write!(
+                    f,
+                    "invalid row range {start}..{end} for tensor with {rows} rows"
+                )
             }
             TensorError::KernelConfig(msg) => write!(f, "kernel configuration error: {msg}"),
         }
@@ -57,20 +63,30 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { len: 3, expected: 6 };
+        let e = TensorError::LengthMismatch {
+            len: 3,
+            expected: 6,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("6"));
     }
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { left: [1, 2, 3], right: [4, 5, 6] };
+        let e = TensorError::ShapeMismatch {
+            left: [1, 2, 3],
+            right: [4, 5, 6],
+        };
         assert!(e.to_string().contains("[1, 2, 3]"));
     }
 
     #[test]
     fn display_row_range() {
-        let e = TensorError::InvalidRowRange { start: 5, end: 2, rows: 10 };
+        let e = TensorError::InvalidRowRange {
+            start: 5,
+            end: 2,
+            rows: 10,
+        };
         assert!(e.to_string().contains("5..2"));
     }
 

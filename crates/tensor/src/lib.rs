@@ -29,6 +29,7 @@
 pub mod error;
 pub mod ops;
 pub mod shape;
+pub mod slab;
 pub mod slice;
 mod tensor;
 

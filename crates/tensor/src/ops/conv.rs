@@ -38,8 +38,10 @@ pub fn conv2d(
 ) -> Tensor {
     let h_in = input.height();
     let out_h = conv_out_dim(h_in, f, stride, padding).expect("invalid conv geometry");
-    conv2d_rows(input, 0, h_in, 0, out_h, weights, bias, c_out, f, stride, padding, act)
-        .expect("full conv2d over valid geometry cannot fail")
+    conv2d_rows(
+        input, 0, h_in, 0, out_h, weights, bias, c_out, f, stride, padding, act,
+    )
+    .expect("full conv2d over valid geometry cannot fail")
 }
 
 /// Convolution of a row band.
@@ -159,8 +161,8 @@ pub fn conv2d_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slice::{concat_rows, slice_rows};
     use crate::shape::input_rows_for_output;
+    use crate::slice::{concat_rows, slice_rows};
 
     fn det_weights(c_in: usize, c_out: usize, f: usize) -> Vec<f32> {
         (0..im2col_weight_len(c_in, c_out, f))
@@ -169,7 +171,9 @@ mod tests {
     }
 
     fn det_input(c: usize, h: usize, w: usize) -> Tensor {
-        Tensor::from_fn([c, h, w], |c, y, x| ((c * 31 + y * 7 + x * 3) % 11) as f32 * 0.5 - 2.0)
+        Tensor::from_fn([c, h, w], |c, y, x| {
+            ((c * 31 + y * 7 + x * 3) % 11) as f32 * 0.5 - 2.0
+        })
     }
 
     #[test]
@@ -229,7 +233,17 @@ mod tests {
             let (lo, hi) = input_rows_for_output(start, end, f, s, p, input.height());
             let band_in = slice_rows(&input, lo, hi).unwrap();
             let band_out = conv2d_rows(
-                &band_in, lo, input.height(), start, end, &weights, &bias, 5, f, s, p,
+                &band_in,
+                lo,
+                input.height(),
+                start,
+                end,
+                &weights,
+                &bias,
+                5,
+                f,
+                s,
+                p,
                 Activation::Relu,
             )
             .unwrap();
@@ -247,7 +261,20 @@ mod tests {
         let bias = vec![0.0];
         // Band carries rows 4..6 only but output rows 4..6 need input 3..7.
         let band = slice_rows(&input, 4, 6).unwrap();
-        let r = conv2d_rows(&band, 4, 10, 4, 6, &weights, &bias, 1, 3, 1, 1, Activation::None);
+        let r = conv2d_rows(
+            &band,
+            4,
+            10,
+            4,
+            6,
+            &weights,
+            &bias,
+            1,
+            3,
+            1,
+            1,
+            Activation::None,
+        );
         assert!(r.is_err());
     }
 
@@ -255,7 +282,18 @@ mod tests {
     fn rejects_bad_weight_length() {
         let input = det_input(2, 5, 5);
         let r = conv2d_rows(
-            &input, 0, 5, 0, 5, &[0.0; 10], &[0.0], 1, 3, 1, 1, Activation::None,
+            &input,
+            0,
+            5,
+            0,
+            5,
+            &[0.0; 10],
+            &[0.0],
+            1,
+            3,
+            1,
+            1,
+            Activation::None,
         );
         assert!(matches!(r, Err(TensorError::KernelConfig(_))));
     }
@@ -265,7 +303,18 @@ mod tests {
         let input = det_input(2, 5, 5);
         let weights = det_weights(2, 3, 3);
         let r = conv2d_rows(
-            &input, 0, 5, 0, 5, &weights, &[0.0; 2], 3, 3, 1, 1, Activation::None,
+            &input,
+            0,
+            5,
+            0,
+            5,
+            &weights,
+            &[0.0; 2],
+            3,
+            3,
+            1,
+            1,
+            Activation::None,
         );
         assert!(matches!(r, Err(TensorError::KernelConfig(_))));
     }
@@ -275,7 +324,18 @@ mod tests {
         let input = det_input(1, 8, 8);
         let weights = det_weights(1, 1, 3);
         let r = conv2d_rows(
-            &input, 0, 8, 0, 9, &weights, &[0.0], 1, 3, 1, 1, Activation::None,
+            &input,
+            0,
+            8,
+            0,
+            9,
+            &weights,
+            &[0.0],
+            1,
+            3,
+            1,
+            1,
+            Activation::None,
         );
         assert!(r.is_err());
     }

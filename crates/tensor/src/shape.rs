@@ -42,8 +42,7 @@ impl Shape {
     /// Uses the standard formula `(in + 2p - f) / s + 1` independently for
     /// height and width.  Returns `None` if the kernel does not fit.
     pub fn conv_output(&self, f: usize, stride: usize, padding: usize) -> Option<(usize, usize)> {
-        conv_out_dim(self.h, f, stride, padding)
-            .zip(conv_out_dim(self.w, f, stride, padding))
+        conv_out_dim(self.h, f, stride, padding).zip(conv_out_dim(self.w, f, stride, padding))
     }
 }
 

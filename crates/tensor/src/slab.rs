@@ -1,0 +1,145 @@
+//! Flat binary (de)serialization of tensors — the payload format of the
+//! edge-runtime's wire frames.
+//!
+//! A slab is `[c: u32][h: u32][w: u32][data: c*h*w little-endian f32]`.
+//! The format is deliberately trivial: receivers know the expected geometry
+//! from their routing tables, so the header exists only as a cheap
+//! consistency check.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::{Result, Tensor};
+
+/// Byte length of a slab holding a `[c, h, w]` tensor.
+pub fn slab_len(c: usize, h: usize, w: usize) -> usize {
+    12 + c * h * w * 4
+}
+
+/// Appends the slab encoding of `t` to `out`.
+pub fn write_slab(t: &Tensor, out: &mut Vec<u8>) {
+    let [c, h, w] = t.shape();
+    out.reserve(slab_len(c, h, w));
+    out.extend_from_slice(&(c as u32).to_le_bytes());
+    out.extend_from_slice(&(h as u32).to_le_bytes());
+    out.extend_from_slice(&(w as u32).to_le_bytes());
+    for v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes `t` as a standalone slab.
+pub fn to_slab(t: &Tensor) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_slab(t, &mut out);
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32> {
+    let end = at + 4;
+    if end > bytes.len() {
+        return Err(TensorError::KernelConfig(format!(
+            "slab truncated: need {end} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    Ok(u32::from_le_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
+}
+
+/// Decodes a slab produced by [`write_slab`], returning the tensor and the
+/// number of bytes consumed.
+pub fn read_slab(bytes: &[u8]) -> Result<(Tensor, usize)> {
+    let c = read_u32(bytes, 0)? as usize;
+    let h = read_u32(bytes, 4)? as usize;
+    let w = read_u32(bytes, 8)? as usize;
+    let len = slab_len(c, h, w);
+    if bytes.len() < len {
+        return Err(TensorError::KernelConfig(format!(
+            "slab truncated: header promises {len} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let n = c * h * w;
+    let mut data = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 12 + i * 4;
+        data.push(f32::from_le_bytes([
+            bytes[at],
+            bytes[at + 1],
+            bytes[at + 2],
+            bytes[at + 3],
+        ]));
+    }
+    Ok((Tensor::from_vec(Shape::new(c, h, w), data)?, len))
+}
+
+/// Decodes a slab that must span the whole input exactly.
+pub fn from_slab(bytes: &[u8]) -> Result<Tensor> {
+    let (t, used) = read_slab(bytes)?;
+    if used != bytes.len() {
+        return Err(TensorError::KernelConfig(format!(
+            "slab has {} trailing bytes",
+            bytes.len() - used
+        )));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let t = Tensor::from_fn([3, 5, 4], |c, y, x| {
+            (c as f32 * 0.37 - y as f32 * 1.25 + x as f32) * 0.618
+        });
+        let bytes = to_slab(&t);
+        assert_eq!(bytes.len(), slab_len(3, 5, 4));
+        let back = from_slab(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_preserves_special_values() {
+        let mut t = Tensor::zeros([1, 2, 2]);
+        t.set(0, 0, 0, f32::NAN);
+        t.set(0, 0, 1, f32::NEG_INFINITY);
+        t.set(0, 1, 0, -0.0);
+        let back = from_slab(&to_slab(&t)).unwrap();
+        assert!(back.get(0, 0, 0).is_nan());
+        assert_eq!(back.get(0, 0, 1), f32::NEG_INFINITY);
+        assert_eq!(back.get(0, 1, 0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn truncated_slab_is_rejected() {
+        let t = Tensor::filled([2, 2, 2], 1.0);
+        let bytes = to_slab(&t);
+        assert!(from_slab(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_slab(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let t = Tensor::filled([1, 1, 1], 2.0);
+        let mut bytes = to_slab(&t);
+        bytes.push(0);
+        assert!(from_slab(&bytes).is_err());
+        // read_slab tolerates the trailing bytes and reports consumption.
+        let (back, used) = read_slab(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(used, bytes.len() - 1);
+    }
+
+    #[test]
+    fn empty_tensor_roundtrips() {
+        let t = Tensor::zeros([0, 0, 0]);
+        let back = from_slab(&to_slab(&t)).unwrap();
+        assert_eq!(back.shape(), [0, 0, 0]);
+    }
+}

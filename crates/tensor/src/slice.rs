@@ -15,7 +15,11 @@ use crate::{Result, Tensor};
 pub fn slice_rows(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
     let [c, h, w] = t.shape();
     if start >= end || end > h {
-        return Err(TensorError::InvalidRowRange { start, end, rows: h });
+        return Err(TensorError::InvalidRowRange {
+            start,
+            end,
+            rows: h,
+        });
     }
     let rows = end - start;
     let mut data = Vec::with_capacity(c * rows * w);
@@ -31,15 +35,18 @@ pub fn slice_rows(t: &Tensor, start: usize, end: usize) -> Result<Tensor> {
 /// All inputs must share channel count and width.  Empty input list is an
 /// error.
 pub fn concat_rows(parts: &[Tensor]) -> Result<Tensor> {
-    let first = parts
-        .first()
-        .ok_or_else(|| TensorError::KernelConfig("concat_rows requires at least one part".into()))?;
+    let first = parts.first().ok_or_else(|| {
+        TensorError::KernelConfig("concat_rows requires at least one part".into())
+    })?;
     let [c, _, w] = first.shape();
     let mut total_rows = 0usize;
     for p in parts {
         let [pc, ph, pw] = p.shape();
         if pc != c || pw != w {
-            return Err(TensorError::ShapeMismatch { left: first.shape(), right: p.shape() });
+            return Err(TensorError::ShapeMismatch {
+                left: first.shape(),
+                right: p.shape(),
+            });
         }
         total_rows += ph;
     }
@@ -74,7 +81,11 @@ pub fn split_rows_at(t: &Tensor, cuts: &[usize]) -> Result<Vec<Option<Tensor>>> 
     for win in bounds.windows(2) {
         let (a, b) = (win[0], win[1]);
         if b < a || b > h {
-            return Err(TensorError::InvalidRowRange { start: a, end: b, rows: h });
+            return Err(TensorError::InvalidRowRange {
+                start: a,
+                end: b,
+                rows: h,
+            });
         }
         if a == b {
             parts.push(None);

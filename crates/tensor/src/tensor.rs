@@ -20,7 +20,10 @@ impl Tensor {
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
         let shape = shape.into();
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.volume() });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                expected: shape.volume(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -28,7 +31,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Self { shape, data: vec![value; shape.volume()] }
+        Self {
+            shape,
+            data: vec![value; shape.volume()],
+        }
     }
 
     /// Creates a zero tensor.
@@ -128,8 +134,16 @@ impl Tensor {
                 right: other.shape(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { shape: self.shape, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape,
+            data,
+        })
     }
 
     /// Maximum absolute difference between two tensors of the same shape.
@@ -160,7 +174,10 @@ impl Tensor {
 
     /// Flattens the tensor into a `[volume, 1, 1]` vector tensor.
     pub fn flatten(&self) -> Tensor {
-        Tensor { shape: Shape::new(self.shape.volume(), 1, 1), data: self.data.clone() }
+        Tensor {
+            shape: Shape::new(self.shape.volume(), 1, 1),
+            data: self.data.clone(),
+        }
     }
 }
 
@@ -173,7 +190,10 @@ mod tests {
         assert!(Tensor::from_vec([1, 2, 2], vec![0.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec([1, 2, 2], vec![0.0; 5]),
-            Err(TensorError::LengthMismatch { len: 5, expected: 4 })
+            Err(TensorError::LengthMismatch {
+                len: 5,
+                expected: 4
+            })
         ));
     }
 
@@ -183,7 +203,7 @@ mod tests {
         assert_eq!(t.get(0, 0, 0), 0.0);
         assert_eq!(t.get(0, 2, 3), 23.0);
         assert_eq!(t.get(1, 1, 2), 112.0);
-        assert_eq!(t.data()[1 * 12 + 1 * 4 + 2], 112.0);
+        assert_eq!(t.data()[12 + 4 + 2], 112.0);
     }
 
     #[test]

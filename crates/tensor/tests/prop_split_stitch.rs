@@ -25,7 +25,9 @@ fn pseudo_tensor(c: usize, h: usize, w: usize, seed: u64) -> Tensor {
 fn pseudo_weights(len: usize, seed: u64) -> Vec<f32> {
     (0..len)
         .map(|i| {
-            let v = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let v = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
             ((v % 1000) as f32 / 500.0) - 1.0
         })
         .collect()

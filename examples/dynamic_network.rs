@@ -14,18 +14,24 @@ use distredge::DistrEdgeConfig;
 
 fn main() {
     let model = cnn_model::zoo::vgg16();
-    let devices: Vec<DeviceSpec> =
-        (0..4).map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano)).collect();
+    let devices: Vec<DeviceSpec> = (0..4)
+        .map(|i| DeviceSpec::new(format!("nano-{i}"), DeviceType::Nano))
+        .collect();
     let cluster = dynamic_cluster(&devices, 21);
 
     let mut config = OnlineConfig::standard(cluster.len());
     config.duration_minutes = 20.0;
     config.window_minutes = 2.0;
     config.images_per_window = 10;
-    config.distredge = DistrEdgeConfig::fast(cluster.len()).with_episodes(80).with_seed(21);
+    config.distredge = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(80)
+        .with_seed(21);
     config.finetune_episodes = 20;
 
-    println!("running {} minutes of highly dynamic network conditions…", config.duration_minutes);
+    println!(
+        "running {} minutes of highly dynamic network conditions…",
+        config.duration_minutes
+    );
     let results = run_dynamic_experiment(&model, &cluster, &config).expect("experiment failed");
 
     print!("{:<10}", "minute");

@@ -13,9 +13,9 @@
 
 use cnn_model::exec::{deterministic_input, run_full, run_part, ModelWeights};
 use cnn_model::{LayerOp, Model};
+use device_profile::{DeviceSpec, DeviceType};
 use distredge::{DistrEdge, DistrEdgeConfig};
 use edgesim::Cluster;
-use device_profile::{DeviceSpec, DeviceType};
 use netsim::LinkConfig;
 use tensor::slice::concat_rows;
 use tensor::Shape;
@@ -48,9 +48,14 @@ fn main() {
     );
 
     // Plan a strategy with DistrEdge.
-    let config = DistrEdgeConfig::fast(cluster.len()).with_episodes(60).with_seed(1);
+    let config = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(60)
+        .with_seed(1);
     let outcome = DistrEdge::plan(&model, &cluster, &config).expect("planning failed");
-    let plan = outcome.strategy.to_plan(&model).expect("plan lowering failed");
+    let plan = outcome
+        .strategy
+        .to_plan(&model)
+        .expect("plan lowering failed");
     println!(
         "strategy: {} volumes, shares {:?}",
         outcome.strategy.num_volumes(),
@@ -68,7 +73,8 @@ fn main() {
     for (v, assignment) in plan.volumes.iter().enumerate() {
         let mut bands = Vec::new();
         for (device, part) in assignment.parts.iter().enumerate() {
-            if let Some(out) = run_part(&model, &weights, part, &volume_input).expect("part failed") {
+            if let Some(out) = run_part(&model, &weights, part, &volume_input).expect("part failed")
+            {
                 println!(
                     "  volume {v}: device {device} computed output rows {:?}",
                     part.output_rows
@@ -80,7 +86,10 @@ fn main() {
         let expected = &reference[assignment.parts[0].volume.end - 1];
         let diff = stitched.max_abs_diff(expected).expect("comparable shapes");
         println!("  volume {v}: max |distributed - reference| = {diff:.2e}");
-        assert!(diff < 1e-4, "distributed execution must match the reference");
+        assert!(
+            diff < 1e-4,
+            "distributed execution must match the reference"
+        );
         volume_input = stitched;
     }
     println!("\nDistributed execution is functionally identical to single-device execution.");

@@ -21,8 +21,13 @@ fn main() {
         println!("  {:<14} {:>6.0} Mbps", device.name, bw);
     }
 
-    let config = DistrEdgeConfig::fast(cluster.len()).with_episodes(120).with_seed(3);
-    let options = SimOptions { num_images: 30, start_ms: 0.0 };
+    let config = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(120)
+        .with_seed(3);
+    let options = SimOptions {
+        num_images: 30,
+        start_ms: 0.0,
+    };
     let results = compare_methods(&Method::ALL, &model, &cluster, &config, options)
         .expect("method comparison failed");
 
@@ -33,7 +38,12 @@ fn main() {
     for r in &results {
         println!(
             "{:<14}{:>8.2}{:>14.1}{:>16.1}{:>16.1}{:>10}",
-            r.method, r.ips, r.mean_latency_ms, r.max_transmission_ms, r.max_compute_ms, r.num_volumes
+            r.method,
+            r.ips,
+            r.mean_latency_ms,
+            r.max_transmission_ms,
+            r.max_compute_ms,
+            r.num_volumes
         );
     }
     if let Some(speedup) = distredge::evaluate::distredge_speedup(&results) {

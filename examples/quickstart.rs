@@ -32,31 +32,50 @@ fn main() {
     println!(
         "cluster: {} providers: {}",
         cluster.len(),
-        cluster.devices().iter().map(|d| d.name.as_str()).collect::<Vec<_>>().join(", ")
+        cluster
+            .devices()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // 3. Plan with DistrEdge (LC-PSS + OSDS).  The `fast` configuration keeps
     //    this example to a few seconds; `DistrEdgeConfig::paper(4)` runs the
     //    full 4000-episode training of the paper.
-    let config = DistrEdgeConfig::fast(cluster.len()).with_episodes(120).with_seed(7);
+    let config = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(120)
+        .with_seed(7);
     let outcome = DistrEdge::plan(&model, &cluster, &config).expect("planning failed");
     println!(
         "\nDistrEdge strategy: {} layer-volumes, partition boundaries {:?}",
         outcome.strategy.num_volumes(),
         outcome.strategy.scheme.boundaries()
     );
-    println!("per-device row shares: {:?}", outcome.strategy.row_shares(&model));
+    println!(
+        "per-device row shares: {:?}",
+        outcome.strategy.row_shares(&model)
+    );
 
     // 4. Measure it with the ground-truth simulator and compare to offload.
-    let options = SimOptions { num_images: 50, start_ms: 0.0 };
+    let options = SimOptions {
+        num_images: 50,
+        start_ms: 0.0,
+    };
     let distredge_report =
         evaluate_strategy(&model, &cluster, &outcome.strategy, options).expect("simulation failed");
-    let offload =
-        evaluate_method(Method::Offload, &model, &cluster, &config, options).expect("offload failed");
+    let offload = evaluate_method(Method::Offload, &model, &cluster, &config, options)
+        .expect("offload failed");
 
     println!("\n{:<12}{:>10}{:>18}", "method", "IPS", "mean latency (ms)");
-    println!("{:<12}{:>10.2}{:>18.1}", "DistrEdge", distredge_report.ips, distredge_report.mean_latency_ms);
-    println!("{:<12}{:>10.2}{:>18.1}", "Offload", offload.ips, offload.mean_latency_ms);
+    println!(
+        "{:<12}{:>10.2}{:>18.1}",
+        "DistrEdge", distredge_report.ips, distredge_report.mean_latency_ms
+    );
+    println!(
+        "{:<12}{:>10.2}{:>18.1}",
+        "Offload", offload.ips, offload.mean_latency_ms
+    );
     println!(
         "\nDistrEdge speedup over offloading to the best single device: {:.2}x",
         distredge_report.ips / offload.ips

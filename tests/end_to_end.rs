@@ -46,7 +46,10 @@ fn distredge_plans_lower_and_simulate_on_every_table1_group() {
             &model,
             &cluster,
             &outcome.strategy,
-            SimOptions { num_images: 5, start_ms: 0.0 },
+            SimOptions {
+                num_images: 5,
+                start_ms: 0.0,
+            },
         )
         .unwrap();
         assert!(report.ips > 0.0, "{}: zero IPS", scenario.name);
@@ -62,7 +65,10 @@ fn all_methods_compare_on_a_heterogeneous_cluster() {
         &model,
         &cluster,
         &tiny_config(cluster.len()),
-        SimOptions { num_images: 5, start_ms: 0.0 },
+        SimOptions {
+            num_images: 5,
+            start_ms: 0.0,
+        },
     )
     .unwrap();
     assert_eq!(results.len(), Method::ALL.len());
@@ -86,7 +92,10 @@ fn distredge_beats_equal_split_when_devices_are_extremely_unequal() {
         LinkConfig::constant(200.0),
     );
     let cfg = tiny_config(cluster.len());
-    let options = SimOptions { num_images: 5, start_ms: 0.0 };
+    let options = SimOptions {
+        num_images: 5,
+        start_ms: 0.0,
+    };
     let distredge = evaluate_method(Method::DistrEdge, &model, &cluster, &cfg, options).unwrap();
     let equal = evaluate_method(Method::DeepThings, &model, &cluster, &cfg, options).unwrap();
     assert!(
@@ -102,7 +111,10 @@ fn layer_by_layer_baselines_pay_in_transmission() {
     let model = small_model();
     let cluster = Scenario::group_db(50.0).build_constant();
     let cfg = tiny_config(cluster.len());
-    let options = SimOptions { num_images: 5, start_ms: 0.0 };
+    let options = SimOptions {
+        num_images: 5,
+        start_ms: 0.0,
+    };
     let coedge = evaluate_method(Method::CoEdge, &model, &cluster, &cfg, options).unwrap();
     let aofl = evaluate_method(Method::Aofl, &model, &cluster, &cfg, options).unwrap();
     assert!(
@@ -118,13 +130,21 @@ fn zoo_models_plan_with_cheap_baselines_on_table2() {
     // Every zoo model must survive planning + lowering + a short simulation
     // with the analytic baselines (DistrEdge training is covered elsewhere;
     // this guards the full model zoo against geometry regressions).
-    let options = SimOptions { num_images: 2, start_ms: 0.0 };
+    let options = SimOptions {
+        num_images: 2,
+        start_ms: 0.0,
+    };
     for model in cnn_model::zoo::all_models() {
         let cluster = Scenario::group_nd(DeviceType::Xavier).build_constant();
         let cfg = tiny_config(cluster.len());
         for method in [Method::DeepThings, Method::Aofl, Method::Offload] {
             let r = evaluate_method(method, &model, &cluster, &cfg, options).unwrap();
-            assert!(r.ips > 0.0, "{} on {} has zero IPS", method.name(), model.name());
+            assert!(
+                r.ips > 0.0,
+                "{} on {} has zero IPS",
+                method.name(),
+                model.name()
+            );
         }
     }
 }

@@ -42,7 +42,12 @@ fn cluster() -> Cluster {
 
 /// Executes an execution plan volume by volume on the tensor engine and
 /// returns the final distributable-prefix output.
-fn run_distributed(model: &Model, plan: &ExecutionPlan, weights: &ModelWeights, input: &Tensor) -> Tensor {
+fn run_distributed(
+    model: &Model,
+    plan: &ExecutionPlan,
+    weights: &ModelWeights,
+    input: &Tensor,
+) -> Tensor {
     let mut current = input.clone();
     for assignment in &plan.volumes {
         let mut bands = Vec::new();
@@ -65,7 +70,9 @@ fn every_method_is_functionally_lossless() {
     let reference = run_full(&model, &weights, &input).unwrap();
     let prefix_reference = &reference[model.distributable_len() - 1];
 
-    let mut cfg = DistrEdgeConfig::fast(cluster.len()).with_episodes(15).with_seed(2);
+    let mut cfg = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(15)
+        .with_seed(2);
     cfg.lcpss.num_random_splits = 8;
     cfg.osds.ddpg.actor_hidden = [24, 16, 12];
     cfg.osds.ddpg.critic_hidden = [24, 16, 12, 12];

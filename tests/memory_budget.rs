@@ -25,10 +25,17 @@ fn zoo_models_fit_the_papers_memory_envelope() {
 fn distribution_never_inflates_per_device_memory_beyond_the_whole_model() {
     let model = cnn_model::zoo::vgg16();
     let cluster = Scenario::group_db(100.0).build_constant();
-    let cfg = DistrEdgeConfig::fast(cluster.len()).with_episodes(1).with_seed(1);
+    let cfg = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(1)
+        .with_seed(1);
     let whole = whole_model_footprint(&model);
 
-    for method in [Method::DeepThings, Method::Aofl, Method::CoEdge, Method::Offload] {
+    for method in [
+        Method::DeepThings,
+        Method::Aofl,
+        Method::CoEdge,
+        Method::Offload,
+    ] {
         let strategy = plan_method(method, &model, &cluster, &cfg).unwrap();
         let footprints = strategy.memory_footprints(&model).unwrap();
         assert_eq!(footprints.len(), cluster.len());
@@ -49,7 +56,11 @@ fn distribution_never_inflates_per_device_memory_beyond_the_whole_model() {
             );
         }
         // Every device stays far below a 4 GB Jetson Nano budget.
-        assert!(within_budget(&footprints, 4e9), "{} breaks a 4 GB budget", method.name());
+        assert!(
+            within_budget(&footprints, 4e9),
+            "{} breaks a 4 GB budget",
+            method.name()
+        );
     }
 }
 
@@ -57,7 +68,9 @@ fn distribution_never_inflates_per_device_memory_beyond_the_whole_model() {
 fn offload_concentrates_memory_on_a_single_device() {
     let model = cnn_model::zoo::resnet50();
     let cluster = Scenario::group_dc(100.0).build_constant();
-    let cfg = DistrEdgeConfig::fast(cluster.len()).with_episodes(1).with_seed(1);
+    let cfg = DistrEdgeConfig::fast(cluster.len())
+        .with_episodes(1)
+        .with_seed(1);
     let strategy = plan_method(Method::Offload, &model, &cluster, &cfg).unwrap();
     let footprints = strategy.memory_footprints(&model).unwrap();
     let loaded: Vec<usize> = footprints
@@ -66,5 +79,9 @@ fn offload_concentrates_memory_on_a_single_device() {
         .filter(|(_, f)| f.total_bytes() > 0.0)
         .map(|(i, _)| i)
         .collect();
-    assert_eq!(loaded.len(), 1, "offload must load exactly one device: {loaded:?}");
+    assert_eq!(
+        loaded.len(),
+        1,
+        "offload must load exactly one device: {loaded:?}"
+    );
 }

@@ -24,7 +24,13 @@ fn every_scenario_builds_a_consistent_cluster() {
         assert_eq!(cluster.len(), s.len(), "{}", s.name);
         assert_eq!(cluster.mean_bandwidths().len(), s.len());
         for (mean, cap) in cluster.mean_bandwidths().iter().zip(&s.bandwidths_mbps) {
-            assert!(mean <= cap && *mean > 0.0, "{}: mean {} cap {}", s.name, mean, cap);
+            assert!(
+                mean <= cap && *mean > 0.0,
+                "{}: mean {} cap {}",
+                s.name,
+                mean,
+                cap
+            );
         }
     }
 }
@@ -51,8 +57,11 @@ fn profiles_collect_for_every_table1_group() {
 fn baselines_plan_vgg16_on_representative_scenarios() {
     let model = cnn_model::zoo::vgg16();
     let cfg = ProfilesConfig::default();
-    let scenarios =
-        [Scenario::group_db(50.0), Scenario::group_nd(DeviceType::Xavier), Scenario::group_lb()];
+    let scenarios = [
+        Scenario::group_db(50.0),
+        Scenario::group_nd(DeviceType::Xavier),
+        Scenario::group_lb(),
+    ];
     for s in scenarios {
         let cluster = s.build_constant();
         let profiles = ClusterProfiles::collect(&model, &cluster, &cfg);
@@ -60,9 +69,8 @@ fn baselines_plan_vgg16_on_representative_scenarios() {
         for method in Method::BASELINES {
             let strategy = method.plan_baseline(&model, &profiles, &bw).unwrap();
             let plan = strategy.to_plan(&model).unwrap();
-            plan.validate(&model).unwrap_or_else(|e| {
-                panic!("{} on {}: invalid plan: {e}", method.name(), s.name)
-            });
+            plan.validate(&model)
+                .unwrap_or_else(|e| panic!("{} on {}: invalid plan: {e}", method.name(), s.name));
         }
     }
 }
@@ -78,6 +86,12 @@ fn large_scale_groups_have_the_published_mix() {
     assert!(la.device_types.iter().all(|d| *d == DeviceType::Nano));
     // Bandwidth mix covers 50..300.
     for bw in [50.0, 100.0, 200.0, 300.0] {
-        assert_eq!(la.bandwidths_mbps.iter().filter(|b| (**b - bw).abs() < 1e-9).count(), 4);
+        assert_eq!(
+            la.bandwidths_mbps
+                .iter()
+                .filter(|b| (**b - bw).abs() < 1e-9)
+                .count(),
+            4
+        );
     }
 }
