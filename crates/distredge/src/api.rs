@@ -1,7 +1,8 @@
 //! The end-to-end DistrEdge planner: profile the devices, partition the
-//! model with LC-PSS, then search the vertical splits with OSDS — plus
-//! [`DistrEdge::deploy`], which hands a planned strategy to the
-//! `edge-runtime` and actually executes it with real kernels.
+//! model with LC-PSS, then search the vertical splits with OSDS — plus the
+//! serving entry points [`DistrEdge::serve`] (a resident `edge-runtime`
+//! [`Session`]) and [`DistrEdge::deploy`] (a one-shot batch wrapper over a
+//! session).
 
 use crate::mdp::SplitEnv;
 use crate::partitioner::{lc_pss, LcPssConfig};
@@ -11,7 +12,8 @@ use crate::strategy::DistributionStrategy;
 use crate::Result;
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
-use edge_runtime::runtime::{execute, execute_in_process, RuntimeOptions};
+use edge_runtime::runtime::RuntimeOptions;
+use edge_runtime::session::{Runtime, Session};
 use edge_runtime::transport::{ChannelTransport, ShapedTransport};
 use edge_runtime::{report, RuntimeReport};
 use edgesim::{Cluster, SimReport};
@@ -122,9 +124,32 @@ impl DistrEdge {
         })
     }
 
-    /// Deploys a planned strategy onto the `edge-runtime` and executes it
-    /// with real tensor kernels: one concurrent provider worker per device,
-    /// streaming `images` through the cluster.
+    /// Deploys a planned strategy onto resident `edge-runtime` provider
+    /// workers and returns the live serving [`Session`]: submit images
+    /// (credit-gated), claim outputs by ticket, snapshot
+    /// [`Session::metrics`] mid-stream for online re-planning, and
+    /// [`Session::shutdown`] when done.  The cluster stays up between
+    /// submission waves — nothing is redeployed per batch.
+    pub fn serve(
+        model: &Model,
+        cluster: &Cluster,
+        strategy: &DistributionStrategy,
+        options: &DeployOptions,
+    ) -> Result<Session> {
+        let plan = strategy.to_plan(model)?;
+        let weights = ModelWeights::deterministic(model, options.weight_seed);
+        let session = if options.shaped {
+            let mut transport = ShapedTransport::new(ChannelTransport::new(cluster.len()), cluster);
+            Runtime::deploy(model, &plan, &weights, &mut transport, &options.runtime)?
+        } else {
+            Runtime::deploy_in_process(model, &plan, &weights, &options.runtime)?
+        };
+        Ok(session)
+    }
+
+    /// One-shot wrapper over [`DistrEdge::serve`]: deploys a session,
+    /// streams `images` through it with real tensor kernels, and shuts the
+    /// cluster down again.
     ///
     /// Returns the measured report, the per-image outputs, and the
     /// simulator's prediction under the runtime's own measured kernel times
@@ -136,44 +161,39 @@ impl DistrEdge {
         images: &[Tensor],
         options: &DeployOptions,
     ) -> Result<Deployment> {
+        if images.is_empty() {
+            return Err(crate::DistrError::Runtime("no images to stream".into()));
+        }
         let plan = strategy.to_plan(model)?;
-        let weights = ModelWeights::deterministic(model, options.weight_seed);
-        let outcome = if options.shaped {
-            let mut transport = ShapedTransport::new(ChannelTransport::new(cluster.len()), cluster);
-            execute(
-                model,
-                &plan,
-                &weights,
-                images,
-                &mut transport,
-                &options.runtime,
-            )?
-        } else {
-            execute_in_process(model, &plan, &weights, images, &options.runtime)?
-        };
+        let session = Self::serve(model, cluster, strategy, options)?;
+        let mut tickets = Vec::with_capacity(images.len());
+        for img in images {
+            tickets.push(session.submit(img)?);
+        }
+        let outputs = tickets
+            .into_iter()
+            .map(|t| session.wait(t))
+            .collect::<edge_runtime::Result<Vec<Tensor>>>()?;
+        let report = session.shutdown()?;
         let predicted = if options.shaped {
-            report::predicted_report_on_cluster(
-                model,
-                cluster,
-                &plan,
-                &outcome.report,
-                images.len(),
-            )
+            report::predicted_report_on_cluster(model, cluster, &plan, &report, images.len())
         } else {
-            report::predicted_report(model, &plan, &outcome.report, images.len())
+            report::predicted_report(model, &plan, &report, images.len())
         };
         Ok(Deployment {
-            report: outcome.report,
-            outputs: outcome.outputs,
+            report,
+            outputs,
             predicted,
         })
     }
 }
 
-/// Options of [`DistrEdge::deploy`].
-#[derive(Debug, Clone, Copy)]
+/// Options of [`DistrEdge::serve`] / [`DistrEdge::deploy`].  Round-trips
+/// through JSON, so a scenario file can carry the full serving
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeployOptions {
-    /// Runtime streaming options (images in flight, timeouts).
+    /// Runtime streaming options (credit window, timeouts).
     pub runtime: RuntimeOptions,
     /// Pace every link with the cluster's bandwidth traces (token-bucket
     /// shaping).  Off by default: the in-process wire is then effectively
@@ -193,6 +213,26 @@ impl Default for DeployOptions {
     }
 }
 
+impl DeployOptions {
+    /// Overrides the runtime streaming options.
+    pub fn with_runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Enables / disables trace-driven bandwidth shaping.
+    pub fn with_shaped(mut self, shaped: bool) -> Self {
+        self.shaped = shaped;
+        self
+    }
+
+    /// Overrides the provider weight seed.
+    pub fn with_weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+}
+
 /// What [`DistrEdge::deploy`] returns.
 #[derive(Debug)]
 pub struct Deployment {
@@ -207,23 +247,25 @@ pub struct Deployment {
 
 impl Deployment {
     /// Relative gap between measured IPS and the simulator's prediction:
-    /// `|measured - predicted| / predicted`.
+    /// `|measured - predicted| / predicted`, or `None` when the prediction
+    /// is non-positive (nothing meaningful to divide by — e.g. a degenerate
+    /// simulated stream).
     ///
     /// The simulator models the paper's closed-loop stream (one image in
     /// flight), so the measured side is `sim.ips` for closed-loop runs
     /// (`max_in_flight == 1`) and the wall-clock `measured_ips` otherwise —
     /// under pipelining, per-image latencies include queueing and their
     /// inverse no longer measures throughput.
-    pub fn ips_gap(&self) -> f64 {
+    pub fn ips_gap(&self) -> Option<f64> {
         if self.predicted.ips <= 0.0 {
-            return f64::INFINITY;
+            return None;
         }
         let measured = if self.report.max_in_flight_observed <= 1 {
             self.report.sim.ips
         } else {
             self.report.measured_ips
         };
-        (measured - self.predicted.ips).abs() / self.predicted.ips
+        Some((measured - self.predicted.ips).abs() / self.predicted.ips)
     }
 }
 
@@ -322,7 +364,76 @@ mod tests {
         }
         assert!(deployment.report.sim.ips > 0.0);
         assert!(deployment.predicted.ips > 0.0);
-        assert!(deployment.ips_gap().is_finite());
+        assert!(deployment
+            .ips_gap()
+            .expect("positive prediction")
+            .is_finite());
+    }
+
+    #[test]
+    fn deploy_rejects_empty_batches() {
+        use cnn_model::{PartitionScheme, VolumeSplit};
+        let m = model();
+        let c = cluster();
+        let scheme = PartitionScheme::single_volume(&m);
+        let split = VolumeSplit::equal(2, m.prefix_output().h);
+        let strategy = DistributionStrategy::new("EqualSplit", scheme, vec![split], 2).unwrap();
+        let err = DistrEdge::deploy(&m, &c, &strategy, &[], &DeployOptions::default());
+        assert!(err.is_err(), "an empty batch must be rejected");
+    }
+
+    #[test]
+    fn ips_gap_is_none_for_nonpositive_predictions() {
+        let deployment = Deployment {
+            report: RuntimeReport::from_measured(vec![10.0], Vec::new(), 10.0, 1),
+            outputs: Vec::new(),
+            predicted: SimReport::from_raw(Vec::new(), Vec::new(), Vec::new()),
+        };
+        assert_eq!(deployment.predicted.ips, 0.0);
+        assert_eq!(deployment.ips_gap(), None);
+    }
+
+    #[test]
+    fn deploy_options_round_trip_through_json() {
+        let opts = DeployOptions::default()
+            .with_shaped(true)
+            .with_weight_seed(11)
+            .with_runtime(
+                RuntimeOptions::default()
+                    .with_max_in_flight(2)
+                    .with_recv_timeout(std::time::Duration::from_millis(1500)),
+            );
+        let text = serde_json::to_string(&opts).unwrap();
+        let back: DeployOptions = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = DistrEdgeConfig::fast(3).with_episodes(12).with_seed(4);
+        let text = serde_json::to_string(&cfg).unwrap();
+        let back: DistrEdgeConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn serve_keeps_the_cluster_resident_between_waves() {
+        use cnn_model::exec::{self, deterministic_input};
+        let m = cnn_model::zoo::tiny_vgg();
+        let c = cluster();
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        let opts = DeployOptions::default();
+        let session = DistrEdge::serve(&m, &c, &outcome.strategy, &opts).unwrap();
+        let weights = ModelWeights::deterministic(&m, opts.weight_seed);
+        for wave in 0..2u64 {
+            let img = deterministic_input(&m, 80 + wave);
+            let ticket = session.submit(&img).unwrap();
+            let out = session.wait(ticket).unwrap();
+            let full = exec::run_full(&m, &weights, &img).unwrap();
+            assert_eq!(&out, full.last().unwrap());
+        }
+        let report = session.shutdown().unwrap();
+        assert_eq!(report.images, 2);
     }
 
     #[test]

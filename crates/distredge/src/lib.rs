@@ -21,7 +21,9 @@
 //! * [`scenarios`] — the device/bandwidth groups of Tables I–III.
 //! * [`evaluate`] — running any method on any scenario and measuring IPS and
 //!   latency breakdowns with the ground-truth simulator.
-//! * [`online`] — online re-planning under highly dynamic networks (§V-F).
+//! * [`online`] — online re-planning under highly dynamic networks (§V-F),
+//!   both simulator-driven ([`online::run_dynamic_experiment`]) and against
+//!   live `edge-runtime` session metrics ([`online::RuntimeAdaptation`]).
 
 pub mod api;
 pub mod baselines;
@@ -35,10 +37,11 @@ pub mod scenarios;
 pub mod splitter;
 pub mod strategy;
 
-pub use api::{DeployOptions, Deployment, DistrEdge, DistrEdgeConfig};
+pub use api::{DeployOptions, Deployment, DistrEdge, DistrEdgeConfig, PlanningOutcome};
 pub use baselines::Method;
 pub use error::DistrError;
 pub use evaluate::{evaluate_method, evaluate_strategy, MethodResult};
+pub use online::{OnlineConfig, OnlineResult, RuntimeAdaptation, RuntimeReplanDecision};
 pub use partitioner::{LcPssConfig, RandomSplits};
 pub use profiles::ClusterProfiles;
 pub use scenarios::Scenario;

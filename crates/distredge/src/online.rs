@@ -14,19 +14,22 @@
 //!   fine-tunes the actor for a small number of episodes (20–210 s in the
 //!   paper), taking effect on the next window.
 
-use crate::api::DistrEdgeConfig;
+use crate::api::{DistrEdgeConfig, PlanningOutcome};
 use crate::baselines::Method;
 use crate::evaluate::evaluate_strategy;
 use crate::mdp::SplitEnv;
 use crate::partitioner::lc_pss;
 use crate::profiles::ClusterProfiles;
-use crate::splitter::{greedy_rollout, osds_train};
+use crate::splitter::{greedy_rollout, osds_train, OsdsConfig};
 use crate::strategy::DistributionStrategy;
 use crate::Result;
-use cnn_model::Model;
+use cnn_model::{Model, PartitionScheme, VolumeSplit};
 use device_profile::DeviceSpec;
-use edgesim::{Cluster, SimOptions};
+use edge_runtime::report::MeasuredCompute;
+use edge_runtime::RuntimeReport;
+use edgesim::{Cluster, ExecutionPlan, SimOptions};
 use netsim::LinkConfig;
+use neuro::DdpgAgent;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the dynamic-network experiment.
@@ -277,6 +280,136 @@ pub fn run_dynamic_experiment(
     ])
 }
 
+/// Online re-planning against the *runtime* instead of the simulator: feed
+/// it successive live [`edge_runtime::Session::metrics`] snapshots and it
+/// reacts to **measured** drift (the §V-F loop, for real).
+///
+/// Each [`RuntimeAdaptation::observe`] call treats the latencies completed
+/// since the previous call as one monitoring window.  When the window's
+/// mean latency drifts by more than `significant_change` relative to the
+/// last re-plan baseline, the trained actor is fine-tuned for a few
+/// episodes against an OSDS environment whose compute backend is the
+/// snapshot's own measured kernel times ([`MeasuredCompute`]) — not a
+/// profile — and the preferred splits become the next strategy.
+pub struct RuntimeAdaptation {
+    /// Relative change in window mean latency that triggers re-planning.
+    pub significant_change: f64,
+    /// Episodes used when fine-tuning the actor after a significant change.
+    pub finetune_episodes: usize,
+    osds: OsdsConfig,
+    scheme: PartitionScheme,
+    agent: DdpgAgent,
+    images_seen: usize,
+    baseline_latency_ms: Option<f64>,
+}
+
+/// What one [`RuntimeAdaptation::observe`] call decided.
+#[derive(Debug)]
+pub struct RuntimeReplanDecision {
+    /// Images completed since the previous observation.
+    pub window_images: usize,
+    /// Mean measured latency of this window (ms; `0` for an empty window).
+    pub window_mean_latency_ms: f64,
+    /// Relative drift vs the baseline window (`0` while calibrating).
+    pub drift: f64,
+    /// The re-planned strategy, when the drift was significant.
+    pub strategy: Option<DistributionStrategy>,
+}
+
+impl RuntimeAdaptation {
+    /// Starts adapting from a planning outcome (its trained actor and
+    /// partition scheme) under `config`'s drift / fine-tune knobs.
+    pub fn new(planning: &PlanningOutcome, config: &OnlineConfig) -> Self {
+        Self {
+            significant_change: config.significant_change,
+            finetune_episodes: config.finetune_episodes,
+            osds: config.distredge.osds,
+            scheme: planning.strategy.scheme.clone(),
+            agent: planning.osds.agent.clone(),
+            images_seen: 0,
+            baseline_latency_ms: None,
+        }
+    }
+
+    /// Consumes one live metrics snapshot (`plan` is the execution plan the
+    /// snapshot was measured under — the kernel-time lookup is keyed by its
+    /// layer-volumes).  The first non-empty window calibrates the baseline;
+    /// later windows re-plan when drift reaches `significant_change`.
+    pub fn observe(
+        &mut self,
+        model: &Model,
+        cluster: &Cluster,
+        plan: &ExecutionPlan,
+        snapshot: &RuntimeReport,
+    ) -> Result<RuntimeReplanDecision> {
+        let latencies = &snapshot.sim.per_image_latency_ms;
+        if latencies.len() < self.images_seen {
+            // The caller redeployed (a fresh session's latency log restarts
+            // at zero): observe the new session from its beginning instead
+            // of silently discarding its first window.
+            self.images_seen = 0;
+        }
+        let window = &latencies[self.images_seen..];
+        let window_images = window.len();
+        self.images_seen = latencies.len();
+        let window_mean_latency_ms = if window.is_empty() {
+            0.0
+        } else {
+            window.iter().sum::<f64>() / window_images as f64
+        };
+
+        let mut decision = RuntimeReplanDecision {
+            window_images,
+            window_mean_latency_ms,
+            drift: 0.0,
+            strategy: None,
+        };
+        let Some(baseline) = self.baseline_latency_ms else {
+            // Calibration: the first measured window becomes the baseline.
+            if window_images > 0 {
+                self.baseline_latency_ms = Some(window_mean_latency_ms);
+            }
+            return Ok(decision);
+        };
+        if window_images == 0 {
+            return Ok(decision);
+        }
+        decision.drift = (window_mean_latency_ms - baseline).abs() / baseline.max(1e-9);
+        if decision.drift < self.significant_change {
+            return Ok(decision);
+        }
+
+        // Re-plan against what was actually measured: the runtime's own
+        // kernel times are the compute backend of the decision environment.
+        let compute = MeasuredCompute::from_report(snapshot, plan);
+        let mut env = SplitEnv::new(model, cluster, &compute, &self.scheme);
+        let finetune = self.osds.with_episodes(self.finetune_episodes);
+        self.agent = osds_train(&mut env, &finetune, Some(self.agent.clone()))?.agent;
+        let rollout = greedy_rollout(&mut env, &mut self.agent)?;
+        // Same guard as the simulator loop: never deploy below the equal
+        // split, which costs nothing to evaluate.
+        let equal: Vec<VolumeSplit> = self
+            .scheme
+            .volumes()
+            .iter()
+            .map(|v| VolumeSplit::equal(cluster.len(), v.last_output_height(model)))
+            .collect();
+        let splits = if env.evaluate_splits(&rollout)? <= env.evaluate_splits(&equal)? {
+            rollout
+        } else {
+            equal
+        };
+        self.baseline_latency_ms = Some(window_mean_latency_ms);
+        decision.strategy = Some(DistributionStrategy::new(
+            "DistrEdge",
+            self.scheme.clone(),
+            splits,
+            cluster.len(),
+        )?);
+        Ok(decision)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +476,68 @@ mod tests {
             assert_eq!(r.points.len(), expected_windows, "{}", r.method);
             assert!(r.mean_latency_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn runtime_adaptation_consumes_live_session_metrics() {
+        use crate::api::{DeployOptions, DistrEdge};
+        use cnn_model::exec::{self, deterministic_input, ModelWeights};
+        use device_profile::DeviceType;
+
+        let m = model();
+        let c = Cluster::uniform(
+            vec![
+                DeviceSpec::new("xavier", DeviceType::Xavier),
+                DeviceSpec::new("nano", DeviceType::Nano),
+            ],
+            LinkConfig::constant(200.0),
+        );
+        let mut cfg = DistrEdgeConfig::fast(2).with_episodes(15).with_seed(3);
+        cfg.lcpss.num_random_splits = 8;
+        cfg.osds.ddpg.actor_hidden = [24, 16, 12];
+        cfg.osds.ddpg.critic_hidden = [24, 16, 12, 12];
+        let planning = DistrEdge::plan(&m, &c, &cfg).unwrap();
+        let plan = planning.strategy.to_plan(&m).unwrap();
+
+        let mut online_cfg = OnlineConfig::standard(2);
+        online_cfg.distredge = cfg;
+        online_cfg.finetune_episodes = 4;
+        online_cfg.significant_change = 0.0; // Any drift triggers a re-plan.
+        let mut adaptation = RuntimeAdaptation::new(&planning, &online_cfg);
+
+        let opts = DeployOptions::default();
+        let session = DistrEdge::serve(&m, &c, &planning.strategy, &opts).unwrap();
+        let weights = ModelWeights::deterministic(&m, opts.weight_seed);
+        let serve_wave = |wave: u64| {
+            for i in 0..3u64 {
+                let img = deterministic_input(&m, 100 * wave + i);
+                let out = session.wait(session.submit(&img).unwrap()).unwrap();
+                let full = exec::run_full(&m, &weights, &img).unwrap();
+                assert_eq!(&out, full.last().unwrap(), "outputs must stay bit-exact");
+            }
+        };
+
+        // Wave 1 calibrates the baseline from a live snapshot.
+        serve_wave(1);
+        let first = adaptation
+            .observe(&m, &c, &plan, &session.metrics())
+            .unwrap();
+        assert_eq!(first.window_images, 3);
+        assert!(first.window_mean_latency_ms > 0.0);
+        assert!(first.strategy.is_none(), "first window only calibrates");
+
+        // Wave 2 on the same deployment: the zero threshold forces a
+        // re-plan from the measured drift.
+        serve_wave(2);
+        let second = adaptation
+            .observe(&m, &c, &plan, &session.metrics())
+            .unwrap();
+        assert_eq!(second.window_images, 3);
+        let strategy = second.strategy.expect("zero threshold must re-plan");
+        strategy.to_plan(&m).unwrap().validate(&m).unwrap();
+
+        let report = session.shutdown().unwrap();
+        assert_eq!(report.images, 6);
     }
 
     #[test]

@@ -16,19 +16,26 @@
 //! * [`routing`] — the static routing table derived from an
 //!   [`edgesim::ExecutionPlan`]: who needs which rows of which volume,
 //! * [`provider`] — the three-thread provider worker,
-//! * [`runtime`] — the requester driver: scatters images, gathers results,
-//!   and assembles an [`edgesim::SimReport`]-compatible measurement,
+//! * [`session`] — the serving API: [`Runtime::deploy`] keeps the cluster
+//!   resident and returns a [`Session`] with credit-gated `submit`,
+//!   `wait` / `try_recv`, mid-stream `metrics()` snapshots and a draining
+//!   `shutdown()`,
+//! * [`runtime`] — one-shot batch wrappers (`execute*`) over the session,
 //! * [`report`] — measured metrics plus the [`report::MeasuredCompute`]
 //!   bridge that feeds measured kernel times back into the simulator so
 //!   predictions can be validated against execution.
 //!
 //! # Example
 //!
+//! Deploy once, then serve: submissions are credit-gated by
+//! `max_in_flight`, outputs are claimed by ticket, and the cluster stays
+//! resident between waves until `shutdown`.
+//!
 //! ```
 //! use cnn_model::exec::{deterministic_input, ModelWeights};
 //! use cnn_model::{LayerOp, Model};
 //! use edgesim::ExecutionPlan;
-//! use edge_runtime::runtime::{execute_in_process, RuntimeOptions};
+//! use edge_runtime::{Runtime, RuntimeOptions};
 //! use tensor::Shape;
 //!
 //! let model = Model::new(
@@ -39,22 +46,33 @@
 //! .unwrap();
 //! let plan = ExecutionPlan::offload(&model, 0, 2).unwrap();
 //! let weights = ModelWeights::deterministic(&model, 7);
-//! let images = vec![deterministic_input(&model, 1)];
-//! let outcome =
-//!     execute_in_process(&model, &plan, &weights, &images, &RuntimeOptions::default()).unwrap();
-//! assert_eq!(outcome.outputs.len(), 1);
+//! let options = RuntimeOptions::default().with_max_in_flight(2);
+//!
+//! let session = Runtime::deploy_in_process(&model, &plan, &weights, &options).unwrap();
+//! // First wave.
+//! let ticket = session.submit(&deterministic_input(&model, 1)).unwrap();
+//! let output = session.wait(ticket).unwrap();
+//! assert_eq!(output.shape(), [4, 1, 1]);
+//! // Mid-stream measurement, then a second wave on the same deployment.
+//! assert_eq!(session.metrics().images, 1);
+//! let ticket = session.submit(&deterministic_input(&model, 2)).unwrap();
+//! session.wait(ticket).unwrap();
+//! let report = session.shutdown().unwrap();
+//! assert_eq!(report.images, 2);
 //! ```
 
 pub mod provider;
 pub mod report;
 pub mod routing;
 pub mod runtime;
+pub mod session;
 pub mod transport;
 pub mod wire;
 
 pub use report::{DeviceMetrics, MeasuredCompute, RuntimeReport};
 pub use routing::RouteTable;
 pub use runtime::{execute, execute_in_process, RuntimeOptions, RuntimeOutcome};
+pub use session::{Runtime, Session, Ticket};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport};
 pub use wire::{Frame, FrameKind};
 

@@ -14,6 +14,7 @@
 //! Frames for different images interleave freely, which is what makes the
 //! requester's multi-image streaming genuine pipelining.
 
+use crate::report::DeviceMetrics;
 use crate::routing::{overlap, RouteTable};
 use crate::transport::FrameTx;
 use crate::wire::{Frame, FrameKind};
@@ -23,7 +24,7 @@ use cnn_model::Model;
 use edgesim::Endpoint;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tensor::slice::slice_rows;
@@ -132,11 +133,48 @@ pub struct SendStats {
     pub bytes_out: u64,
 }
 
-/// Join handles of one provider's three threads.
+/// Live counters of one provider's three threads, updated in place while
+/// the worker runs so a `Session` can snapshot per-device metrics
+/// mid-stream (the counters only ever grow, so snapshots are monotone).
+#[derive(Debug, Default)]
+pub struct ProviderStats {
+    /// Receive-thread counters.
+    pub recv: Mutex<RecvStats>,
+    /// Compute-thread counters.
+    pub comp: Mutex<ComputeStats>,
+    /// Send-thread counters.
+    pub send: Mutex<SendStats>,
+}
+
+impl ProviderStats {
+    /// Snapshots the counters into the report's per-device shape.
+    pub fn snapshot(&self, scatter_ms: f64) -> DeviceMetrics {
+        let recv = self.recv.lock().expect("recv stats poisoned");
+        let comp = self.comp.lock().expect("comp stats poisoned");
+        let send = self.send.lock().expect("send stats poisoned");
+        DeviceMetrics {
+            compute_ms: comp.compute_ms + comp.head_ms,
+            tx_ms: send.tx_ms,
+            scatter_ms,
+            per_volume_ms: comp.per_volume_ms.clone(),
+            per_volume_images: comp.per_volume_images.clone(),
+            head_ms: comp.head_ms,
+            head_images: comp.head_images,
+            frames_in: recv.frames_in,
+            bytes_in: recv.bytes_in,
+            frames_out: send.frames_out,
+            bytes_out: send.bytes_out,
+            max_concurrent_images: comp.max_concurrent_images,
+        }
+    }
+}
+
+/// Join handles of one provider's three threads, plus its live counters.
 pub struct ProviderHandle {
-    pub(crate) recv: JoinHandle<Result<RecvStats>>,
-    pub(crate) comp: JoinHandle<Result<ComputeStats>>,
-    pub(crate) send: JoinHandle<Result<SendStats>>,
+    pub(crate) recv: JoinHandle<Result<()>>,
+    pub(crate) comp: JoinHandle<Result<()>>,
+    pub(crate) send: JoinHandle<Result<()>>,
+    pub(crate) stats: Arc<ProviderStats>,
 }
 
 enum OutMsg {
@@ -160,30 +198,53 @@ pub fn spawn_provider(
     let (to_comp, comp_rx) = channel::<Frame>();
     let (to_send, send_rx) = channel::<OutMsg>();
 
+    let stats = Arc::new(ProviderStats::default());
+    // Size the per-volume counters up front so mid-stream snapshots always
+    // see full-length vectors.
+    {
+        let mut comp = stats.comp.lock().expect("comp stats poisoned");
+        comp.per_volume_ms = vec![0.0; shared.route.num_volumes];
+        comp.per_volume_images = vec![0; shared.route.num_volumes];
+    }
+
+    let recv_stats = Arc::clone(&stats);
     let recv = std::thread::Builder::new()
         .name(format!("edge-rt-recv-{d}"))
-        .spawn(move || receive_loop(inbox, to_comp))
+        .spawn(move || receive_loop(inbox, to_comp, recv_stats))
         .expect("spawn receive thread");
 
     let comp_shared = Arc::clone(&shared);
+    let comp_stats = Arc::clone(&stats);
     let comp = std::thread::Builder::new()
         .name(format!("edge-rt-comp-{d}"))
-        .spawn(move || compute_loop(d, comp_shared, comp_rx, to_send))
+        .spawn(move || compute_loop(d, comp_shared, comp_rx, to_send, comp_stats))
         .expect("spawn compute thread");
 
+    let send_stats = Arc::clone(&stats);
     let send = std::thread::Builder::new()
         .name(format!("edge-rt-send-{d}"))
-        .spawn(move || send_loop(d, shared, send_rx, txs))
+        .spawn(move || send_loop(d, shared, send_rx, txs, send_stats))
         .expect("spawn send thread");
 
-    ProviderHandle { recv, comp, send }
+    ProviderHandle {
+        recv,
+        comp,
+        send,
+        stats,
+    }
 }
 
-fn receive_loop(inbox: Receiver<Vec<u8>>, to_comp: Sender<Frame>) -> Result<RecvStats> {
-    let mut stats = RecvStats::default();
+fn receive_loop(
+    inbox: Receiver<Vec<u8>>,
+    to_comp: Sender<Frame>,
+    stats: Arc<ProviderStats>,
+) -> Result<()> {
     while let Ok(bytes) = inbox.recv() {
-        stats.frames_in += 1;
-        stats.bytes_in += bytes.len() as u64;
+        {
+            let mut recv = stats.recv.lock().expect("recv stats poisoned");
+            recv.frames_in += 1;
+            recv.bytes_in += bytes.len() as u64;
+        }
         let frame = Frame::decode(&bytes)?;
         let halt = frame.kind == FrameKind::Halt;
         if to_comp.send(frame).is_err() {
@@ -193,7 +254,7 @@ fn receive_loop(inbox: Receiver<Vec<u8>>, to_comp: Sender<Frame>) -> Result<Recv
             break;
         }
     }
-    Ok(stats)
+    Ok(())
 }
 
 struct ComputeState {
@@ -204,7 +265,7 @@ struct ComputeState {
     /// high-water mark costs O(1) per frame, not a scan of all assemblies.
     open_images: HashMap<u32, usize>,
     to_send: Sender<OutMsg>,
-    stats: ComputeStats,
+    stats: Arc<ProviderStats>,
 }
 
 fn compute_loop(
@@ -212,19 +273,15 @@ fn compute_loop(
     shared: Arc<Shared>,
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
-) -> Result<ComputeStats> {
-    let num_volumes = shared.route.num_volumes;
+    stats: Arc<ProviderStats>,
+) -> Result<()> {
     let mut state = ComputeState {
         d,
         shared,
         assemblies: HashMap::new(),
         open_images: HashMap::new(),
         to_send,
-        stats: ComputeStats {
-            per_volume_ms: vec![0.0; num_volumes],
-            per_volume_images: vec![0; num_volumes],
-            ..ComputeStats::default()
-        },
+        stats,
     };
     while let Ok(frame) = rx.recv() {
         match frame.kind {
@@ -237,7 +294,7 @@ fn compute_loop(
             }
         }
     }
-    Ok(state.stats)
+    Ok(())
 }
 
 impl ComputeState {
@@ -275,8 +332,9 @@ impl ComputeState {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 *self.open_images.entry(image).or_insert(0) += 1;
-                self.stats.max_concurrent_images =
-                    self.stats.max_concurrent_images.max(self.open_images.len());
+                let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
+                comp.max_concurrent_images = comp.max_concurrent_images.max(self.open_images.len());
+                drop(comp);
                 e.insert(Assembly::new(c, w, needed))
             }
         };
@@ -306,8 +364,11 @@ impl ComputeState {
                 // Head gather complete: run the FC head, return the result.
                 let t0 = Instant::now();
                 let out = exec::run_head(&self.shared.model, &self.shared.weights, &band)?;
-                self.stats.head_ms += t0.elapsed().as_secs_f64() * 1e3;
-                self.stats.head_images += 1;
+                {
+                    let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
+                    comp.head_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    comp.head_images += 1;
+                }
                 self.to_send
                     .send(OutMsg::HeadResult { image, tensor: out })
                     .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
@@ -318,9 +379,12 @@ impl ComputeState {
             let t0 = Instant::now();
             let out = exec::run_part_on_band(&self.shared.model, &self.shared.weights, part, band)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            self.stats.compute_ms += ms;
-            self.stats.per_volume_ms[stage] += ms;
-            self.stats.per_volume_images[stage] += 1;
+            {
+                let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
+                comp.compute_ms += ms;
+                comp.per_volume_ms[stage] += ms;
+                comp.per_volume_images[stage] += 1;
+            }
 
             let out = Arc::new(out);
             let out_range = part.output_rows;
@@ -357,21 +421,21 @@ fn send_loop(
     shared: Arc<Shared>,
     rx: Receiver<OutMsg>,
     mut txs: HashMap<Endpoint, Box<dyn FrameTx>>,
-) -> Result<SendStats> {
-    let mut stats = SendStats::default();
+    stats: Arc<ProviderStats>,
+) -> Result<()> {
     let timed_send = |txs: &mut HashMap<Endpoint, Box<dyn FrameTx>>,
                       to: Endpoint,
-                      frame: &Frame,
-                      stats: &mut SendStats|
+                      frame: &Frame|
      -> Result<()> {
         let tx = txs
             .get_mut(&to)
             .ok_or_else(|| RuntimeError::Transport(format!("device {d} has no link to {to:?}")))?;
         let t0 = Instant::now();
         let n = tx.send(frame)?;
-        stats.tx_ms += t0.elapsed().as_secs_f64() * 1e3;
-        stats.frames_out += 1;
-        stats.bytes_out += n as u64;
+        let mut send = stats.send.lock().expect("send stats poisoned");
+        send.tx_ms += t0.elapsed().as_secs_f64() * 1e3;
+        send.frames_out += 1;
+        send.bytes_out += n as u64;
         Ok(())
     };
 
@@ -389,7 +453,7 @@ fn send_loop(
                         row_lo: lo as u32,
                         tensor: rows,
                     };
-                    timed_send(&mut txs, target.to, &frame, &mut stats)?;
+                    timed_send(&mut txs, target.to, &frame)?;
                 }
             }
             OutMsg::HeadResult { image, tensor } => {
@@ -400,11 +464,11 @@ fn send_loop(
                     row_lo: 0,
                     tensor,
                 };
-                timed_send(&mut txs, Endpoint::Requester, &frame, &mut stats)?;
+                timed_send(&mut txs, Endpoint::Requester, &frame)?;
             }
         }
     }
-    Ok(stats)
+    Ok(())
 }
 
 #[cfg(test)]

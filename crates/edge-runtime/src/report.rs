@@ -64,6 +64,37 @@ pub struct RuntimeReport {
     pub devices: Vec<DeviceMetrics>,
 }
 
+impl RuntimeReport {
+    /// Builds a report from requester-side measurements and per-device
+    /// counters.  `latencies_ms` holds one entry per *completed* image (in
+    /// completion order), which is what makes mid-stream snapshots and
+    /// final reports share one constructor.
+    pub fn from_measured(
+        latencies_ms: Vec<f64>,
+        devices: Vec<DeviceMetrics>,
+        wall_ms: f64,
+        max_in_flight_observed: usize,
+    ) -> Self {
+        let images = latencies_ms.len();
+        let compute_totals: Vec<f64> = devices.iter().map(|m| m.compute_ms).collect();
+        let tx_totals: Vec<f64> = devices.iter().map(|m| m.tx_ms + m.scatter_ms).collect();
+        let sim = SimReport::from_raw(latencies_ms, compute_totals, tx_totals);
+        let measured_ips = if wall_ms > 0.0 {
+            images as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        Self {
+            sim,
+            images,
+            wall_ms,
+            measured_ips,
+            max_in_flight_observed,
+            devices,
+        }
+    }
+}
+
 /// An `edgesim` compute backend backed by a runtime's measured kernel
 /// times: device `d`'s part of volume `v` costs the mean wall time the
 /// runtime measured for exactly that (device, volume) pair.

@@ -1,32 +1,31 @@
-//! The requester driver: streams images through the provider workers and
-//! assembles the measurement.
+//! One-shot execution entry points over the session API.
 //!
-//! The requester plays the phone of the paper's testbed: it scatters each
-//! image's input rows to the providers that need them, keeps up to
-//! `max_in_flight` images in the pipeline, stitches result rows back
-//! together, and timestamps everything.
+//! [`execute`] / [`execute_in_process`] are compatibility wrappers kept for
+//! batch callers and tests: they [`Runtime::deploy`] a [`Session`], stream
+//! the whole image batch through it (submission is credit-gated by
+//! `max_in_flight`), and shut the cluster down again.  Serving callers that
+//! want the cluster to stay resident between waves use the session API
+//! directly — see [`crate::session`].
 
-use crate::provider::{spawn_provider, Assembly, ProviderHandle, Shared};
-use crate::report::{DeviceMetrics, RuntimeReport};
-use crate::routing::RouteTable;
-use crate::transport::{ChannelTransport, FrameTx, Transport};
-use crate::wire::{Frame, FrameKind};
+use crate::report::RuntimeReport;
+use crate::session::{Runtime, Session};
+use crate::transport::Transport;
 use crate::{Result, RuntimeError};
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
-use edgesim::{Endpoint, ExecutionPlan, SimReport};
-use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-use tensor::slice::slice_rows;
+use edgesim::ExecutionPlan;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
 use tensor::Tensor;
 
-/// Options of a runtime execution.
-#[derive(Debug, Clone, Copy)]
+/// Options of a runtime session (and of the one-shot wrappers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeOptions {
-    /// Maximum images in flight at once.  `1` reproduces the paper's (and
-    /// the simulator's) closed loop — the requester waits for each result
-    /// before sending the next image; larger values pipeline.
+    /// The credit window: maximum images in flight at once.  `1` reproduces
+    /// the paper's (and the simulator's) closed loop — the requester waits
+    /// for each result before sending the next image; larger values
+    /// pipeline.  Submission blocks (or `try_submit` declines) while the
+    /// window is full, which also bounds every provider inbox.
     pub max_in_flight: usize,
     /// How long the requester waits for any single result frame before
     /// declaring the cluster wedged.
@@ -39,6 +38,20 @@ impl Default for RuntimeOptions {
             max_in_flight: 4,
             recv_timeout: Duration::from_secs(120),
         }
+    }
+}
+
+impl RuntimeOptions {
+    /// Overrides the credit window (images in flight at once).
+    pub fn with_max_in_flight(mut self, window: usize) -> Self {
+        self.max_in_flight = window;
+        self
+    }
+
+    /// Overrides the result-frame timeout.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
     }
 }
 
@@ -60,9 +73,9 @@ pub fn execute_in_process(
     images: &[Tensor],
     options: &RuntimeOptions,
 ) -> Result<RuntimeOutcome> {
-    let n = plan.volumes.first().map(|v| v.parts.len()).unwrap_or(0);
-    let mut transport = ChannelTransport::new(n);
-    execute(model, plan, weights, images, &mut transport, options)
+    validate_batch(model, images)?;
+    let session = Runtime::deploy_in_process(model, plan, weights, options)?;
+    stream_batch(session, images)
 }
 
 /// Executes `plan` on concurrent provider workers over `transport`.
@@ -74,13 +87,14 @@ pub fn execute(
     transport: &mut dyn Transport,
     options: &RuntimeOptions,
 ) -> Result<RuntimeOutcome> {
+    validate_batch(model, images)?;
+    let session = Runtime::deploy(model, plan, weights, transport, options)?;
+    stream_batch(session, images)
+}
+
+fn validate_batch(model: &Model, images: &[Tensor]) -> Result<()> {
     if images.is_empty() {
         return Err(RuntimeError::Execution("no images to stream".into()));
-    }
-    if options.max_in_flight == 0 {
-        return Err(RuntimeError::Execution(
-            "max_in_flight must be at least 1".into(),
-        ));
     }
     let input_shape = model.input();
     for (i, img) in images.iter().enumerate() {
@@ -92,205 +106,25 @@ pub fn execute(
             )));
         }
     }
-
-    let route = RouteTable::new(model, plan)?;
-    let n = route.num_devices;
-    let shared = Arc::new(Shared {
-        model: model.clone(),
-        weights: weights.clone(),
-        route: route.clone(),
-    });
-
-    // Wire up the fabric: requester inbox first, then one worker per device
-    // with links to every peer and back to the requester.
-    let requester_inbox = transport.inbox(Endpoint::Requester)?;
-    let mut handles: Vec<ProviderHandle> = Vec::with_capacity(n);
-    for d in 0..n {
-        let inbox = transport.inbox(Endpoint::Device(d))?;
-        let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
-        for peer in 0..n {
-            if peer != d {
-                txs.insert(
-                    Endpoint::Device(peer),
-                    transport.open(Endpoint::Device(d), Endpoint::Device(peer))?,
-                );
-            }
-        }
-        txs.insert(
-            Endpoint::Requester,
-            transport.open(Endpoint::Device(d), Endpoint::Requester)?,
-        );
-        handles.push(spawn_provider(d, Arc::clone(&shared), inbox, txs));
-    }
-    let mut requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
-        .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
-        .collect::<Result<_>>()?;
-
-    // Stream.
-    let scatter = route.scatter_targets();
-    let total = images.len();
-    let finish_stage = route.finish_stage();
-    let (result_c, result_w) = route.stage_geom(finish_stage as usize);
-    let has_head = route.head_device.is_some();
-
-    let mut scatter_ms = vec![0.0f64; n];
-    let mut latencies_ms = vec![0.0f64; total];
-    let mut starts: Vec<Option<Instant>> = vec![None; total];
-    let mut outputs: Vec<Option<Tensor>> = (0..total).map(|_| None).collect();
-    let mut result_asms: HashMap<u32, Assembly> = HashMap::new();
-    let mut sent = 0usize;
-    let mut completed = 0usize;
-    let mut max_in_flight_observed = 0usize;
-    let t_start = Instant::now();
-
-    // The stream loop runs inside a closure so the shutdown path below
-    // (halt + join) executes even when streaming fails — otherwise provider
-    // threads leak mid-error and a TcpTransport drop would deadlock on its
-    // reader threads.
-    let stream_result = (|| -> Result<()> {
-        while completed < total {
-            // Fill the pipeline.
-            while sent < total && sent - completed < options.max_in_flight {
-                let image = sent;
-                starts[image] = Some(Instant::now());
-                for &(d, (lo, hi)) in &scatter {
-                    let rows = slice_rows(&images[image], lo, hi)?;
-                    let frame = Frame {
-                        kind: FrameKind::Rows,
-                        image: image as u32,
-                        stage: 0,
-                        row_lo: lo as u32,
-                        tensor: rows,
-                    };
-                    let t0 = Instant::now();
-                    requester_txs[d].send(&frame)?;
-                    scatter_ms[d] += t0.elapsed().as_secs_f64() * 1e3;
-                }
-                sent += 1;
-                max_in_flight_observed = max_in_flight_observed.max(sent - completed);
-            }
-
-            // Wait for result rows.
-            let bytes = requester_inbox
-                .recv_timeout(options.recv_timeout)
-                .map_err(|_| RuntimeError::Transport("timed out waiting for results".into()))?;
-            let frame = Frame::decode(&bytes)?;
-            if frame.kind != FrameKind::Result {
-                return Err(RuntimeError::Execution(format!(
-                    "requester received unexpected {:?} frame",
-                    frame.kind
-                )));
-            }
-            let image = frame.image as usize;
-            if image >= total || outputs[image].is_some() {
-                return Err(RuntimeError::Execution(format!(
-                    "duplicate result for image {image}"
-                )));
-            }
-            let done = if has_head {
-                // The head output arrives whole.
-                Some(frame.tensor)
-            } else {
-                let asm = result_asms
-                    .entry(frame.image)
-                    .or_insert_with(|| Assembly::new(result_c, result_w, (0, route.last_height)));
-                asm.insert(frame.row_lo as usize, &frame.tensor)?;
-                if asm.complete() {
-                    Some(
-                        result_asms
-                            .remove(&frame.image)
-                            .expect("present")
-                            .into_band(),
-                    )
-                } else {
-                    None
-                }
-            };
-            if let Some(out) = done {
-                outputs[image] = Some(out);
-                let start = starts[image].expect("result for an image never sent");
-                latencies_ms[image] = start.elapsed().as_secs_f64() * 1e3;
-                completed += 1;
-            }
-        }
-        Ok(())
-    })();
-    let wall_ms = t_start.elapsed().as_secs_f64() * 1e3;
-
-    // Shutdown runs on both the success and the error path: halt every
-    // provider (best effort — a dead peer cannot be halted twice) and join
-    // all worker threads, so no thread outlives this call.
-    let mut shutdown_err: Option<RuntimeError> = None;
-    for tx in &mut requester_txs {
-        if let Err(e) = tx.send(&Frame::halt()) {
-            shutdown_err.get_or_insert(e);
-        }
-    }
-    let mut devices = Vec::with_capacity(n);
-    for (d, handle) in handles.into_iter().enumerate() {
-        let recv = join_worker(handle.recv, d, "receive");
-        let comp = join_worker(handle.comp, d, "compute");
-        let send = join_worker(handle.send, d, "send");
-        match (recv, comp, send) {
-            (Ok(recv), Ok(comp), Ok(send)) => devices.push(DeviceMetrics {
-                compute_ms: comp.compute_ms + comp.head_ms,
-                tx_ms: send.tx_ms,
-                scatter_ms: scatter_ms[d],
-                per_volume_ms: comp.per_volume_ms,
-                per_volume_images: comp.per_volume_images,
-                head_ms: comp.head_ms,
-                head_images: comp.head_images,
-                frames_in: recv.frames_in,
-                bytes_in: recv.bytes_in,
-                frames_out: send.frames_out,
-                bytes_out: send.bytes_out,
-                max_concurrent_images: comp.max_concurrent_images,
-            }),
-            (recv, comp, send) => {
-                for e in [recv.err(), comp.err(), send.err()].into_iter().flatten() {
-                    shutdown_err.get_or_insert(e);
-                }
-            }
-        }
-    }
-    // Streaming errors outrank shutdown collateral: they are the cause.
-    stream_result?;
-    if let Some(e) = shutdown_err {
-        return Err(e);
-    }
-
-    let compute_totals: Vec<f64> = devices.iter().map(|m| m.compute_ms).collect();
-    let tx_totals: Vec<f64> = devices.iter().map(|m| m.tx_ms + m.scatter_ms).collect();
-    let sim = SimReport::from_raw(latencies_ms, compute_totals, tx_totals);
-    let measured_ips = if wall_ms > 0.0 {
-        total as f64 / (wall_ms / 1e3)
-    } else {
-        0.0
-    };
-
-    let outputs: Vec<Tensor> = outputs
-        .into_iter()
-        .enumerate()
-        .map(|(i, o)| o.ok_or_else(|| RuntimeError::Execution(format!("image {i} never finished"))))
-        .collect::<Result<_>>()?;
-
-    Ok(RuntimeOutcome {
-        report: RuntimeReport {
-            sim,
-            images: total,
-            wall_ms,
-            measured_ips,
-            max_in_flight_observed,
-            devices,
-        },
-        outputs,
-    })
+    Ok(())
 }
 
-fn join_worker<T>(handle: std::thread::JoinHandle<Result<T>>, d: usize, role: &str) -> Result<T> {
-    handle
-        .join()
-        .map_err(|_| RuntimeError::WorkerPanic(format!("device {d} {role} thread")))?
+/// Streams one batch through a freshly deployed session and shuts it down.
+/// `submit` blocks whenever the credit window is full, so the old
+/// `max_in_flight` pipelining behaviour falls out of the session's
+/// backpressure.  The session's `Drop` tears the workers down on the error
+/// paths.
+fn stream_batch(session: Session, images: &[Tensor]) -> Result<RuntimeOutcome> {
+    let mut tickets = Vec::with_capacity(images.len());
+    for img in images {
+        tickets.push(session.submit(img)?);
+    }
+    let outputs = tickets
+        .into_iter()
+        .map(|t| session.wait(t))
+        .collect::<Result<Vec<Tensor>>>()?;
+    let report = session.shutdown()?;
+    Ok(RuntimeOutcome { report, outputs })
 }
 
 #[cfg(test)]

@@ -1,0 +1,792 @@
+//! The long-lived serving session: a deployed cluster that stays resident
+//! and serves a continuous image flow (§V-A's streaming loop as state, not
+//! a function body).
+//!
+//! [`Runtime::deploy`] wires the provider workers up once and returns a
+//! [`Session`].  From then on:
+//!
+//! * [`Session::submit`] scatters one image into the pipeline and returns a
+//!   [`Ticket`].  Submission is **credit-gated**: at most
+//!   `RuntimeOptions::max_in_flight` images are in the pipeline at once, so
+//!   a slow provider throttles submitters instead of growing the provider
+//!   inboxes without bound (every in-flight image contributes a bounded
+//!   number of frames per inbox, so queue depth is bounded by the window).
+//!   [`Session::try_submit`] is the non-blocking variant.
+//! * [`Session::wait`] blocks until a ticket's output is ready;
+//!   [`Session::try_recv`] polls for *any* ready output.
+//! * [`Session::metrics`] snapshots a [`RuntimeReport`] mid-stream from the
+//!   providers' live counters — the hook online re-planning consumes.
+//! * [`Session::shutdown`] drains whatever is still in flight, halts the
+//!   workers, joins every thread and returns the final report.
+//!
+//! A `Session` is `Sync`: multiple client threads can `submit`/`wait` on a
+//! shared reference concurrently (see `examples/serving_session.rs`).  The
+//! one-shot [`crate::runtime::execute`] entry points are thin wrappers that
+//! deploy a session, stream a batch through it and shut it down.
+
+use crate::provider::{spawn_provider, Assembly, ProviderHandle, Shared};
+use crate::report::RuntimeReport;
+use crate::routing::RouteTable;
+use crate::runtime::RuntimeOptions;
+use crate::transport::{ChannelTransport, FrameTx, Transport};
+use crate::wire::{Frame, FrameKind};
+use crate::{Result, RuntimeError};
+use cnn_model::exec::ModelWeights;
+use cnn_model::Model;
+use edgesim::{Endpoint, ExecutionPlan};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tensor::slice::slice_rows;
+use tensor::Tensor;
+
+/// How often the gather thread wakes to check the stop flag and the wedge
+/// timer when no frame arrives.
+const GATHER_TICK: Duration = Duration::from_millis(25);
+
+/// The deployment entry point of the serving API.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runtime;
+
+impl Runtime {
+    /// Deploys `plan` onto resident provider workers over `transport` and
+    /// returns the live [`Session`].  The transport is only borrowed for
+    /// wiring; it must outlive the session only if its links do (the
+    /// in-process and shaped fabrics hand out self-contained links, the
+    /// TCP fabric's accept threads must stay alive).
+    pub fn deploy(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+        transport: &mut dyn Transport,
+        options: &RuntimeOptions,
+    ) -> Result<Session> {
+        if options.max_in_flight == 0 {
+            return Err(RuntimeError::Execution(
+                "max_in_flight must be at least 1".into(),
+            ));
+        }
+        let route = RouteTable::new(model, plan)?;
+        let n = route.num_devices;
+        let shared_cfg = Arc::new(Shared {
+            model: model.clone(),
+            weights: weights.clone(),
+            route: route.clone(),
+        });
+
+        // Wire up the fabric: requester inbox first, then one worker per
+        // device with links to every peer and back to the requester.
+        let requester_inbox = transport.inbox(Endpoint::Requester)?;
+        let mut providers: Vec<ProviderHandle> = Vec::with_capacity(n);
+        for d in 0..n {
+            let inbox = transport.inbox(Endpoint::Device(d))?;
+            let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
+            for peer in 0..n {
+                if peer != d {
+                    txs.insert(
+                        Endpoint::Device(peer),
+                        transport.open(Endpoint::Device(d), Endpoint::Device(peer))?,
+                    );
+                }
+            }
+            txs.insert(
+                Endpoint::Requester,
+                transport.open(Endpoint::Device(d), Endpoint::Requester)?,
+            );
+            providers.push(spawn_provider(d, Arc::clone(&shared_cfg), inbox, txs));
+        }
+        let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
+            .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
+            .collect::<Result<_>>()?;
+
+        let finish_stage = route.finish_stage() as usize;
+        let (result_c, result_w) = route.stage_geom(finish_stage);
+        let gather_cfg = GatherConfig {
+            has_head: route.head_device.is_some(),
+            result_c,
+            result_w,
+            last_height: route.last_height,
+            recv_timeout: options.recv_timeout,
+        };
+
+        let shared = Arc::new(SessionShared {
+            state: Mutex::new(StreamState::default()),
+            results: Condvar::new(),
+            credits: Condvar::new(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let gather_shared = Arc::clone(&shared);
+        let gather_stop = Arc::clone(&stop);
+        let gather = std::thread::Builder::new()
+            .name("edge-rt-gather".into())
+            .spawn(move || gather_loop(requester_inbox, gather_shared, gather_stop, gather_cfg))
+            .expect("spawn gather thread");
+
+        Ok(Session {
+            shared,
+            scatter: Mutex::new(ScatterState {
+                txs: requester_txs,
+                scatter_ms: vec![0.0; n],
+            }),
+            scatter_targets: route.scatter_targets(),
+            input_shape: model.input().as_array(),
+            options: *options,
+            stop,
+            gather: Some(gather),
+            providers,
+            t_start: Instant::now(),
+        })
+    }
+
+    /// Deploys over a fresh in-process channel fabric.
+    pub fn deploy_in_process(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+        options: &RuntimeOptions,
+    ) -> Result<Session> {
+        let n = plan.volumes.first().map(|v| v.parts.len()).unwrap_or(0);
+        let mut transport = ChannelTransport::new(n);
+        Self::deploy(model, plan, weights, &mut transport, options)
+    }
+}
+
+/// A claim on the output of one submitted image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    image: u32,
+}
+
+impl Ticket {
+    /// The image sequence number this ticket tracks.
+    pub fn image(&self) -> u32 {
+        self.image
+    }
+}
+
+#[derive(Default)]
+struct StreamState {
+    /// Images submitted so far (the next ticket id).
+    submitted: u64,
+    /// Images currently in the pipeline (submitted, not yet completed).
+    in_flight: usize,
+    /// High-water mark of `in_flight`.
+    max_in_flight_observed: usize,
+    /// Completed outputs not yet claimed by `wait` / `try_recv`.
+    outputs: HashMap<u32, Tensor>,
+    /// Tickets whose outputs have been claimed.
+    claimed: HashSet<u32>,
+    /// Submission timestamps of in-flight images.
+    starts: HashMap<u32, Instant>,
+    /// Per-image latency in completion order.
+    latencies_ms: Vec<f64>,
+    /// Completed images.
+    finished: u64,
+    /// A stream failure; fatal to the whole session once set.
+    failed: Option<String>,
+    /// Shutdown has begun; new submissions are rejected.
+    halted: bool,
+}
+
+struct SessionShared {
+    state: Mutex<StreamState>,
+    /// Signalled when an output completes (or the session fails).
+    results: Condvar,
+    /// Signalled when an in-flight credit frees up (or the session fails).
+    credits: Condvar,
+}
+
+impl SessionShared {
+    fn lock(&self) -> MutexGuard<'_, StreamState> {
+        self.state.lock().expect("session state poisoned")
+    }
+
+    fn fail(&self, err: &RuntimeError) {
+        let mut st = self.lock();
+        if st.failed.is_none() {
+            st.failed = Some(err.to_string());
+        }
+        self.results.notify_all();
+        self.credits.notify_all();
+    }
+}
+
+struct ScatterState {
+    txs: Vec<Box<dyn FrameTx>>,
+    scatter_ms: Vec<f64>,
+}
+
+/// A deployed, resident cluster serving a continuous image flow.
+pub struct Session {
+    shared: Arc<SessionShared>,
+    scatter: Mutex<ScatterState>,
+    scatter_targets: Vec<(usize, (usize, usize))>,
+    input_shape: [usize; 3],
+    options: RuntimeOptions,
+    stop: Arc<AtomicBool>,
+    gather: Option<JoinHandle<Receiver<Vec<u8>>>>,
+    providers: Vec<ProviderHandle>,
+    t_start: Instant,
+}
+
+impl Session {
+    /// The credit window: the maximum number of images in flight.
+    pub fn credit_window(&self) -> usize {
+        self.options.max_in_flight
+    }
+
+    /// Images currently in the pipeline.
+    pub fn in_flight(&self) -> usize {
+        self.shared.lock().in_flight
+    }
+
+    /// The stream failure, if the session has failed.  Once set, every
+    /// `submit` / `wait` errors and `shutdown` surfaces the failure; a
+    /// monitor thread can poll this to stop waiting on progress.
+    pub fn failure(&self) -> Option<String> {
+        self.shared.lock().failed.clone()
+    }
+
+    /// Submits one image, blocking while the credit window is full.
+    pub fn submit(&self, image: &Tensor) -> Result<Ticket> {
+        Ok(self
+            .submit_inner(image, true)?
+            .expect("blocking submit always yields a ticket"))
+    }
+
+    /// Submits one image if a credit is free; `Ok(None)` when the window is
+    /// full (backpressure: the caller decides whether to retry or shed).
+    pub fn try_submit(&self, image: &Tensor) -> Result<Option<Ticket>> {
+        self.submit_inner(image, false)
+    }
+
+    fn submit_inner(&self, image: &Tensor, block: bool) -> Result<Option<Ticket>> {
+        if image.shape() != self.input_shape {
+            return Err(RuntimeError::Execution(format!(
+                "submitted image has shape {:?}, model expects {:?}",
+                image.shape(),
+                self.input_shape
+            )));
+        }
+        let ticket = {
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(f) = &st.failed {
+                    return Err(RuntimeError::Execution(format!("session failed: {f}")));
+                }
+                if st.halted {
+                    return Err(RuntimeError::Execution(
+                        "session is shutting down; submissions are closed".into(),
+                    ));
+                }
+                if st.in_flight < self.options.max_in_flight {
+                    break;
+                }
+                if !block {
+                    return Ok(None);
+                }
+                // The gather thread's wedge detector fails the session if
+                // the cluster stops producing results, which wakes this
+                // wait; the timeout is a belt-and-braces bound on top.
+                let (guard, timeout) = self
+                    .shared
+                    .credits
+                    .wait_timeout(st, self.options.recv_timeout)
+                    .expect("session state poisoned");
+                st = guard;
+                if timeout.timed_out()
+                    && st.failed.is_none()
+                    && st.in_flight >= self.options.max_in_flight
+                {
+                    return Err(RuntimeError::Execution(
+                        "submit timed out waiting for an in-flight credit".into(),
+                    ));
+                }
+            }
+            let id = st.submitted as u32;
+            st.submitted += 1;
+            st.in_flight += 1;
+            st.max_in_flight_observed = st.max_in_flight_observed.max(st.in_flight);
+            st.starts.insert(id, Instant::now());
+            Ticket { image: id }
+        };
+
+        // Scatter outside the state lock so slow links never block
+        // completions; the scatter lock serialises concurrent submitters on
+        // the wire.
+        let mut sc = self.scatter.lock().expect("scatter state poisoned");
+        for &(d, (lo, hi)) in &self.scatter_targets {
+            let rows = slice_rows(image, lo, hi)?;
+            let frame = Frame {
+                kind: FrameKind::Rows,
+                image: ticket.image,
+                stage: 0,
+                row_lo: lo as u32,
+                tensor: rows,
+            };
+            let t0 = Instant::now();
+            if let Err(e) = sc.txs[d].send(&frame) {
+                drop(sc);
+                self.shared.fail(&e);
+                return Err(e);
+            }
+            sc.scatter_ms[d] += t0.elapsed().as_secs_f64() * 1e3;
+        }
+        Ok(Some(ticket))
+    }
+
+    /// Blocks until `ticket`'s output is ready and claims it.
+    pub fn wait(&self, ticket: Ticket) -> Result<Tensor> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(out) = st.outputs.remove(&ticket.image) {
+                st.claimed.insert(ticket.image);
+                return Ok(out);
+            }
+            if st.claimed.contains(&ticket.image) {
+                return Err(RuntimeError::Execution(format!(
+                    "output of image {} was already claimed",
+                    ticket.image
+                )));
+            }
+            if u64::from(ticket.image) >= st.submitted {
+                return Err(RuntimeError::Execution(format!(
+                    "ticket for image {} was never submitted on this session",
+                    ticket.image
+                )));
+            }
+            if let Some(f) = &st.failed {
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            st = self
+                .shared
+                .results
+                .wait_timeout(st, GATHER_TICK)
+                .expect("session state poisoned")
+                .0;
+        }
+    }
+
+    /// Claims any ready output, without blocking.
+    pub fn try_recv(&self) -> Option<(Ticket, Tensor)> {
+        let mut st = self.shared.lock();
+        let image = *st.outputs.keys().next()?;
+        let out = st.outputs.remove(&image).expect("key just observed");
+        st.claimed.insert(image);
+        Some((Ticket { image }, out))
+    }
+
+    /// Snapshots the measurement so far: per-image latencies in completion
+    /// order, live per-device counters, throughput over the wall clock.
+    /// Counters only grow, so successive snapshots are monotone.
+    pub fn metrics(&self) -> RuntimeReport {
+        let (latencies, max_in_flight) = {
+            let st = self.shared.lock();
+            (st.latencies_ms.clone(), st.max_in_flight_observed)
+        };
+        let scatter_ms = {
+            let sc = self.scatter.lock().expect("scatter state poisoned");
+            sc.scatter_ms.clone()
+        };
+        let devices = self
+            .providers
+            .iter()
+            .zip(&scatter_ms)
+            .map(|(p, &s)| p.stats.snapshot(s))
+            .collect();
+        RuntimeReport::from_measured(
+            latencies,
+            devices,
+            self.t_start.elapsed().as_secs_f64() * 1e3,
+            max_in_flight,
+        )
+    }
+
+    /// Drains everything still in flight, halts the providers, joins every
+    /// worker thread and returns the final measurement.  In-flight images
+    /// complete (and count in the report) before the cluster goes down;
+    /// unclaimed outputs are dropped.
+    pub fn shutdown(mut self) -> Result<RuntimeReport> {
+        // 1. Close submissions, then drain the pipeline.  A wedged cluster
+        // is caught by the gather thread's timeout, which sets `failed` and
+        // wakes this wait.
+        {
+            let mut st = self.shared.lock();
+            st.halted = true;
+            while st.failed.is_none() && st.in_flight > 0 {
+                st = self
+                    .shared
+                    .credits
+                    .wait_timeout(st, GATHER_TICK)
+                    .expect("session state poisoned")
+                    .0;
+            }
+        }
+        let wall_ms = self.t_start.elapsed().as_secs_f64() * 1e3;
+
+        // 2. Tear the cluster down (idempotent; `Drop` is a no-op after).
+        let (devices, teardown_err) = self.teardown();
+
+        let st = self.shared.lock();
+        if let Some(f) = &st.failed {
+            return Err(RuntimeError::Execution(format!("session failed: {f}")));
+        }
+        if let Some(e) = teardown_err {
+            return Err(e);
+        }
+        Ok(RuntimeReport::from_measured(
+            st.latencies_ms.clone(),
+            devices,
+            wall_ms,
+            st.max_in_flight_observed,
+        ))
+    }
+
+    /// Stops the gather thread, halts and joins every provider.  Returns
+    /// the final per-device metrics and the first teardown error.
+    fn teardown(&mut self) -> (Vec<crate::report::DeviceMetrics>, Option<RuntimeError>) {
+        // Stop the gatherer first and recover the requester inbox: it must
+        // stay alive until the providers are joined, otherwise a provider
+        // still streaming (error paths) would wedge on a dead inbox — over
+        // TCP that deadlocks the socket reader threads.
+        self.stop.store(true, Ordering::SeqCst);
+        let inbox = self.gather.take().map(|g| g.join());
+
+        let mut err: Option<RuntimeError> = None;
+        let scatter_ms = {
+            let mut sc = self.scatter.lock().expect("scatter state poisoned");
+            for tx in &mut sc.txs {
+                // Best effort — a dead peer cannot be halted twice.
+                if let Err(e) = tx.send(&Frame::halt()) {
+                    err.get_or_insert(e);
+                }
+            }
+            sc.scatter_ms.clone()
+        };
+
+        let mut devices = Vec::with_capacity(self.providers.len());
+        for (d, handle) in self.providers.drain(..).enumerate() {
+            for (role, h) in [
+                ("receive", handle.recv),
+                ("compute", handle.comp),
+                ("send", handle.send),
+            ] {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        err.get_or_insert(RuntimeError::WorkerPanic(format!(
+                            "device {d} {role} thread"
+                        )));
+                    }
+                }
+            }
+            devices.push(handle.stats.snapshot(scatter_ms[d]));
+        }
+        if let Some(Err(_)) = inbox {
+            err.get_or_insert(RuntimeError::WorkerPanic("gather thread".into()));
+        }
+        drop(inbox);
+        (devices, err)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A session abandoned without `shutdown` (error paths, panics)
+        // still halts and joins every thread so nothing outlives it.
+        if self.gather.is_some() || !self.providers.is_empty() {
+            self.shared.lock().halted = true;
+            let _ = self.teardown();
+        }
+    }
+}
+
+struct GatherConfig {
+    has_head: bool,
+    result_c: usize,
+    result_w: usize,
+    last_height: usize,
+    recv_timeout: Duration,
+}
+
+/// The session's result pump: receives result frames, stitches headless
+/// outputs, completes tickets, releases credits, and watches for a wedged
+/// cluster.  Returns the requester inbox so teardown can keep it alive
+/// until the providers are joined.
+fn gather_loop(
+    inbox: Receiver<Vec<u8>>,
+    shared: Arc<SessionShared>,
+    stop: Arc<AtomicBool>,
+    cfg: GatherConfig,
+) -> Receiver<Vec<u8>> {
+    let mut assemblies: HashMap<u32, Assembly> = HashMap::new();
+    let mut waiting_since: Option<Instant> = None;
+    let tick = GATHER_TICK.min(cfg.recv_timeout);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return inbox;
+        }
+        match inbox.recv_timeout(tick) {
+            Ok(bytes) => {
+                waiting_since = None;
+                if let Err(e) = handle_result_frame(&bytes, &shared, &cfg, &mut assemblies) {
+                    shared.fail(&e);
+                    return inbox;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let starving = {
+                    let st = shared.lock();
+                    st.in_flight > 0 && st.failed.is_none()
+                };
+                if starving {
+                    let since = *waiting_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= cfg.recv_timeout {
+                        shared.fail(&RuntimeError::Transport(
+                            "timed out waiting for results".into(),
+                        ));
+                        return inbox;
+                    }
+                } else {
+                    waiting_since = None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every sending half is gone — the session is tearing down.
+                return inbox;
+            }
+        }
+    }
+}
+
+fn handle_result_frame(
+    bytes: &[u8],
+    shared: &SessionShared,
+    cfg: &GatherConfig,
+    assemblies: &mut HashMap<u32, Assembly>,
+) -> Result<()> {
+    let frame = Frame::decode(bytes)?;
+    if frame.kind != FrameKind::Result {
+        return Err(RuntimeError::Execution(format!(
+            "requester received unexpected {:?} frame",
+            frame.kind
+        )));
+    }
+    let image = frame.image;
+    let done = if cfg.has_head {
+        // The head output arrives whole.
+        Some(frame.tensor)
+    } else {
+        let asm = assemblies
+            .entry(image)
+            .or_insert_with(|| Assembly::new(cfg.result_c, cfg.result_w, (0, cfg.last_height)));
+        asm.insert(frame.row_lo as usize, &frame.tensor)?;
+        if asm.complete() {
+            Some(assemblies.remove(&image).expect("present").into_band())
+        } else {
+            None
+        }
+    };
+    let Some(out) = done else { return Ok(()) };
+
+    let mut st = shared.lock();
+    let Some(start) = st.starts.remove(&image) else {
+        return Err(RuntimeError::Execution(format!(
+            "duplicate result for image {image}"
+        )));
+    };
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    st.outputs.insert(image, out);
+    st.latencies_ms.push(latency_ms);
+    st.finished += 1;
+    st.in_flight -= 1;
+    drop(st);
+    shared.results.notify_all();
+    shared.credits.notify_all();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use cnn_model::exec::{self, deterministic_input};
+    use cnn_model::LayerOp;
+    use tensor::Shape;
+
+    fn model() -> Model {
+        Model::new(
+            "session-test",
+            Shape::new(2, 16, 12),
+            &[
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::fc(3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn plan(m: &Model, devices: usize) -> ExecutionPlan {
+        use cnn_model::{PartitionScheme, VolumeSplit};
+        let scheme = PartitionScheme::single_volume(m);
+        let split = VolumeSplit::equal(devices, m.prefix_output().h);
+        ExecutionPlan::from_splits(m, &scheme, &[split], devices).unwrap()
+    }
+
+    /// A fabric whose provider-bound data frames vanish (providers never
+    /// produce results), while halt frames still get through so teardown
+    /// can join the workers.  Turns credit exhaustion deterministic.
+    struct BlackholeTransport {
+        inner: ChannelTransport,
+    }
+
+    struct BlackholeTx {
+        inner: Box<dyn FrameTx>,
+    }
+
+    impl FrameTx for BlackholeTx {
+        fn send(&mut self, frame: &Frame) -> Result<usize> {
+            if frame.kind == FrameKind::Halt {
+                self.inner.send(frame)
+            } else {
+                Ok(frame.encoded_len())
+            }
+        }
+    }
+
+    impl Transport for BlackholeTransport {
+        fn open(&mut self, from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
+            let inner = self.inner.open(from, to)?;
+            Ok(Box::new(BlackholeTx { inner }))
+        }
+
+        fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
+            self.inner.inbox(at)
+        }
+    }
+
+    #[test]
+    fn session_serves_two_waves_without_redeploying() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 3);
+        let plan = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
+        for wave in 0..2u64 {
+            let images: Vec<Tensor> = (0..3)
+                .map(|i| deterministic_input(&m, 10 * wave + i))
+                .collect();
+            let tickets: Vec<Ticket> = images
+                .iter()
+                .map(|img| session.submit(img).unwrap())
+                .collect();
+            for (img, t) in images.iter().zip(tickets) {
+                let out = session.wait(t).unwrap();
+                let reference = exec::run_full(&m, &weights, img).unwrap();
+                assert_eq!(&out, reference.last().unwrap());
+            }
+        }
+        let report = session.shutdown().unwrap();
+        assert_eq!(report.images, 6);
+        assert_eq!(report.sim.per_image_latency_ms.len(), 6);
+    }
+
+    #[test]
+    fn try_submit_is_credit_gated() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 5);
+        let plan = plan(&m, 2);
+        let mut transport = BlackholeTransport {
+            inner: ChannelTransport::new(2),
+        };
+        let options = RuntimeOptions::default()
+            .with_max_in_flight(2)
+            .with_recv_timeout(Duration::from_millis(50));
+        let session = Runtime::deploy(&m, &plan, &weights, &mut transport, &options).unwrap();
+        let img = deterministic_input(&m, 0);
+
+        // The window admits exactly `max_in_flight` images; with providers
+        // black-holed no result ever frees a credit, so the next submit is
+        // deterministically declined.
+        assert!(session.try_submit(&img).unwrap().is_some());
+        assert!(session.try_submit(&img).unwrap().is_some());
+        assert_eq!(session.in_flight(), 2);
+        assert!(session.try_submit(&img).unwrap().is_none());
+        assert_eq!(session.metrics().max_in_flight_observed, 2);
+
+        // The gather thread declares the cluster wedged after recv_timeout
+        // and fails the session; shutdown surfaces that instead of a report.
+        let err = session.shutdown();
+        assert!(err.is_err(), "wedged session must fail shutdown");
+    }
+
+    #[test]
+    fn wait_rejects_foreign_and_double_claims() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 7);
+        let plan = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
+        let t = session.submit(&deterministic_input(&m, 1)).unwrap();
+        session.wait(t).unwrap();
+        assert!(session.wait(t).is_err(), "double claim must fail");
+        assert!(
+            session.wait(Ticket { image: 99 }).is_err(),
+            "unsubmitted ticket must fail"
+        );
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn try_recv_claims_any_ready_output() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 9);
+        let plan = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
+        let a = session.submit(&deterministic_input(&m, 1)).unwrap();
+        let b = session.submit(&deterministic_input(&m, 2)).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            if let Some((ticket, _)) = session.try_recv() {
+                got.push(ticket);
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        got.sort_by_key(Ticket::image);
+        assert_eq!(got, vec![a, b]);
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn submit_rejects_wrong_shape() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 11);
+        let plan = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
+        assert!(session.submit(&Tensor::zeros([1, 2, 3])).is_err());
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn abandoned_session_joins_all_threads_on_drop() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 13);
+        let plan = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
+        session.submit(&deterministic_input(&m, 1)).unwrap();
+        // No wait, no shutdown: Drop must still halt and join every worker
+        // (the test harness would hang otherwise).
+        drop(session);
+    }
+}

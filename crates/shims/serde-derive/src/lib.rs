@@ -4,7 +4,9 @@
 //! the two derive macros the workspace uses, without `syn`/`quote`: the type
 //! definition is token-scanned directly.  `#[derive(Serialize)]` emits a real
 //! `serde::Serialize::to_value` implementation (externally-tagged enums, like
-//! real serde's default); `#[derive(Deserialize)]` emits a marker impl.
+//! real serde's default); `#[derive(Deserialize)]` emits the mirror-image
+//! `serde::Deserialize::from_value`, so derived types round-trip through the
+//! `serde_json` shim's `to_string` / `from_str` pair.
 //!
 //! Supported shapes — everything the workspace derives on: non-generic
 //! structs (named, tuple, unit) and non-generic enums whose variants are
@@ -269,10 +271,137 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde shim derive: generated impl must parse")
 }
 
+/// Generates the code reconstructing one named-field set from `entries`
+/// (missing keys read as `Null`, which is how `Option` fields default).
+fn named_field_inits(type_name: &str, fields: &[String], path: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 {path}.iter().find(|(k, _)| k.as_str() == \"{f}\").map(|(_, fv)| fv)\
+                 .unwrap_or(&::serde::json::Value::Null))\
+                 .map_err(|e| e.under(\"{type_name}.{f}\"))?,\n"
+            )
+        })
+        .collect()
+}
+
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _) = parse(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("serde shim derive: generated impl must parse")
+    let (name, def) = parse(input);
+    let body = match def {
+        TypeDef::Struct(fields) => {
+            let inits = named_field_inits(&name, &fields, "entries");
+            format!(
+                "let entries = match v {{\n\
+                 ::serde::json::Value::Object(entries) => entries,\n\
+                 other => return ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"expected object for `{name}`, found {{other:?}}\"))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        TypeDef::TupleStruct(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}])\
+                         .map_err(|e| e.under(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = match v {{\n\
+                 ::serde::json::Value::Array(items) if items.len() == {n} => items,\n\
+                 other => return ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"expected {n}-array for `{name}`, found {{other:?}}\"))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        TypeDef::UnitStruct => {
+            format!("let _ = v;\n::std::result::Result::Ok({name})")
+        }
+        TypeDef::Enum(variants) => {
+            // Externally tagged, mirroring the Serialize derive: unit
+            // variants are bare strings, the rest are one-entry objects.
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(inner)\
+                                 .map_err(|e| e.under(\"{name}::{v}\"))?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&items[{i}])\
+                                         .map_err(|e| e.under(\"{name}::{v}.{i}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "match inner {{\n\
+                                 ::serde::json::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(\
+                                 format!(\"expected {n}-array for `{name}::{v}`, found {{other:?}}\"))),\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{v}\" => {{ {build} }},\n"));
+                    }
+                    VariantFields::Named(fs) => {
+                        let inits = named_field_inits(&format!("{name}::{v}"), fs, "fields");
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match inner {{\n\
+                             ::serde::json::Value::Object(fields) => \
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                             format!(\"expected field object for `{name}::{v}`, found {{other:?}}\"))),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown unit variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::json::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"expected variant of `{name}`, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated impl must parse")
 }

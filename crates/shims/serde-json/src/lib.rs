@@ -1,11 +1,14 @@
-//! Offline shim for `serde_json`: JSON text output over the `serde` shim's
-//! value tree.  Only `to_string` is provided — nothing in the workspace
-//! parses JSON.
+//! Offline shim for `serde_json`: JSON text in and out over the `serde`
+//! shim's value tree.  [`to_string`] renders a [`serde::Serialize`] value;
+//! [`from_str`] parses JSON text and reconstructs a [`serde::Deserialize`]
+//! value, which is what lets runtime configs round-trip through scenario
+//! files.
 
+use serde::json::Value;
 use std::fmt;
 
-/// Error type mirroring `serde_json::Error`'s role in signatures.  The shim
-/// serializer is total, so this is never actually produced.
+/// Error type mirroring `serde_json::Error`: a parse or reconstruction
+/// failure with a human-readable message.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -22,10 +25,300 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(value.to_value().render())
 }
 
+/// Converts `value` into the shim's JSON value tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a `T` from the shim's JSON value tree.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|e| Error(e.0))
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    from_value(&value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("expected `{word}` at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("bad number `{text}` at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: an escaped low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                self.pos += 1; // past `\`; hex4 takes the `u`
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error("bad low surrogate".into()));
+                                }
+                                char::from_u32(0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00))
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(ch.ok_or_else(|| Error(format!("bad \\u escape {code:#x}")))?);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        other => return Err(Error(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes the `u` and 4 hex digits of a `\u` escape (cursor on the
+    /// `u`), returning the code unit.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        self.pos += 1; // past `u`
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("bad \\u escape".into()))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error(format!("expected `,` or `]`, found {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => return Err(Error(format!("expected `,` or `}}`, found {other:?}"))),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn renders_vec_of_floats() {
         assert_eq!(super::to_string(&vec![1.0f64, 2.5]).unwrap(), "[1,2.5]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert!(from_str::<bool>(" true ").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(from_str::<String>("\"\\ud83e\\udd80\"").unwrap(), "🦀");
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v: Vec<(usize, f64)> = from_str("[[1, 2.5], [3, -4e1]]").unwrap();
+        assert_eq!(v, vec![(1, 2.5), (3, -40.0)]);
+    }
+
+    #[test]
+    fn round_trips_derived_struct() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Cfg {
+            window: usize,
+            label: String,
+            scale: Option<f64>,
+        }
+        let cfg = Cfg {
+            window: 4,
+            label: "a \"quoted\" name".to_string(),
+            scale: None,
+        };
+        let text = to_string(&cfg).unwrap();
+        assert_eq!(from_str::<Cfg>(&text).unwrap(), cfg);
+    }
+
+    #[test]
+    fn round_trips_derived_enum() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Kind {
+            Unit,
+            One(f64),
+            Pair { x: f64, y: f64 },
+        }
+        for k in [Kind::Unit, Kind::One(2.5), Kind::Pair { x: 1.0, y: -2.0 }] {
+            let text = to_string(&k).unwrap();
+            assert_eq!(from_str::<Kind>(&text).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn round_trips_duration() {
+        let d = std::time::Duration::from_millis(1234);
+        let text = to_string(&d).unwrap();
+        assert_eq!(text, "{\"secs\":1,\"nanos\":234000000}");
+        assert_eq!(from_str::<std::time::Duration>(&text).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<bool>("maybe").is_err());
+    }
+
+    #[test]
+    fn rejects_lossy_integer_conversions() {
+        // A bare cast would silently truncate / saturate these.
+        assert!(from_str::<u64>("-1").is_err());
+        assert!(from_str::<usize>("2.7").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<i8>("-200").is_err());
+        assert_eq!(from_str::<f64>("2.7").unwrap(), 2.7);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
     }
 }

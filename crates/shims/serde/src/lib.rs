@@ -2,15 +2,18 @@
 //!
 //! The build environment has no registry access, so this crate provides the
 //! slice of serde the workspace actually uses: `#[derive(Serialize)]`
-//! producing a JSON value tree ([`json::Value`]), a marker `Deserialize`
-//! trait so the derives compile, and enough `Serialize` impls for the field
-//! types that appear in the workspace's derived structs.
+//! producing a JSON value tree ([`json::Value`]), `#[derive(Deserialize)]`
+//! reconstructing a value from that tree ([`Deserialize::from_value`], fed
+//! by the `serde_json` shim's parser), and enough impls of both traits for
+//! the field types that appear in the workspace's derived structs.
 
 // Lets the derive-generated `::serde::...` paths resolve inside this crate's
 // own tests.
 extern crate self as serde;
 
 pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
 
 pub mod json {
     //! A minimal JSON value tree plus renderer (consumed by the `serde_json`
@@ -104,9 +107,216 @@ pub trait Serialize {
     fn to_value(&self) -> json::Value;
 }
 
-/// Marker trait so `#[derive(Deserialize)]` compiles.  Nothing in the
-/// workspace deserializes, so there is no method to implement.
-pub trait Deserialize<'de>: Sized {}
+/// Error of [`Deserialize::from_value`]: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A fresh error with `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Wraps the error with the field / variant it occurred under.
+    pub fn under(self, context: &str) -> Self {
+        DeError(format!("{context}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserialization from a [`json::Value`] tree.
+///
+/// Real serde deserializes through a visitor; the workspace only ever
+/// reconstructs values from parsed JSON, so the shim collapses the pipeline
+/// into one method (the mirror image of [`Serialize::to_value`]).
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs the value from a JSON value tree.
+    fn from_value(v: &json::Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &json::Value) -> Result<Self, DeError> {
+                match v {
+                    // Reject fractional and out-of-range values instead of
+                    // silently truncating / saturating like a bare cast.
+                    json::Value::Number(n)
+                        if n.fract() == 0.0
+                            && *n >= <$t>::MIN as f64
+                            && *n <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError(format!(
+                        "expected {} integer, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        })*
+    };
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &json::Value) -> Result<Self, DeError> {
+                match v {
+                    json::Value::Number(n) => Ok(*n as $t),
+                    other => Err(DeError(format!(
+                        "expected number for `{}`, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        })*
+    };
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::String(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("one char"))
+            }
+            other => Err(DeError(format!(
+                "expected one-char string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of {N}, found {got} items")))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError(format!("expected 2-array, found {other:?}"))),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        match v {
+            json::Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError(format!("expected 3-array, found {other:?}"))),
+        }
+    }
+}
+
+// `Duration` round-trips as `{secs, nanos}`, matching real serde's encoding.
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> json::Value {
+        json::Value::Object(vec![
+            (
+                "secs".to_string(),
+                json::Value::Number(self.as_secs() as f64),
+            ),
+            (
+                "nanos".to_string(),
+                json::Value::Number(self.subsec_nanos() as f64),
+            ),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        let entries = match v {
+            json::Value::Object(entries) => entries,
+            other => {
+                return Err(DeError(format!(
+                    "expected {{secs, nanos}} object for Duration, found {other:?}"
+                )))
+            }
+        };
+        let field = |name: &str| -> Result<f64, DeError> {
+            entries
+                .iter()
+                .find(|(k, _)| k.as_str() == name)
+                .and_then(|(_, v)| match v {
+                    json::Value::Number(n) => Some(*n),
+                    _ => None,
+                })
+                .ok_or_else(|| DeError(format!("Duration is missing numeric `{name}`")))
+        };
+        Ok(std::time::Duration::new(
+            field("secs")? as u64,
+            field("nanos")? as u32,
+        ))
+    }
+}
 
 macro_rules! impl_serialize_num {
     ($($t:ty),*) => {

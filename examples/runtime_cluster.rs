@@ -12,6 +12,11 @@
 //! overhead dominates tiny workloads, §VI) and a naive equal 4-way split,
 //! which exercises real halo exchange and cross-device pipelining.
 //!
+//! Both deployments are one-shot `DistrEdge::deploy` calls — thin wrappers
+//! that open a serving session, stream the batch, and shut it down.  See
+//! `serving_session.rs` for the resident-session API (deploy once, submit
+//! from many client threads, snapshot metrics mid-stream).
+//!
 //! Run with:
 //!
 //! ```text
@@ -51,7 +56,7 @@ fn print_row(name: &str, closed: &Deployment, pipelined: &Deployment) {
         name,
         closed.report.sim.ips,
         closed.predicted.ips,
-        closed.ips_gap() * 100.0,
+        closed.ips_gap().map_or(f64::NAN, |g| g * 100.0),
         pipelined.report.measured_ips,
         pipelined
             .report

@@ -13,11 +13,14 @@
 //! * [`netsim`] — bandwidth traces and link models,
 //! * [`edgesim`] — the discrete-event distributed-inference simulator,
 //! * [`neuro`] — the from-scratch MLP / DDPG library,
-//! * [`distredge`] — LC-PSS, OSDS, the baselines and experiment scenarios.
+//! * [`distredge`] — LC-PSS, OSDS, the baselines and experiment scenarios,
+//! * [`edge_runtime`] — the concurrent execution runtime and its serving
+//!   session API (`Runtime::deploy` → `Session`).
 
 pub use cnn_model;
 pub use device_profile;
 pub use distredge;
+pub use edge_runtime;
 pub use edgesim;
 pub use netsim;
 pub use neuro;

@@ -19,6 +19,7 @@ use device_profile::{DeviceSpec, DeviceType};
 use distredge::{DeployOptions, DistrEdge, DistrEdgeConfig};
 use edge_runtime::report::predicted_report;
 use edge_runtime::runtime::{execute, execute_in_process, RuntimeOptions};
+use edge_runtime::session::Runtime;
 use edge_runtime::transport::TcpTransport;
 use edgesim::{Cluster, ExecutionPlan};
 use netsim::LinkConfig;
@@ -192,11 +193,56 @@ fn planned_deployment_agrees_end_to_end() {
         DistrEdge::deploy(&model, &cluster, &planned.strategy, &images, &opts).unwrap();
 
     assert_eq!(deployment.outputs.len(), images.len());
+    let gap = deployment.ips_gap().expect("positive prediction");
     assert!(
-        deployment.ips_gap() <= IPS_TOLERANCE,
+        gap <= IPS_TOLERANCE,
         "measured {:.1} IPS vs predicted {:.1} IPS (gap {:.0}%)",
         deployment.report.sim.ips,
         deployment.predicted.ips,
-        deployment.ips_gap() * 100.0
+        gap * 100.0
     );
+}
+
+#[test]
+fn session_serves_two_waves_bit_exact_without_redeploying() {
+    // The serving acceptance criterion: one deployment, two separate waves
+    // of submissions (submit → wait → submit again), outputs bit-exact vs
+    // single-device `exec::run_full` throughout, and the final report
+    // covers both waves.
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 25);
+    let plan = three_device_plan(&model);
+    let session = Runtime::deploy_in_process(
+        &model,
+        &plan,
+        &weights,
+        &RuntimeOptions::default().with_max_in_flight(2),
+    )
+    .unwrap();
+
+    for wave in 0..2u64 {
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| deterministic_input(&model, 600 + 10 * wave + i))
+            .collect();
+        let tickets: Vec<_> = images
+            .iter()
+            .map(|img| session.submit(img).unwrap())
+            .collect();
+        for (img, ticket) in images.iter().zip(tickets) {
+            let out = session.wait(ticket).unwrap();
+            let reference = exec::run_full(&model, &weights, img).unwrap();
+            assert_eq!(
+                &out,
+                reference.last().unwrap(),
+                "wave {wave} output differs from single-device execution"
+            );
+        }
+        // Between waves the pipeline drains but the cluster stays up.
+        assert_eq!(session.in_flight(), 0);
+    }
+
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.images, 6);
+    assert_eq!(report.sim.per_image_latency_ms.len(), 6);
+    assert!(report.max_in_flight_observed <= 2, "credit window violated");
 }

@@ -1,0 +1,220 @@
+//! Serving-session behaviour: concurrent submitters, mid-stream metrics
+//! monotonicity, draining shutdown, and credit-window backpressure.
+//!
+//! These tests cover the session API's *serving* guarantees — the
+//! bit-exactness and simulator-agreement guarantees live in
+//! `runtime_equivalence.rs`.
+
+use cnn_model::exec::{self, deterministic_input, ModelWeights};
+use cnn_model::{zoo, Model, PartitionScheme, VolumeSplit};
+use edge_runtime::session::Runtime;
+use edge_runtime::RuntimeOptions;
+use edgesim::ExecutionPlan;
+
+fn two_device_plan(model: &Model) -> ExecutionPlan {
+    let scheme = PartitionScheme::new(model, vec![0, 3, model.distributable_len()]).unwrap();
+    let splits: Vec<VolumeSplit> = scheme
+        .volumes()
+        .iter()
+        .map(|v| VolumeSplit::equal(2, v.last_output_height(model)))
+        .collect();
+    ExecutionPlan::from_splits(model, &scheme, &splits, 2).unwrap()
+}
+
+#[test]
+fn concurrent_submitters_share_one_session() {
+    // Three client threads hammer one shared session; every client checks
+    // its own outputs bit-exact against single-device execution.
+    const CLIENTS: u64 = 3;
+    const IMAGES_PER_CLIENT: u64 = 4;
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 41);
+    let plan = two_device_plan(&model);
+    let session = Runtime::deploy_in_process(
+        &model,
+        &plan,
+        &weights,
+        &RuntimeOptions::default().with_max_in_flight(3),
+    )
+    .unwrap();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let session = &session;
+            let model = &model;
+            let weights = &weights;
+            scope.spawn(move || {
+                for i in 0..IMAGES_PER_CLIENT {
+                    let img = deterministic_input(model, 1000 * client + i);
+                    let ticket = session.submit(&img).unwrap();
+                    let out = session.wait(ticket).unwrap();
+                    let reference = exec::run_full(model, weights, &img).unwrap();
+                    assert_eq!(
+                        &out,
+                        reference.last().unwrap(),
+                        "client {client} image {i} output differs"
+                    );
+                }
+            });
+        }
+    });
+
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.images, (CLIENTS * IMAGES_PER_CLIENT) as usize);
+    assert!(
+        report.max_in_flight_observed <= 3,
+        "credit window violated: {} in flight",
+        report.max_in_flight_observed
+    );
+}
+
+#[test]
+fn metrics_snapshots_are_monotone_mid_stream() {
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 42);
+    let plan = two_device_plan(&model);
+    let session =
+        Runtime::deploy_in_process(&model, &plan, &weights, &RuntimeOptions::default()).unwrap();
+
+    let mut last_images = 0usize;
+    let mut last_compute = 0.0f64;
+    let mut last_frames = 0u64;
+    let mut last_wall = 0.0f64;
+    for i in 0..4u64 {
+        let ticket = session
+            .submit(&deterministic_input(&model, 70 + i))
+            .unwrap();
+        session.wait(ticket).unwrap();
+        let snap = session.metrics();
+        let compute: f64 = snap.devices.iter().map(|d| d.compute_ms).sum();
+        let frames: u64 = snap.devices.iter().map(|d| d.frames_in).sum();
+        assert_eq!(
+            snap.images,
+            last_images + 1,
+            "every wait completes one image"
+        );
+        assert!(
+            compute >= last_compute && compute > 0.0,
+            "compute time must accumulate ({compute} after {last_compute})"
+        );
+        assert!(frames >= last_frames, "frame counters must accumulate");
+        assert!(snap.wall_ms >= last_wall, "wall clock must advance");
+        assert_eq!(snap.sim.per_image_latency_ms.len(), snap.images);
+        last_images = snap.images;
+        last_compute = compute;
+        last_frames = frames;
+        last_wall = snap.wall_ms;
+    }
+    let final_report = session.shutdown().unwrap();
+    assert_eq!(final_report.images, last_images);
+    assert!(
+        final_report
+            .devices
+            .iter()
+            .map(|d| d.compute_ms)
+            .sum::<f64>()
+            >= last_compute
+    );
+}
+
+#[test]
+fn shutdown_drains_in_flight_images_without_loss() {
+    // Submit a burst and shut down immediately without waiting: every
+    // in-flight image must still complete and be counted.
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 43);
+    let plan = two_device_plan(&model);
+    let session = Runtime::deploy_in_process(
+        &model,
+        &plan,
+        &weights,
+        &RuntimeOptions::default().with_max_in_flight(4),
+    )
+    .unwrap();
+
+    for i in 0..4u64 {
+        session
+            .submit(&deterministic_input(&model, 90 + i))
+            .unwrap();
+    }
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.images, 4, "drained shutdown must not lose images");
+    assert_eq!(report.sim.per_image_latency_ms.len(), 4);
+    // Every device computed all four images of both volumes.
+    for d in &report.devices {
+        assert_eq!(d.per_volume_images, vec![4, 4]);
+    }
+}
+
+#[test]
+fn credit_window_bounds_provider_queue_depth() {
+    // Stream many more images than the window: the credit gate must bound
+    // both the requester's in-flight count and every provider's concurrent
+    // assemblies (the inbox-depth proxy — each in-flight image contributes
+    // a bounded number of frames per inbox), closing the ROADMAP
+    // backpressure item.
+    const WINDOW: usize = 2;
+    const TOTAL: u64 = 12;
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 44);
+    let plan = two_device_plan(&model);
+    let session = Runtime::deploy_in_process(
+        &model,
+        &plan,
+        &weights,
+        &RuntimeOptions::default().with_max_in_flight(WINDOW),
+    )
+    .unwrap();
+
+    let mut tickets = std::collections::VecDeque::new();
+    for i in 0..TOTAL {
+        // Blocking submit: throttled by the window, never by queue growth.
+        tickets.push_back(
+            session
+                .submit(&deterministic_input(&model, 200 + i))
+                .unwrap(),
+        );
+        assert!(session.in_flight() <= WINDOW);
+        while tickets.len() > WINDOW {
+            session.wait(tickets.pop_front().unwrap()).unwrap();
+        }
+    }
+    while let Some(t) = tickets.pop_front() {
+        session.wait(t).unwrap();
+    }
+
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.images, TOTAL as usize);
+    assert!(
+        report.max_in_flight_observed <= WINDOW,
+        "requester exceeded the credit window"
+    );
+    for (d, m) in report.devices.iter().enumerate() {
+        assert!(
+            m.max_concurrent_images <= WINDOW,
+            "device {d} held {} images concurrently under a window of {WINDOW}",
+            m.max_concurrent_images
+        );
+    }
+}
+
+#[test]
+fn second_wave_after_full_drain_reuses_the_pipeline() {
+    // Regression guard for session state: after the pipeline fully drains
+    // (credits all returned), new submissions must flow with fresh ticket
+    // ids and correct outputs.
+    let model = zoo::tiny_vgg();
+    let weights = ModelWeights::deterministic(&model, 45);
+    let plan = two_device_plan(&model);
+    let session =
+        Runtime::deploy_in_process(&model, &plan, &weights, &RuntimeOptions::default()).unwrap();
+
+    let a = session.submit(&deterministic_input(&model, 1)).unwrap();
+    session.wait(a).unwrap();
+    assert_eq!(session.in_flight(), 0);
+    let b = session.submit(&deterministic_input(&model, 2)).unwrap();
+    assert!(b.image() > a.image(), "ticket ids keep increasing");
+    session.wait(b).unwrap();
+    let report = session.shutdown().unwrap();
+    assert_eq!(report.images, 2);
+}
