@@ -25,6 +25,38 @@ pub struct ModelWeights {
 }
 
 impl ModelWeights {
+    /// Keeps only the layers whose index is in `keep`, replacing the rest
+    /// with empty vectors.  The layer count (and indexing) is preserved, so
+    /// sharded weights drop into every `run_*` entry point unchanged — the
+    /// caller just must never execute a dropped layer.  This is how the
+    /// runtime ships each provider only the layers its assigned split-parts
+    /// (plus, for the head device, the FC head) actually run, instead of
+    /// preloading the full model everywhere.
+    pub fn shard(&self, keep: &std::collections::HashSet<usize>) -> Self {
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                if keep.contains(&i) {
+                    layer.clone()
+                } else {
+                    (Vec::new(), Vec::new())
+                }
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Bytes of weights and biases actually resident in this set (dropped
+    /// layers contribute nothing).
+    pub fn resident_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|(w, b)| (w.len() + b.len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+
     /// Generates small random weights for `model`, seeded so that tests are
     /// reproducible.
     pub fn deterministic(model: &Model, seed: u64) -> Self {
@@ -241,6 +273,26 @@ mod tests {
         assert_eq!(outs[2].shape(), [4, 10, 8]);
         assert_eq!(outs[3].shape(), [6, 10, 8]);
         assert_eq!(outs[4].shape(), [5, 1, 1]);
+    }
+
+    #[test]
+    fn sharded_weights_keep_indexing_and_drop_bytes() {
+        use std::collections::HashSet;
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 21);
+        let keep: HashSet<usize> = [0, 2].into_iter().collect();
+        let sharded = w.shard(&keep);
+        assert_eq!(sharded.layers.len(), w.layers.len());
+        assert_eq!(sharded.layers[0], w.layers[0]);
+        assert!(sharded.layers[1].0.is_empty() && sharded.layers[1].1.is_empty());
+        assert!(sharded.resident_bytes() < w.resident_bytes());
+        // A part that only runs kept layers executes bit-exact on the shard.
+        let v = LayerVolume::new(0, 1);
+        let input = deterministic_input(&m, 21);
+        let plan = PartPlan::plan(&m, v, 0, v.last_output_height(&m)).unwrap();
+        let full = run_part(&m, &w, &plan, &input).unwrap().unwrap();
+        let shard_out = run_part(&m, &sharded, &plan, &input).unwrap().unwrap();
+        assert_eq!(full, shard_out);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The end-to-end DistrEdge planner: profile the devices, partition the
 //! model with LC-PSS, then search the vertical splits with OSDS — plus the
 //! serving entry points [`DistrEdge::serve`] (a resident `edge-runtime`
-//! [`Session`]) and [`DistrEdge::deploy`] (a one-shot batch wrapper over a
-//! session).
+//! [`Session`]), [`DistrEdge::serve_gateway`] (a batching, SLO-aware
+//! [`Gateway`] front-end over that session) and [`DistrEdge::deploy`] (a
+//! one-shot batch wrapper over a session).
 
 use crate::mdp::SplitEnv;
 use crate::partitioner::{lc_pss, LcPssConfig};
@@ -12,6 +13,7 @@ use crate::strategy::DistributionStrategy;
 use crate::Result;
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
+use edge_gateway::{Gateway, GatewayConfig};
 use edge_runtime::runtime::RuntimeOptions;
 use edge_runtime::session::{Runtime, Session};
 use edge_runtime::transport::{ChannelTransport, ShapedTransport};
@@ -147,6 +149,28 @@ impl DistrEdge {
         Ok(session)
     }
 
+    /// Deploys a planned strategy and puts a batching, SLO-aware
+    /// [`Gateway`] in front of the resident session: many clients call
+    /// [`Gateway::client`] and `infer` concurrently, the dispatcher forms
+    /// adaptive batches, schedules them over the session's credit window,
+    /// sheds deadline-doomed and overload traffic with typed errors, and
+    /// publishes latency percentiles via `Gateway::metrics`.
+    pub fn serve_gateway(
+        model: &Model,
+        cluster: &Cluster,
+        strategy: &DistributionStrategy,
+        options: &GatewayOptions,
+    ) -> Result<Gateway> {
+        // Reject unusable gateway knobs before paying for a deployment.
+        options
+            .gateway
+            .validate()
+            .map_err(|e| crate::DistrError::InvalidConfig(e.to_string()))?;
+        let session = Self::serve(model, cluster, strategy, &options.deploy)?;
+        Gateway::over(session, options.gateway)
+            .map_err(|e| crate::DistrError::Runtime(e.to_string()))
+    }
+
     /// One-shot wrapper over [`DistrEdge::serve`]: deploys a session,
     /// streams `images` through it with real tensor kernels, and shuts the
     /// cluster down again.
@@ -229,6 +253,32 @@ impl DeployOptions {
     /// Overrides the provider weight seed.
     pub fn with_weight_seed(mut self, seed: u64) -> Self {
         self.weight_seed = seed;
+        self
+    }
+}
+
+/// Options of [`DistrEdge::serve_gateway`]: how to deploy the cluster plus
+/// the gateway's batching/SLO knobs.  Round-trips through JSON like
+/// [`DeployOptions`], so one scenario file can carry the full serving
+/// stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GatewayOptions {
+    /// Session deployment options (transport shaping, credit window, seed).
+    pub deploy: DeployOptions,
+    /// Gateway batching and admission knobs.
+    pub gateway: GatewayConfig,
+}
+
+impl GatewayOptions {
+    /// Overrides the deployment options.
+    pub fn with_deploy(mut self, deploy: DeployOptions) -> Self {
+        self.deploy = deploy;
+        self
+    }
+
+    /// Overrides the gateway knobs.
+    pub fn with_gateway(mut self, gateway: GatewayConfig) -> Self {
+        self.gateway = gateway;
         self
     }
 }
@@ -434,6 +484,47 @@ mod tests {
         }
         let report = session.shutdown().unwrap();
         assert_eq!(report.images, 2);
+    }
+
+    #[test]
+    fn serve_gateway_batches_many_clients_over_one_deployment() {
+        use cnn_model::exec::{self, deterministic_input};
+        let m = cnn_model::zoo::tiny_vgg();
+        let c = cluster();
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        let opts = GatewayOptions::default().with_gateway(
+            GatewayConfig::default()
+                .with_max_batch(3)
+                .with_max_linger(std::time::Duration::from_millis(1)),
+        );
+        let gateway = DistrEdge::serve_gateway(&m, &c, &outcome.strategy, &opts).unwrap();
+        let weights = ModelWeights::deterministic(&m, opts.deploy.weight_seed);
+        let client = gateway.client();
+        let images: Vec<_> = (0..4).map(|i| deterministic_input(&m, 60 + i)).collect();
+        let responses: Vec<_> = images.iter().map(|img| client.infer(img)).collect();
+        for (img, response) in images.iter().zip(responses) {
+            let out = response.wait().unwrap();
+            let full = exec::run_full(&m, &weights, img).unwrap();
+            assert_eq!(&out, full.last().unwrap());
+        }
+        let metrics = gateway.shutdown().unwrap();
+        assert_eq!(metrics.completed, 4);
+        assert_eq!(metrics.session.images, 4);
+    }
+
+    #[test]
+    fn gateway_options_round_trip_through_json() {
+        let opts = GatewayOptions::default()
+            .with_deploy(DeployOptions::default().with_weight_seed(13))
+            .with_gateway(
+                GatewayConfig::default()
+                    .with_max_batch(5)
+                    .with_max_linger(std::time::Duration::from_millis(9))
+                    .with_queue_capacity(64),
+            );
+        let text = serde_json::to_string(&opts).unwrap();
+        let back: GatewayOptions = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, opts);
     }
 
     #[test]

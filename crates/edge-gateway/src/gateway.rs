@@ -1,0 +1,502 @@
+//! The gateway proper: client handles, the response ticket, and the
+//! dispatcher thread that turns a many-client request stream into batched,
+//! credit-scheduled, deadline-checked session traffic.
+
+use crate::batcher::{Batcher, Priority};
+use crate::config::GatewayConfig;
+use crate::metrics::{GatewayMetrics, LatencyHistogram};
+use crate::GatewayError;
+use edge_runtime::{RuntimeReport, Session};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tensor::Tensor;
+
+/// How often the dispatcher polls completions while work is outstanding.
+const DISPATCH_TICK: Duration = Duration::from_millis(1);
+/// How long the dispatcher sleeps when fully idle.
+const IDLE_TICK: Duration = Duration::from_millis(5);
+/// Smoothing factor of the service-time EWMA the shedding logic uses.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// The shared slot a [`Response`] resolves through.
+#[derive(Default)]
+struct ResponseState {
+    slot: Mutex<Option<Result<Tensor, GatewayError>>>,
+    ready: Condvar,
+}
+
+impl ResponseState {
+    /// Resolves the response; the first resolution wins.
+    fn fulfil(&self, result: Result<Tensor, GatewayError>) {
+        let mut slot = self.slot.lock().expect("response slot poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// A future-like claim on one inference result.  Obtained from
+/// [`GatewayClient::infer`] / [`GatewayClient::infer_with_deadline`];
+/// resolves to the output tensor, or to a typed [`GatewayError`] when the
+/// request was shed (deadline, overload) or the gateway went away.
+pub struct Response {
+    state: Arc<ResponseState>,
+}
+
+impl Response {
+    /// Whether the response has resolved (a `wait` would not block).
+    pub fn is_ready(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("response slot poisoned")
+            .is_some()
+    }
+
+    /// Blocks until the response resolves and claims it.
+    pub fn wait(self) -> Result<Tensor, GatewayError> {
+        let mut slot = self.state.slot.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.ready.wait(slot).expect("response slot poisoned");
+        }
+    }
+}
+
+/// One queued inference request.
+struct PendingRequest {
+    image: Tensor,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    state: Arc<ResponseState>,
+}
+
+/// Front-end counters (behind the state mutex).
+#[derive(Default)]
+struct Stats {
+    histogram: LatencyHistogram,
+    completed: u64,
+    shed_deadline: u64,
+    shed_overload: u64,
+    dispatched: u64,
+    batches: u64,
+    est_service_ms: f64,
+}
+
+impl Stats {
+    /// The deadline-shedding estimate: measured end-to-end service time, or
+    /// `None` before the first completion.
+    fn estimate(&self) -> Option<Duration> {
+        (self.est_service_ms > 0.0).then(|| Duration::from_secs_f64(self.est_service_ms / 1e3))
+    }
+
+    fn observe(&mut self, latency_ms: f64) {
+        self.histogram.record(latency_ms);
+        self.est_service_ms = if self.est_service_ms == 0.0 {
+            latency_ms
+        } else {
+            (1.0 - EWMA_ALPHA) * self.est_service_ms + EWMA_ALPHA * latency_ms
+        };
+    }
+}
+
+struct State {
+    batcher: Batcher<PendingRequest>,
+    /// Submissions are closed (shutdown or abort has begun).
+    closed: bool,
+    /// Drop-path teardown: fail outstanding work instead of draining it.
+    aborted: bool,
+    stats: Stats,
+}
+
+struct Inner {
+    config: GatewayConfig,
+    state: Mutex<State>,
+    /// Signalled on every enqueue and on close.
+    work: Condvar,
+    /// The resident session.  `None` only once `shutdown` has taken it.
+    session: RwLock<Option<Session>>,
+}
+
+impl Inner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("gateway state poisoned")
+    }
+
+    /// Runs `f` on the live session; `None` once the session was taken.
+    fn with_session<R>(&self, f: impl FnOnce(&Session) -> R) -> Option<R> {
+        let guard = self.session.read().expect("session lock poisoned");
+        guard.as_ref().map(f)
+    }
+}
+
+/// A handle for submitting inference requests to a [`Gateway`].  Cheap to
+/// clone; every thread of a client application typically holds its own.
+#[derive(Clone)]
+pub struct GatewayClient {
+    inner: Arc<Inner>,
+    priority: Priority,
+}
+
+impl GatewayClient {
+    /// The same handle with a different scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// This handle's scheduling class.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Submits one image with no deadline; never sheds for time, only for
+    /// overload.
+    pub fn infer(&self, image: &Tensor) -> Response {
+        self.enqueue(image, None)
+    }
+
+    /// Submits one image that must complete within `budget` from now.
+    /// Requests the gateway cannot serve in time — judged at admission and
+    /// again at dispatch against the measured service rate — resolve to
+    /// [`GatewayError::DeadlineExceeded`] instead of occupying the cluster.
+    pub fn infer_with_deadline(&self, image: &Tensor, budget: Duration) -> Response {
+        self.enqueue(image, Some(Instant::now() + budget))
+    }
+
+    fn enqueue(&self, image: &Tensor, deadline: Option<Instant>) -> Response {
+        let state = Arc::new(ResponseState::default());
+        let response = Response {
+            state: Arc::clone(&state),
+        };
+        let now = Instant::now();
+        let mut st = self.inner.lock();
+        if st.closed {
+            drop(st);
+            state.fulfil(Err(GatewayError::Closed));
+            return response;
+        }
+        // Admission control: a bounded queue sheds bursts instead of
+        // absorbing them into unbounded latency for everyone behind them.
+        if st.batcher.len() >= self.inner.config.queue_capacity {
+            st.stats.shed_overload += 1;
+            let queue_depth = st.batcher.len();
+            drop(st);
+            state.fulfil(Err(GatewayError::Overloaded { queue_depth }));
+            return response;
+        }
+        // Deadline admission control: when the measured service rate says
+        // the deadline cannot be met, shed up front.  Only while requests
+        // are actually queued ahead of this one — an idle gateway always
+        // admits, so a stale estimate (inflated by an earlier overload's
+        // queueing) is re-measured and pulled back down instead of shedding
+        // every deadline request forever.
+        if let (Some(dl), Some(est)) = (deadline, st.stats.estimate()) {
+            if !st.batcher.is_empty() && now + est > dl {
+                st.stats.shed_deadline += 1;
+                drop(st);
+                state.fulfil(Err(GatewayError::DeadlineExceeded));
+                return response;
+            }
+        }
+        st.batcher.push(
+            PendingRequest {
+                image: image.clone(),
+                deadline,
+                enqueued: now,
+                state,
+            },
+            self.priority,
+            now,
+        );
+        drop(st);
+        self.inner.work.notify_all();
+        response
+    }
+}
+
+/// A batching, SLO-aware serving front-end over one resident
+/// [`Session`].  See the crate docs for the architecture.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Puts a gateway in front of a deployed session.
+    pub fn over(session: Session, config: GatewayConfig) -> Result<Self, GatewayError> {
+        config.validate()?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                batcher: Batcher::new(config.max_batch, config.max_linger),
+                closed: false,
+                aborted: false,
+                stats: Stats::default(),
+            }),
+            work: Condvar::new(),
+            session: RwLock::new(Some(session)),
+            config,
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("edge-gw-dispatch".into())
+            .spawn(move || dispatch_loop(dispatcher_inner))
+            .expect("spawn gateway dispatcher");
+        Ok(Self {
+            inner,
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// A new client handle (default [`Priority::Normal`]).
+    pub fn client(&self) -> GatewayClient {
+        GatewayClient {
+            inner: Arc::clone(&self.inner),
+            priority: Priority::default(),
+        }
+    }
+
+    /// Snapshots the gateway counters together with the live session
+    /// metrics underneath.  Counters only grow, so successive snapshots are
+    /// monotone.
+    pub fn metrics(&self) -> GatewayMetrics {
+        let session = self
+            .inner
+            .with_session(Session::metrics)
+            .expect("session resident while the gateway is live");
+        let st = self.inner.lock();
+        build_metrics(&st.stats, st.batcher.len(), session)
+    }
+
+    /// Closes submissions, drains every queued and in-flight request, shuts
+    /// the session down and returns the final metrics.
+    pub fn shutdown(mut self) -> Result<GatewayMetrics, GatewayError> {
+        self.inner.lock().closed = true;
+        self.inner.work.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            handle
+                .join()
+                .map_err(|_| GatewayError::Runtime("dispatcher thread panicked".into()))?;
+        }
+        let session = self
+            .inner
+            .session
+            .write()
+            .expect("session lock poisoned")
+            .take()
+            .ok_or(GatewayError::Closed)?;
+        let report = session
+            .shutdown()
+            .map_err(|e| GatewayError::Runtime(e.to_string()))?;
+        let st = self.inner.lock();
+        Ok(build_metrics(&st.stats, st.batcher.len(), report))
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // A gateway abandoned without `shutdown` still joins its dispatcher
+        // and resolves every outstanding response (with `Closed`), so no
+        // client blocks forever and no thread outlives the gateway — the
+        // session is taken out of the shared state and dropped here (its
+        // own `Drop` halts and joins every worker), so surviving
+        // `GatewayClient` handles cannot keep the cluster resident.
+        if let Some(handle) = self.dispatcher.take() {
+            {
+                let mut st = self.inner.lock();
+                st.closed = true;
+                st.aborted = true;
+            }
+            self.inner.work.notify_all();
+            let _ = handle.join();
+            drop(
+                self.inner
+                    .session
+                    .write()
+                    .expect("session lock poisoned")
+                    .take(),
+            );
+        }
+    }
+}
+
+fn build_metrics(stats: &Stats, queue_depth: usize, session: RuntimeReport) -> GatewayMetrics {
+    GatewayMetrics {
+        completed: stats.completed,
+        shed_deadline: stats.shed_deadline,
+        shed_overload: stats.shed_overload,
+        queue_depth,
+        dispatched: stats.dispatched,
+        batches: stats.batches,
+        batch_occupancy: if stats.batches > 0 {
+            stats.dispatched as f64 / stats.batches as f64
+        } else {
+            0.0
+        },
+        p50_ms: stats.histogram.percentile(0.50),
+        p95_ms: stats.histogram.percentile(0.95),
+        p99_ms: stats.histogram.percentile(0.99),
+        est_service_ms: stats.est_service_ms,
+        session,
+    }
+}
+
+/// The dispatcher: forms waves out of the batcher, sizes them to the
+/// session's free credits, submits them, and resolves completions.
+fn dispatch_loop(inner: Arc<Inner>) {
+    let mut pending: HashMap<u32, PendingRequest> = HashMap::new();
+    loop {
+        drain_completions(&inner, &mut pending);
+
+        // A failed session can never complete what it holds: resolve
+        // everything with the failure and close the gateway.
+        let failure = inner.with_session(Session::failure).flatten();
+        if let Some(f) = failure {
+            let queued = {
+                let mut st = inner.lock();
+                st.closed = true;
+                st.batcher.drain_all()
+            };
+            let err = GatewayError::Runtime(format!("session failed: {f}"));
+            for req in queued {
+                req.state.fulfil(Err(err.clone()));
+            }
+            for (_, req) in pending.drain() {
+                req.state.fulfil(Err(err.clone()));
+            }
+            return;
+        }
+
+        let batch = {
+            let mut st = inner.lock();
+            if st.aborted {
+                for req in st.batcher.drain_all() {
+                    req.state.fulfil(Err(GatewayError::Closed));
+                }
+                drop(st);
+                for (_, req) in pending.drain() {
+                    req.state.fulfil(Err(GatewayError::Closed));
+                }
+                return;
+            }
+            if st.batcher.is_empty() {
+                if st.closed && pending.is_empty() {
+                    return; // Fully drained shutdown.
+                }
+                let tick = if pending.is_empty() {
+                    IDLE_TICK
+                } else {
+                    DISPATCH_TICK
+                };
+                let _ = inner
+                    .work
+                    .wait_timeout(st, tick)
+                    .expect("gateway state poisoned");
+                continue;
+            }
+            let now = Instant::now();
+            if !st.batcher.ready(now) && !st.closed {
+                // Linger: wait for the wave to fill, but never past its
+                // linger expiry and never so long completions go stale.
+                let due_in = st.batcher.time_to_ready(now).unwrap_or(DISPATCH_TICK);
+                let tick = due_in.clamp(Duration::from_micros(100), DISPATCH_TICK);
+                let _ = inner
+                    .work
+                    .wait_timeout(st, tick)
+                    .expect("gateway state poisoned");
+                continue;
+            }
+            // A wave is due.  Size it to the window's free credits (at
+            // least one: when the window is saturated the submit path below
+            // waits for a credit, which keeps draining completions).
+            let credits = inner
+                .with_session(Session::available_credits)
+                .unwrap_or(0)
+                .max(1);
+            let batch = st.batcher.take_batch(credits);
+            if !batch.is_empty() {
+                st.stats.batches += 1;
+            }
+            batch
+        };
+
+        for req in batch {
+            submit_one(&inner, req, &mut pending);
+        }
+    }
+}
+
+/// Submits one request, shedding it if its deadline cannot be met, waiting
+/// for a free credit (and draining completions) while the window is full.
+fn submit_one(inner: &Arc<Inner>, req: PendingRequest, pending: &mut HashMap<u32, PendingRequest>) {
+    loop {
+        let now = Instant::now();
+        if let Some(dl) = req.deadline {
+            // An expired deadline always sheds; the service-rate estimate
+            // only sheds while other work is in flight ahead of this
+            // request (an idle cluster re-measures a stale estimate).
+            let est = inner.lock().stats.estimate();
+            let doomed = now >= dl || (!pending.is_empty() && est.is_some_and(|e| now + e > dl));
+            if doomed {
+                inner.lock().stats.shed_deadline += 1;
+                req.state.fulfil(Err(GatewayError::DeadlineExceeded));
+                return;
+            }
+        }
+        let submitted = inner.with_session(|s| s.try_submit(&req.image));
+        match submitted {
+            None => {
+                req.state.fulfil(Err(GatewayError::Closed));
+                return;
+            }
+            Some(Ok(Some(ticket))) => {
+                inner.lock().stats.dispatched += 1;
+                pending.insert(ticket.image(), req);
+                return;
+            }
+            Some(Ok(None)) => {
+                // Window full: completions free credits, so collect them
+                // first, then block briefly for one.
+                drain_completions(inner, pending);
+                inner.with_session(|s| s.wait_for_credit(DISPATCH_TICK));
+            }
+            Some(Err(e)) => {
+                req.state.fulfil(Err(GatewayError::Runtime(e.to_string())));
+                return;
+            }
+        }
+    }
+}
+
+/// Resolves every completion the session currently has ready.
+fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<u32, PendingRequest>) {
+    loop {
+        let Some(Some((ticket, output))) = inner.with_session(Session::try_recv) else {
+            return;
+        };
+        let Some(req) = pending.remove(&ticket.image()) else {
+            // Not ours (impossible — the gateway owns the session), drop it.
+            continue;
+        };
+        let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+        let late = req.deadline.is_some_and(|dl| Instant::now() > dl);
+        let mut st = inner.lock();
+        st.stats.observe(latency_ms);
+        if late {
+            // The SLO is part of the contract: a late result is a shed
+            // result, even though the cluster did the work.
+            st.stats.shed_deadline += 1;
+            drop(st);
+            req.state.fulfil(Err(GatewayError::DeadlineExceeded));
+        } else {
+            st.stats.completed += 1;
+            drop(st);
+            req.state.fulfil(Ok(output));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Gateway observability: latency histograms and the combined metrics
+//! snapshot.
+//!
+//! [`LatencyHistogram`] is a fixed set of geometrically-growing buckets, so
+//! recording is O(1), memory is constant regardless of traffic, and
+//! percentile reads are monotone in the quantile by construction (p50 ≤ p95
+//! ≤ p99 always holds).  [`GatewayMetrics`] combines the gateway's own
+//! counters with the live [`RuntimeReport`] of the underlying session, so
+//! one snapshot answers both "how is the front-end doing" (queue depth,
+//! shed counts, percentiles) and "how is the cluster doing" (per-device
+//! compute/wire counters).
+
+use edge_runtime::RuntimeReport;
+use serde::Serialize;
+
+/// First bucket upper bound, in milliseconds.
+const BUCKET_BASE_MS: f64 = 0.05;
+/// Geometric growth factor between bucket upper bounds.
+const BUCKET_GROWTH: f64 = 1.25;
+/// Bucket count: covers ~0.05 ms up to ~0.05·1.25⁷⁸ ≈ 2×10⁶ ms.
+const NUM_BUCKETS: usize = 80;
+
+/// A fixed-size histogram of latencies with geometric buckets.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_ms: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            max_ms: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, ms: f64) {
+        let ms = ms.max(0.0);
+        let idx = if ms <= BUCKET_BASE_MS {
+            0
+        } else {
+            let raw = (ms / BUCKET_BASE_MS).ln() / BUCKET_GROWTH.ln();
+            (raw.ceil() as usize).min(NUM_BUCKETS - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded sample.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// The latency at quantile `q` (in `[0, 1]`): the upper bound of the
+    /// first bucket whose cumulative count reaches `q·total`, capped at the
+    /// largest recorded sample.  Zero while the histogram is empty.
+    /// Monotone non-decreasing in `q` by construction.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = BUCKET_BASE_MS * BUCKET_GROWTH.powi(i as i32);
+                return upper.min(self.max_ms);
+            }
+        }
+        self.max_ms
+    }
+}
+
+/// One snapshot of the gateway: front-end counters plus the live session
+/// report underneath it.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatewayMetrics {
+    /// Responses delivered `Ok` to clients.
+    pub completed: u64,
+    /// Requests shed with [`crate::GatewayError::DeadlineExceeded`] — at
+    /// admission, at dispatch, or on late completion.
+    pub shed_deadline: u64,
+    /// Requests shed with [`crate::GatewayError::Overloaded`] at admission.
+    pub shed_overload: u64,
+    /// Requests waiting in the batcher right now.
+    pub queue_depth: usize,
+    /// Requests submitted into the session so far.
+    pub dispatched: u64,
+    /// Dispatch waves formed so far.
+    pub batches: u64,
+    /// Mean requests per dispatch wave (`dispatched / batches`).
+    pub batch_occupancy: f64,
+    /// Median end-to-end latency (enqueue → response), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// The measured service-time estimate (EWMA of end-to-end latency) the
+    /// admission controller sheds against; zero until the first completion.
+    pub est_service_ms: f64,
+    /// The underlying session's live measurement.
+    pub session: RuntimeReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_max() {
+        let mut h = LatencyHistogram::default();
+        for ms in [0.2, 0.4, 1.0, 3.0, 9.0, 27.0, 81.0, 81.0, 243.0, 500.0] {
+            h.record(ms);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} / {p95} / {p99}");
+        assert!(p99 <= h.max_ms());
+        assert!(p50 > 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_everywhere() {
+        let mut h = LatencyHistogram::default();
+        h.record(12.5);
+        // Every quantile falls in the single occupied bucket, capped at the
+        // recorded maximum.
+        assert_eq!(h.percentile(0.01), 12.5);
+        assert_eq!(h.percentile(0.99), 12.5);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_the_edges() {
+        let mut h = LatencyHistogram::default();
+        h.record(-3.0);
+        h.record(1e12);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(0.1) <= h.percentile(0.999));
+    }
+}

@@ -30,13 +30,13 @@ use std::time::Instant;
 use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
 
-/// Configuration shared by every worker of one runtime execution.
+/// Configuration shared by every worker of one runtime execution.  Weights
+/// are *not* here: each provider receives its own sharded
+/// [`ModelWeights`] carrying only the layers its assigned parts (and, on
+/// the head device, the FC head) actually run.
 pub struct Shared {
     /// The model being served.
     pub model: Model,
-    /// Its deterministic weights (every provider preloads the full set; a
-    /// real deployment would ship only the layers of its parts).
-    pub weights: ModelWeights,
     /// The precomputed routing table.
     pub route: RouteTable,
 }
@@ -188,10 +188,12 @@ enum OutMsg {
     HeadResult { image: u32, tensor: Tensor },
 }
 
-/// Spawns the three threads of provider `d`.
+/// Spawns the three threads of provider `d`.  `weights` is the device's
+/// sharded weight set — only the layers `d`'s parts need are resident.
 pub fn spawn_provider(
     d: usize,
     shared: Arc<Shared>,
+    weights: Arc<ModelWeights>,
     inbox: Receiver<Vec<u8>>,
     txs: HashMap<Endpoint, Box<dyn FrameTx>>,
 ) -> ProviderHandle {
@@ -217,7 +219,7 @@ pub fn spawn_provider(
     let comp_stats = Arc::clone(&stats);
     let comp = std::thread::Builder::new()
         .name(format!("edge-rt-comp-{d}"))
-        .spawn(move || compute_loop(d, comp_shared, comp_rx, to_send, comp_stats))
+        .spawn(move || compute_loop(d, comp_shared, weights, comp_rx, to_send, comp_stats))
         .expect("spawn compute thread");
 
     let send_stats = Arc::clone(&stats);
@@ -260,6 +262,7 @@ fn receive_loop(
 struct ComputeState {
     d: usize,
     shared: Arc<Shared>,
+    weights: Arc<ModelWeights>,
     assemblies: HashMap<(u32, u32), Assembly>,
     /// Open-assembly count per image — tracked incrementally so the
     /// high-water mark costs O(1) per frame, not a scan of all assemblies.
@@ -271,6 +274,7 @@ struct ComputeState {
 fn compute_loop(
     d: usize,
     shared: Arc<Shared>,
+    weights: Arc<ModelWeights>,
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
@@ -278,6 +282,7 @@ fn compute_loop(
     let mut state = ComputeState {
         d,
         shared,
+        weights,
         assemblies: HashMap::new(),
         open_images: HashMap::new(),
         to_send,
@@ -363,7 +368,7 @@ impl ComputeState {
             if stage == finish {
                 // Head gather complete: run the FC head, return the result.
                 let t0 = Instant::now();
-                let out = exec::run_head(&self.shared.model, &self.shared.weights, &band)?;
+                let out = exec::run_head(&self.shared.model, &self.weights, &band)?;
                 {
                     let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
                     comp.head_ms += t0.elapsed().as_secs_f64() * 1e3;
@@ -377,7 +382,7 @@ impl ComputeState {
 
             let part = &route.parts[stage][self.d];
             let t0 = Instant::now();
-            let out = exec::run_part_on_band(&self.shared.model, &self.shared.weights, part, band)?;
+            let out = exec::run_part_on_band(&self.shared.model, &self.weights, part, band)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             {
                 let mut comp = self.stats.comp.lock().expect("comp stats poisoned");

@@ -73,15 +73,35 @@ impl Runtime {
         let n = route.num_devices;
         let shared_cfg = Arc::new(Shared {
             model: model.clone(),
-            weights: weights.clone(),
             route: route.clone(),
         });
+
+        // Weight sharding: each provider is handed only the layers its
+        // assigned parts run (plus the FC head on the head device), instead
+        // of preloading the full model everywhere.  The per-part layer sets
+        // are exactly what `cnn_model::memory::part_footprint` accounts.
+        let sharded: Vec<Arc<ModelWeights>> = (0..n)
+            .map(|d| {
+                let mut keep: HashSet<usize> = route
+                    .parts
+                    .iter()
+                    .filter(|volume| !volume[d].is_empty())
+                    .flat_map(|volume| volume[d].layers.iter().map(|lr| lr.layer))
+                    .collect();
+                if route.head_device == Some(d) {
+                    keep.extend(model.head_layers().iter().map(|l| l.index));
+                }
+                Arc::new(weights.shard(&keep))
+            })
+            .collect();
+        let resident_weight_bytes: Vec<usize> =
+            sharded.iter().map(|w| w.resident_bytes()).collect();
 
         // Wire up the fabric: requester inbox first, then one worker per
         // device with links to every peer and back to the requester.
         let requester_inbox = transport.inbox(Endpoint::Requester)?;
         let mut providers: Vec<ProviderHandle> = Vec::with_capacity(n);
-        for d in 0..n {
+        for (d, device_weights) in sharded.iter().enumerate() {
             let inbox = transport.inbox(Endpoint::Device(d))?;
             let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
             for peer in 0..n {
@@ -96,7 +116,13 @@ impl Runtime {
                 Endpoint::Requester,
                 transport.open(Endpoint::Device(d), Endpoint::Requester)?,
             );
-            providers.push(spawn_provider(d, Arc::clone(&shared_cfg), inbox, txs));
+            providers.push(spawn_provider(
+                d,
+                Arc::clone(&shared_cfg),
+                Arc::clone(device_weights),
+                inbox,
+                txs,
+            ));
         }
         let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
@@ -137,6 +163,7 @@ impl Runtime {
             stop,
             gather: Some(gather),
             providers,
+            resident_weight_bytes,
             t_start: Instant::now(),
         })
     }
@@ -229,6 +256,7 @@ pub struct Session {
     stop: Arc<AtomicBool>,
     gather: Option<JoinHandle<Receiver<Vec<u8>>>>,
     providers: Vec<ProviderHandle>,
+    resident_weight_bytes: Vec<usize>,
     t_start: Instant,
 }
 
@@ -238,9 +266,59 @@ impl Session {
         self.options.max_in_flight
     }
 
+    /// Weight bytes resident on each provider after sharding — only the
+    /// layers a device's parts (and, on the head device, the FC head) run
+    /// are loaded, so on asymmetric plans these differ per device and their
+    /// sum can be far below `num_devices × full model size`.
+    pub fn resident_weight_bytes(&self) -> &[usize] {
+        &self.resident_weight_bytes
+    }
+
     /// Images currently in the pipeline.
     pub fn in_flight(&self) -> usize {
         self.shared.lock().in_flight
+    }
+
+    /// Free credits in the in-flight window right now: how many `submit`
+    /// calls would currently succeed without blocking.  Zero once the
+    /// session has failed or shutdown has begun.  A scheduler sitting in
+    /// front of the session (the gateway dispatcher) uses this to size
+    /// dispatch waves to the window instead of discovering the limit by
+    /// blocking.
+    pub fn available_credits(&self) -> usize {
+        let st = self.shared.lock();
+        if st.failed.is_some() || st.halted {
+            return 0;
+        }
+        self.options.max_in_flight.saturating_sub(st.in_flight)
+    }
+
+    /// Blocks until at least one in-flight credit is free, the session
+    /// fails/halts, or `timeout` elapses.  Returns the credits available on
+    /// wake-up — `0` means the wait timed out (or the session can no longer
+    /// accept work), so callers can poll other duties and come back.
+    pub fn wait_for_credit(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if st.failed.is_some() || st.halted {
+                return 0;
+            }
+            let free = self.options.max_in_flight.saturating_sub(st.in_flight);
+            if free > 0 {
+                return free;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return 0;
+            }
+            st = self
+                .shared
+                .credits
+                .wait_timeout(st, deadline - now)
+                .expect("session state poisoned")
+                .0;
+        }
     }
 
     /// The stream failure, if the session has failed.  Once set, every
@@ -774,6 +852,52 @@ mod tests {
         let session =
             Runtime::deploy_in_process(&m, &plan, &weights, &RuntimeOptions::default()).unwrap();
         assert!(session.submit(&Tensor::zeros([1, 2, 3])).is_err());
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn weight_sharding_ships_only_needed_layers() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 15);
+        let full_bytes = weights.resident_bytes();
+
+        // Offload plan: only device 1 runs anything, so only it holds
+        // weights — and it holds the full set (every layer plus the head).
+        let offload = ExecutionPlan::offload(&m, 1, 3).unwrap();
+        let session =
+            Runtime::deploy_in_process(&m, &offload, &weights, &RuntimeOptions::default()).unwrap();
+        assert_eq!(session.resident_weight_bytes(), &[0, full_bytes, 0]);
+        // Sharded weights still compute the right answer.
+        let img = deterministic_input(&m, 3);
+        let t = session.submit(&img).unwrap();
+        let out = session.wait(t).unwrap();
+        assert_eq!(
+            &out,
+            exec::run_full(&m, &weights, &img).unwrap().last().unwrap()
+        );
+        session.shutdown().unwrap();
+
+        // Row-split plan: both devices run the conv volumes, but only the
+        // head device holds the FC layer, so the other stays strictly below
+        // the full footprint.
+        let split = plan(&m, 2);
+        let session =
+            Runtime::deploy_in_process(&m, &split, &weights, &RuntimeOptions::default()).unwrap();
+        let resident = session.resident_weight_bytes().to_vec();
+        assert!(
+            resident.iter().any(|&b| b < full_bytes),
+            "some device must shed the head weights: {resident:?} vs full {full_bytes}"
+        );
+        assert!(
+            resident.iter().all(|&b| b > 0),
+            "every device participates in the split: {resident:?}"
+        );
+        let t = session.submit(&img).unwrap();
+        let out = session.wait(t).unwrap();
+        assert_eq!(
+            &out,
+            exec::run_full(&m, &weights, &img).unwrap().last().unwrap()
+        );
         session.shutdown().unwrap();
     }
 

@@ -17,7 +17,7 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -242,32 +242,64 @@ impl Drop for TcpTransport {
 // Bandwidth shaping
 // ---------------------------------------------------------------------------
 
+/// The shared shaping state of one device's radio: its bandwidth trace, its
+/// per-frame I/O overhead, and the time its air is busy until.  Every link
+/// touching the device holds the same bucket, so concurrent flows through
+/// one device serialise on it — the simulator's per-device contention model.
+struct DeviceBucket {
+    trace: BandwidthTrace,
+    io_overhead_ms: f64,
+    busy_until_ms: Mutex<f64>,
+}
+
 /// Token-bucket pacing for one directed link: the sender blocks until the
 /// frame would have finished its wire time under the link's trace, so the
-/// receive side observes shaped-WiFi arrival times.
+/// receive side observes shaped-WiFi arrival times.  The buckets are shared
+/// per *device*, not per directed pair: a frame reserves serial air time on
+/// every device it touches, so simultaneous flows through one device
+/// contend instead of each enjoying the full link rate.
 struct ShapedTx {
     inner: Box<dyn FrameTx>,
-    traces: Vec<BandwidthTrace>,
-    io_overhead_ms: f64,
+    /// Buckets of the devices this link touches, sorted by device index so
+    /// concurrent sends lock them in one global order.
+    buckets: Vec<Arc<DeviceBucket>>,
     started: Instant,
-    next_free_ms: f64,
 }
 
 impl FrameTx for ShapedTx {
     fn send(&mut self, frame: &Frame) -> Result<usize> {
         let bytes = frame.encoded_len() as f64;
         let now_ms = self.started.elapsed().as_secs_f64() * 1e3;
-        // The link is serial: a frame starts after the previous one drained.
-        let begin = now_ms.max(self.next_free_ms);
-        let mbps = self
-            .traces
-            .iter()
-            .map(|t| t.bandwidth_at(begin))
-            .fold(f64::INFINITY, f64::min)
-            .max(0.01);
-        let wire_ms = bytes / netsim::mbps_to_bytes_per_ms(mbps) + self.io_overhead_ms;
-        self.next_free_ms = begin + wire_ms;
-        let sleep_ms = self.next_free_ms - now_ms;
+        // Reserve the air of every touched device atomically: lock all
+        // buckets (in device order — every link locks in the same order, so
+        // two-bucket reservations cannot deadlock), find the first instant
+        // all of them are free, and push each device's busy horizon past the
+        // frame's wire time.
+        let free_at = {
+            let mut slots: Vec<MutexGuard<'_, f64>> = self
+                .buckets
+                .iter()
+                .map(|b| b.busy_until_ms.lock().expect("shaping bucket poisoned"))
+                .collect();
+            let begin = slots.iter().map(|s| **s).fold(now_ms, f64::max);
+            let mbps = self
+                .buckets
+                .iter()
+                .map(|b| b.trace.bandwidth_at(begin))
+                .fold(f64::INFINITY, f64::min)
+                .max(0.01);
+            let io_overhead_ms = self
+                .buckets
+                .iter()
+                .map(|b| b.io_overhead_ms)
+                .fold(0.0, f64::max);
+            let wire_ms = bytes / netsim::mbps_to_bytes_per_ms(mbps) + io_overhead_ms;
+            for slot in &mut slots {
+                **slot = begin + wire_ms;
+            }
+            begin + wire_ms
+        };
+        let sleep_ms = free_at - now_ms;
         if sleep_ms > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(sleep_ms / 1e3));
         }
@@ -275,18 +307,18 @@ impl FrameTx for ShapedTx {
     }
 }
 
-/// Decorates another fabric with per-link token-bucket shaping derived from
-/// a cluster's `netsim` traces.
+/// Decorates another fabric with token-bucket shaping derived from a
+/// cluster's `netsim` traces.
 ///
 /// A device↔device link is paced by the slower of the two devices' traces at
 /// the moment the frame departs — the same "bounded by the slower link"
-/// model the simulator uses.  Pacing is per directed pair, so simultaneous
-/// flows through one device do not yet contend (the simulator's per-link
-/// serialisation is the stronger model); treat shaped measurements as
-/// optimistic on fan-in heavy plans.
+/// model the simulator uses.  The bucket state is shared per *device*: all
+/// flows through one device's WiFi contend for its serial air time
+/// (fan-in/fan-out heavy plans pay for it), matching the simulator's
+/// per-link serialisation.
 pub struct ShapedTransport<T: Transport> {
     inner: T,
-    device_links: Vec<(BandwidthTrace, f64)>,
+    buckets: Vec<Arc<DeviceBucket>>,
     started: Instant,
 }
 
@@ -294,15 +326,19 @@ impl<T: Transport> ShapedTransport<T> {
     /// Wraps `inner`, pacing each link with the matching device trace of
     /// `cluster`.
     pub fn new(inner: T, cluster: &Cluster) -> Self {
-        let device_links = (0..cluster.len())
+        let buckets = (0..cluster.len())
             .map(|d| {
                 let link = cluster.link(d);
-                (link.trace().clone(), link.io_overhead_ms())
+                Arc::new(DeviceBucket {
+                    trace: link.trace().clone(),
+                    io_overhead_ms: link.io_overhead_ms(),
+                    busy_until_ms: Mutex::new(0.0),
+                })
             })
             .collect();
         Self {
             inner,
-            device_links,
+            buckets,
             started: Instant::now(),
         }
     }
@@ -311,25 +347,27 @@ impl<T: Transport> ShapedTransport<T> {
 impl<T: Transport> Transport for ShapedTransport<T> {
     fn open(&mut self, from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
         let inner = self.inner.open(from, to)?;
-        let mut traces = Vec::new();
-        let mut io_overhead_ms = 0.0f64;
-        for ep in [from, to] {
-            if let Endpoint::Device(d) = ep {
-                let (trace, io) = &self.device_links[d];
-                traces.push(trace.clone());
-                io_overhead_ms = io_overhead_ms.max(*io);
-            }
-        }
-        if traces.is_empty() {
+        let mut devices: Vec<usize> = [from, to]
+            .iter()
+            .filter_map(|ep| match ep {
+                Endpoint::Device(d) => Some(*d),
+                Endpoint::Requester => None,
+            })
+            .collect();
+        devices.sort_unstable();
+        devices.dedup();
+        if devices.is_empty() {
             // Requester-to-requester never happens; fall through unshaped.
             return Ok(inner);
         }
+        let buckets = devices
+            .into_iter()
+            .map(|d| Arc::clone(&self.buckets[d]))
+            .collect();
         Ok(Box::new(ShapedTx {
             inner,
-            traces,
-            io_overhead_ms,
+            buckets,
             started: self.started,
-            next_free_ms: 0.0,
         }))
     }
 
@@ -420,6 +458,67 @@ mod tests {
         assert!(elapsed_ms >= 15.0, "shaping too weak: {elapsed_ms:.2} ms");
         for _ in 0..10 {
             rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_flows_through_one_device_contend() {
+        use device_profile::{DeviceSpec, DeviceType};
+        use netsim::LinkConfig;
+        // Device 0 fans out to devices 1 and 2 simultaneously.  Both flows
+        // share device 0's bucket, so the two senders together must take
+        // about as long as all frames sent serially — not half of it.
+        let cluster = Cluster::uniform(
+            vec![
+                DeviceSpec::new("a", DeviceType::Xavier),
+                DeviceSpec::new("b", DeviceType::Xavier),
+                DeviceSpec::new("c", DeviceType::Xavier),
+            ],
+            LinkConfig::constant(8.0), // 1000 bytes/ms
+        );
+        const FRAMES: u32 = 8;
+        let mut fabric = ShapedTransport::new(ChannelTransport::new(3), &cluster);
+        let rx1 = fabric.inbox(Endpoint::Device(1)).unwrap();
+        let rx2 = fabric.inbox(Endpoint::Device(2)).unwrap();
+        let mut tx1 = fabric
+            .open(Endpoint::Device(0), Endpoint::Device(1))
+            .unwrap();
+        let mut tx2 = fabric
+            .open(Endpoint::Device(0), Endpoint::Device(2))
+            .unwrap();
+
+        // Serial reference: one flow alone.
+        let t0 = Instant::now();
+        for i in 0..FRAMES {
+            tx1.send(&frame(i)).unwrap();
+        }
+        let single_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Contended: both flows at once, same frame count each.
+        let t1 = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..FRAMES {
+                    tx1.send(&frame(i)).unwrap();
+                }
+            });
+            scope.spawn(move || {
+                for i in 0..FRAMES {
+                    tx2.send(&frame(i)).unwrap();
+                }
+            });
+        });
+        let contended_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            contended_ms >= 1.6 * single_ms,
+            "flows through one device must serialise: \
+             {contended_ms:.2} ms for 2x vs {single_ms:.2} ms for 1x"
+        );
+        for _ in 0..2 * FRAMES {
+            rx1.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        for _ in 0..FRAMES {
+            rx2.recv_timeout(Duration::from_secs(5)).unwrap();
         }
     }
 }

@@ -1,0 +1,162 @@
+//! One deployment, heavy bursty traffic: the `edge-gateway` front-end over
+//! a resident serving session.
+//!
+//! Where `serving_session.rs` has each client thread talk to the session
+//! directly, this example puts the serving stack's top layer in between:
+//! six bursty client threads (one high-priority, one deadline-constrained)
+//! fire requests at a [`edge_gateway::Gateway`], whose dispatcher forms
+//! adaptive batches under `max_batch` / `max_linger`, schedules them over
+//! the session's in-flight credit window, sheds what cannot meet its
+//! deadline, and publishes p50/p95/p99 latency percentiles live.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example gateway_serving
+//! ```
+
+use cnn_model::{Model, PartitionScheme, VolumeSplit};
+use device_profile::{DeviceSpec, DeviceType};
+use distredge::{DeployOptions, DistrEdge, DistributionStrategy, GatewayOptions};
+use edge_gateway::{GatewayConfig, Priority};
+use edge_runtime::RuntimeOptions;
+use edgesim::Cluster;
+use netsim::LinkConfig;
+use std::time::Duration;
+
+const CLIENTS: u64 = 6;
+const BURSTS: u64 = 3;
+const BURST_SIZE: u64 = 3;
+
+fn equal_split_strategy(model: &Model, devices: usize) -> DistributionStrategy {
+    let scheme = PartitionScheme::new(model, vec![0, 6, model.distributable_len()])
+        .expect("valid boundaries");
+    let splits: Vec<VolumeSplit> = scheme
+        .volumes()
+        .iter()
+        .map(|v| VolumeSplit::equal(devices, v.last_output_height(model)))
+        .collect();
+    DistributionStrategy::new("EqualSplit", scheme, splits, devices).expect("valid strategy")
+}
+
+fn main() {
+    // 1. A runtime-scale model on three providers behind one gateway.
+    let model = cnn_model::zoo::tiny_vgg();
+    let cluster = Cluster::uniform(
+        vec![
+            DeviceSpec::new("xavier", DeviceType::Xavier),
+            DeviceSpec::new("tx2", DeviceType::Tx2),
+            DeviceSpec::new("nano", DeviceType::Nano),
+        ],
+        LinkConfig::constant(200.0),
+    );
+    let strategy = equal_split_strategy(&model, cluster.len());
+    let options = GatewayOptions::default()
+        .with_deploy(
+            DeployOptions::default().with_runtime(RuntimeOptions::default().with_max_in_flight(4)),
+        )
+        .with_gateway(
+            GatewayConfig::default()
+                .with_max_batch(4)
+                .with_max_linger(Duration::from_millis(2)),
+        );
+    println!(
+        "model: {} on {} providers; gateway: max_batch {}, max_linger {:?}, window 4",
+        model.name(),
+        cluster.len(),
+        options.gateway.max_batch,
+        options.gateway.max_linger,
+    );
+
+    // 2. Deploy ONCE; the gateway owns the resident session.
+    let gateway =
+        DistrEdge::serve_gateway(&model, &cluster, &strategy, &options).expect("deploy failed");
+
+    // 3. Serve: bursty clients — each fires a burst of concurrent requests,
+    //    waits for all of them, pauses, repeats.  Client 0 runs at high
+    //    priority; client 1 attaches a (generous) deadline to every request.
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let client = match client_id {
+                0 => gateway.client().with_priority(Priority::High),
+                _ => gateway.client(),
+            };
+            let model = &model;
+            scope.spawn(move || {
+                for burst in 0..BURSTS {
+                    let responses: Vec<_> = (0..BURST_SIZE)
+                        .map(|i| {
+                            let seed = 1_000 * client_id + 10 * burst + i;
+                            let img = cnn_model::exec::deterministic_input(model, seed);
+                            if client_id == 1 {
+                                client.infer_with_deadline(&img, Duration::from_secs(120))
+                            } else {
+                                client.infer(&img)
+                            }
+                        })
+                        .collect();
+                    for response in responses {
+                        let out = response.wait().expect("request failed");
+                        assert_eq!(out.shape()[0], 10, "tiny-vgg head emits 10 logits");
+                    }
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                println!("client {client_id}: {} images served", BURSTS * BURST_SIZE);
+            });
+        }
+
+        // Live monitoring off the gateway's own metrics.
+        let total = CLIENTS * BURSTS * BURST_SIZE;
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+            let m = gateway.metrics();
+            println!(
+                "monitor: {}/{} done, queue {}, batches {} (occupancy {:.1}), \
+                 p50 {:.1} ms / p95 {:.1} ms / p99 {:.1} ms",
+                m.completed,
+                total,
+                m.queue_depth,
+                m.batches,
+                m.batch_occupancy,
+                m.p50_ms,
+                m.p95_ms,
+                m.p99_ms
+            );
+            if m.completed >= total {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serving stalled: {}/{} after 120 s",
+                m.completed,
+                total
+            );
+        }
+    });
+
+    // 4. Drain and report.
+    let total = CLIENTS * BURSTS * BURST_SIZE;
+    let m = gateway.shutdown().expect("shutdown failed");
+    println!(
+        "\nserved {} images in {} batches (mean occupancy {:.2}), 0 lost, {} shed",
+        m.completed,
+        m.batches,
+        m.batch_occupancy,
+        m.shed_deadline + m.shed_overload
+    );
+    println!(
+        "latency: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms; cluster: {:.1} IPS wall-clock",
+        m.p50_ms, m.p95_ms, m.p99_ms, m.session.measured_ips
+    );
+    assert_eq!(m.completed, total, "every request must be answered");
+    assert_eq!(
+        m.session.images, total as usize,
+        "gateway and session must agree on the image count"
+    );
+    assert!(m.p50_ms <= m.p95_ms && m.p95_ms <= m.p99_ms);
+    println!(
+        "gateway and session agree: {} images end-to-end",
+        m.completed
+    );
+}
