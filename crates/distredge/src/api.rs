@@ -6,6 +6,7 @@
 //! one-shot batch wrapper over a session).
 
 use crate::mdp::SplitEnv;
+use crate::online::{AdaptiveSession, OnlineConfig};
 use crate::partitioner::{lc_pss, LcPssConfig};
 use crate::profiles::{ClusterProfiles, ProfilesConfig};
 use crate::splitter::{osds_train, OsdsConfig, OsdsOutcome};
@@ -147,6 +148,22 @@ impl DistrEdge {
             Runtime::deploy_in_process(model, &plan, &weights, &options.runtime)?
         };
         Ok(session)
+    }
+
+    /// Deploys a planned strategy and closes the §V-F loop around the live
+    /// session: the returned [`AdaptiveSession`] observes
+    /// `Session::metrics()` windows, re-plans from measured drift, and
+    /// applies the new strategy **in place** via `Session::apply_plan` —
+    /// the cluster and its resident weights survive every swap.
+    pub fn serve_adaptive(
+        model: &Model,
+        cluster: &Cluster,
+        planning: &PlanningOutcome,
+        online: &OnlineConfig,
+        options: &DeployOptions,
+    ) -> Result<AdaptiveSession> {
+        let session = Self::serve(model, cluster, &planning.strategy, options)?;
+        AdaptiveSession::over(session, model, cluster, planning, online)
     }
 
     /// Deploys a planned strategy and puts a batching, SLO-aware
@@ -435,7 +452,7 @@ mod tests {
     #[test]
     fn ips_gap_is_none_for_nonpositive_predictions() {
         let deployment = Deployment {
-            report: RuntimeReport::from_measured(vec![10.0], Vec::new(), 10.0, 1),
+            report: RuntimeReport::from_measured(vec![10.0], Vec::new(), 10.0, 1, 0),
             outputs: Vec::new(),
             predicted: SimReport::from_raw(Vec::new(), Vec::new(), Vec::new()),
         };

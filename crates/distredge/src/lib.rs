@@ -43,7 +43,10 @@ pub use api::{
 pub use baselines::Method;
 pub use error::DistrError;
 pub use evaluate::{evaluate_method, evaluate_strategy, MethodResult};
-pub use online::{OnlineConfig, OnlineResult, RuntimeAdaptation, RuntimeReplanDecision};
+pub use online::{
+    AdaptationTick, AdaptiveSession, OnlineConfig, OnlineResult, RuntimeAdaptation,
+    RuntimeReplanDecision,
+};
 pub use partitioner::{LcPssConfig, RandomSplits};
 pub use profiles::ClusterProfiles;
 pub use scenarios::Scenario;

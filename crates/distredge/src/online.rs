@@ -26,7 +26,7 @@ use crate::Result;
 use cnn_model::{Model, PartitionScheme, VolumeSplit};
 use device_profile::DeviceSpec;
 use edge_runtime::report::MeasuredCompute;
-use edge_runtime::RuntimeReport;
+use edge_runtime::{RuntimeReport, Session, SwapReport};
 use edgesim::{Cluster, ExecutionPlan, SimOptions};
 use netsim::LinkConfig;
 use neuro::DdpgAgent;
@@ -301,6 +301,10 @@ pub struct RuntimeAdaptation {
     agent: DdpgAgent,
     images_seen: usize,
     baseline_latency_ms: Option<f64>,
+    /// The serving epoch of the last snapshot: when it flips (a hot plan
+    /// swap landed), the drift baseline resets so stale pre-swap latencies
+    /// never poison the first post-swap decision.
+    last_epoch: u64,
 }
 
 /// What one [`RuntimeAdaptation::observe`] call decided.
@@ -328,7 +332,17 @@ impl RuntimeAdaptation {
             agent: planning.osds.agent.clone(),
             images_seen: 0,
             baseline_latency_ms: None,
+            last_epoch: 0,
         }
+    }
+
+    /// Discards the drift baseline and starts a fresh monitoring window at
+    /// `images_completed` images.  Called automatically when a snapshot's
+    /// epoch differs from the previous one; exposed for callers that swap
+    /// plans outside [`AdaptiveSession`].
+    pub fn reset_window(&mut self, images_completed: usize) {
+        self.images_seen = images_completed;
+        self.baseline_latency_ms = None;
     }
 
     /// Consumes one live metrics snapshot (`plan` is the execution plan the
@@ -348,6 +362,20 @@ impl RuntimeAdaptation {
             // at zero): observe the new session from its beginning instead
             // of silently discarding its first window.
             self.images_seen = 0;
+        }
+        if snapshot.epoch != self.last_epoch {
+            // A hot swap landed since the last observation: latencies
+            // recorded up to now straddle the old plan (and the drain gap),
+            // so the baseline resets and the next full window re-calibrates
+            // against the new epoch only.
+            self.last_epoch = snapshot.epoch;
+            self.reset_window(latencies.len());
+            return Ok(RuntimeReplanDecision {
+                window_images: 0,
+                window_mean_latency_ms: 0.0,
+                drift: 0.0,
+                strategy: None,
+            });
         }
         let window = &latencies[self.images_seen..];
         let window_images = window.len();
@@ -386,19 +414,46 @@ impl RuntimeAdaptation {
         let finetune = self.osds.with_episodes(self.finetune_episodes);
         self.agent = osds_train(&mut env, &finetune, Some(self.agent.clone()))?.agent;
         let rollout = greedy_rollout(&mut env, &mut self.agent)?;
-        // Same guard as the simulator loop: never deploy below the equal
-        // split, which costs nothing to evaluate.
-        let equal: Vec<VolumeSplit> = self
-            .scheme
-            .volumes()
-            .iter()
-            .map(|v| VolumeSplit::equal(cluster.len(), v.last_output_height(model)))
-            .collect();
-        let splits = if env.evaluate_splits(&rollout)? <= env.evaluate_splits(&equal)? {
-            rollout
-        } else {
-            equal
-        };
+        // Guard set: the actor's rollout competes against the degenerate
+        // members of the search space that cost nothing to evaluate — the
+        // equal split and every single-device offload.  Right after a
+        // drastic change (a link collapsing), a few fine-tune episodes may
+        // not have moved the actor yet, but the estimator already knows an
+        // offload away from the dead link wins; the online decision never
+        // deploys worse than the best degenerate candidate.
+        let n = cluster.len();
+        let mut candidates: Vec<Vec<VolumeSplit>> = Vec::with_capacity(n + 2);
+        candidates.push(rollout);
+        candidates.push(
+            self.scheme
+                .volumes()
+                .iter()
+                .map(|v| VolumeSplit::equal(n, v.last_output_height(model)))
+                .collect(),
+        );
+        for d in 0..n {
+            candidates.push(
+                self.scheme
+                    .volumes()
+                    .iter()
+                    .map(|v| {
+                        let h = v.last_output_height(model);
+                        let cuts = (0..n - 1).map(|i| if i < d { 0 } else { h }).collect();
+                        VolumeSplit::new(cuts, h)
+                    })
+                    .collect(),
+            );
+        }
+        let mut splits = None;
+        let mut best = f64::INFINITY;
+        for candidate in candidates {
+            let latency = env.evaluate_splits(&candidate)?;
+            if latency < best || splits.is_none() {
+                best = latency;
+                splits = Some(candidate);
+            }
+        }
+        let splits = splits.expect("at least one candidate");
         self.baseline_latency_ms = Some(window_mean_latency_ms);
         decision.strategy = Some(DistributionStrategy::new(
             "DistrEdge",
@@ -407,6 +462,101 @@ impl RuntimeAdaptation {
             cluster.len(),
         )?);
         Ok(decision)
+    }
+}
+
+/// What one [`AdaptiveSession::adapt`] tick did.
+#[derive(Debug)]
+pub struct AdaptationTick {
+    /// The monitoring/re-planning decision of this window.
+    pub decision: RuntimeReplanDecision,
+    /// The swap measurement, when the decision re-planned and the new plan
+    /// was applied in place.
+    pub swap: Option<SwapReport>,
+}
+
+impl AdaptationTick {
+    /// Whether this tick hot-swapped the serving plan.
+    pub fn swapped(&self) -> bool {
+        self.swap.is_some()
+    }
+}
+
+/// The closed §V-F loop against a *live* session: observe
+/// [`Session::metrics`], decide with [`RuntimeAdaptation`], and apply the
+/// re-planned strategy **in place** with [`Session::apply_plan`] — no
+/// redeploy, no weight reload, no serving gap beyond the drain window.
+///
+/// Call [`AdaptiveSession::adapt`] once per monitoring window (the paper
+/// uses 2-minute windows; tests use waves).  Between calls, submit and wait
+/// on [`AdaptiveSession::session`] as usual — the session reference stays
+/// valid across swaps, and so do outstanding tickets.
+pub struct AdaptiveSession {
+    session: Session,
+    adaptation: RuntimeAdaptation,
+    model: Model,
+    cluster: Cluster,
+    plan: ExecutionPlan,
+}
+
+impl AdaptiveSession {
+    /// Wraps an already-deployed session serving `planning.strategy`.
+    /// `cluster` is the controller's current belief about the links — the
+    /// wire model re-planning optimises against (update it with
+    /// [`AdaptiveSession::update_link_estimates`] as conditions drift).
+    pub fn over(
+        session: Session,
+        model: &Model,
+        cluster: &Cluster,
+        planning: &PlanningOutcome,
+        config: &OnlineConfig,
+    ) -> Result<Self> {
+        let plan = planning.strategy.to_plan(model)?;
+        Ok(Self {
+            session,
+            adaptation: RuntimeAdaptation::new(planning, config),
+            model: model.clone(),
+            cluster: cluster.clone(),
+            plan,
+        })
+    }
+
+    /// The live session (submit / wait / metrics as usual).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The execution plan currently serving.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Replaces the controller's link estimates (e.g. from monitored
+    /// bandwidths) used by the next re-planning decision.
+    pub fn update_link_estimates(&mut self, cluster: Cluster) {
+        self.cluster = cluster;
+    }
+
+    /// One monitoring tick: snapshot live metrics, decide, and — when the
+    /// drift is significant — fine-tune, re-plan and hot-swap the session
+    /// to the new strategy in place.
+    pub fn adapt(&mut self) -> Result<AdaptationTick> {
+        let snapshot = self.session.metrics();
+        let decision =
+            self.adaptation
+                .observe(&self.model, &self.cluster, &self.plan, &snapshot)?;
+        let mut swap = None;
+        if let Some(strategy) = &decision.strategy {
+            let new_plan = strategy.to_plan(&self.model)?;
+            swap = Some(self.session.apply_plan(&new_plan)?);
+            self.plan = new_plan;
+        }
+        Ok(AdaptationTick { decision, swap })
+    }
+
+    /// Shuts the session down and returns its final report.
+    pub fn shutdown(self) -> Result<RuntimeReport> {
+        Ok(self.session.shutdown()?)
     }
 }
 
@@ -538,6 +688,72 @@ mod tests {
 
         let report = session.shutdown().unwrap();
         assert_eq!(report.images, 6);
+    }
+
+    #[test]
+    fn adaptive_session_swaps_in_place_and_resets_its_window() {
+        use crate::api::{DeployOptions, DistrEdge};
+        use cnn_model::exec::{self, deterministic_input, ModelWeights};
+        use device_profile::DeviceType;
+
+        let m = model();
+        let c = Cluster::uniform(
+            vec![
+                DeviceSpec::new("xavier", DeviceType::Xavier),
+                DeviceSpec::new("nano", DeviceType::Nano),
+            ],
+            LinkConfig::constant(200.0),
+        );
+        let mut cfg = DistrEdgeConfig::fast(2).with_episodes(15).with_seed(3);
+        cfg.lcpss.num_random_splits = 8;
+        cfg.osds.ddpg.actor_hidden = [24, 16, 12];
+        cfg.osds.ddpg.critic_hidden = [24, 16, 12, 12];
+        let planning = DistrEdge::plan(&m, &c, &cfg).unwrap();
+
+        let mut online_cfg = OnlineConfig::standard(2);
+        online_cfg.distredge = cfg;
+        online_cfg.finetune_episodes = 4;
+        online_cfg.significant_change = 0.0; // Any drift triggers a re-plan.
+
+        let opts = DeployOptions::default();
+        let mut adaptive =
+            DistrEdge::serve_adaptive(&m, &c, &planning, &online_cfg, &opts).unwrap();
+        let weights = ModelWeights::deterministic(&m, opts.weight_seed);
+        let serve_wave = |session: &edge_runtime::Session, wave: u64| {
+            for i in 0..3u64 {
+                let img = deterministic_input(&m, 100 * wave + i);
+                let out = session.wait(session.submit(&img).unwrap()).unwrap();
+                let full = exec::run_full(&m, &weights, &img).unwrap();
+                assert_eq!(&out, full.last().unwrap(), "outputs must stay bit-exact");
+            }
+        };
+
+        // Wave 1 calibrates; wave 2's drift (zero threshold) re-plans and
+        // hot-swaps the same session in place.
+        serve_wave(adaptive.session(), 1);
+        let first = adaptive.adapt().unwrap();
+        assert!(!first.swapped(), "first window only calibrates");
+        serve_wave(adaptive.session(), 2);
+        let second = adaptive.adapt().unwrap();
+        let swap = second.swap.expect("zero threshold must re-plan and swap");
+        assert_eq!(swap.epoch, 1);
+        assert_eq!(adaptive.session().epoch(), 1);
+
+        // The swap did not tear the session down: the same handle keeps
+        // serving bit-exact under the new plan...
+        serve_wave(adaptive.session(), 3);
+        // ...and the next observation resets its window on the epoch flip
+        // instead of judging pre-swap latencies: a fresh decision never
+        // swaps straight away.
+        let third = adaptive.adapt().unwrap();
+        assert!(
+            !third.swapped(),
+            "the first post-swap observation must recalibrate, not swap"
+        );
+
+        let report = adaptive.shutdown().unwrap();
+        assert_eq!(report.images, 9, "zero loss across the swap");
+        assert_eq!(report.epoch, 1);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::batcher::{Batcher, Priority};
 use crate::config::GatewayConfig;
 use crate::metrics::{GatewayMetrics, LatencyHistogram};
 use crate::GatewayError;
-use edge_runtime::{RuntimeReport, Session};
+use edge_runtime::{RuntimeReport, Session, SwapReport, Ticket};
+use edgesim::ExecutionPlan;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -261,6 +262,19 @@ impl Gateway {
         }
     }
 
+    /// Hot-swaps the execution plan of the session underneath without
+    /// taking the gateway down: admission into the session pauses while the
+    /// in-flight window drains, the gateway's queue **parks** (requests
+    /// keep their place and their tickets stay valid — nothing is shed for
+    /// the swap itself, though deadline SLOs still apply), and dispatch
+    /// resumes at the new epoch.
+    pub fn apply_plan(&self, plan: &ExecutionPlan) -> Result<SwapReport, GatewayError> {
+        self.inner
+            .with_session(|s| s.apply_plan(plan))
+            .ok_or(GatewayError::Closed)?
+            .map_err(|e| GatewayError::Runtime(e.to_string()))
+    }
+
     /// Snapshots the gateway counters together with the live session
     /// metrics underneath.  Counters only grow, so successive snapshots are
     /// monotone.
@@ -327,6 +341,7 @@ impl Drop for Gateway {
 
 fn build_metrics(stats: &Stats, queue_depth: usize, session: RuntimeReport) -> GatewayMetrics {
     GatewayMetrics {
+        epoch: session.epoch,
         completed: stats.completed,
         shed_deadline: stats.shed_deadline,
         shed_overload: stats.shed_overload,
@@ -349,7 +364,7 @@ fn build_metrics(stats: &Stats, queue_depth: usize, session: RuntimeReport) -> G
 /// The dispatcher: forms waves out of the batcher, sizes them to the
 /// session's free credits, submits them, and resolves completions.
 fn dispatch_loop(inner: Arc<Inner>) {
-    let mut pending: HashMap<u32, PendingRequest> = HashMap::new();
+    let mut pending: HashMap<Ticket, PendingRequest> = HashMap::new();
     loop {
         drain_completions(&inner, &mut pending);
 
@@ -388,15 +403,27 @@ fn dispatch_loop(inner: Arc<Inner>) {
                 if st.closed && pending.is_empty() {
                     return; // Fully drained shutdown.
                 }
-                let tick = if pending.is_empty() {
-                    IDLE_TICK
+                if let Some(&ticket) = pending.keys().next() {
+                    // Work is in flight but nothing is queued: block on an
+                    // outstanding ticket with a bounded wait instead of
+                    // sleep-polling — any completion wakes the session's
+                    // condvar, so results resolve as they land.
+                    drop(st);
+                    // Anything but a ready output — timeout, session
+                    // failure, a taken session — is handled by the next
+                    // loop iteration's checks.
+                    if let Some(Ok(Some(output))) =
+                        inner.with_session(|s| s.wait_timeout(ticket, DISPATCH_TICK))
+                    {
+                        let req = pending.remove(&ticket).expect("ticket is pending");
+                        resolve_completion(&inner, req, output);
+                    }
                 } else {
-                    DISPATCH_TICK
-                };
-                let _ = inner
-                    .work
-                    .wait_timeout(st, tick)
-                    .expect("gateway state poisoned");
+                    let _ = inner
+                        .work
+                        .wait_timeout(st, IDLE_TICK)
+                        .expect("gateway state poisoned");
+                }
                 continue;
             }
             let now = Instant::now();
@@ -432,8 +459,14 @@ fn dispatch_loop(inner: Arc<Inner>) {
 }
 
 /// Submits one request, shedding it if its deadline cannot be met, waiting
-/// for a free credit (and draining completions) while the window is full.
-fn submit_one(inner: &Arc<Inner>, req: PendingRequest, pending: &mut HashMap<u32, PendingRequest>) {
+/// for a free credit (and draining completions) while the window is full —
+/// including while a plan swap drains, during which the queue simply parks
+/// here until admission reopens at the new epoch.
+fn submit_one(
+    inner: &Arc<Inner>,
+    req: PendingRequest,
+    pending: &mut HashMap<Ticket, PendingRequest>,
+) {
     loop {
         let now = Instant::now();
         if let Some(dl) = req.deadline {
@@ -456,12 +489,13 @@ fn submit_one(inner: &Arc<Inner>, req: PendingRequest, pending: &mut HashMap<u32
             }
             Some(Ok(Some(ticket))) => {
                 inner.lock().stats.dispatched += 1;
-                pending.insert(ticket.image(), req);
+                pending.insert(ticket, req);
                 return;
             }
             Some(Ok(None)) => {
-                // Window full: completions free credits, so collect them
-                // first, then block briefly for one.
+                // Window full (or a swap is draining): completions free
+                // credits, so collect them first, then block briefly for
+                // one.
                 drain_completions(inner, pending);
                 inner.with_session(|s| s.wait_for_credit(DISPATCH_TICK));
             }
@@ -474,29 +508,35 @@ fn submit_one(inner: &Arc<Inner>, req: PendingRequest, pending: &mut HashMap<u32
 }
 
 /// Resolves every completion the session currently has ready.
-fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<u32, PendingRequest>) {
+fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<Ticket, PendingRequest>) {
     loop {
         let Some(Some((ticket, output))) = inner.with_session(Session::try_recv) else {
             return;
         };
-        let Some(req) = pending.remove(&ticket.image()) else {
+        let Some(req) = pending.remove(&ticket) else {
             // Not ours (impossible — the gateway owns the session), drop it.
             continue;
         };
-        let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
-        let late = req.deadline.is_some_and(|dl| Instant::now() > dl);
-        let mut st = inner.lock();
-        st.stats.observe(latency_ms);
-        if late {
-            // The SLO is part of the contract: a late result is a shed
-            // result, even though the cluster did the work.
-            st.stats.shed_deadline += 1;
-            drop(st);
-            req.state.fulfil(Err(GatewayError::DeadlineExceeded));
-        } else {
-            st.stats.completed += 1;
-            drop(st);
-            req.state.fulfil(Ok(output));
-        }
+        resolve_completion(inner, req, output);
+    }
+}
+
+/// Resolves one completed request: records its latency, enforces its
+/// deadline, and fulfils the client's response.
+fn resolve_completion(inner: &Arc<Inner>, req: PendingRequest, output: Tensor) {
+    let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+    let late = req.deadline.is_some_and(|dl| Instant::now() > dl);
+    let mut st = inner.lock();
+    st.stats.observe(latency_ms);
+    if late {
+        // The SLO is part of the contract: a late result is a shed
+        // result, even though the cluster did the work.
+        st.stats.shed_deadline += 1;
+        drop(st);
+        req.state.fulfil(Err(GatewayError::DeadlineExceeded));
+    } else {
+        st.stats.completed += 1;
+        drop(st);
+        req.state.fulfil(Ok(output));
     }
 }

@@ -89,6 +89,10 @@ impl LatencyHistogram {
 /// report underneath it.
 #[derive(Debug, Clone, Serialize)]
 pub struct GatewayMetrics {
+    /// The serving plan epoch of the session underneath at snapshot time
+    /// (`0` until the first hot swap) — windows sampled before and after an
+    /// [`crate::Gateway::apply_plan`] are distinguishable by it.
+    pub epoch: u64,
     /// Responses delivered `Ok` to clients.
     pub completed: u64,
     /// Requests shed with [`crate::GatewayError::DeadlineExceeded`] — at

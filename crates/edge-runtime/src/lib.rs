@@ -13,13 +13,16 @@
 //! * [`transport`] — the transport abstraction with an in-process channel
 //!   fabric (default), a loopback-TCP fabric, and a token-bucket bandwidth
 //!   shaper driven by `netsim` traces,
-//! * [`routing`] — the static routing table derived from an
-//!   [`edgesim::ExecutionPlan`]: who needs which rows of which volume,
+//! * [`routing`] — the per-epoch routing table derived from an
+//!   [`edgesim::ExecutionPlan`] ([`routing::PlanEpoch`]), published to the
+//!   workers through an `ArcSwap`-style [`routing::EpochSlot`],
 //! * [`provider`] — the three-thread provider worker,
 //! * [`session`] — the serving API: [`Runtime::deploy`] keeps the cluster
 //!   resident and returns a [`Session`] with credit-gated `submit`,
-//!   `wait` / `try_recv`, mid-stream `metrics()` snapshots and a draining
-//!   `shutdown()`,
+//!   `wait` / `wait_timeout` / `try_recv`, mid-stream `metrics()`
+//!   snapshots, a hot [`Session::apply_plan`] swap (drain the window,
+//!   reconfigure with delta weight shards, flip the epoch — no redeploy)
+//!   and a draining `shutdown()`,
 //! * [`runtime`] — one-shot batch wrappers (`execute*`) over the session,
 //! * [`report`] — measured metrics plus the [`report::MeasuredCompute`]
 //!   bridge that feeds measured kernel times back into the simulator so
@@ -70,11 +73,11 @@ pub mod transport;
 pub mod wire;
 
 pub use report::{DeviceMetrics, MeasuredCompute, RuntimeReport};
-pub use routing::RouteTable;
+pub use routing::{EpochSlot, PlanEpoch, RouteTable};
 pub use runtime::{execute, execute_in_process, RuntimeOptions, RuntimeOutcome};
-pub use session::{Runtime, Session, Ticket};
+pub use session::{Runtime, Session, SwapReport, Ticket};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport};
-pub use wire::{Frame, FrameKind};
+pub use wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 
 use std::fmt;
 

@@ -13,11 +13,22 @@
 //!
 //! Frames for different images interleave freely, which is what makes the
 //! requester's multi-image streaming genuine pipelining.
+//!
+//! Routing is **epoch-versioned**: the worker does not own a plan, it reads
+//! the current [`PlanEpoch`] through the shared [`EpochSlot`] on every
+//! frame.  A [`FrameKind::Reconfigure`] frame installs the next epoch in
+//! place — it applies the delta weight shard (only the layers this device
+//! does not already hold resident), rebuilds the routing table, publishes it
+//! through the slot, and acks back to the requester — so a plan swap never
+//! tears the worker down.  The swap protocol drains the old epoch before
+//! reconfiguring and resumes admission only after every device has acked,
+//! so a data frame whose epoch differs from the installed one is always a
+//! protocol violation, never a race.
 
 use crate::report::DeviceMetrics;
-use crate::routing::{overlap, RouteTable};
+use crate::routing::{overlap, EpochSlot, PlanEpoch};
 use crate::transport::FrameTx;
-use crate::wire::{Frame, FrameKind};
+use crate::wire::{Frame, FrameKind, ReconfigurePayload};
 use crate::{Result, RuntimeError};
 use cnn_model::exec::{self, ModelWeights};
 use cnn_model::Model;
@@ -30,15 +41,15 @@ use std::time::Instant;
 use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
 
-/// Configuration shared by every worker of one runtime execution.  Weights
-/// are *not* here: each provider receives its own sharded
-/// [`ModelWeights`] carrying only the layers its assigned parts (and, on
-/// the head device, the FC head) actually run.
+/// Configuration shared by the three threads of one provider worker.
+/// Weights are *not* here: the compute thread owns its sharded
+/// [`ModelWeights`] mutably so `Reconfigure` frames can grow the resident
+/// set in place.
 pub struct Shared {
     /// The model being served.
     pub model: Model,
-    /// The precomputed routing table.
-    pub route: RouteTable,
+    /// The current plan epoch, swapped in place on `Reconfigure`.
+    pub slot: EpochSlot,
 }
 
 /// An in-progress input band: rows arrive from several sources (peers, the
@@ -109,7 +120,8 @@ pub struct RecvStats {
 pub struct ComputeStats {
     /// Total kernel time.
     pub compute_ms: f64,
-    /// Kernel time per volume.
+    /// Kernel time per volume (indexed by stage; sized to the largest
+    /// epoch's volume count seen so far).
     pub per_volume_ms: Vec<f64>,
     /// Images whose part of each volume this device computed.
     pub per_volume_images: Vec<u64>,
@@ -120,6 +132,9 @@ pub struct ComputeStats {
     /// High-water mark of distinct images simultaneously in assembly —
     /// direct evidence of cross-image pipelining on this device.
     pub max_concurrent_images: usize,
+    /// Plan epochs installed by `Reconfigure` frames (0 until the first
+    /// swap).
+    pub epochs_installed: u64,
 }
 
 /// Send-thread counters.
@@ -179,21 +194,31 @@ pub struct ProviderHandle {
 
 enum OutMsg {
     /// A computed volume-output band to distribute (stage = the volume).
+    /// Carries the epoch it was computed under so the send thread routes it
+    /// by the matching table even if the slot flips concurrently.
     Band {
         image: u32,
         stage: usize,
         band: Arc<Tensor>,
+        epoch: Arc<PlanEpoch>,
     },
     /// The FC-head output, heading to the requester.
-    HeadResult { image: u32, tensor: Tensor },
+    HeadResult {
+        image: u32,
+        tensor: Tensor,
+        epoch: Arc<PlanEpoch>,
+    },
+    /// Confirmation that this device installed a new epoch.
+    EpochAck { epoch: u64 },
 }
 
 /// Spawns the three threads of provider `d`.  `weights` is the device's
-/// sharded weight set — only the layers `d`'s parts need are resident.
+/// sharded weight set — only the layers `d`'s parts need are resident; the
+/// compute thread owns it mutably so `Reconfigure` deltas can grow it.
 pub fn spawn_provider(
     d: usize,
     shared: Arc<Shared>,
-    weights: Arc<ModelWeights>,
+    weights: ModelWeights,
     inbox: Receiver<Vec<u8>>,
     txs: HashMap<Endpoint, Box<dyn FrameTx>>,
 ) -> ProviderHandle {
@@ -202,11 +227,13 @@ pub fn spawn_provider(
 
     let stats = Arc::new(ProviderStats::default());
     // Size the per-volume counters up front so mid-stream snapshots always
-    // see full-length vectors.
+    // see full-length vectors (reconfigures grow them if a later epoch has
+    // more volumes).
     {
+        let num_volumes = shared.slot.load().route.num_volumes;
         let mut comp = stats.comp.lock().expect("comp stats poisoned");
-        comp.per_volume_ms = vec![0.0; shared.route.num_volumes];
-        comp.per_volume_images = vec![0; shared.route.num_volumes];
+        comp.per_volume_ms = vec![0.0; num_volumes];
+        comp.per_volume_images = vec![0; num_volumes];
     }
 
     let recv_stats = Arc::clone(&stats);
@@ -225,7 +252,7 @@ pub fn spawn_provider(
     let send_stats = Arc::clone(&stats);
     let send = std::thread::Builder::new()
         .name(format!("edge-rt-send-{d}"))
-        .spawn(move || send_loop(d, shared, send_rx, txs, send_stats))
+        .spawn(move || send_loop(d, send_rx, txs, send_stats))
         .expect("spawn send thread");
 
     ProviderHandle {
@@ -262,7 +289,7 @@ fn receive_loop(
 struct ComputeState {
     d: usize,
     shared: Arc<Shared>,
-    weights: Arc<ModelWeights>,
+    weights: ModelWeights,
     assemblies: HashMap<(u32, u32), Assembly>,
     /// Open-assembly count per image — tracked incrementally so the
     /// high-water mark costs O(1) per frame, not a scan of all assemblies.
@@ -274,7 +301,7 @@ struct ComputeState {
 fn compute_loop(
     d: usize,
     shared: Arc<Shared>,
-    weights: Arc<ModelWeights>,
+    weights: ModelWeights,
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
@@ -292,9 +319,11 @@ fn compute_loop(
         match frame.kind {
             FrameKind::Halt => break,
             FrameKind::Rows => state.handle_rows(frame)?,
-            FrameKind::Result => {
+            FrameKind::Reconfigure => state.handle_reconfigure(frame)?,
+            FrameKind::Result | FrameKind::EpochAck => {
                 return Err(RuntimeError::Execution(format!(
-                    "provider {d} received a Result frame"
+                    "provider {d} received a {:?} frame",
+                    frame.kind
                 )))
             }
         }
@@ -303,35 +332,83 @@ fn compute_loop(
 }
 
 impl ComputeState {
-    /// Inserts rows into the (image, stage) assembly; if that completes the
-    /// band, runs the compute chain from there.
+    /// Inserts rows into the (image, stage) assembly of the current epoch;
+    /// if that completes the band, runs the compute chain from there.  A
+    /// frame of any other epoch is a protocol violation: the swap drains
+    /// the old epoch completely, and admission only resumes once every
+    /// device has acked the new one, so no frame can run ahead of or
+    /// behind this device's installed epoch.
     fn handle_rows(&mut self, frame: Frame) -> Result<()> {
+        let current = self.shared.slot.load();
+        if frame.epoch != current.id {
+            return Err(RuntimeError::Execution(format!(
+                "device {} received a frame of epoch {} while serving epoch {}",
+                self.d, frame.epoch, current.id
+            )));
+        }
         let image = frame.image;
         let stage = frame.stage as usize;
-        if let Some(band) = self.insert(image, stage, frame.row_lo as usize, &frame.tensor)? {
-            self.run_chain(image, stage, band)?;
+        if let Some(band) =
+            self.insert(&current, image, stage, frame.row_lo as usize, &frame.tensor)?
+        {
+            self.run_chain(&current, image, stage, band)?;
         }
+        Ok(())
+    }
+
+    /// Installs the next epoch: applies the delta weight shard, rebuilds
+    /// the routing table, publishes it through the slot, and acks to the
+    /// requester.
+    fn handle_reconfigure(&mut self, frame: Frame) -> Result<()> {
+        let current = self.shared.slot.load();
+        if frame.epoch != current.id + 1 {
+            return Err(RuntimeError::Execution(format!(
+                "device {} asked to reconfigure from epoch {} to {}; epochs must advance by one",
+                self.d, current.id, frame.epoch
+            )));
+        }
+        let payload = ReconfigurePayload::decode(&frame.payload)?;
+        for delta in payload.delta {
+            if delta.layer >= self.weights.layers.len() {
+                return Err(RuntimeError::Wire(format!(
+                    "reconfigure delta addresses layer {} of a {}-layer model",
+                    delta.layer,
+                    self.weights.layers.len()
+                )));
+            }
+            self.weights.layers[delta.layer] = (delta.weights, delta.bias);
+        }
+        let epoch = PlanEpoch::new(frame.epoch, &self.shared.model, &payload.plan)?;
+        {
+            let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
+            if epoch.route.num_volumes > comp.per_volume_ms.len() {
+                comp.per_volume_ms.resize(epoch.route.num_volumes, 0.0);
+                comp.per_volume_images.resize(epoch.route.num_volumes, 0);
+            }
+            comp.epochs_installed += 1;
+        }
+        self.shared.slot.store(epoch);
+        self.to_send
+            .send(OutMsg::EpochAck { epoch: frame.epoch })
+            .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
         Ok(())
     }
 
     fn insert(
         &mut self,
+        epoch: &PlanEpoch,
         image: u32,
         stage: usize,
         row_lo: usize,
         rows: &Tensor,
     ) -> Result<Option<Tensor>> {
-        let needed = self
-            .shared
-            .route
-            .stage_needs(stage, self.d)
-            .ok_or_else(|| {
-                RuntimeError::Execution(format!(
-                    "device {} received rows for stage {stage} it does not participate in",
-                    self.d
-                ))
-            })?;
-        let (c, w) = self.shared.route.stage_geom(stage);
+        let needed = epoch.route.stage_needs(stage, self.d).ok_or_else(|| {
+            RuntimeError::Execution(format!(
+                "device {} received rows for stage {stage} it does not participate in",
+                self.d
+            ))
+        })?;
+        let (c, w) = epoch.route.stage_geom(stage);
         let key = (image, stage as u32);
         let asm = match self.assemblies.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -358,11 +435,17 @@ impl ComputeState {
         }
     }
 
-    /// Runs the kernels for `stage`, forwards the output, and keeps going
-    /// through any later stage this device can now complete locally.
-    fn run_chain(&mut self, image: u32, mut stage: usize, mut band: Tensor) -> Result<()> {
-        let shared = Arc::clone(&self.shared);
-        let route = &shared.route;
+    /// Runs the kernels for `stage` under `epoch`, forwards the output, and
+    /// keeps going through any later stage this device can now complete
+    /// locally.
+    fn run_chain(
+        &mut self,
+        epoch: &Arc<PlanEpoch>,
+        image: u32,
+        mut stage: usize,
+        mut band: Tensor,
+    ) -> Result<()> {
+        let route = &epoch.route;
         let finish = route.num_volumes;
         loop {
             if stage == finish {
@@ -375,7 +458,11 @@ impl ComputeState {
                     comp.head_images += 1;
                 }
                 self.to_send
-                    .send(OutMsg::HeadResult { image, tensor: out })
+                    .send(OutMsg::HeadResult {
+                        image,
+                        tensor: out,
+                        epoch: Arc::clone(epoch),
+                    })
                     .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
                 return Ok(());
             }
@@ -398,6 +485,7 @@ impl ComputeState {
                     image,
                     stage,
                     band: Arc::clone(&out),
+                    epoch: Arc::clone(epoch),
                 })
                 .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
 
@@ -410,7 +498,7 @@ impl ComputeState {
                 return Ok(());
             };
             let local = slice_rows(&out, lo - out_range.0, hi - out_range.0)?;
-            match self.insert(image, next, lo, &local)? {
+            match self.insert(epoch, image, next, lo, &local)? {
                 Some(next_band) => {
                     stage = next;
                     band = next_band;
@@ -423,7 +511,6 @@ impl ComputeState {
 
 fn send_loop(
     d: usize,
-    shared: Arc<Shared>,
     rx: Receiver<OutMsg>,
     mut txs: HashMap<Endpoint, Box<dyn FrameTx>>,
     stats: Arc<ProviderStats>,
@@ -446,30 +533,38 @@ fn send_loop(
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            OutMsg::Band { image, stage, band } => {
-                let out_lo = shared.route.out_ranges[stage][d].0;
-                for target in shared.route.send_targets(stage, d) {
+            OutMsg::Band {
+                image,
+                stage,
+                band,
+                epoch,
+            } => {
+                let out_lo = epoch.route.out_ranges[stage][d].0;
+                for target in epoch.route.send_targets(stage, d) {
                     let (lo, hi) = target.rows;
                     let rows = slice_rows(&band, lo - out_lo, hi - out_lo)?;
-                    let frame = Frame {
-                        kind: target.kind,
-                        image,
-                        stage: target.stage,
-                        row_lo: lo as u32,
-                        tensor: rows,
-                    };
+                    let frame =
+                        Frame::data(target.kind, epoch.id, image, target.stage, lo as u32, rows);
                     timed_send(&mut txs, target.to, &frame)?;
                 }
             }
-            OutMsg::HeadResult { image, tensor } => {
-                let frame = Frame {
-                    kind: FrameKind::Result,
+            OutMsg::HeadResult {
+                image,
+                tensor,
+                epoch,
+            } => {
+                let frame = Frame::data(
+                    FrameKind::Result,
+                    epoch.id,
                     image,
-                    stage: shared.route.finish_stage(),
-                    row_lo: 0,
+                    epoch.route.finish_stage(),
+                    0,
                     tensor,
-                };
+                );
                 timed_send(&mut txs, Endpoint::Requester, &frame)?;
+            }
+            OutMsg::EpochAck { epoch } => {
+                timed_send(&mut txs, Endpoint::Requester, &Frame::epoch_ack(epoch, d))?;
             }
         }
     }

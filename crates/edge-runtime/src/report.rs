@@ -60,6 +60,11 @@ pub struct RuntimeReport {
     pub measured_ips: f64,
     /// High-water mark of images in flight at the requester.
     pub max_in_flight_observed: usize,
+    /// The serving epoch the snapshot was taken under (`0` until the first
+    /// [`crate::Session::apply_plan`] swap).  Metrics windows taken before
+    /// and after a swap carry different epochs, so consumers (the online
+    /// adaptation, dashboards) can tell them apart.
+    pub epoch: u64,
     /// Per-device measurements.
     pub devices: Vec<DeviceMetrics>,
 }
@@ -74,6 +79,7 @@ impl RuntimeReport {
         devices: Vec<DeviceMetrics>,
         wall_ms: f64,
         max_in_flight_observed: usize,
+        epoch: u64,
     ) -> Self {
         let images = latencies_ms.len();
         let compute_totals: Vec<f64> = devices.iter().map(|m| m.compute_ms).collect();
@@ -90,6 +96,7 @@ impl RuntimeReport {
             wall_ms,
             measured_ips,
             max_in_flight_observed,
+            epoch,
             devices,
         }
     }
@@ -254,6 +261,7 @@ mod tests {
             wall_ms: 10.0,
             measured_ips: 100.0,
             max_in_flight_observed: 1,
+            epoch: 0,
             devices,
         }
     }

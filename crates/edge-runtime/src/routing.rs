@@ -1,16 +1,27 @@
-//! The static routing table: which rows of which volume each endpoint
-//! needs, produces and forwards.
+//! Per-epoch routing: which rows of which volume each endpoint needs,
+//! produces and forwards — versioned so the plan can be swapped while the
+//! cluster serves.
 //!
-//! Everything here is derived once from an [`edgesim::ExecutionPlan`] before
-//! the workers start; at run time providers only look rows up, never plan.
-//! Stages are numbered `0..num_volumes` for the layer-volumes, and stage
-//! `num_volumes` is the finish stage: the head gather (models with an FC
-//! head) or the result return to the requester (models without).
+//! A [`RouteTable`] is derived once from an [`edgesim::ExecutionPlan`]; at
+//! run time providers only look rows up, never plan.  Stages are numbered
+//! `0..num_volumes` for the layer-volumes, and stage `num_volumes` is the
+//! finish stage: the head gather (models with an FC head) or the result
+//! return to the requester (models without).
+//!
+//! Since the plan is no longer a deploy-time constant, the table is wrapped
+//! in a [`PlanEpoch`] — the plan, its routing, and a monotonically
+//! increasing epoch id — and published through an [`EpochSlot`], an
+//! `ArcSwap`-style shared slot the provider worker threads read on every
+//! frame instead of owning a clone.  [`crate::Session::apply_plan`] builds
+//! the next epoch, drains the in-flight window, broadcasts it, and stores
+//! it into each worker's slot.
 
 use crate::wire::FrameKind;
 use crate::{Result, RuntimeError};
 use cnn_model::{Model, PartPlan};
 use edgesim::{Endpoint, ExecutionPlan};
+use std::collections::HashSet;
+use std::sync::{Arc, RwLock};
 
 /// Overlap of two half-open row ranges, if non-empty.
 pub fn overlap(a: (usize, usize), b: (usize, usize)) -> Option<(usize, usize)> {
@@ -183,6 +194,79 @@ impl RouteTable {
             .filter_map(|(d, need)| need.map(|rows| (d, rows)))
             .collect()
     }
+
+    /// The weight layers device `d` must hold resident to execute this
+    /// routing: every layer of its non-empty parts, plus the FC head on the
+    /// head device.  This is the sharding key of [`crate::Runtime::deploy`]
+    /// and the diff basis of [`crate::Session::apply_plan`]'s delta shards.
+    pub fn keep_layers(&self, model: &Model, d: usize) -> HashSet<usize> {
+        let mut keep: HashSet<usize> = self
+            .parts
+            .iter()
+            .filter(|volume| !volume[d].is_empty())
+            .flat_map(|volume| volume[d].layers.iter().map(|lr| lr.layer))
+            .collect();
+        if self.head_device == Some(d) {
+            keep.extend(model.head_layers().iter().map(|l| l.index));
+        }
+        keep
+    }
+}
+
+/// One version of the execution plan: the plan itself, its precomputed
+/// routing, and the epoch id that orders it against past and future plans.
+#[derive(Debug, Clone)]
+pub struct PlanEpoch {
+    /// Monotonically increasing epoch id (`0` at deploy).
+    pub id: u64,
+    /// The execution plan serving in this epoch.
+    pub plan: ExecutionPlan,
+    /// The routing derived from the plan.
+    pub route: RouteTable,
+}
+
+impl PlanEpoch {
+    /// Builds epoch `id` for `plan` on `model`.
+    pub fn new(id: u64, model: &Model, plan: &ExecutionPlan) -> Result<Self> {
+        Ok(Self {
+            id,
+            plan: plan.clone(),
+            route: RouteTable::new(model, plan)?,
+        })
+    }
+}
+
+/// An `ArcSwap`-style publication slot for the current [`PlanEpoch`].
+///
+/// Readers (`load`) take a cheap shared lock and clone the `Arc`; the single
+/// writer (`store`) swaps the `Arc` atomically under the write lock.  Built
+/// on `std::sync::RwLock` because the workspace vendors no lock-free swap
+/// crate — the read path is a handful of nanoseconds against kernels that
+/// run for milliseconds, so the simplicity is free.
+#[derive(Debug)]
+pub struct EpochSlot {
+    slot: RwLock<Arc<PlanEpoch>>,
+}
+
+impl EpochSlot {
+    /// A slot initially publishing `epoch`.
+    pub fn new(epoch: PlanEpoch) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(epoch)),
+        }
+    }
+
+    /// The currently published epoch.
+    pub fn load(&self) -> Arc<PlanEpoch> {
+        Arc::clone(&self.slot.read().expect("epoch slot poisoned"))
+    }
+
+    /// Publishes `epoch`, replacing the previous one.  Readers holding the
+    /// old `Arc` keep routing in-flight work by it; new loads see the new
+    /// epoch.
+    pub fn store(&self, epoch: PlanEpoch) {
+        *self.slot.write().expect("epoch slot poisoned") = Arc::new(epoch);
+    }
 }
 
 #[cfg(test)]
@@ -309,5 +393,38 @@ mod tests {
         assert_eq!(overlap((0, 5), (3, 9)), Some((3, 5)));
         assert_eq!(overlap((0, 3), (3, 9)), None);
         assert_eq!(overlap((4, 8), (0, 16)), Some((4, 8)));
+    }
+
+    #[test]
+    fn keep_layers_covers_parts_and_head() {
+        let m = model();
+        let offload = ExecutionPlan::offload(&m, 1, 3).unwrap();
+        let route = RouteTable::new(&m, &offload).unwrap();
+        // The offload target holds every layer (prefix + head); idle
+        // devices hold nothing.
+        assert_eq!(route.keep_layers(&m, 1).len(), m.layers().len());
+        assert!(route.keep_layers(&m, 0).is_empty());
+        assert!(route.keep_layers(&m, 2).is_empty());
+
+        let split = two_volume_plan(&m, 2);
+        let route = RouteTable::new(&m, &split).unwrap();
+        let head = route.head_device.unwrap();
+        assert!(route.keep_layers(&m, head).len() > route.keep_layers(&m, 1 - head).len());
+    }
+
+    #[test]
+    fn epoch_slot_publishes_new_epochs() {
+        let m = model();
+        let a = PlanEpoch::new(0, &m, &two_volume_plan(&m, 2)).unwrap();
+        let slot = EpochSlot::new(a);
+        assert_eq!(slot.load().id, 0);
+        let held = slot.load();
+        let b = PlanEpoch::new(1, &m, &ExecutionPlan::offload(&m, 0, 2).unwrap()).unwrap();
+        slot.store(b);
+        // New loads see the new epoch; the old Arc stays valid for frames
+        // still routed by it.
+        assert_eq!(slot.load().id, 1);
+        assert_eq!(held.id, 0);
+        assert_eq!(held.route.num_volumes, 2);
     }
 }

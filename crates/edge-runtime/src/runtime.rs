@@ -28,7 +28,9 @@ pub struct RuntimeOptions {
     /// window is full, which also bounds every provider inbox.
     pub max_in_flight: usize,
     /// How long the requester waits for any single result frame before
-    /// declaring the cluster wedged.
+    /// declaring the cluster wedged.  Also bounds a plan swap: if a
+    /// `Session::apply_plan` drain or its epoch acks take longer than this,
+    /// the swap fails instead of blocking admission forever.
     pub recv_timeout: Duration,
 }
 

@@ -13,9 +13,19 @@
 //!   number of frames per inbox, so queue depth is bounded by the window).
 //!   [`Session::try_submit`] is the non-blocking variant.
 //! * [`Session::wait`] blocks until a ticket's output is ready;
-//!   [`Session::try_recv`] polls for *any* ready output.
+//!   [`Session::wait_timeout`] bounds the wait; [`Session::try_recv`] polls
+//!   for *any* ready output.
 //! * [`Session::metrics`] snapshots a [`RuntimeReport`] mid-stream from the
 //!   providers' live counters — the hook online re-planning consumes.
+//! * [`Session::apply_plan`] **hot-swaps the execution plan** without a
+//!   redeploy: admission stops at the old epoch, the in-flight window
+//!   drains (reusing the credit accounting), every provider receives a
+//!   `Reconfigure` frame carrying the new plan plus only the weight layers
+//!   it is missing (the delta shard — resident weights are never re-sent),
+//!   the epoch flips once every provider acks, and admission resumes.  The
+//!   cluster, its worker threads and its resident weights survive the swap;
+//!   the returned [`SwapReport`] measures the drain gap and the bytes
+//!   shipped.
 //! * [`Session::shutdown`] drains whatever is still in flight, halts the
 //!   workers, joins every thread and returns the final report.
 //!
@@ -26,14 +36,15 @@
 
 use crate::provider::{spawn_provider, Assembly, ProviderHandle, Shared};
 use crate::report::RuntimeReport;
-use crate::routing::RouteTable;
+use crate::routing::{EpochSlot, PlanEpoch, RouteTable};
 use crate::runtime::RuntimeOptions;
 use crate::transport::{ChannelTransport, FrameTx, Transport};
-use crate::wire::{Frame, FrameKind};
+use crate::wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 use crate::{Result, RuntimeError};
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
 use edgesim::{Endpoint, ExecutionPlan};
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
@@ -69,39 +80,25 @@ impl Runtime {
                 "max_in_flight must be at least 1".into(),
             ));
         }
-        let route = RouteTable::new(model, plan)?;
+        let epoch0 = PlanEpoch::new(0, model, plan)?;
+        let route = &epoch0.route;
         let n = route.num_devices;
-        let shared_cfg = Arc::new(Shared {
-            model: model.clone(),
-            route: route.clone(),
-        });
 
         // Weight sharding: each provider is handed only the layers its
         // assigned parts run (plus the FC head on the head device), instead
         // of preloading the full model everywhere.  The per-part layer sets
-        // are exactly what `cnn_model::memory::part_footprint` accounts.
-        let sharded: Vec<Arc<ModelWeights>> = (0..n)
-            .map(|d| {
-                let mut keep: HashSet<usize> = route
-                    .parts
-                    .iter()
-                    .filter(|volume| !volume[d].is_empty())
-                    .flat_map(|volume| volume[d].layers.iter().map(|lr| lr.layer))
-                    .collect();
-                if route.head_device == Some(d) {
-                    keep.extend(model.head_layers().iter().map(|l| l.index));
-                }
-                Arc::new(weights.shard(&keep))
-            })
-            .collect();
-        let resident_weight_bytes: Vec<usize> =
-            sharded.iter().map(|w| w.resident_bytes()).collect();
+        // are exactly what `cnn_model::memory::part_footprint` accounts —
+        // and they are the diff basis `apply_plan` uses to ship only delta
+        // shards on a swap.
+        let keep_sets: Vec<HashSet<usize>> = (0..n).map(|d| route.keep_layers(model, d)).collect();
+        let sharded: Vec<ModelWeights> = keep_sets.iter().map(|k| weights.shard(k)).collect();
+        let resident_bytes: Vec<usize> = sharded.iter().map(ModelWeights::resident_bytes).collect();
 
         // Wire up the fabric: requester inbox first, then one worker per
         // device with links to every peer and back to the requester.
         let requester_inbox = transport.inbox(Endpoint::Requester)?;
         let mut providers: Vec<ProviderHandle> = Vec::with_capacity(n);
-        for (d, device_weights) in sharded.iter().enumerate() {
+        for (d, device_weights) in sharded.into_iter().enumerate() {
             let inbox = transport.inbox(Endpoint::Device(d))?;
             let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
             for peer in 0..n {
@@ -116,13 +113,11 @@ impl Runtime {
                 Endpoint::Requester,
                 transport.open(Endpoint::Device(d), Endpoint::Requester)?,
             );
-            providers.push(spawn_provider(
-                d,
-                Arc::clone(&shared_cfg),
-                Arc::clone(device_weights),
-                inbox,
-                txs,
-            ));
+            let shared = Arc::new(Shared {
+                model: model.clone(),
+                slot: EpochSlot::new(epoch0.clone()),
+            });
+            providers.push(spawn_provider(d, shared, device_weights, inbox, txs));
         }
         let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
@@ -156,14 +151,20 @@ impl Runtime {
             scatter: Mutex::new(ScatterState {
                 txs: requester_txs,
                 scatter_ms: vec![0.0; n],
+                targets: route.scatter_targets(),
             }),
-            scatter_targets: route.scatter_targets(),
+            plan_state: Mutex::new(PlanState {
+                plan: plan.clone(),
+                keep: keep_sets,
+                resident_bytes,
+            }),
+            model: model.clone(),
+            weights: Arc::new(weights.clone()),
             input_shape: model.input().as_array(),
             options: *options,
             stop,
             gather: Some(gather),
             providers,
-            resident_weight_bytes,
             t_start: Instant::now(),
         })
     }
@@ -194,6 +195,40 @@ impl Ticket {
     }
 }
 
+/// What one [`Session::apply_plan`] swap measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwapReport {
+    /// The epoch the session now serves.
+    pub epoch: u64,
+    /// Images that were in flight when the swap began (the drain window).
+    pub drained_images: usize,
+    /// Wall time spent draining the in-flight window — the serving gap
+    /// during which no *new* image could be admitted.
+    pub drain_ms: f64,
+    /// Wall time from the `Reconfigure` broadcast until every provider
+    /// acked the new epoch.
+    pub reconfigure_ms: f64,
+    /// End-to-end swap time (drain + broadcast + acks + flip).
+    pub total_ms: f64,
+    /// Weight bytes shipped to each device (only layers it was missing).
+    pub delta_bytes: Vec<usize>,
+    /// Weight bytes each device needed under the new plan that were already
+    /// resident from earlier epochs — the transfer the swap avoided.
+    pub reused_bytes: Vec<usize>,
+}
+
+impl SwapReport {
+    /// Total delta bytes shipped across all devices.
+    pub fn total_delta_bytes(&self) -> usize {
+        self.delta_bytes.iter().sum()
+    }
+
+    /// Total bytes the swap reused instead of re-shipping.
+    pub fn total_reused_bytes(&self) -> usize {
+        self.reused_bytes.iter().sum()
+    }
+}
+
 #[derive(Default)]
 struct StreamState {
     /// Images submitted so far (the next ticket id).
@@ -212,6 +247,15 @@ struct StreamState {
     latencies_ms: Vec<f64>,
     /// Completed images.
     finished: u64,
+    /// The serving epoch (bumped by `apply_plan`).
+    epoch: u64,
+    /// A plan swap is in progress: admission is paused, the queue parks.
+    swapping: bool,
+    /// The epoch a swap is waiting on acks for (`0` when no swap runs —
+    /// epoch ids of swaps start at 1).
+    swap_target: u64,
+    /// Providers that acked `swap_target` so far.
+    acked: usize,
     /// A stream failure; fatal to the whole session once set.
     failed: Option<String>,
     /// Shutdown has begun; new submissions are rejected.
@@ -222,7 +266,8 @@ struct SessionShared {
     state: Mutex<StreamState>,
     /// Signalled when an output completes (or the session fails).
     results: Condvar,
-    /// Signalled when an in-flight credit frees up (or the session fails).
+    /// Signalled when an in-flight credit frees up, an epoch ack arrives,
+    /// or the session fails.
     credits: Condvar,
 }
 
@@ -244,19 +289,36 @@ impl SessionShared {
 struct ScatterState {
     txs: Vec<Box<dyn FrameTx>>,
     scatter_ms: Vec<f64>,
+    /// Per device, the rows of the model input to send for volume 0 —
+    /// per-epoch state, replaced by `apply_plan`.
+    targets: Vec<(usize, (usize, usize))>,
+}
+
+/// The session's bookkeeping of what each device holds resident — the diff
+/// basis of `apply_plan`'s delta shards.
+struct PlanState {
+    /// The plan of the current epoch.
+    plan: ExecutionPlan,
+    /// Layers resident on each device (the union of every epoch served so
+    /// far — swaps add, never evict, so swapping back is free).
+    keep: Vec<HashSet<usize>>,
+    /// Weight bytes resident on each device.
+    resident_bytes: Vec<usize>,
 }
 
 /// A deployed, resident cluster serving a continuous image flow.
 pub struct Session {
     shared: Arc<SessionShared>,
     scatter: Mutex<ScatterState>,
-    scatter_targets: Vec<(usize, (usize, usize))>,
+    plan_state: Mutex<PlanState>,
+    model: Model,
+    /// The full weight set, kept for delta-shard computation on swaps.
+    weights: Arc<ModelWeights>,
     input_shape: [usize; 3],
     options: RuntimeOptions,
     stop: Arc<AtomicBool>,
     gather: Option<JoinHandle<Receiver<Vec<u8>>>>,
     providers: Vec<ProviderHandle>,
-    resident_weight_bytes: Vec<usize>,
     t_start: Instant,
 }
 
@@ -266,12 +328,33 @@ impl Session {
         self.options.max_in_flight
     }
 
-    /// Weight bytes resident on each provider after sharding — only the
-    /// layers a device's parts (and, on the head device, the FC head) run
-    /// are loaded, so on asymmetric plans these differ per device and their
-    /// sum can be far below `num_devices × full model size`.
-    pub fn resident_weight_bytes(&self) -> &[usize] {
-        &self.resident_weight_bytes
+    /// The serving epoch: `0` at deploy, bumped by every
+    /// [`Session::apply_plan`].
+    pub fn epoch(&self) -> u64 {
+        self.shared.lock().epoch
+    }
+
+    /// The execution plan of the current epoch.
+    pub fn current_plan(&self) -> ExecutionPlan {
+        self.plan_state
+            .lock()
+            .expect("plan state poisoned")
+            .plan
+            .clone()
+    }
+
+    /// Weight bytes resident on each provider — only the layers a device's
+    /// parts (and, on the head device, the FC head) have needed in any
+    /// epoch served so far are loaded, so on asymmetric plans these differ
+    /// per device and their sum can be far below `num_devices × full model
+    /// size`.  Grows when a swap ships delta shards; never shrinks (weights
+    /// stay resident so swapping back is free).
+    pub fn resident_weight_bytes(&self) -> Vec<usize> {
+        self.plan_state
+            .lock()
+            .expect("plan state poisoned")
+            .resident_bytes
+            .clone()
     }
 
     /// Images currently in the pipeline.
@@ -281,13 +364,14 @@ impl Session {
 
     /// Free credits in the in-flight window right now: how many `submit`
     /// calls would currently succeed without blocking.  Zero once the
-    /// session has failed or shutdown has begun.  A scheduler sitting in
+    /// session has failed or shutdown has begun, and zero while a plan swap
+    /// drains (admission resumes at the new epoch).  A scheduler sitting in
     /// front of the session (the gateway dispatcher) uses this to size
     /// dispatch waves to the window instead of discovering the limit by
     /// blocking.
     pub fn available_credits(&self) -> usize {
         let st = self.shared.lock();
-        if st.failed.is_some() || st.halted {
+        if st.failed.is_some() || st.halted || st.swapping {
             return 0;
         }
         self.options.max_in_flight.saturating_sub(st.in_flight)
@@ -296,7 +380,9 @@ impl Session {
     /// Blocks until at least one in-flight credit is free, the session
     /// fails/halts, or `timeout` elapses.  Returns the credits available on
     /// wake-up — `0` means the wait timed out (or the session can no longer
-    /// accept work), so callers can poll other duties and come back.
+    /// accept work), so callers can poll other duties and come back.  While
+    /// a plan swap drains, the wait keeps blocking — credits come back once
+    /// the new epoch is serving.
     pub fn wait_for_credit(&self, timeout: Duration) -> usize {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.lock();
@@ -304,9 +390,11 @@ impl Session {
             if st.failed.is_some() || st.halted {
                 return 0;
             }
-            let free = self.options.max_in_flight.saturating_sub(st.in_flight);
-            if free > 0 {
-                return free;
+            if !st.swapping {
+                let free = self.options.max_in_flight.saturating_sub(st.in_flight);
+                if free > 0 {
+                    return free;
+                }
             }
             let now = Instant::now();
             if now >= deadline {
@@ -328,7 +416,8 @@ impl Session {
         self.shared.lock().failed.clone()
     }
 
-    /// Submits one image, blocking while the credit window is full.
+    /// Submits one image, blocking while the credit window is full (or a
+    /// plan swap is draining).
     pub fn submit(&self, image: &Tensor) -> Result<Ticket> {
         Ok(self
             .submit_inner(image, true)?
@@ -336,7 +425,8 @@ impl Session {
     }
 
     /// Submits one image if a credit is free; `Ok(None)` when the window is
-    /// full (backpressure: the caller decides whether to retry or shed).
+    /// full or a swap is draining (backpressure: the caller decides whether
+    /// to retry or shed).
     pub fn try_submit(&self, image: &Tensor) -> Result<Option<Ticket>> {
         self.submit_inner(image, false)
     }
@@ -349,7 +439,7 @@ impl Session {
                 self.input_shape
             )));
         }
-        let ticket = {
+        let (ticket, epoch) = {
             let mut st = self.shared.lock();
             loop {
                 if let Some(f) = &st.failed {
@@ -360,7 +450,7 @@ impl Session {
                         "session is shutting down; submissions are closed".into(),
                     ));
                 }
-                if st.in_flight < self.options.max_in_flight {
+                if !st.swapping && st.in_flight < self.options.max_in_flight {
                     break;
                 }
                 if !block {
@@ -377,7 +467,7 @@ impl Session {
                 st = guard;
                 if timeout.timed_out()
                     && st.failed.is_none()
-                    && st.in_flight >= self.options.max_in_flight
+                    && (st.swapping || st.in_flight >= self.options.max_in_flight)
                 {
                     return Err(RuntimeError::Execution(
                         "submit timed out waiting for an in-flight credit".into(),
@@ -389,22 +479,17 @@ impl Session {
             st.in_flight += 1;
             st.max_in_flight_observed = st.max_in_flight_observed.max(st.in_flight);
             st.starts.insert(id, Instant::now());
-            Ticket { image: id }
+            (Ticket { image: id }, st.epoch)
         };
 
         // Scatter outside the state lock so slow links never block
         // completions; the scatter lock serialises concurrent submitters on
         // the wire.
         let mut sc = self.scatter.lock().expect("scatter state poisoned");
-        for &(d, (lo, hi)) in &self.scatter_targets {
+        let targets = sc.targets.clone();
+        for (d, (lo, hi)) in targets {
             let rows = slice_rows(image, lo, hi)?;
-            let frame = Frame {
-                kind: FrameKind::Rows,
-                image: ticket.image,
-                stage: 0,
-                row_lo: lo as u32,
-                tensor: rows,
-            };
+            let frame = Frame::data(FrameKind::Rows, epoch, ticket.image, 0, lo as u32, rows);
             let t0 = Instant::now();
             if let Err(e) = sc.txs[d].send(&frame) {
                 drop(sc);
@@ -418,11 +503,25 @@ impl Session {
 
     /// Blocks until `ticket`'s output is ready and claims it.
     pub fn wait(&self, ticket: Ticket) -> Result<Tensor> {
+        self.wait_deadline(ticket, None)
+            .map(|out| out.expect("unbounded wait always yields an output"))
+    }
+
+    /// Like [`Session::wait`], but gives up after `timeout`: `Ok(None)`
+    /// means the output was not ready in time (the ticket stays valid and
+    /// can be waited on again).  This is what lets callers with other
+    /// duties — the gateway dispatcher, a swap drain loop, a monitor —
+    /// bound their waits instead of blocking forever.
+    pub fn wait_timeout(&self, ticket: Ticket, timeout: Duration) -> Result<Option<Tensor>> {
+        self.wait_deadline(ticket, Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(&self, ticket: Ticket, deadline: Option<Instant>) -> Result<Option<Tensor>> {
         let mut st = self.shared.lock();
         loop {
             if let Some(out) = st.outputs.remove(&ticket.image) {
                 st.claimed.insert(ticket.image);
-                return Ok(out);
+                return Ok(Some(out));
             }
             if st.claimed.contains(&ticket.image) {
                 return Err(RuntimeError::Execution(format!(
@@ -439,10 +538,20 @@ impl Session {
             if let Some(f) = &st.failed {
                 return Err(RuntimeError::Execution(format!("session failed: {f}")));
             }
+            let tick = match deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Ok(None);
+                    }
+                    (dl - now).min(GATHER_TICK)
+                }
+                None => GATHER_TICK,
+            };
             st = self
                 .shared
                 .results
-                .wait_timeout(st, GATHER_TICK)
+                .wait_timeout(st, tick)
                 .expect("session state poisoned")
                 .0;
         }
@@ -457,13 +566,214 @@ impl Session {
         Some((Ticket { image }, out))
     }
 
+    /// Hot-swaps the execution plan: after this returns, the same resident
+    /// cluster serves `plan` as epoch `current + 1` — no redeploy, no
+    /// weight reload for layers already resident, and every outstanding
+    /// ticket stays valid.
+    ///
+    /// The swap protocol:
+    /// 1. **Stop admitting** at the old epoch (`submit` blocks, `try_submit`
+    ///    declines, the gateway queue parks).
+    /// 2. **Drain** the in-flight window, reusing the credit accounting —
+    ///    every admitted image completes under the plan it was submitted
+    ///    against, so outputs stay bit-exact across the boundary.
+    /// 3. **Broadcast** a `Reconfigure` frame to every provider carrying
+    ///    the new plan plus only the weight layers that device is missing
+    ///    (diffed against the session's resident-shard bookkeeping).
+    /// 4. **Flip** the epoch once every provider acks, then resume
+    ///    admission.
+    ///
+    /// Concurrent swaps are rejected; a failed session surfaces its
+    /// failure.  The returned [`SwapReport`] measures the drain gap and the
+    /// delta bytes shipped vs reused.
+    pub fn apply_plan(&self, plan: &ExecutionPlan) -> Result<SwapReport> {
+        let t_total = Instant::now();
+        plan.validate(&self.model).map_err(RuntimeError::from)?;
+        let route = RouteTable::new(&self.model, plan)?;
+        let n = self.providers.len();
+        if route.num_devices != n {
+            return Err(RuntimeError::Execution(format!(
+                "new plan addresses {} devices, session has {n}",
+                route.num_devices
+            )));
+        }
+
+        // 1. Stop admitting at the old epoch.
+        let (old_epoch, drained_images) = {
+            let mut st = self.shared.lock();
+            if let Some(f) = &st.failed {
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            if st.halted {
+                return Err(RuntimeError::Execution(
+                    "session is shutting down; cannot swap plans".into(),
+                ));
+            }
+            if st.swapping {
+                return Err(RuntimeError::Execution(
+                    "another plan swap is already in progress".into(),
+                ));
+            }
+            st.swapping = true;
+            (st.epoch, st.in_flight)
+        };
+        let new_epoch = old_epoch + 1;
+
+        // 2. Drain the in-flight window.  A wedged cluster is caught by the
+        // gather thread's timeout, which sets `failed` and wakes this wait.
+        let t_drain = Instant::now();
+        {
+            let mut st = self.shared.lock();
+            while st.failed.is_none() && st.in_flight > 0 {
+                st = self
+                    .shared
+                    .credits
+                    .wait_timeout(st, GATHER_TICK)
+                    .expect("session state poisoned")
+                    .0;
+            }
+            if let Some(f) = st.failed.clone() {
+                st.swapping = false;
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            st.swap_target = new_epoch;
+            st.acked = 0;
+        }
+        let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+
+        // 3. Diff the new plan's per-device weight needs against what is
+        // already resident and broadcast the Reconfigure frames.  The
+        // broadcast goes through the scatter links so it is ordered after
+        // every old-epoch scatter and before every new-epoch one.
+        let t_reconf = Instant::now();
+        let mut delta_bytes = vec![0usize; n];
+        let mut reused_bytes = vec![0usize; n];
+        let (payloads, new_keep): (Vec<ReconfigurePayload>, Vec<HashSet<usize>>) = {
+            let ps = self.plan_state.lock().expect("plan state poisoned");
+            let mut payloads = Vec::with_capacity(n);
+            let mut keeps = Vec::with_capacity(n);
+            for d in 0..n {
+                let needed = route.keep_layers(&self.model, d);
+                let mut missing: Vec<usize> = needed.difference(&ps.keep[d]).copied().collect();
+                missing.sort_unstable();
+                let delta: Vec<WeightDelta> = missing
+                    .iter()
+                    .map(|&layer| WeightDelta {
+                        layer,
+                        weights: self.weights.layers[layer].0.clone(),
+                        bias: self.weights.layers[layer].1.clone(),
+                    })
+                    .collect();
+                delta_bytes[d] = delta.iter().map(WeightDelta::bytes).sum();
+                reused_bytes[d] = needed
+                    .intersection(&ps.keep[d])
+                    .map(|&l| {
+                        (self.weights.layers[l].0.len() + self.weights.layers[l].1.len())
+                            * std::mem::size_of::<f32>()
+                    })
+                    .sum();
+                payloads.push(ReconfigurePayload {
+                    plan: plan.clone(),
+                    delta,
+                });
+                // Residency is a union across epochs: nothing is evicted.
+                keeps.push(ps.keep[d].union(&needed).copied().collect());
+            }
+            (payloads, keeps)
+        };
+        {
+            let mut sc = self.scatter.lock().expect("scatter state poisoned");
+            for (d, payload) in payloads.iter().enumerate() {
+                let frame = Frame::reconfigure(new_epoch, payload.encode()?);
+                if let Err(e) = sc.txs[d].send(&frame) {
+                    drop(sc);
+                    self.shared.fail(&e);
+                    return Err(e);
+                }
+            }
+            // No scatter can interleave while admission is paused, so the
+            // new targets are installed before any new-epoch image.
+            sc.targets = route.scatter_targets();
+        }
+
+        // 4. Wait for every provider's ack, then flip and resume admission.
+        {
+            let deadline = Instant::now() + self.options.recv_timeout;
+            let mut st = self.shared.lock();
+            while st.failed.is_none() && st.acked < n {
+                let now = Instant::now();
+                if now >= deadline {
+                    // The Reconfigure broadcast is out and the scatter
+                    // targets are replaced: the cluster is half-swapped and
+                    // cannot safely serve either epoch.  Fail the session
+                    // rather than reopening admission into the wreckage.
+                    let acked = st.acked;
+                    drop(st);
+                    let err = RuntimeError::Transport(format!(
+                        "timed out waiting for epoch {new_epoch} acks ({acked}/{n} received)"
+                    ));
+                    self.shared.fail(&err);
+                    return Err(err);
+                }
+                st = self
+                    .shared
+                    .credits
+                    .wait_timeout(st, GATHER_TICK.min(deadline - now))
+                    .expect("session state poisoned")
+                    .0;
+            }
+            if let Some(f) = st.failed.clone() {
+                st.swapping = false;
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            st.epoch = new_epoch;
+            st.swap_target = 0;
+        }
+        let reconfigure_ms = t_reconf.elapsed().as_secs_f64() * 1e3;
+
+        // Publish the new residency bookkeeping before reopening admission
+        // (a follow-up swap must diff against it).
+        {
+            let mut ps = self.plan_state.lock().expect("plan state poisoned");
+            ps.plan = plan.clone();
+            ps.resident_bytes = new_keep
+                .iter()
+                .map(|k| {
+                    k.iter()
+                        .map(|&l| {
+                            (self.weights.layers[l].0.len() + self.weights.layers[l].1.len())
+                                * std::mem::size_of::<f32>()
+                        })
+                        .sum()
+                })
+                .collect();
+            ps.keep = new_keep;
+        }
+        {
+            let mut st = self.shared.lock();
+            st.swapping = false;
+        }
+        self.shared.credits.notify_all();
+
+        Ok(SwapReport {
+            epoch: new_epoch,
+            drained_images,
+            drain_ms,
+            reconfigure_ms,
+            total_ms: t_total.elapsed().as_secs_f64() * 1e3,
+            delta_bytes,
+            reused_bytes,
+        })
+    }
+
     /// Snapshots the measurement so far: per-image latencies in completion
-    /// order, live per-device counters, throughput over the wall clock.
-    /// Counters only grow, so successive snapshots are monotone.
+    /// order, live per-device counters, throughput over the wall clock,
+    /// tagged with the serving epoch.  Counters only grow, so successive
+    /// snapshots are monotone.
     pub fn metrics(&self) -> RuntimeReport {
-        let (latencies, max_in_flight) = {
+        let (latencies, max_in_flight, epoch) = {
             let st = self.shared.lock();
-            (st.latencies_ms.clone(), st.max_in_flight_observed)
+            (st.latencies_ms.clone(), st.max_in_flight_observed, st.epoch)
         };
         let scatter_ms = {
             let sc = self.scatter.lock().expect("scatter state poisoned");
@@ -480,6 +790,7 @@ impl Session {
             devices,
             self.t_start.elapsed().as_secs_f64() * 1e3,
             max_in_flight,
+            epoch,
         )
     }
 
@@ -520,6 +831,7 @@ impl Session {
             devices,
             wall_ms,
             st.max_in_flight_observed,
+            st.epoch,
         ))
     }
 
@@ -594,9 +906,9 @@ struct GatherConfig {
 }
 
 /// The session's result pump: receives result frames, stitches headless
-/// outputs, completes tickets, releases credits, and watches for a wedged
-/// cluster.  Returns the requester inbox so teardown can keep it alive
-/// until the providers are joined.
+/// outputs, completes tickets, releases credits, counts epoch acks during
+/// swaps, and watches for a wedged cluster.  Returns the requester inbox so
+/// teardown can keep it alive until the providers are joined.
 fn gather_loop(
     inbox: Receiver<Vec<u8>>,
     shared: Arc<SessionShared>,
@@ -613,7 +925,7 @@ fn gather_loop(
         match inbox.recv_timeout(tick) {
             Ok(bytes) => {
                 waiting_since = None;
-                if let Err(e) = handle_result_frame(&bytes, &shared, &cfg, &mut assemblies) {
+                if let Err(e) = handle_requester_frame(&bytes, &shared, &cfg, &mut assemblies) {
                     shared.fail(&e);
                     return inbox;
                 }
@@ -643,18 +955,29 @@ fn gather_loop(
     }
 }
 
-fn handle_result_frame(
+fn handle_requester_frame(
     bytes: &[u8],
     shared: &SessionShared,
     cfg: &GatherConfig,
     assemblies: &mut HashMap<u32, Assembly>,
 ) -> Result<()> {
     let frame = Frame::decode(bytes)?;
-    if frame.kind != FrameKind::Result {
-        return Err(RuntimeError::Execution(format!(
-            "requester received unexpected {:?} frame",
-            frame.kind
-        )));
+    match frame.kind {
+        FrameKind::Result => {}
+        FrameKind::EpochAck => {
+            let mut st = shared.lock();
+            if frame.epoch == st.swap_target {
+                st.acked += 1;
+            }
+            drop(st);
+            shared.credits.notify_all();
+            return Ok(());
+        }
+        other => {
+            return Err(RuntimeError::Execution(format!(
+                "requester received unexpected {other:?} frame"
+            )));
+        }
     }
     let image = frame.image;
     let done = if cfg.has_head {
@@ -774,6 +1097,7 @@ mod tests {
         let report = session.shutdown().unwrap();
         assert_eq!(report.images, 6);
         assert_eq!(report.sim.per_image_latency_ms.len(), 6);
+        assert_eq!(report.epoch, 0);
     }
 
     #[test]
@@ -823,6 +1147,34 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_expires_and_ticket_stays_valid() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 5);
+        let plan = plan(&m, 2);
+        let mut transport = BlackholeTransport {
+            inner: ChannelTransport::new(2),
+        };
+        // Long recv_timeout: the session stays healthy while we probe the
+        // bounded wait; the blackhole guarantees no result ever arrives.
+        let options = RuntimeOptions::default()
+            .with_max_in_flight(2)
+            .with_recv_timeout(Duration::from_secs(60));
+        let session = Runtime::deploy(&m, &plan, &weights, &mut transport, &options).unwrap();
+        let t = session.submit(&deterministic_input(&m, 0)).unwrap();
+        let t0 = Instant::now();
+        let out = session.wait_timeout(t, Duration::from_millis(30)).unwrap();
+        assert!(out.is_none(), "blackholed result must time out");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The ticket is still claimable — a second bounded wait also times
+        // out instead of erroring.
+        assert!(session
+            .wait_timeout(t, Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+        drop(session); // Drop-teardown: blackholed work never completes.
+    }
+
+    #[test]
     fn try_recv_claims_any_ready_output() {
         let m = model();
         let weights = ModelWeights::deterministic(&m, 9);
@@ -866,7 +1218,7 @@ mod tests {
         let offload = ExecutionPlan::offload(&m, 1, 3).unwrap();
         let session =
             Runtime::deploy_in_process(&m, &offload, &weights, &RuntimeOptions::default()).unwrap();
-        assert_eq!(session.resident_weight_bytes(), &[0, full_bytes, 0]);
+        assert_eq!(session.resident_weight_bytes(), vec![0, full_bytes, 0]);
         // Sharded weights still compute the right answer.
         let img = deterministic_input(&m, 3);
         let t = session.submit(&img).unwrap();
@@ -883,7 +1235,7 @@ mod tests {
         let split = plan(&m, 2);
         let session =
             Runtime::deploy_in_process(&m, &split, &weights, &RuntimeOptions::default()).unwrap();
-        let resident = session.resident_weight_bytes().to_vec();
+        let resident = session.resident_weight_bytes();
         assert!(
             resident.iter().any(|&b| b < full_bytes),
             "some device must shed the head weights: {resident:?} vs full {full_bytes}"
@@ -898,6 +1250,67 @@ mod tests {
             &out,
             exec::run_full(&m, &weights, &img).unwrap().last().unwrap()
         );
+        session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn apply_plan_swaps_and_ships_only_deltas() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 17);
+        let full_bytes = weights.resident_bytes();
+        let img = deterministic_input(&m, 4);
+        let reference = exec::run_full(&m, &weights, &img)
+            .unwrap()
+            .last()
+            .unwrap()
+            .clone();
+
+        // Start offloaded on device 0: device 1 holds nothing.
+        let offload = ExecutionPlan::offload(&m, 0, 2).unwrap();
+        let session =
+            Runtime::deploy_in_process(&m, &offload, &weights, &RuntimeOptions::default()).unwrap();
+        assert_eq!(session.epoch(), 0);
+        let t = session.submit(&img).unwrap();
+        assert_eq!(session.wait(t).unwrap(), reference);
+
+        // Swap to the equal split: device 0 already holds everything (zero
+        // delta), device 1 receives exactly the layers it was missing.
+        let split = plan(&m, 2);
+        let swap = session.apply_plan(&split).unwrap();
+        assert_eq!(swap.epoch, 1);
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(swap.delta_bytes[0], 0, "device 0 had every layer resident");
+        assert!(swap.delta_bytes[1] > 0, "device 1 must receive its layers");
+        assert!(
+            swap.reused_bytes[0] > 0 && swap.reused_bytes[0] < full_bytes,
+            "device 0 reuses exactly the layers the split needs: {}",
+            swap.reused_bytes[0]
+        );
+        assert_eq!(swap.reused_bytes[1], 0, "device 1 held nothing to reuse");
+        let t = session.submit(&img).unwrap();
+        assert_eq!(session.wait(t).unwrap(), reference, "bit-exact across swap");
+
+        // Swap back: everything is already resident, so nothing ships.
+        let swap = session.apply_plan(&offload).unwrap();
+        assert_eq!(swap.epoch, 2);
+        assert_eq!(swap.total_delta_bytes(), 0, "swap-back reuses residency");
+        let t = session.submit(&img).unwrap();
+        assert_eq!(session.wait(t).unwrap(), reference);
+
+        let report = session.shutdown().unwrap();
+        assert_eq!(report.images, 3);
+        assert_eq!(report.epoch, 2);
+    }
+
+    #[test]
+    fn apply_plan_rejects_wrong_device_count() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 19);
+        let session =
+            Runtime::deploy_in_process(&m, &plan(&m, 2), &weights, &RuntimeOptions::default())
+                .unwrap();
+        let three = plan(&m, 3);
+        assert!(session.apply_plan(&three).is_err());
         session.shutdown().unwrap();
     }
 

@@ -383,13 +383,14 @@ mod tests {
     use tensor::Tensor;
 
     fn frame(image: u32) -> Frame {
-        Frame {
-            kind: FrameKind::Rows,
+        Frame::data(
+            FrameKind::Rows,
+            0,
             image,
-            stage: 0,
-            row_lo: 0,
-            tensor: Tensor::filled([1, 2, 3], image as f32),
-        }
+            0,
+            0,
+            Tensor::filled([1, 2, 3], image as f32),
+        )
     }
 
     #[test]

@@ -1,27 +1,42 @@
-//! The binary wire format: length-prefixed frames carrying tensor slabs.
+//! The binary wire format: length-prefixed frames carrying tensor slabs,
+//! tagged with the plan epoch they belong to.
 //!
 //! Every message between endpoints is one frame:
 //!
 //! ```text
 //! [len: u32]                      -- bytes after this field
 //! [magic: u16 = 0xED6E]           -- "edge"
-//! [kind: u8]                      -- Rows / Result / Halt
-//! [image: u32]                    -- image sequence number
+//! [kind: u8]                      -- Rows / Result / Halt / Reconfigure /
+//!                                    EpochAck
+//! [epoch: u64]                    -- plan epoch the frame belongs to
+//! [image: u32]                    -- image sequence number (device index
+//!                                    for EpochAck frames)
 //! [stage: u32]                    -- volume index the rows feed
 //!                                    (num_volumes = head gather / result)
 //! [row_lo: u32]                   -- first carried row, full coordinates
-//! [slab]                          -- tensor::slab encoding of the band
+//! [body]                          -- tensor::slab encoding of the band,
+//!                                    or the raw ReconfigurePayload bytes
+//!                                    for Reconfigure frames
 //! ```
 //!
 //! The carried band is `[c, rows, w]`; `row_hi` is implied by `row_lo` plus
-//! the slab height.
+//! the slab height.  `Reconfigure` frames carry a [`ReconfigurePayload`]
+//! instead of a slab: the next epoch's execution plan plus only the weight
+//! layers the receiving device does not already hold resident (the delta
+//! shard), so a hot plan swap never re-ships weights a device kept from an
+//! earlier epoch.
 
 use crate::{Result, RuntimeError};
+use edgesim::ExecutionPlan;
 use std::io::{Read, Write};
 use tensor::{slab, Tensor};
 
 /// Frame magic (sanity check against stream desync).
 pub const MAGIC: u16 = 0xED6E;
+
+/// Byte length of the frame header after the length prefix
+/// (magic + kind + epoch + image + stage + row_lo).
+const HEADER_LEN: usize = 2 + 1 + 8 + 4 + 4 + 4;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +47,12 @@ pub enum FrameKind {
     Result,
     /// Orderly shutdown marker.
     Halt,
+    /// A plan swap: the next epoch's plan plus the delta weight shard the
+    /// receiving device is missing (requester → provider).
+    Reconfigure,
+    /// A provider's confirmation that it installed an epoch
+    /// (provider → requester; `image` carries the device index).
+    EpochAck,
 }
 
 impl FrameKind {
@@ -40,6 +61,8 @@ impl FrameKind {
             FrameKind::Rows => 0,
             FrameKind::Result => 1,
             FrameKind::Halt => 2,
+            FrameKind::Reconfigure => 3,
+            FrameKind::EpochAck => 4,
         }
     }
 
@@ -48,6 +71,8 @@ impl FrameKind {
             0 => Ok(FrameKind::Rows),
             1 => Ok(FrameKind::Result),
             2 => Ok(FrameKind::Halt),
+            3 => Ok(FrameKind::Reconfigure),
+            4 => Ok(FrameKind::EpochAck),
             other => Err(RuntimeError::Wire(format!("unknown frame kind {other}"))),
         }
     }
@@ -58,27 +83,73 @@ impl FrameKind {
 pub struct Frame {
     /// What the frame carries.
     pub kind: FrameKind,
-    /// Image sequence number.
+    /// Plan epoch the frame belongs to.  The swap protocol drains the old
+    /// epoch and resumes admission only after every device installed the
+    /// new one, so providers reject any data frame whose epoch differs
+    /// from their installed epoch as a protocol violation.
+    pub epoch: u64,
+    /// Image sequence number (device index for `EpochAck` frames).
     pub image: u32,
     /// Volume index the carried rows feed (`num_volumes` for the head
     /// gather / final result).
     pub stage: u32,
     /// First carried row in full-feature-map coordinates.
     pub row_lo: u32,
-    /// The row band, `[c, rows, w]`.
+    /// The row band, `[c, rows, w]` (empty for control frames).
     pub tensor: Tensor,
+    /// Raw payload of `Reconfigure` frames (empty for every other kind).
+    pub payload: Vec<u8>,
 }
 
 impl Frame {
+    /// A data frame (`Rows` / `Result`) carrying a row band.
+    pub fn data(
+        kind: FrameKind,
+        epoch: u64,
+        image: u32,
+        stage: u32,
+        row_lo: u32,
+        tensor: Tensor,
+    ) -> Self {
+        Frame {
+            kind,
+            epoch,
+            image,
+            stage,
+            row_lo,
+            tensor,
+            payload: Vec::new(),
+        }
+    }
+
     /// The halt marker.
     pub fn halt() -> Self {
+        Self::data(FrameKind::Halt, 0, 0, 0, 0, Tensor::zeros([0, 0, 0]))
+    }
+
+    /// A plan-swap frame installing `epoch` with the given payload bytes.
+    pub fn reconfigure(epoch: u64, payload: Vec<u8>) -> Self {
         Frame {
-            kind: FrameKind::Halt,
+            kind: FrameKind::Reconfigure,
+            epoch,
             image: 0,
             stage: 0,
             row_lo: 0,
             tensor: Tensor::zeros([0, 0, 0]),
+            payload,
         }
+    }
+
+    /// Device `d`'s confirmation that it installed `epoch`.
+    pub fn epoch_ack(epoch: u64, device: usize) -> Self {
+        Self::data(
+            FrameKind::EpochAck,
+            epoch,
+            device as u32,
+            0,
+            0,
+            Tensor::zeros([0, 0, 0]),
+        )
     }
 
     /// One past the last carried row.
@@ -86,30 +157,43 @@ impl Frame {
         self.row_lo as usize + self.tensor.height()
     }
 
+    fn body_len(&self) -> usize {
+        let tail = if self.kind == FrameKind::Reconfigure {
+            self.payload.len()
+        } else {
+            let [c, h, w] = self.tensor.shape();
+            slab::slab_len(c, h, w)
+        };
+        HEADER_LEN + tail
+    }
+
     /// Byte length of [`Frame::encode`]'s output, without encoding.
     pub fn encoded_len(&self) -> usize {
-        let [c, h, w] = self.tensor.shape();
-        4 + 2 + 1 + 4 + 4 + 4 + slab::slab_len(c, h, w)
+        4 + self.body_len()
     }
 
     /// Encodes the frame, length prefix included.
     pub fn encode(&self) -> Vec<u8> {
-        let [c, h, w] = self.tensor.shape();
-        let body_len = 2 + 1 + 4 + 4 + 4 + slab::slab_len(c, h, w);
+        let body_len = self.body_len();
         let mut out = Vec::with_capacity(4 + body_len);
         out.extend_from_slice(&(body_len as u32).to_le_bytes());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.push(self.kind.to_u8());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.image.to_le_bytes());
         out.extend_from_slice(&self.stage.to_le_bytes());
         out.extend_from_slice(&self.row_lo.to_le_bytes());
-        slab::write_slab(&self.tensor, &mut out);
+        if self.kind == FrameKind::Reconfigure {
+            out.extend_from_slice(&self.payload);
+        } else {
+            slab::write_slab(&self.tensor, &mut out);
+        }
         out
     }
 
     /// Decodes a frame body (the bytes *after* the length prefix).
     pub fn decode_body(body: &[u8]) -> Result<Self> {
-        if body.len() < 15 {
+        if body.len() < HEADER_LEN {
             return Err(RuntimeError::Wire(format!(
                 "frame body too short: {} bytes",
                 body.len()
@@ -120,17 +204,29 @@ impl Frame {
             return Err(RuntimeError::Wire(format!("bad magic {magic:#06x}")));
         }
         let kind = FrameKind::from_u8(body[2])?;
-        let image = u32::from_le_bytes([body[3], body[4], body[5], body[6]]);
-        let stage = u32::from_le_bytes([body[7], body[8], body[9], body[10]]);
-        let row_lo = u32::from_le_bytes([body[11], body[12], body[13], body[14]]);
-        let tensor = slab::from_slab(&body[15..])
-            .map_err(|e| RuntimeError::Wire(format!("bad slab: {e}")))?;
+        let u32_at =
+            |at: usize| u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]);
+        let epoch = u64::from_le_bytes([
+            body[3], body[4], body[5], body[6], body[7], body[8], body[9], body[10],
+        ]);
+        let image = u32_at(11);
+        let stage = u32_at(15);
+        let row_lo = u32_at(19);
+        let (tensor, payload) = if kind == FrameKind::Reconfigure {
+            (Tensor::zeros([0, 0, 0]), body[HEADER_LEN..].to_vec())
+        } else {
+            let tensor = slab::from_slab(&body[HEADER_LEN..])
+                .map_err(|e| RuntimeError::Wire(format!("bad slab: {e}")))?;
+            (tensor, Vec::new())
+        };
         Ok(Frame {
             kind,
+            epoch,
             image,
             stage,
             row_lo,
             tensor,
+            payload,
         })
     }
 
@@ -172,27 +268,153 @@ impl Frame {
     }
 }
 
+/// One layer's weights shipped in a plan swap: a layer the receiving device
+/// needs under the new plan but does not hold resident from earlier epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightDelta {
+    /// Model-wide index of the layer.
+    pub layer: usize,
+    /// The layer's weights.
+    pub weights: Vec<f32>,
+    /// The layer's bias.
+    pub bias: Vec<f32>,
+}
+
+impl WeightDelta {
+    /// Bytes of weight data this delta ships.
+    pub fn bytes(&self) -> usize {
+        (self.weights.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// The body of a [`FrameKind::Reconfigure`] frame: the next epoch's plan
+/// plus only the weight layers the receiving device is missing.
+///
+/// Encoding: `[plan_json_len: u32][plan JSON][n: u32]` followed by `n`
+/// entries of `[layer: u32][w_len: u32][b_len: u32][w: f32s][b: f32s]`.
+/// The plan rides as JSON (it is small and already serde-enabled); the
+/// weight data — the bulk of the payload — is raw little-endian f32.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigurePayload {
+    /// The execution plan of the new epoch.
+    pub plan: ExecutionPlan,
+    /// Weight layers the receiving device must add to its resident set.
+    pub delta: Vec<WeightDelta>,
+}
+
+impl ReconfigurePayload {
+    /// Bytes of weight data shipped (the delta-shard size, excluding the
+    /// plan itself).
+    pub fn delta_bytes(&self) -> usize {
+        self.delta.iter().map(WeightDelta::bytes).sum()
+    }
+
+    /// Encodes the payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let plan_json = serde_json::to_string(&self.plan)
+            .map_err(|e| RuntimeError::Wire(format!("plan serialization failed: {e}")))?;
+        let mut out = Vec::with_capacity(4 + plan_json.len() + 4 + self.delta_bytes());
+        out.extend_from_slice(&(plan_json.len() as u32).to_le_bytes());
+        out.extend_from_slice(plan_json.as_bytes());
+        out.extend_from_slice(&(self.delta.len() as u32).to_le_bytes());
+        for d in &self.delta {
+            out.extend_from_slice(&(d.layer as u32).to_le_bytes());
+            out.extend_from_slice(&(d.weights.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(d.bias.len() as u32).to_le_bytes());
+            for v in &d.weights {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for v in &d.bias {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a payload produced by [`ReconfigurePayload::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut at = 0usize;
+        let read_u32 = |bytes: &[u8], at: &mut usize| -> Result<u32> {
+            let end = *at + 4;
+            if end > bytes.len() {
+                return Err(RuntimeError::Wire("reconfigure payload truncated".into()));
+            }
+            let v =
+                u32::from_le_bytes([bytes[*at], bytes[*at + 1], bytes[*at + 2], bytes[*at + 3]]);
+            *at = end;
+            Ok(v)
+        };
+        let read_f32s = |bytes: &[u8], at: &mut usize, n: usize| -> Result<Vec<f32>> {
+            let end = *at + n * 4;
+            if end > bytes.len() {
+                return Err(RuntimeError::Wire("reconfigure payload truncated".into()));
+            }
+            let out = bytes[*at..end]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            *at = end;
+            Ok(out)
+        };
+
+        let plan_len = read_u32(bytes, &mut at)? as usize;
+        if at + plan_len > bytes.len() {
+            return Err(RuntimeError::Wire("reconfigure payload truncated".into()));
+        }
+        let plan_json = std::str::from_utf8(&bytes[at..at + plan_len])
+            .map_err(|e| RuntimeError::Wire(format!("plan JSON not UTF-8: {e}")))?;
+        let plan: ExecutionPlan = serde_json::from_str(plan_json)
+            .map_err(|e| RuntimeError::Wire(format!("plan deserialization failed: {e}")))?;
+        at += plan_len;
+
+        let n = read_u32(bytes, &mut at)? as usize;
+        let mut delta = Vec::with_capacity(n);
+        for _ in 0..n {
+            let layer = read_u32(bytes, &mut at)? as usize;
+            let w_len = read_u32(bytes, &mut at)? as usize;
+            let b_len = read_u32(bytes, &mut at)? as usize;
+            let weights = read_f32s(bytes, &mut at, w_len)?;
+            let bias = read_f32s(bytes, &mut at, b_len)?;
+            delta.push(WeightDelta {
+                layer,
+                weights,
+                bias,
+            });
+        }
+        if at != bytes.len() {
+            return Err(RuntimeError::Wire(format!(
+                "reconfigure payload has {} trailing bytes",
+                bytes.len() - at
+            )));
+        }
+        Ok(Self { plan, delta })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample_frame() -> Frame {
-        Frame {
-            kind: FrameKind::Rows,
-            image: 42,
-            stage: 3,
-            row_lo: 17,
-            tensor: Tensor::from_fn([2, 4, 5], |c, y, x| (c * 100 + y * 10 + x) as f32 * 0.5),
-        }
+        Frame::data(
+            FrameKind::Rows,
+            5,
+            42,
+            3,
+            17,
+            Tensor::from_fn([2, 4, 5], |c, y, x| (c * 100 + y * 10 + x) as f32 * 0.5),
+        )
     }
 
     #[test]
     fn encode_decode_roundtrip() {
         let f = sample_frame();
         let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
         let back = Frame::decode(&bytes).unwrap();
         assert_eq!(back, f);
         assert_eq!(back.row_hi(), 21);
+        assert_eq!(back.epoch, 5);
     }
 
     #[test]
@@ -227,5 +449,84 @@ mod tests {
         let mut bytes = sample_frame().encode();
         bytes[6] = 9; // kind byte: 4 length + 2 magic
         assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn epoch_ack_carries_device_and_epoch() {
+        let f = Frame::epoch_ack(7, 2);
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(back.kind, FrameKind::EpochAck);
+        assert_eq!(back.epoch, 7);
+        assert_eq!(back.image, 2);
+    }
+
+    fn sample_plan() -> ExecutionPlan {
+        use cnn_model::{LayerOp, Model};
+        use tensor::Shape;
+        let m = Model::new(
+            "wire-test",
+            Shape::new(2, 16, 12),
+            &[
+                LayerOp::conv(4, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::fc(3),
+            ],
+        )
+        .unwrap();
+        ExecutionPlan::offload(&m, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn reconfigure_payload_roundtrips() {
+        let payload = ReconfigurePayload {
+            plan: sample_plan(),
+            delta: vec![
+                WeightDelta {
+                    layer: 0,
+                    weights: vec![0.5, -0.25, 3.0],
+                    bias: vec![0.125],
+                },
+                WeightDelta {
+                    layer: 2,
+                    weights: vec![],
+                    bias: vec![1.0, 2.0],
+                },
+            ],
+        };
+        let bytes = payload.encode().unwrap();
+        let back = ReconfigurePayload::decode(&bytes).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(back.delta_bytes(), (3 + 1 + 2) * 4);
+    }
+
+    #[test]
+    fn reconfigure_frame_roundtrips_payload() {
+        let payload = ReconfigurePayload {
+            plan: sample_plan(),
+            delta: vec![WeightDelta {
+                layer: 1,
+                weights: vec![9.0; 8],
+                bias: vec![-1.0],
+            }],
+        };
+        let frame = Frame::reconfigure(3, payload.encode().unwrap());
+        let back = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(back.kind, FrameKind::Reconfigure);
+        assert_eq!(back.epoch, 3);
+        assert_eq!(ReconfigurePayload::decode(&back.payload).unwrap(), payload);
+    }
+
+    #[test]
+    fn reconfigure_payload_rejects_truncation() {
+        let payload = ReconfigurePayload {
+            plan: sample_plan(),
+            delta: vec![WeightDelta {
+                layer: 0,
+                weights: vec![1.0, 2.0],
+                bias: vec![],
+            }],
+        };
+        let bytes = payload.encode().unwrap();
+        assert!(ReconfigurePayload::decode(&bytes[..bytes.len() - 3]).is_err());
     }
 }
