@@ -6,6 +6,13 @@
 //! model.  This module generates deterministic pseudo-random weights for a
 //! model, runs the full model, and runs individual split-parts from their
 //! [`PartPlan`]s so integration tests can compare the two.
+//!
+//! Every entry point runs the packed im2col + GEMM kernels.  The raw
+//! [`ModelWeights`] functions pack per call (fine for tests and one-shot
+//! references); the serving runtime instead builds a [`PackedModelWeights`]
+//! once at deploy and runs [`run_part_on_band_packed`] /
+//! [`run_head_packed`] per frame — bit-identical outputs, zero per-frame
+//! packing.
 
 use crate::layer::{Layer, LayerOp};
 use crate::model::Model;
@@ -13,7 +20,10 @@ use crate::volume::PartPlan;
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tensor::ops::{conv2d_rows, linear, maxpool2d_rows, Activation};
+use tensor::ops::{
+    conv2d_rows, conv2d_rows_packed, linear, linear_packed, maxpool2d_rows, pack_conv_filter,
+    pack_linear_filter, Activation, PackedFilter,
+};
 use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
 
@@ -73,6 +83,151 @@ impl ModelWeights {
             layers.push((w, b));
         }
         Self { layers }
+    }
+}
+
+/// One layer's weights in GEMM-panel form.
+#[derive(Debug, Clone)]
+pub enum PackedLayerWeights {
+    /// A conv or FC layer packed for the GEMM micro-kernel: the filter is a
+    /// `[c_out] × [c_in·f·f]` (conv) or `[out] × [in]` (FC) panel matrix.
+    Packed {
+        /// Prepacked GEMM panels.
+        filter: PackedFilter,
+        /// One bias entry per output channel / feature.
+        bias: Vec<f32>,
+    },
+    /// A pooling layer — no weights to pack.
+    Pool,
+    /// Not resident on this device (sharded out).
+    Absent,
+}
+
+/// Deploy-time artifact: every resident layer's weights prepacked into GEMM
+/// panels, so the per-frame hot path ([`run_part_on_band_packed`] /
+/// [`run_head_packed`]) never repacks.
+///
+/// Built once from (possibly sharded) [`ModelWeights`] at deploy, and grown
+/// layer-by-layer via [`PackedModelWeights::install_layer`] when a
+/// `Reconfigure` delta shard arrives — so a plan swap repacks only the
+/// layers that actually shipped.
+#[derive(Debug, Clone)]
+pub struct PackedModelWeights {
+    layers: Vec<PackedLayerWeights>,
+}
+
+impl PackedModelWeights {
+    /// Packs every resident layer of `weights` (empty layers of a shard
+    /// become [`PackedLayerWeights::Absent`]).
+    pub fn pack(model: &Model, weights: &ModelWeights) -> Result<Self> {
+        if weights.layers.len() != model.len() {
+            return Err(crate::ModelError::InvalidGeometry {
+                layer: 0,
+                reason: format!(
+                    "weights cover {} layers, model has {}",
+                    weights.layers.len(),
+                    model.len()
+                ),
+            });
+        }
+        let layers = model
+            .layers()
+            .iter()
+            .zip(&weights.layers)
+            .map(|(layer, (w, b))| Self::pack_layer(layer, w, b))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { layers })
+    }
+
+    fn pack_layer(layer: &Layer, w: &[f32], b: &[f32]) -> Result<PackedLayerWeights> {
+        let packed = match layer.op {
+            LayerOp::MaxPool { .. } => PackedLayerWeights::Pool,
+            LayerOp::Conv { c_out, f, .. } => {
+                if w.is_empty() && b.is_empty() {
+                    PackedLayerWeights::Absent
+                } else {
+                    let filter = pack_conv_filter(w, layer.input.c, c_out, f).map_err(|e| {
+                        crate::ModelError::InvalidGeometry {
+                            layer: layer.index,
+                            reason: e.to_string(),
+                        }
+                    })?;
+                    PackedLayerWeights::Packed {
+                        filter,
+                        bias: b.to_vec(),
+                    }
+                }
+            }
+            LayerOp::Fc { out_features } => {
+                if w.is_empty() && b.is_empty() {
+                    PackedLayerWeights::Absent
+                } else {
+                    let filter = pack_linear_filter(w, layer.input.volume(), out_features)
+                        .map_err(|e| crate::ModelError::InvalidGeometry {
+                            layer: layer.index,
+                            reason: e.to_string(),
+                        })?;
+                    PackedLayerWeights::Packed {
+                        filter,
+                        bias: b.to_vec(),
+                    }
+                }
+            }
+        };
+        Ok(packed)
+    }
+
+    /// Packs and installs one layer's raw weights (a `Reconfigure` delta
+    /// shard) — the only packing a running provider ever does after deploy.
+    pub fn install_layer(
+        &mut self,
+        model: &Model,
+        index: usize,
+        w: &[f32],
+        b: &[f32],
+    ) -> Result<()> {
+        let layer =
+            model
+                .layers()
+                .get(index)
+                .ok_or_else(|| crate::ModelError::InvalidGeometry {
+                    layer: index,
+                    reason: format!("model has {} layers", model.len()),
+                })?;
+        self.layers[index] = Self::pack_layer(layer, w, b)?;
+        Ok(())
+    }
+
+    /// Per-layer packed weights.
+    pub fn layers(&self) -> &[PackedLayerWeights] {
+        &self.layers
+    }
+
+    /// Whether layer `index` is resident (packed or weight-free pooling).
+    pub fn is_resident(&self, index: usize) -> bool {
+        !matches!(self.layers[index], PackedLayerWeights::Absent)
+    }
+
+    /// Number of layers holding packed GEMM panels (conv / FC layers whose
+    /// weights are resident).
+    pub fn packed_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, PackedLayerWeights::Packed { .. }))
+            .count()
+    }
+
+    /// Bytes of packed panels plus biases resident on this device.
+    pub fn resident_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                PackedLayerWeights::Packed { filter, bias } => {
+                    filter.bytes() + bias.len() * std::mem::size_of::<f32>()
+                }
+                _ => 0,
+            })
+            .sum()
     }
 }
 
@@ -152,6 +307,72 @@ fn run_layer_rows(
     Ok(t)
 }
 
+/// Runs one layer over a row band from prepacked weights — the per-frame
+/// hot path: no packing, ever.
+fn run_layer_rows_packed(
+    layer: &Layer,
+    packed: &PackedLayerWeights,
+    input: &Tensor,
+    in_row_offset: usize,
+    out_lo: usize,
+    out_hi: usize,
+) -> Result<Tensor> {
+    let geometry_err = |reason: String| crate::ModelError::InvalidGeometry {
+        layer: layer.index,
+        reason,
+    };
+    let t = match (&layer.op, packed) {
+        (
+            LayerOp::Conv {
+                f,
+                stride,
+                padding,
+                act,
+                ..
+            },
+            PackedLayerWeights::Packed { filter, bias },
+        ) => conv2d_rows_packed(
+            input,
+            in_row_offset,
+            layer.input.h,
+            out_lo,
+            out_hi,
+            filter,
+            bias,
+            *f,
+            *stride,
+            *padding,
+            *act,
+        )
+        .map_err(|e| geometry_err(e.to_string()))?,
+        (LayerOp::MaxPool { f, stride }, PackedLayerWeights::Pool) => maxpool2d_rows(
+            input,
+            in_row_offset,
+            layer.input.h,
+            out_lo,
+            out_hi,
+            *f,
+            *stride,
+        )
+        .map_err(|e| geometry_err(e.to_string()))?,
+        (LayerOp::Fc { .. }, PackedLayerWeights::Packed { filter, bias }) => {
+            linear_packed(input, filter, bias, Activation::Relu)
+                .map_err(|e| geometry_err(e.to_string()))?
+        }
+        (_, PackedLayerWeights::Absent) => {
+            return Err(geometry_err(
+                "layer weights are not resident on this device".into(),
+            ))
+        }
+        _ => {
+            return Err(geometry_err(
+                "packed weights do not match the layer op".into(),
+            ))
+        }
+    };
+    Ok(t)
+}
+
 /// Runs the full model, returning the output of every layer (index `i` holds
 /// the output of layer `i`).
 pub fn run_full(model: &Model, weights: &ModelWeights, input: &Tensor) -> Result<Vec<Tensor>> {
@@ -224,6 +445,40 @@ pub fn run_part_on_band(
     Ok(band)
 }
 
+/// [`run_part_on_band`] over deploy-time [`PackedModelWeights`] — the entry
+/// point the distributed runtime's compute threads use.  Bit-identical to
+/// the raw-weight path (packing is pure data movement; both run the same
+/// GEMM kernels), but pays zero packing cost per frame.
+pub fn run_part_on_band_packed(
+    model: &Model,
+    packed: &PackedModelWeights,
+    plan: &PartPlan,
+    band: Tensor,
+) -> Result<Tensor> {
+    let (in_lo, in_hi) = plan.input_rows;
+    if plan.is_empty() {
+        return Err(crate::ModelError::InvalidSplit(
+            "run_part_on_band_packed called on an empty part".into(),
+        ));
+    }
+    if band.height() != in_hi - in_lo {
+        return Err(crate::ModelError::InvalidSplit(format!(
+            "band carries {} rows, part needs rows {in_lo}..{in_hi}",
+            band.height()
+        )));
+    }
+    let mut band = band;
+    let mut band_offset = in_lo;
+    for lr in &plan.layers {
+        let layer = &model.layers()[lr.layer];
+        let w = &packed.layers()[lr.layer];
+        let (out_lo, out_hi) = lr.out_rows;
+        band = run_layer_rows_packed(layer, w, &band, band_offset, out_lo, out_hi)?;
+        band_offset = out_lo;
+    }
+    Ok(band)
+}
+
 /// Runs the model's FC head (the layers past the distributable prefix) on
 /// the stitched output of the last layer-volume.  Returns the input
 /// unchanged for models without a head.
@@ -232,6 +487,21 @@ pub fn run_head(model: &Model, weights: &ModelWeights, stitched: &Tensor) -> Res
     for layer in model.head_layers() {
         let w = &weights.layers[layer.index];
         current = run_layer_full(layer, w, &current)?;
+    }
+    Ok(current)
+}
+
+/// [`run_head`] over deploy-time [`PackedModelWeights`] — what the head
+/// device's compute thread runs per frame.
+pub fn run_head_packed(
+    model: &Model,
+    packed: &PackedModelWeights,
+    stitched: &Tensor,
+) -> Result<Tensor> {
+    let mut current = stitched.clone();
+    for layer in model.head_layers() {
+        let w = &packed.layers()[layer.index];
+        current = run_layer_rows_packed(layer, w, &current, 0, 0, layer.output.h)?;
     }
     Ok(current)
 }
@@ -373,6 +643,83 @@ mod tests {
         let band = slice_rows(&input, plan.input_rows.0, plan.input_rows.1).unwrap();
         let via_band = run_part_on_band(&m, &w, &plan, band).unwrap();
         assert_eq!(via_band, via_full);
+    }
+
+    #[test]
+    fn packed_band_execution_is_bit_identical_to_raw() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 29);
+        let input = deterministic_input(&m, 29);
+        let packed = PackedModelWeights::pack(&m, &w).unwrap();
+        let v = LayerVolume::new(0, 3);
+        let h = v.last_output_height(&m);
+        let plan = PartPlan::plan(&m, v, 0, h / 2).unwrap();
+        let band = slice_rows(&input, plan.input_rows.0, plan.input_rows.1).unwrap();
+        let raw = run_part_on_band(&m, &w, &plan, band.clone()).unwrap();
+        let fast = run_part_on_band_packed(&m, &packed, &plan, band).unwrap();
+        assert_eq!(raw, fast, "prepacked weights must not change a single bit");
+    }
+
+    #[test]
+    fn packed_head_is_bit_identical_to_raw() {
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 31);
+        let input = deterministic_input(&m, 31);
+        let packed = PackedModelWeights::pack(&m, &w).unwrap();
+        let full = run_full(&m, &w, &input).unwrap();
+        let prefix_out = &full[m.distributable_len() - 1];
+        let raw = run_head(&m, &w, prefix_out).unwrap();
+        let fast = run_head_packed(&m, &packed, prefix_out).unwrap();
+        assert_eq!(raw, fast);
+    }
+
+    #[test]
+    fn packing_a_shard_marks_dropped_layers_absent() {
+        use std::collections::HashSet;
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 33);
+        let keep: HashSet<usize> = [0, 2].into_iter().collect();
+        let packed = PackedModelWeights::pack(&m, &w.shard(&keep)).unwrap();
+        assert!(packed.is_resident(0));
+        assert!(!packed.is_resident(1));
+        assert!(packed.is_resident(2), "pool layers are always resident");
+        assert!(!packed.is_resident(3));
+        assert_eq!(packed.packed_layer_count(), 1); // layer 0 only (2 is a pool)
+        assert!(packed.resident_bytes() > 0);
+        // Executing a non-resident layer fails loudly instead of corrupting.
+        let v = LayerVolume::new(1, 2);
+        let input = deterministic_input(&m, 33);
+        let l0_out = run_full(&m, &w, &input).unwrap().remove(0);
+        let plan = PartPlan::plan(&m, v, 0, v.last_output_height(&m)).unwrap();
+        let band = slice_rows(&l0_out, plan.input_rows.0, plan.input_rows.1).unwrap();
+        assert!(run_part_on_band_packed(&m, &packed, &plan, band).is_err());
+    }
+
+    #[test]
+    fn install_layer_repacks_exactly_one_layer() {
+        use std::collections::HashSet;
+        let m = small_model();
+        let w = ModelWeights::deterministic(&m, 35);
+        let keep: HashSet<usize> = [0, 2].into_iter().collect();
+        let mut packed = PackedModelWeights::pack(&m, &w.shard(&keep)).unwrap();
+        assert!(!packed.is_resident(1));
+        packed
+            .install_layer(&m, 1, &w.layers[1].0, &w.layers[1].1)
+            .unwrap();
+        assert!(packed.is_resident(1));
+        assert_eq!(packed.packed_layer_count(), 2);
+        // The freshly installed layer computes exactly what a full pack does.
+        let full_pack = PackedModelWeights::pack(&m, &w).unwrap();
+        let input = deterministic_input(&m, 35);
+        let l0_out = run_full(&m, &w, &input).unwrap().remove(0);
+        let v = LayerVolume::new(1, 2);
+        let plan = PartPlan::plan(&m, v, 0, v.last_output_height(&m)).unwrap();
+        let band = slice_rows(&l0_out, plan.input_rows.0, plan.input_rows.1).unwrap();
+        let a = run_part_on_band_packed(&m, &packed, &plan, band.clone()).unwrap();
+        let b = run_part_on_band_packed(&m, &full_pack, &plan, band).unwrap();
+        assert_eq!(a, b);
+        // Out-of-range installs are rejected.
+        assert!(packed.install_layer(&m, 99, &[], &[]).is_err());
     }
 
     #[test]

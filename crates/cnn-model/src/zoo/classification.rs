@@ -34,6 +34,36 @@ pub fn vgg16() -> Model {
     Model::new("vgg16", Shape::new(3, 224, 224), &ops).expect("vgg16 table is valid")
 }
 
+/// VGG-11 at 224×224 (configuration A of Simonyan & Zisserman): eight 3×3
+/// convolutions, five max-pools and the 4096/4096/1000 fully-connected
+/// head.  The smallest *paper-scale* VGG — ~15 GFLOPs of convolution and
+/// ~133 M parameters — used by the packed-kernel end-to-end proof
+/// (`examples/paper_scale.rs`, `cargo bench --bench kernels`): heavy enough
+/// that the direct kernels made it impractical, light enough that the GEMM
+/// path serves it in seconds.
+pub fn vgg11() -> Model {
+    use LayerOp as L;
+    let ops = [
+        L::conv(64, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(128, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(256, 3, 1, 1),
+        L::conv(256, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::pool(2, 2),
+        L::conv(512, 3, 1, 1),
+        L::conv(512, 3, 1, 1),
+        L::pool(2, 2),
+        L::fc(4096),
+        L::fc(4096),
+        L::fc(1000),
+    ];
+    Model::new("vgg11", Shape::new(3, 224, 224), &ops).expect("vgg11 table is valid")
+}
+
 /// A CIFAR-scale VGG-style model small enough to *execute* in milliseconds
 /// on naive CPU kernels — the workhorse of the `edge-runtime` tests and
 /// examples, where the full evaluation models would take minutes per image.
@@ -146,6 +176,20 @@ mod tests {
         // Published parameter count is ~138 M.
         let params = m.parameter_count() as f64;
         assert!(params > 130e6 && params < 145e6, "params = {params:.3e}");
+    }
+
+    #[test]
+    fn vgg11_structure() {
+        let m = vgg11();
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.distributable_len(), 13);
+        assert_eq!(m.prefix_output(), Shape::new(512, 7, 7));
+        // Published parameter count is ~132.9 M.
+        let params = m.parameter_count() as f64;
+        assert!(params > 128e6 && params < 138e6, "params = {params:.3e}");
+        // ~15.2 GFLOPs of convolution (7.6 GMACs x2) plus the FC head.
+        let ops = m.total_ops();
+        assert!(ops > 14e9 && ops < 17e9, "VGG-11 ops = {ops:.3e}");
     }
 
     #[test]

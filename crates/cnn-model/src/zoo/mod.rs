@@ -29,7 +29,7 @@ mod classification;
 mod detection;
 mod pose;
 
-pub use classification::{inception_v3, resnet50, tiny_vgg, vgg16};
+pub use classification::{inception_v3, resnet50, tiny_vgg, vgg11, vgg16};
 pub use detection::{ssd_resnet50, ssd_vgg16, voxelnet, yolov2};
 pub use pose::openpose;
 
@@ -67,6 +67,7 @@ pub fn by_name(name: &str) -> Option<Model> {
         "openpose" => Some(openpose()),
         "voxelnet" => Some(voxelnet()),
         "tinyvgg" => Some(tiny_vgg()),
+        "vgg11" => Some(vgg11()),
         _ => None,
     }
 }
@@ -89,6 +90,7 @@ mod tests {
     fn lookup_by_name_variants() {
         assert!(by_name("VGG-16").is_some());
         assert!(by_name("vgg16").is_some());
+        assert!(by_name("VGG-11").is_some());
         assert!(by_name("SSD_ResNet50").is_some());
         assert!(by_name("nonexistent").is_none());
     }

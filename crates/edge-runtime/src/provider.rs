@@ -22,15 +22,23 @@
 //! through the slot, and acks back to the requester — so a plan swap never
 //! tears the worker down.  The swap protocol drains the old epoch before
 //! reconfiguring and resumes admission only after every device has acked,
-//! so a data frame whose epoch differs from the installed one is always a
-//! protocol violation, never a race.
+//! so a data frame whose epoch differs from this device's installed epoch
+//! is always a protocol violation, never a race.
+//!
+//! Weights are resident as a **deploy-time packed artifact**: the compute
+//! thread packs its sharded raw weights into GEMM panels
+//! ([`cnn_model::exec::PackedModelWeights`]) once at spawn and discards the
+//! raw copies; a `Reconfigure` delta repacks only the layers that actually
+//! shipped.  The per-frame kernels consume the packed panels directly — no
+//! frame ever pays packing cost ([`ComputeStats::layers_packed`] is the
+//! observable proof: it moves at deploy and swap time only).
 
 use crate::report::DeviceMetrics;
 use crate::routing::{overlap, EpochSlot, PlanEpoch};
 use crate::transport::FrameTx;
 use crate::wire::{Frame, FrameKind, ReconfigurePayload};
 use crate::{Result, RuntimeError};
-use cnn_model::exec::{self, ModelWeights};
+use cnn_model::exec::{self, ModelWeights, PackedModelWeights};
 use cnn_model::Model;
 use edgesim::Endpoint;
 use std::collections::HashMap;
@@ -42,9 +50,9 @@ use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
 
 /// Configuration shared by the three threads of one provider worker.
-/// Weights are *not* here: the compute thread owns its sharded
-/// [`ModelWeights`] mutably so `Reconfigure` frames can grow the resident
-/// set in place.
+/// Weights are *not* here: the compute thread owns its resident
+/// [`PackedModelWeights`] mutably so `Reconfigure` frames can grow the
+/// packed set in place.
 pub struct Shared {
     /// The model being served.
     pub model: Model,
@@ -135,6 +143,11 @@ pub struct ComputeStats {
     /// Plan epochs installed by `Reconfigure` frames (0 until the first
     /// swap).
     pub epochs_installed: u64,
+    /// Weight layers packed into GEMM panels on this device — counted at
+    /// deploy (the initial shard) and on `Reconfigure` delta installs
+    /// *only*.  Steady-state serving never moves this counter: per-frame
+    /// packing would be a regression the residency tests catch here.
+    pub layers_packed: u64,
 }
 
 /// Send-thread counters.
@@ -180,6 +193,7 @@ impl ProviderStats {
             frames_out: send.frames_out,
             bytes_out: send.bytes_out,
             max_concurrent_images: comp.max_concurrent_images,
+            layers_packed: comp.layers_packed,
         }
     }
 }
@@ -214,7 +228,8 @@ enum OutMsg {
 
 /// Spawns the three threads of provider `d`.  `weights` is the device's
 /// sharded weight set — only the layers `d`'s parts need are resident; the
-/// compute thread owns it mutably so `Reconfigure` deltas can grow it.
+/// compute thread packs it into GEMM panels once at spawn (then drops the
+/// raw copy) and grows the packed set on `Reconfigure` deltas.
 pub fn spawn_provider(
     d: usize,
     shared: Arc<Shared>,
@@ -289,7 +304,10 @@ fn receive_loop(
 struct ComputeState {
     d: usize,
     shared: Arc<Shared>,
-    weights: ModelWeights,
+    /// The device's resident weights, packed into GEMM panels at spawn
+    /// (deploy time) and grown in place by `Reconfigure` delta shards —
+    /// never touched on the frame path.
+    weights: PackedModelWeights,
     assemblies: HashMap<(u32, u32), Assembly>,
     /// Open-assembly count per image — tracked incrementally so the
     /// high-water mark costs O(1) per frame, not a scan of all assemblies.
@@ -306,10 +324,20 @@ fn compute_loop(
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
 ) -> Result<()> {
+    // Deploy-time packing: turn the sharded raw weights into GEMM panels
+    // once, before the first frame, and drop the raw copies.  From here on
+    // the only packing this worker ever does is per-layer `Reconfigure`
+    // delta installs.
+    let packed = PackedModelWeights::pack(&shared.model, &weights)?;
+    drop(weights);
+    {
+        let mut comp = stats.comp.lock().expect("comp stats poisoned");
+        comp.layers_packed += packed.packed_layer_count() as u64;
+    }
     let mut state = ComputeState {
         d,
         shared,
-        weights,
+        weights: packed,
         assemblies: HashMap::new(),
         open_images: HashMap::new(),
         to_send,
@@ -368,15 +396,26 @@ impl ComputeState {
             )));
         }
         let payload = ReconfigurePayload::decode(&frame.payload)?;
+        let mut installed = 0u64;
         for delta in payload.delta {
-            if delta.layer >= self.weights.layers.len() {
+            if delta.layer >= self.weights.layers().len() {
                 return Err(RuntimeError::Wire(format!(
                     "reconfigure delta addresses layer {} of a {}-layer model",
                     delta.layer,
-                    self.weights.layers.len()
+                    self.weights.layers().len()
                 )));
             }
-            self.weights.layers[delta.layer] = (delta.weights, delta.bias);
+            // Pack only what shipped: layers already resident were diffed
+            // out by the requester and keep their panels untouched.
+            self.weights.install_layer(
+                &self.shared.model,
+                delta.layer,
+                &delta.weights,
+                &delta.bias,
+            )?;
+            if !delta.weights.is_empty() {
+                installed += 1;
+            }
         }
         let epoch = PlanEpoch::new(frame.epoch, &self.shared.model, &payload.plan)?;
         {
@@ -386,6 +425,7 @@ impl ComputeState {
                 comp.per_volume_images.resize(epoch.route.num_volumes, 0);
             }
             comp.epochs_installed += 1;
+            comp.layers_packed += installed;
         }
         self.shared.slot.store(epoch);
         self.to_send
@@ -451,7 +491,7 @@ impl ComputeState {
             if stage == finish {
                 // Head gather complete: run the FC head, return the result.
                 let t0 = Instant::now();
-                let out = exec::run_head(&self.shared.model, &self.weights, &band)?;
+                let out = exec::run_head_packed(&self.shared.model, &self.weights, &band)?;
                 {
                     let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
                     comp.head_ms += t0.elapsed().as_secs_f64() * 1e3;
@@ -469,7 +509,7 @@ impl ComputeState {
 
             let part = &route.parts[stage][self.d];
             let t0 = Instant::now();
-            let out = exec::run_part_on_band(&self.shared.model, &self.weights, part, band)?;
+            let out = exec::run_part_on_band_packed(&self.shared.model, &self.weights, part, band)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             {
                 let mut comp = self.stats.comp.lock().expect("comp stats poisoned");

@@ -43,6 +43,10 @@ pub struct DeviceMetrics {
     /// High-water mark of distinct images simultaneously in assembly on
     /// this device — pipelining evidence.
     pub max_concurrent_images: usize,
+    /// Weight layers this device packed into GEMM panels — moves at deploy
+    /// and on `Reconfigure` delta installs only, never per frame (the
+    /// residency tests assert exactly that).
+    pub layers_packed: u64,
 }
 
 /// The full measurement of one runtime execution.

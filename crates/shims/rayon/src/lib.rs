@@ -1,15 +1,17 @@
 //! Offline shim for `rayon`.
 //!
-//! The workspace only parallelises `(0..n).into_par_iter().map(f).collect()`
-//! (one conv output-channel plane per task), so the shim implements exactly
-//! that shape — with real `std::thread::scope` parallelism, chunked over the
-//! available cores, preserving output order.
+//! The workspace parallelises two shapes — `(0..n).into_par_iter().map(f)
+//! .collect()` (index-parallel tasks) and `slice.par_chunks_mut(len)
+//! .enumerate().for_each(f)` (disjoint in-place writes into one pre-sized
+//! buffer) — so the shim implements exactly those, with real
+//! `std::thread::scope` parallelism, chunked over the available cores,
+//! preserving output order.
 
 use std::ops::Range;
 
 pub mod prelude {
     //! Drop-in for `rayon::prelude::*`.
-    pub use crate::IntoParallelIterator;
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
 }
 
 /// Conversion into a parallel iterator.
@@ -108,6 +110,102 @@ where
     out
 }
 
+/// Parallel mutation of non-overlapping slice chunks (the
+/// `slice.par_chunks_mut(n)` entry point of real rayon).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements, to be
+    /// processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Runs `f` over every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        parallel_chunks(self.slice, self.chunk_size, &|_, chunk| f(chunk));
+    }
+}
+
+/// An enumerated parallel chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` over every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        parallel_chunks(self.inner.slice, self.inner.chunk_size, &|i, chunk| {
+            f((i, chunk))
+        });
+    }
+}
+
+fn parallel_chunks<T, F>(slice: &mut [T], chunk_size: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = slice.len().div_ceil(chunk_size);
+    if n == 0 {
+        return;
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of chunks; the splits are disjoint
+    // sub-slices, so no synchronisation is needed beyond the scope join.
+    let per_worker = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = slice;
+        let mut first_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = (per_worker * chunk_size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += head.len().div_ceil(chunk_size);
+            scope.spawn(move || {
+                for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -128,5 +226,36 @@ mod tests {
     fn single_element() {
         let v: Vec<String> = (3..4).into_par_iter().map(|i| format!("{i}")).collect();
         assert_eq!(v, vec!["3".to_string()]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerated_writes() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 10 + j;
+            }
+        });
+        let expected: Vec<usize> = (0..103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_plain_for_each() {
+        let mut data = [1i32; 37];
+        data.par_chunks_mut(5).for_each(|chunk| {
+            for v in chunk {
+                *v *= 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(4).enumerate().for_each(|(_, _)| {
+            panic!("no chunks expected");
+        });
     }
 }

@@ -9,9 +9,14 @@
 //! tensor type and the convolution / pooling / linear kernels needed for
 //! that verification, plus the runnable examples.
 //!
-//! Kernels are written for clarity first, but the convolution is
-//! parallelised over output channels with rayon so that the examples and
-//! integration tests stay fast.
+//! Convolutions and linear layers execute on a packed im2col + blocked-GEMM
+//! path ([`ops::gemm`]): weights are repacked into register-tile panels
+//! (once, at deploy time, via [`ops::pack_conv_filter`] /
+//! [`ops::pack_linear_filter`]), the im2col lowering is built one
+//! cache-sized panel slice at a time, and rayon parallelises over output
+//! row tiles.  The clarity-first direct kernels remain as oracles
+//! ([`ops::conv2d_direct`], [`ops::linear_direct`]) that the fast path is
+//! validated against.
 //!
 //! # Example
 //!

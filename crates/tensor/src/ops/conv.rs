@@ -1,15 +1,30 @@
-//! Direct 2-D convolution kernels.
+//! 2-D convolution kernels.
 //!
-//! Two entry points are provided:
+//! Two implementations share one geometry/validation layer:
 //!
-//! * [`conv2d`] — convolve a full input tensor.
-//! * [`conv2d_rows`] — convolve a *row band*: the input tensor only carries a
-//!   band of the original input rows (plus halo), and only a band of output
-//!   rows is produced.  Zero padding is applied relative to the *original*
-//!   layer geometry so that stitched bands reproduce the full convolution
-//!   exactly.  This is the kernel used to execute split-parts.
+//! * the **packed im2col + GEMM path** — the production kernel.  The input
+//!   band is lowered on the fly into cache-sized column panels (the im2col
+//!   B matrix, built k-slice by k-slice so it never materialises whole) and
+//!   multiplied by the [`PackedFilter`] weight panels through the blocked
+//!   GEMM in [`super::gemm`], with bias and activation fused into the last
+//!   K block.  [`conv2d_rows_packed`] consumes a filter prepacked at deploy
+//!   time; [`conv2d_rows`] / [`conv2d`] pack per call and are otherwise the
+//!   same path, so both produce bit-identical outputs.
+//! * the **direct path** ([`conv2d_direct`] / [`conv2d_rows_direct`]) — the
+//!   clarity-first 6-deep loop nest, kept as the test oracle the GEMM path
+//!   is validated against (within `1e-4`; the summation orders differ only
+//!   in the zero-padding terms the direct kernel skips).
+//!
+//! Both paths implement the same *row band* contract: the input tensor may
+//! carry only a band of the original input rows (plus halo), zero padding
+//! is applied relative to the original layer geometry, and a band of output
+//! rows is produced — so stitched bands reproduce the full convolution
+//! exactly.  The GEMM path's accumulation order per output element is
+//! independent of banding and tiling (see the `gemm` module docs), which is
+//! what keeps distributed execution bit-exact against single-device runs.
 
 use super::activation::Activation;
+use super::gemm::{gemm_bias_act_into, PackedFilter, NR};
 use crate::error::TensorError;
 use crate::shape::{conv_out_dim, input_rows_for_output, Shape};
 use crate::{Result, Tensor};
@@ -21,7 +36,89 @@ pub const fn im2col_weight_len(c_in: usize, c_out: usize, f: usize) -> usize {
     c_out * c_in * f * f
 }
 
-/// Full 2-D convolution over the whole input.
+/// Packs `[c_out][c_in][f][f]` convolution weights into GEMM panels.
+///
+/// This is the deploy-time half of the packed conv path: the returned
+/// [`PackedFilter`] (an `[c_out] × [c_in·f·f]` panel matrix) drops into
+/// [`conv2d_rows_packed`] for every subsequent frame.
+pub fn pack_conv_filter(
+    weights: &[f32],
+    c_in: usize,
+    c_out: usize,
+    f: usize,
+) -> Result<PackedFilter> {
+    if weights.len() != im2col_weight_len(c_in, c_out, f) {
+        return Err(TensorError::KernelConfig(format!(
+            "conv weights length {} != c_out*c_in*f*f = {}",
+            weights.len(),
+            im2col_weight_len(c_in, c_out, f)
+        )));
+    }
+    PackedFilter::pack(weights, c_out, c_in * f * f)
+}
+
+/// Validated geometry of one banded convolution call.
+struct BandGeometry {
+    c_in: usize,
+    band_h: usize,
+    w_in: usize,
+    out_w: usize,
+}
+
+/// Shared validation for both kernel paths: weight/bias lengths, output row
+/// range, and halo coverage of the input band.
+#[allow(clippy::too_many_arguments)]
+fn validate_band(
+    input: &Tensor,
+    in_row_offset: usize,
+    orig_h_in: usize,
+    out_start: usize,
+    out_end: usize,
+    bias_len: usize,
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<BandGeometry> {
+    let [c_in, band_h, w_in] = input.shape();
+    if bias_len != c_out {
+        return Err(TensorError::KernelConfig(format!(
+            "conv bias length {bias_len} != c_out {c_out}"
+        )));
+    }
+    let out_h_full = conv_out_dim(orig_h_in, f, stride, padding)
+        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input".into()))?;
+    let out_w = conv_out_dim(w_in, f, stride, padding)
+        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input width".into()))?;
+    if out_end > out_h_full || out_start >= out_end {
+        return Err(TensorError::InvalidRowRange {
+            start: out_start,
+            end: out_end,
+            rows: out_h_full,
+        });
+    }
+    // Check halo coverage: the real input rows needed must lie inside the band.
+    let (need_lo, need_hi) =
+        input_rows_for_output(out_start, out_end, f, stride, padding, orig_h_in);
+    if need_lo < in_row_offset || need_hi > in_row_offset + band_h {
+        return Err(TensorError::KernelConfig(format!(
+            "input band rows {}..{} do not cover required rows {}..{}",
+            in_row_offset,
+            in_row_offset + band_h,
+            need_lo,
+            need_hi
+        )));
+    }
+    Ok(BandGeometry {
+        c_in,
+        band_h,
+        w_in,
+        out_w,
+    })
+}
+
+/// Full 2-D convolution over the whole input (packed im2col + GEMM path,
+/// packing the filter per call).
 ///
 /// `weights` is laid out `[c_out][c_in][f][f]`, `bias` has one entry per
 /// output channel.
@@ -44,7 +141,8 @@ pub fn conv2d(
     .expect("full conv2d over valid geometry cannot fail")
 }
 
-/// Convolution of a row band.
+/// Convolution of a row band (packed im2col + GEMM path, packing the filter
+/// per call).
 ///
 /// * `input` holds original input rows `[in_row_offset, in_row_offset + input.height())`.
 /// * `orig_h_in` is the height of the *full* layer input; zero padding is
@@ -52,8 +150,10 @@ pub fn conv2d(
 /// * Output rows `[out_start, out_end)` (in full-layer coordinates) are
 ///   produced.
 ///
-/// Returns an error if the input band does not cover every real input row the
-/// requested output rows need.
+/// Returns an error if the input band does not cover every real input row
+/// the requested output rows need.  Bit-identical to
+/// [`conv2d_rows_packed`] over a filter packed with [`pack_conv_filter`] —
+/// packing is pure data movement.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_rows(
     input: &Tensor,
@@ -69,7 +169,174 @@ pub fn conv2d_rows(
     padding: usize,
     act: Activation,
 ) -> Result<Tensor> {
-    let [c_in, band_h, w_in] = input.shape();
+    let filter = pack_conv_filter(weights, input.channels(), c_out, f)?;
+    conv2d_rows_packed(
+        input,
+        in_row_offset,
+        orig_h_in,
+        out_start,
+        out_end,
+        &filter,
+        bias,
+        f,
+        stride,
+        padding,
+        act,
+    )
+}
+
+/// Convolution of a row band over a prepacked filter — the per-frame hot
+/// path: no packing, no im2col materialisation beyond one cache-sized
+/// panel slice per tile.
+///
+/// `filter` must come from [`pack_conv_filter`] with matching geometry
+/// (`filter.k() == c_in·f·f`; `filter.m()` is `c_out`).  Band semantics are
+/// identical to [`conv2d_rows`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_rows_packed(
+    input: &Tensor,
+    in_row_offset: usize,
+    orig_h_in: usize,
+    out_start: usize,
+    out_end: usize,
+    filter: &PackedFilter,
+    bias: &[f32],
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let c_out = filter.m();
+    let geom = validate_band(
+        input,
+        in_row_offset,
+        orig_h_in,
+        out_start,
+        out_end,
+        bias.len(),
+        c_out,
+        f,
+        stride,
+        padding,
+    )?;
+    if filter.k() != geom.c_in * f * f {
+        return Err(TensorError::KernelConfig(format!(
+            "packed filter k {} != c_in*f*f = {}",
+            filter.k(),
+            geom.c_in * f * f
+        )));
+    }
+    let out_rows = out_end - out_start;
+    let out_w = geom.out_w;
+    let n = out_rows * out_w;
+    let (band_h, w_in) = (geom.band_h, geom.w_in);
+    let in_data = input.data();
+    let ff = f * f;
+
+    // The im2col panel filler: writes B[k][j] = input value under filter
+    // tap k at output pixel j, for one k-slice and one column tile.  The
+    // interior is copied with no per-element bounds checks — for each
+    // (output row, filter tap) pair the valid column interval is computed
+    // once and only it is written; everything outside stays at the zero the
+    // driver pre-cleared (that is the zero padding).
+    let fill = move |k0: usize, k1: usize, j0: usize, j1: usize, buf: &mut [f32]| {
+        let kc = k1 - k0;
+        for k_abs in k0..k1 {
+            let kk = k_abs - k0;
+            let ic = k_abs / ff;
+            let ky = (k_abs % ff) / f;
+            let kx = k_abs % f;
+            // Valid output-column interval for this kx: 0 <= ox*s + kx - p < w_in.
+            let ox_lo = padding.saturating_sub(kx).div_ceil(stride);
+            let ox_hi = if w_in + padding > kx {
+                ((w_in - 1 + padding - kx) / stride + 1).min(out_w)
+            } else {
+                0
+            };
+            let in_plane = ic * band_h * w_in;
+            let oy_first = j0 / out_w;
+            let oy_last = (j1 - 1) / out_w;
+            for oy_local in oy_first..=oy_last {
+                let iy = ((out_start + oy_local) * stride + ky) as isize - padding as isize;
+                if iy < 0 || iy >= orig_h_in as isize {
+                    continue; // zero-padding row: the buffer is already zero
+                }
+                let band_y = iy as usize - in_row_offset;
+                debug_assert!(band_y < band_h, "halo check guarantees coverage");
+                let in_row = in_plane + band_y * w_in;
+                // Columns of this output row that fall inside the tile.
+                let seg0 = j0.max(oy_local * out_w);
+                let seg1 = j1.min((oy_local + 1) * out_w);
+                let ox_a = (seg0 - oy_local * out_w).max(ox_lo);
+                let ox_b = (seg1 - oy_local * out_w).min(ox_hi);
+                let mut ix = ox_a * stride + kx - padding;
+                for ox in ox_a..ox_b {
+                    let jj = oy_local * out_w + ox - j0;
+                    buf[((jj / NR) * kc + kk) * NR + (jj % NR)] = in_data[in_row + ix];
+                    ix += stride;
+                }
+            }
+        }
+    };
+
+    let mut data = vec![0.0f32; c_out * n];
+    gemm_bias_act_into(filter, bias, act, n, &fill, &mut data)?;
+    Tensor::from_vec(Shape::new(c_out, out_rows, out_w), data)
+}
+
+/// Full 2-D convolution on the direct (loop-nest) path — the test oracle.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_direct(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Tensor {
+    let h_in = input.height();
+    let out_h = conv_out_dim(h_in, f, stride, padding).expect("invalid conv geometry");
+    conv2d_rows_direct(
+        input, 0, h_in, 0, out_h, weights, bias, c_out, f, stride, padding, act,
+    )
+    .expect("full conv2d over valid geometry cannot fail")
+}
+
+/// Direct (loop-nest) convolution of a row band — the test oracle the GEMM
+/// path is validated against.  Same band semantics as [`conv2d_rows`].
+///
+/// Parallelised over output channels, each rayon task writing its channel
+/// plane directly into one pre-sized output buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_rows_direct(
+    input: &Tensor,
+    in_row_offset: usize,
+    orig_h_in: usize,
+    out_start: usize,
+    out_end: usize,
+    weights: &[f32],
+    bias: &[f32],
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let geom = validate_band(
+        input,
+        in_row_offset,
+        orig_h_in,
+        out_start,
+        out_end,
+        bias.len(),
+        c_out,
+        f,
+        stride,
+        padding,
+    )?;
+    let (c_in, w_in) = (geom.c_in, geom.w_in);
     if weights.len() != im2col_weight_len(c_in, c_out, f) {
         return Err(TensorError::KernelConfig(format!(
             "conv weights length {} != c_out*c_in*f*f = {}",
@@ -77,47 +344,18 @@ pub fn conv2d_rows(
             im2col_weight_len(c_in, c_out, f)
         )));
     }
-    if bias.len() != c_out {
-        return Err(TensorError::KernelConfig(format!(
-            "conv bias length {} != c_out {}",
-            bias.len(),
-            c_out
-        )));
-    }
-    let out_h_full = conv_out_dim(orig_h_in, f, stride, padding)
-        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input".into()))?;
-    let out_w = conv_out_dim(input.width(), f, stride, padding)
-        .ok_or_else(|| TensorError::KernelConfig("convolution does not fit input width".into()))?;
-    if out_end > out_h_full || out_start >= out_end {
-        return Err(TensorError::InvalidRowRange {
-            start: out_start,
-            end: out_end,
-            rows: out_h_full,
-        });
-    }
-    // Check halo coverage: the real input rows needed must lie inside the band.
-    let (need_lo, need_hi) =
-        input_rows_for_output(out_start, out_end, f, stride, padding, orig_h_in);
-    if need_lo < in_row_offset || need_hi > in_row_offset + band_h {
-        return Err(TensorError::KernelConfig(format!(
-            "input band rows {}..{} do not cover required rows {}..{}",
-            in_row_offset,
-            in_row_offset + band_h,
-            need_lo,
-            need_hi
-        )));
-    }
 
     let out_rows = out_end - out_start;
-    let plane_in = band_h * w_in;
+    let out_w = geom.out_w;
+    let plane_in = geom.band_h * w_in;
     let in_data = input.data();
     let pad = padding as isize;
 
-    // One output channel plane per rayon task.
-    let planes: Vec<Vec<f32>> = (0..c_out)
-        .into_par_iter()
-        .map(|oc| {
-            let mut plane = vec![0.0f32; out_rows * out_w];
+    // One output channel plane per rayon task, written in place.
+    let mut data = vec![0.0f32; c_out * out_rows * out_w];
+    data.par_chunks_mut(out_rows * out_w)
+        .enumerate()
+        .for_each(|(oc, plane)| {
             let w_base = oc * c_in * f * f;
             for (oy_local, oy) in (out_start..out_end).enumerate() {
                 let iy0 = oy as isize * stride as isize - pad;
@@ -147,14 +385,7 @@ pub fn conv2d_rows(
                     plane[oy_local * out_w + ox] = act.apply(acc);
                 }
             }
-            plane
-        })
-        .collect();
-
-    let mut data = Vec::with_capacity(c_out * out_rows * out_w);
-    for plane in planes {
-        data.extend_from_slice(&plane);
-    }
+        });
     Tensor::from_vec(Shape::new(c_out, out_rows, out_w), data)
 }
 
@@ -217,6 +448,70 @@ mod tests {
     }
 
     #[test]
+    fn gemm_path_matches_direct_oracle() {
+        // Representative geometries: odd channel counts (panel edges),
+        // stride 2, 1x1 and 7x7 filters, asymmetric padding effects.
+        for &(c_in, c_out, h, w, f, s, p) in &[
+            (2usize, 4usize, 20usize, 16usize, 3usize, 1usize, 1usize),
+            (3, 5, 17, 13, 3, 2, 1),
+            (4, 7, 12, 12, 1, 1, 0),
+            (3, 6, 23, 23, 7, 2, 3),
+            (1, 1, 8, 8, 5, 1, 2),
+            (5, 33, 9, 7, 3, 1, 1),
+        ] {
+            let input = det_input(c_in, h, w);
+            let weights = det_weights(c_in, c_out, f);
+            let bias: Vec<f32> = (0..c_out).map(|i| (i as f32) * 0.01 - 0.05).collect();
+            let fast = conv2d(&input, &weights, &bias, c_out, f, s, p, Activation::Relu);
+            let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, s, p, Activation::Relu);
+            assert_eq!(fast.shape(), oracle.shape());
+            assert!(
+                fast.approx_eq(&oracle, 1e-4),
+                "({c_in},{c_out},{h},{w},f{f},s{s},p{p}): max diff {}",
+                fast.max_abs_diff(&oracle).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_per_call_packing() {
+        let input = det_input(3, 14, 10);
+        let weights = det_weights(3, 5, 3);
+        let bias = vec![0.05; 5];
+        let per_call = conv2d_rows(
+            &input,
+            0,
+            14,
+            2,
+            12,
+            &weights,
+            &bias,
+            5,
+            3,
+            1,
+            1,
+            Activation::Relu,
+        )
+        .unwrap();
+        let filter = pack_conv_filter(&weights, 3, 5, 3).unwrap();
+        let prepacked = conv2d_rows_packed(
+            &input,
+            0,
+            14,
+            2,
+            12,
+            &filter,
+            &bias,
+            3,
+            1,
+            1,
+            Activation::Relu,
+        )
+        .unwrap();
+        assert_eq!(per_call, prepacked);
+    }
+
+    #[test]
     fn rows_band_matches_full_conv() {
         let input = det_input(3, 16, 9);
         let weights = det_weights(3, 5, 3);
@@ -225,7 +520,9 @@ mod tests {
         let full = conv2d(&input, &weights, &bias, 5, f, s, p, Activation::Relu);
 
         // Split output rows into 0..6, 6..11, 11..16 and compute each band from
-        // the minimal halo slice of the input.
+        // the minimal halo slice of the input.  Bands must be *bit-exact*
+        // against the full output on the GEMM path — the property the
+        // distributed runtime relies on.
         let cuts = [6usize, 11, 16];
         let mut start = 0usize;
         let mut bands = Vec::new();
@@ -251,7 +548,34 @@ mod tests {
             start = end;
         }
         let stitched = concat_rows(&bands).unwrap();
-        assert!(stitched.approx_eq(&full, 1e-5));
+        assert_eq!(stitched, full, "stitched bands must be bit-exact");
+    }
+
+    #[test]
+    fn direct_rows_band_matches_direct_full() {
+        let input = det_input(2, 12, 8);
+        let weights = det_weights(2, 3, 3);
+        let bias = vec![0.1; 3];
+        let full = conv2d_direct(&input, &weights, &bias, 3, 3, 1, 1, Activation::Relu);
+        let (lo, hi) = input_rows_for_output(4, 9, 3, 1, 1, 12);
+        let band_in = slice_rows(&input, lo, hi).unwrap();
+        let band = conv2d_rows_direct(
+            &band_in,
+            lo,
+            12,
+            4,
+            9,
+            &weights,
+            &bias,
+            3,
+            3,
+            1,
+            1,
+            Activation::Relu,
+        )
+        .unwrap();
+        let full_band = slice_rows(&full, 4, 9).unwrap();
+        assert_eq!(band, full_band);
     }
 
     #[test]
@@ -276,6 +600,21 @@ mod tests {
             Activation::None,
         );
         assert!(r.is_err());
+        let rd = conv2d_rows_direct(
+            &band,
+            4,
+            10,
+            4,
+            6,
+            &weights,
+            &bias,
+            1,
+            3,
+            1,
+            1,
+            Activation::None,
+        );
+        assert!(rd.is_err());
     }
 
     #[test]
@@ -290,6 +629,28 @@ mod tests {
             &[0.0; 10],
             &[0.0],
             1,
+            3,
+            1,
+            1,
+            Activation::None,
+        );
+        assert!(matches!(r, Err(TensorError::KernelConfig(_))));
+    }
+
+    #[test]
+    fn rejects_mismatched_packed_filter() {
+        // Filter packed for c_in=2 used on a 3-channel input.
+        let weights = det_weights(2, 4, 3);
+        let filter = pack_conv_filter(&weights, 2, 4, 3).unwrap();
+        let input = det_input(3, 6, 6);
+        let r = conv2d_rows_packed(
+            &input,
+            0,
+            6,
+            0,
+            6,
+            &filter,
+            &[0.0; 4],
             3,
             1,
             1,

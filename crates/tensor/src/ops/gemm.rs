@@ -1,0 +1,511 @@
+//! Cache-blocked, register-tiled f32 GEMM with fused bias + activation —
+//! the compute core of the packed convolution and linear paths.
+//!
+//! The kernel computes `C[r][j] = act(bias[r] + Σ_k A[r][k] · B[k][j])`
+//! where `A` is a weight matrix prepacked into [`PackedFilter`] row panels
+//! (ideally once, at deploy time) and `B` is produced on the fly in column
+//! panels by a caller-supplied filler — the im2col lowering for
+//! convolutions, a trivial copy for linear layers.
+//!
+//! Three levels of blocking:
+//!
+//! * **register tile** — the micro-kernel holds an `MR × NR` accumulator
+//!   block in registers and streams one A panel against one B panel;
+//! * **K blocking** — the shared dimension is processed in slices of at
+//!   most [`KC`], so one B slice (≤ `KC × tile` floats) stays cache-hot
+//!   while every A panel streams over it;
+//! * **parallel tiles** — wide outputs are split into *column tiles* (for
+//!   convolutions these are row bands of the output image) processed by
+//!   rayon tasks; narrow outputs (the FC head, where `n` is 1) parallelise
+//!   over row-panel groups instead, because column tiling would starve
+//!   every core but one.
+//!
+//! Numerical contract: for a given output element, additions happen in
+//! exactly the order `bias, k=0, 1, …, K-1` — a single accumulator, never
+//! split across `k` — regardless of tile sizes, thread counts or whether
+//! the columns were computed in one call or many.  This is what makes the
+//! packed path deterministic: a band computed on a provider is bit-identical
+//! to the same rows of a full-output call, so the runtime's bit-exactness
+//! guarantees survive the fast path.
+
+use super::activation::Activation;
+use crate::error::TensorError;
+use crate::Result;
+use rayon::prelude::*;
+
+/// Rows per register tile (output channels / features per micro-kernel).
+pub const MR: usize = 4;
+/// Columns per register tile (output pixels per micro-kernel).
+pub const NR: usize = 16;
+/// K-dimension block: one B slice is at most `KC × tile` floats.
+pub const KC: usize = 256;
+
+/// A weight matrix `[m][k]` repacked into `MR`-row panels for the
+/// micro-kernel: panel `p` holds rows `p*MR ..`, stored k-major
+/// (`data[(p*k + kk)*MR + r] = w[p*MR + r][kk]`), zero-padded to a full
+/// panel so the kernel never branches on the row edge.
+///
+/// Packing is pure data movement — no arithmetic — so a GEMM over a
+/// prepacked filter is bit-identical to one that packs on the fly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedFilter {
+    m: usize,
+    k: usize,
+    data: Vec<f32>,
+}
+
+impl PackedFilter {
+    /// Packs a row-major `[m][k]` weight matrix into micro-kernel panels.
+    pub fn pack(weights: &[f32], m: usize, k: usize) -> Result<Self> {
+        if weights.len() != m * k {
+            return Err(TensorError::KernelConfig(format!(
+                "packed filter expects {m}x{k} = {} weights, got {}",
+                m * k,
+                weights.len()
+            )));
+        }
+        let panels = m.div_ceil(MR);
+        let mut data = vec![0.0f32; panels * k * MR];
+        for p in 0..panels {
+            let rows = (m - p * MR).min(MR);
+            let base = p * k * MR;
+            // Row-outer order: each source row is read contiguously and the
+            // panel written at stride MR — cache-friendly for the ~100 M
+            // element FC matrices packed at deploy.
+            for r in 0..rows {
+                let row = &weights[(p * MR + r) * k..(p * MR + r + 1) * k];
+                for (kk, &v) in row.iter().enumerate() {
+                    data[base + kk * MR + r] = v;
+                }
+            }
+        }
+        Ok(Self { m, k, data })
+    }
+
+    /// Number of output rows (channels / features).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Shared dimension length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Bytes held by the packed panels (including row padding).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The packed panel of rows `p*MR ..`, restricted to k slice
+    /// `[k0, k1)`: a contiguous `(k1-k0) × MR` block.
+    #[inline]
+    fn panel(&self, p: usize, k0: usize, k1: usize) -> &[f32] {
+        let base = p * self.k * MR;
+        &self.data[base + k0 * MR..base + k1 * MR]
+    }
+}
+
+/// A B-panel filler: `fill(k0, k1, j0, j1, buf)` writes B values for k rows
+/// `[k0, k1)` and output columns `[j0, j1)` into `buf`, which is laid out in
+/// `NR`-column panels (`buf[(q*(k1-k0) + kk)*NR + jj] = B[k0+kk][j0 + q*NR
+/// + jj]`).  `buf` arrives zeroed; the filler only writes non-zero entries.
+pub trait PanelFill: Sync {
+    /// Writes one k-slice of B panels (see trait docs for the layout).
+    fn fill(&self, k0: usize, k1: usize, j0: usize, j1: usize, buf: &mut [f32]);
+}
+
+impl<F> PanelFill for F
+where
+    F: Fn(usize, usize, usize, usize, &mut [f32]) + Sync,
+{
+    fn fill(&self, k0: usize, k1: usize, j0: usize, j1: usize, buf: &mut [f32]) {
+        self(k0, k1, j0, j1, buf)
+    }
+}
+
+/// Column tiles switch to row-panel parallelism below this width.
+const MIN_COLS_FOR_TILING: usize = 4 * NR;
+/// Parallel grain target: aim for this many tasks per available thread.
+const TASKS_PER_THREAD: usize = 3;
+/// Upper bound on a column tile (bounds the B slice at `KC × 2048` floats,
+/// 2 MiB — comfortably inside a shared L2/L3 slice).
+const MAX_TILE_COLS: usize = 2048;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Computes `out = act(bias + A·B)` into a row-major `[m][n]` buffer, with
+/// `A` prepacked and `B` produced by `fill` (see [`PanelFill`]).
+pub fn gemm_bias_act_into<F: PanelFill>(
+    a: &PackedFilter,
+    bias: &[f32],
+    act: Activation,
+    n: usize,
+    fill: &F,
+    out: &mut [f32],
+) -> Result<()> {
+    let (m, k) = (a.m, a.k);
+    if bias.len() != m {
+        return Err(TensorError::KernelConfig(format!(
+            "gemm bias length {} != m {m}",
+            bias.len()
+        )));
+    }
+    if out.len() != m * n {
+        return Err(TensorError::KernelConfig(format!(
+            "gemm output length {} != m*n = {}",
+            out.len(),
+            m * n
+        )));
+    }
+    if n == 0 || m == 0 {
+        return Ok(());
+    }
+
+    if n >= MIN_COLS_FOR_TILING {
+        // Wide output: parallelise over column tiles (output row bands for
+        // the convolution caller).  Each task owns a private C tile and B
+        // slice; tiles are scattered into `out` afterwards.
+        let tile = n
+            .div_ceil(TASKS_PER_THREAD * num_threads())
+            .next_multiple_of(NR)
+            .clamp(NR, MAX_TILE_COLS);
+        let tiles = n.div_ceil(tile);
+        let blocks: Vec<(usize, usize, Vec<f32>)> = (0..tiles)
+            .into_par_iter()
+            .map(|t| {
+                let j0 = t * tile;
+                let j1 = (j0 + tile).min(n);
+                let tn = j1 - j0;
+                let panels = tn.div_ceil(NR);
+                let mut ctile = vec![0.0f32; m * tn];
+                let mut bbuf = vec![0.0f32; panels * KC.min(k) * NR];
+                for k0 in (0..k).step_by(KC) {
+                    let k1 = (k0 + KC).min(k);
+                    let bslice = &mut bbuf[..panels * (k1 - k0) * NR];
+                    bslice.fill(0.0);
+                    fill.fill(k0, k1, j0, j1, bslice);
+                    gemm_block(
+                        a,
+                        0,
+                        m,
+                        k0,
+                        k1,
+                        bslice,
+                        k1 - k0,
+                        k0,
+                        tn,
+                        bias,
+                        act,
+                        &mut ctile,
+                        tn,
+                    );
+                }
+                (j0, j1, ctile)
+            })
+            .collect();
+        for (j0, j1, ctile) in blocks {
+            let tn = j1 - j0;
+            for r in 0..m {
+                out[r * n + j0..r * n + j1].copy_from_slice(&ctile[r * tn..(r + 1) * tn]);
+            }
+        }
+    } else {
+        // Narrow output (the FC / GEMV case): one shared B, parallelise
+        // over row-panel groups writing disjoint chunks of `out` in place.
+        let panels = n.div_ceil(NR);
+        let mut bbuf = vec![0.0f32; panels * k * NR];
+        // The narrow-path B is laid out whole-k (panel stride k*NR), so
+        // fill per slice into a staging view with the sliced layout, then
+        // interleave.  With panels == 1 (n <= NR, the common FC case) the
+        // layouts coincide and no staging is needed.
+        let mut stage = vec![
+            0.0f32;
+            if panels > 1 {
+                panels * KC.min(k) * NR
+            } else {
+                0
+            }
+        ];
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            if panels == 1 {
+                fill.fill(k0, k1, 0, n, &mut bbuf[k0 * NR..k1 * NR]);
+            } else {
+                let kc = k1 - k0;
+                let slice = &mut stage[..panels * kc * NR];
+                slice.fill(0.0);
+                fill.fill(k0, k1, 0, n, slice);
+                for q in 0..panels {
+                    let dst = q * k * NR + k0 * NR;
+                    bbuf[dst..dst + kc * NR]
+                        .copy_from_slice(&slice[q * kc * NR..(q + 1) * kc * NR]);
+                }
+            }
+        }
+        let group_rows = m
+            .div_ceil(TASKS_PER_THREAD * num_threads())
+            .next_multiple_of(MR)
+            .min(m.next_multiple_of(MR));
+        out.par_chunks_mut(group_rows * n)
+            .enumerate()
+            .for_each(|(g, chunk)| {
+                let r0 = g * group_rows;
+                let r1 = (r0 + group_rows).min(m);
+                for k0 in (0..k).step_by(KC) {
+                    let k1 = (k0 + KC).min(k);
+                    // Re-slice the whole-k B into this k block's panels.
+                    gemm_block(a, r0, r1, k0, k1, &bbuf, k, 0, n, bias, act, chunk, n);
+                }
+            });
+    }
+    Ok(())
+}
+
+/// One K-slice GEMM update over rows `[r0, r1)` (with `r0 % MR == 0`):
+/// `C += A[:, k0..k1] · B[k0..k1]`, initialising C from `bias` on the first
+/// slice (`k0 == 0`) and applying `act` on the last (`k1 == K`).
+///
+/// `b` holds `ceil(n/NR)` column panels; each panel stores k rows
+/// `[b_k0, b_k0 + b_panel_rows)` — `(k0, kc)` for the per-slice layout the
+/// wide path fills, `(0, K)` for the whole-k layout the narrow path shares
+/// across row tasks.  `c` covers rows `[r0, r1)` with row stride `c_stride`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    a: &PackedFilter,
+    r0: usize,
+    r1: usize,
+    k0: usize,
+    k1: usize,
+    b: &[f32],
+    b_panel_rows: usize,
+    b_k0: usize,
+    n: usize,
+    bias: &[f32],
+    act: Activation,
+    c: &mut [f32],
+    c_stride: usize,
+) {
+    debug_assert_eq!(r0 % MR, 0);
+    let kc = k1 - k0;
+    let first = k0 == 0;
+    let last = k1 == a.k;
+    let panels_n = n.div_ceil(NR);
+    for q in 0..panels_n {
+        let j0 = q * NR;
+        let jn = (n - j0).min(NR);
+        let start = q * b_panel_rows * NR + (k0 - b_k0) * NR;
+        let bpanel = &b[start..start + kc * NR];
+        let mut p = r0 / MR;
+        while p * MR < r1 {
+            let rows = (r1 - p * MR).min(MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            if first {
+                for r in 0..rows {
+                    acc[r] = [bias[p * MR + r]; NR];
+                }
+            } else {
+                for r in 0..rows {
+                    let row = &c[(p * MR + r - r0) * c_stride + j0..][..jn];
+                    acc[r][..jn].copy_from_slice(row);
+                }
+            }
+            microkernel(a.panel(p, k0, k1), bpanel, &mut acc);
+            for r in 0..rows {
+                let row = &mut c[(p * MR + r - r0) * c_stride + j0..][..jn];
+                if last {
+                    for (dst, v) in row.iter_mut().zip(acc[r].iter()) {
+                        *dst = act.apply(*v);
+                    }
+                } else {
+                    row.copy_from_slice(&acc[r][..jn]);
+                }
+            }
+            p += 1;
+        }
+    }
+}
+
+/// The register tile: streams one A panel (`kc × MR`) against one B panel
+/// (`kc × NR`), accumulating `MR × NR` partial sums.  The `j` loop is over
+/// independent output elements, so the compiler vectorises it without
+/// reordering the `k` accumulation — the order every caller relies on.
+#[inline]
+fn microkernel(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = av[r];
+            let row = &mut acc[r];
+            for (j, &bj) in bv.iter().enumerate() {
+                row[j] += ar * bj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_fill(bmat: &[f32], n_total: usize) -> impl PanelFill + '_ {
+        move |k0: usize, k1: usize, j0: usize, j1: usize, buf: &mut [f32]| {
+            let kc = k1 - k0;
+            for kk in 0..kc {
+                for j in j0..j1 {
+                    let jj = j - j0;
+                    let (q, lane) = (jj / NR, jj % NR);
+                    buf[(q * kc + kk) * NR + lane] = bmat[(k0 + kk) * n_total + j];
+                }
+            }
+        }
+    }
+
+    fn reference(
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        act: Activation,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for r in 0..m {
+            for j in 0..n {
+                let mut acc = bias[r];
+                for kk in 0..k {
+                    acc += a[r * k + kk] * b[kk * n + j];
+                }
+                out[r * n + j] = act.apply(acc);
+            }
+        }
+        out
+    }
+
+    fn det(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(2654435761).wrapping_add(seed);
+                ((v % 512) as f32 / 256.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_layout_round_trips() {
+        let (m, k) = (5, 3);
+        let w: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        let packed = PackedFilter::pack(&w, m, k).unwrap();
+        assert_eq!(packed.m(), m);
+        assert_eq!(packed.k(), k);
+        // Panel 0 rows 0..4, panel 1 holds row 4 plus zero padding.
+        let p0 = packed.panel(0, 0, k);
+        assert_eq!(p0[0], w[0]); // row 0, k 0
+        assert_eq!(p0[1], w[k]); // row 1, k 0
+        assert_eq!(p0[MR], w[1]); // row 0, k 1
+        let p1 = packed.panel(1, 0, k);
+        assert_eq!(p1[0], w[4 * k]); // row 4, k 0
+        assert_eq!(p1[1], 0.0); // padding row
+    }
+
+    #[test]
+    fn pack_rejects_bad_length() {
+        assert!(PackedFilter::pack(&[0.0; 5], 2, 3).is_err());
+    }
+
+    #[test]
+    fn matches_reference_across_shapes() {
+        // Exercise both parallel strategies, panel edges and K blocking.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),      // narrow path, row-panel edge
+            (4, 300, 9),    // narrow path, K blocking
+            (6, 30, 100),   // tiled path, column edges
+            (33, 520, 130), // tiled path + K blocking + both edges
+            (MR, KC, NR),   // exact tile boundaries
+            (MR * 2, KC * 2, NR * 5),
+        ] {
+            let a = det(m * k, 1);
+            let b = det(k * n, 2);
+            let bias = det(m, 3);
+            let packed = PackedFilter::pack(&a, m, k).unwrap();
+            let mut out = vec![0.0f32; m * n];
+            gemm_bias_act_into(
+                &packed,
+                &bias,
+                Activation::Relu,
+                n,
+                &dense_fill(&b, n),
+                &mut out,
+            )
+            .unwrap();
+            let want = reference(&a, &b, &bias, m, k, n, Activation::Relu);
+            for (got, want) in out.iter().zip(&want) {
+                assert!((got - want).abs() <= 1e-4, "({m},{k},{n}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_subsets_are_bit_identical_to_full_output() {
+        // The determinism contract: computing a subset of columns in its own
+        // call yields bit-identical values to the same columns of a full
+        // call — the property band execution depends on.
+        let (m, k, n) = (10, 513, 96);
+        let a = det(m * k, 7);
+        let b = det(k * n, 8);
+        let bias = det(m, 9);
+        let packed = PackedFilter::pack(&a, m, k).unwrap();
+        let mut full = vec![0.0f32; m * n];
+        gemm_bias_act_into(
+            &packed,
+            &bias,
+            Activation::Tanh,
+            n,
+            &dense_fill(&b, n),
+            &mut full,
+        )
+        .unwrap();
+
+        let (j0, j1) = (17, 63);
+        let nn = j1 - j0;
+        let shifted_fill = |k0: usize, k1: usize, a0: usize, a1: usize, buf: &mut [f32]| {
+            dense_fill(&b, n).fill(k0, k1, a0 + j0, a1 + j0, buf);
+        };
+        let mut part = vec![0.0f32; m * nn];
+        gemm_bias_act_into(
+            &packed,
+            &bias,
+            Activation::Tanh,
+            nn,
+            &shifted_fill,
+            &mut part,
+        )
+        .unwrap();
+        for r in 0..m {
+            assert_eq!(
+                &part[r * nn..(r + 1) * nn],
+                &full[r * n + j0..r * n + j1],
+                "row {r} differs between subset and full computation"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_buffers() {
+        let packed = PackedFilter::pack(&[1.0; 6], 2, 3).unwrap();
+        let fill = dense_fill(&[0.0; 3], 1);
+        let mut out = vec![0.0f32; 2];
+        assert!(
+            gemm_bias_act_into(&packed, &[0.0; 1], Activation::None, 1, &fill, &mut out).is_err()
+        );
+        let mut wrong = vec![0.0f32; 3];
+        assert!(
+            gemm_bias_act_into(&packed, &[0.0; 2], Activation::None, 1, &fill, &mut wrong).is_err()
+        );
+    }
+}

@@ -1,22 +1,41 @@
 //! Fully-connected (linear) layer kernel.
+//!
+//! Routed through the same packed GEMM micro-kernel as the convolutions
+//! (with `n = 1`, the driver parallelises over row-panel groups — the FC
+//! head of a classification model dominates head-device time, and the old
+//! serial dot-product loop left every core but one idle).
+//! [`linear_packed`] consumes a filter prepacked at deploy time;
+//! [`linear`] packs per call and is bit-identical.  [`linear_direct`] is
+//! the serial oracle.
 
 use super::activation::Activation;
+use super::gemm::{gemm_bias_act_into, PackedFilter, NR};
 use crate::error::TensorError;
 use crate::shape::Shape;
 use crate::{Result, Tensor};
 
-/// Fully-connected layer: `out[o] = act(bias[o] + sum_i w[o][i] * in[i])`.
-///
-/// The input tensor is flattened in CHW order; `weights` is laid out
-/// `[out][in]`.  The result is a `[out, 1, 1]` tensor.
-pub fn linear(
-    input: &Tensor,
+fn validate(in_features: usize, w_len: usize, bias_len: usize, out_features: usize) -> Result<()> {
+    if w_len != in_features * out_features {
+        return Err(TensorError::KernelConfig(format!(
+            "linear weights length {w_len} != out*in = {}",
+            in_features * out_features
+        )));
+    }
+    if bias_len != out_features {
+        return Err(TensorError::KernelConfig(format!(
+            "linear bias length {bias_len} != out {out_features}"
+        )));
+    }
+    Ok(())
+}
+
+/// Packs `[out][in]` linear weights into GEMM panels (the deploy-time half
+/// of the packed FC path).
+pub fn pack_linear_filter(
     weights: &[f32],
-    bias: &[f32],
+    in_features: usize,
     out_features: usize,
-    act: Activation,
-) -> Result<Tensor> {
-    let in_features = input.len();
+) -> Result<PackedFilter> {
     if weights.len() != in_features * out_features {
         return Err(TensorError::KernelConfig(format!(
             "linear weights length {} != out*in = {}",
@@ -24,13 +43,62 @@ pub fn linear(
             in_features * out_features
         )));
     }
-    if bias.len() != out_features {
+    PackedFilter::pack(weights, out_features, in_features)
+}
+
+/// Fully-connected layer: `out[o] = act(bias[o] + sum_i w[o][i] * in[i])`.
+///
+/// The input tensor is flattened in CHW order; `weights` is laid out
+/// `[out][in]`.  The result is a `[out, 1, 1]` tensor.  Packs the weights
+/// per call; bit-identical to [`linear_packed`] over a prepacked filter.
+pub fn linear(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    // Packing validates the weight length; the GEMM driver validates bias.
+    let filter = pack_linear_filter(weights, input.len(), out_features)?;
+    linear_packed(input, &filter, bias, act)
+}
+
+/// Fully-connected layer over a prepacked filter — the per-frame hot path.
+pub fn linear_packed(
+    input: &Tensor,
+    filter: &PackedFilter,
+    bias: &[f32],
+    act: Activation,
+) -> Result<Tensor> {
+    if filter.k() != input.len() {
         return Err(TensorError::KernelConfig(format!(
-            "linear bias length {} != out {}",
-            bias.len(),
-            out_features
+            "packed linear filter expects {} inputs, got {}",
+            filter.k(),
+            input.len()
         )));
     }
+    let x = input.data();
+    // The B matrix is the input vector itself: one column, panel 0.
+    let fill = move |k0: usize, k1: usize, _j0: usize, _j1: usize, buf: &mut [f32]| {
+        for (kk, &v) in x[k0..k1].iter().enumerate() {
+            buf[kk * NR] = v;
+        }
+    };
+    let mut out = vec![0.0f32; filter.m()];
+    gemm_bias_act_into(filter, bias, act, 1, &fill, &mut out)?;
+    Tensor::from_vec(Shape::new(filter.m(), 1, 1), out)
+}
+
+/// Serial dot-product linear layer — the test oracle.
+pub fn linear_direct(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let in_features = input.len();
+    validate(in_features, weights.len(), bias.len(), out_features)?;
     let x = input.data();
     let mut out = Vec::with_capacity(out_features);
     for o in 0..out_features {
@@ -74,9 +142,54 @@ mod tests {
     }
 
     #[test]
+    fn gemm_path_matches_direct_oracle() {
+        // Sizes past the K block and the MR panel edge.
+        for &(inf, outf) in &[(7usize, 3usize), (300, 17), (1024, 33)] {
+            let input = Tensor::from_vec(
+                [inf, 1, 1],
+                (0..inf).map(|i| ((i % 13) as f32) * 0.1 - 0.6).collect(),
+            )
+            .unwrap();
+            let weights: Vec<f32> = (0..inf * outf)
+                .map(|i| ((i % 19) as f32 - 9.0) * 0.03)
+                .collect();
+            let bias: Vec<f32> = (0..outf).map(|i| (i as f32) * 0.02 - 0.1).collect();
+            let fast = linear(&input, &weights, &bias, outf, Activation::Tanh).unwrap();
+            let oracle = linear_direct(&input, &weights, &bias, outf, Activation::Tanh).unwrap();
+            assert!(
+                fast.approx_eq(&oracle, 1e-4),
+                "({inf},{outf}): max diff {}",
+                fast.max_abs_diff(&oracle).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_is_bit_identical_to_per_call_packing() {
+        let inf = 520;
+        let outf = 21;
+        let input = Tensor::from_vec(
+            [inf, 1, 1],
+            (0..inf).map(|i| ((i % 11) as f32) * 0.2 - 1.0).collect(),
+        )
+        .unwrap();
+        let weights: Vec<f32> = (0..inf * outf)
+            .map(|i| ((i % 23) as f32 - 11.0) * 0.01)
+            .collect();
+        let bias = vec![0.05; outf];
+        let per_call = linear(&input, &weights, &bias, outf, Activation::Relu).unwrap();
+        let filter = pack_linear_filter(&weights, inf, outf).unwrap();
+        let prepacked = linear_packed(&input, &filter, &bias, Activation::Relu).unwrap();
+        assert_eq!(per_call, prepacked);
+    }
+
+    #[test]
     fn rejects_bad_shapes() {
         let input = Tensor::filled([2, 1, 1], 1.0);
         assert!(linear(&input, &[1.0; 3], &[0.0], 2, Activation::None).is_err());
         assert!(linear(&input, &[1.0; 4], &[0.0; 3], 2, Activation::None).is_err());
+        let filter = pack_linear_filter(&[1.0; 6], 3, 2).unwrap();
+        let wrong = Tensor::filled([2, 1, 1], 1.0);
+        assert!(linear_packed(&wrong, &filter, &[0.0; 2], Activation::None).is_err());
     }
 }

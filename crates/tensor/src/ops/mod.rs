@@ -1,11 +1,21 @@
 //! Compute kernels: convolution, pooling, activation, and linear layers.
+//!
+//! Convolutions and linear layers route through the packed im2col + blocked
+//! GEMM path in [`gemm`]; the direct loop-nest kernels
+//! ([`conv2d_direct`] / [`conv2d_rows_direct`] / [`linear_direct`]) remain
+//! as the oracles the fast path is validated against.
 
 mod activation;
 mod conv;
+pub mod gemm;
 mod linear;
 mod pool;
 
 pub use activation::{apply_activation, Activation};
-pub use conv::{conv2d, conv2d_rows, im2col_weight_len};
-pub use linear::linear;
+pub use conv::{
+    conv2d, conv2d_direct, conv2d_rows, conv2d_rows_direct, conv2d_rows_packed, im2col_weight_len,
+    pack_conv_filter,
+};
+pub use gemm::PackedFilter;
+pub use linear::{linear, linear_direct, linear_packed, pack_linear_filter};
 pub use pool::{maxpool2d, maxpool2d_rows};

@@ -1,0 +1,148 @@
+//! Property-based equivalence of the packed im2col + GEMM convolution path
+//! against the direct loop-nest oracle.
+//!
+//! Two invariants across random geometries (channels, filter, stride,
+//! padding, band splits):
+//!
+//! * **oracle agreement** — the GEMM path matches the direct kernel within
+//!   `1e-4` (the paths sum in different orders only over the zero-padding
+//!   taps the direct kernel skips);
+//! * **band determinism** — on the *packed* path, computing a band split
+//!   and stitching is *bit-exact* against the full-output call, for any
+//!   cut points.  This is the stronger property the distributed runtime's
+//!   bit-exactness tests rely on.
+
+use proptest::prelude::*;
+use tensor::ops::{
+    conv2d_direct, conv2d_rows_packed, im2col_weight_len, linear_direct, linear_packed,
+    pack_conv_filter, pack_linear_filter, Activation,
+};
+use tensor::shape::{conv_out_dim, input_rows_for_output};
+use tensor::slice::{concat_rows, slice_rows};
+use tensor::Tensor;
+
+fn pseudo_tensor(c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+    Tensor::from_fn([c, h, w], |ci, y, x| {
+        let v = (ci as u64)
+            .wrapping_mul(2654435761)
+            .wrapping_add((y as u64).wrapping_mul(40503))
+            .wrapping_add((x as u64).wrapping_mul(9973))
+            .wrapping_add(seed);
+        ((v % 2048) as f32 / 1024.0) - 1.0
+    })
+}
+
+fn pseudo_weights(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((v % 1000) as f32 / 500.0) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GEMM path ≡ direct oracle within 1e-4 for random conv geometries.
+    #[test]
+    fn gemm_conv_matches_direct_oracle(
+        c_in in 1usize..6,
+        c_out in 1usize..10,
+        h in 6usize..24,
+        w in 4usize..14,
+        f in 1usize..5,
+        stride in 1usize..3,
+        pad_excess in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let padding = f / 2 + pad_excess;
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0xabc);
+        let bias = pseudo_weights(c_out, seed ^ 0x123);
+        prop_assume!(conv_out_dim(h, f, stride, padding).is_some());
+        prop_assume!(conv_out_dim(w, f, stride, padding).is_some());
+
+        let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, stride, padding, Activation::Relu);
+        let filter = pack_conv_filter(&weights, c_in, c_out, f).unwrap();
+        let fast = conv2d_rows_packed(
+            &input, 0, h, 0, oracle.height(), &filter, &bias, f, stride, padding, Activation::Relu,
+        ).unwrap();
+        prop_assert_eq!(fast.shape(), oracle.shape());
+        let diff = fast.max_abs_diff(&oracle).unwrap();
+        prop_assert!(diff <= 1e-4, "GEMM vs direct diff {diff}");
+    }
+
+    /// On the packed path, banded execution with minimal halos stitches
+    /// bit-exactly into the full output, for random geometries and cuts.
+    #[test]
+    fn packed_band_stitch_is_bit_exact(
+        c_in in 1usize..5,
+        c_out in 1usize..8,
+        h in 8usize..24,
+        w in 4usize..12,
+        f in 1usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+        cut_a in 0.1f64..0.9,
+        cut_b in 0.1f64..0.9,
+    ) {
+        let padding = f / 2;
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0xdef);
+        let bias = pseudo_weights(c_out, seed ^ 0x456);
+        let filter = pack_conv_filter(&weights, c_in, c_out, f).unwrap();
+        let out_h = conv_out_dim(h, f, stride, padding).unwrap();
+        prop_assume!(out_h >= 3);
+
+        let full = conv2d_rows_packed(
+            &input, 0, h, 0, out_h, &filter, &bias, f, stride, padding, Activation::LeakyRelu,
+        ).unwrap();
+
+        let mut cuts = [
+            ((out_h as f64 * cut_a) as usize).clamp(1, out_h - 1),
+            ((out_h as f64 * cut_b) as usize).clamp(1, out_h - 1),
+        ];
+        cuts.sort_unstable();
+        let bounds = [0, cuts[0], cuts[1], out_h];
+        let mut bands = Vec::new();
+        for pair in bounds.windows(2) {
+            let (lo_out, hi_out) = (pair[0], pair[1]);
+            if lo_out == hi_out {
+                continue;
+            }
+            let (lo, hi) = input_rows_for_output(lo_out, hi_out, f, stride, padding, h);
+            let band_in = slice_rows(&input, lo, hi).unwrap();
+            let band = conv2d_rows_packed(
+                &band_in, lo, h, lo_out, hi_out, &filter, &bias, f, stride, padding,
+                Activation::LeakyRelu,
+            ).unwrap();
+            bands.push(band);
+        }
+        let stitched = concat_rows(&bands).unwrap();
+        prop_assert_eq!(stitched, full);
+    }
+
+    /// GEMM-routed linear ≡ serial oracle within 1e-4, and prepacked ≡
+    /// per-call packing bit-exactly.
+    #[test]
+    fn gemm_linear_matches_direct_oracle(
+        in_features in 1usize..600,
+        out_features in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let input = Tensor::from_vec(
+            [in_features, 1, 1],
+            pseudo_weights(in_features, seed),
+        ).unwrap();
+        let weights = pseudo_weights(in_features * out_features, seed ^ 0x777);
+        let bias = pseudo_weights(out_features, seed ^ 0x888);
+        let oracle = linear_direct(&input, &weights, &bias, out_features, Activation::Relu).unwrap();
+        let filter = pack_linear_filter(&weights, in_features, out_features).unwrap();
+        let fast = linear_packed(&input, &filter, &bias, Activation::Relu).unwrap();
+        let diff = fast.max_abs_diff(&oracle).unwrap();
+        prop_assert!(diff <= 1e-4, "linear GEMM vs direct diff {diff}");
+    }
+}
