@@ -27,6 +27,7 @@ use cnn_model::{Model, PartitionScheme, VolumeSplit};
 use device_profile::DeviceSpec;
 use edge_runtime::report::MeasuredCompute;
 use edge_runtime::{RuntimeReport, Session, SwapReport};
+use edge_telemetry::{Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::{Cluster, ExecutionPlan, SimOptions};
 use netsim::LinkConfig;
 use neuro::DdpgAgent;
@@ -497,6 +498,16 @@ pub struct AdaptiveSession {
     model: Model,
     cluster: Cluster,
     plan: ExecutionPlan,
+    tel: Option<ControllerTelemetry>,
+}
+
+/// The adaptation controller's trace endpoints (attached with
+/// [`AdaptiveSession::with_telemetry`]).
+struct ControllerTelemetry {
+    rec: Recorder,
+    ticks: edge_telemetry::Counter,
+    replans: edge_telemetry::Counter,
+    drift: edge_telemetry::Gauge,
 }
 
 impl AdaptiveSession {
@@ -518,7 +529,24 @@ impl AdaptiveSession {
             model: model.clone(),
             cluster: cluster.clone(),
             plan,
+            tel: None,
         })
+    }
+
+    /// Records every adaptation decision on `telemetry`: an
+    /// [`Stage::Adapt`] instant per tick (bytes = the window's mean latency
+    /// in µs, arg = drift in basis points) plus `controller.adapt_ticks` /
+    /// `controller.replans` counters and a `controller.drift` gauge.  Share
+    /// the hub with the traced session deployment to see *why* a plan swap
+    /// happened next to the swap itself.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.tel = Some(ControllerTelemetry {
+            rec: telemetry.recorder("controller", REQUESTER),
+            ticks: telemetry.counter("controller.adapt_ticks"),
+            replans: telemetry.counter("controller.replans"),
+            drift: telemetry.gauge("controller.drift_bp"),
+        });
+        self
     }
 
     /// The live session (submit / wait / metrics as usual).
@@ -545,6 +573,23 @@ impl AdaptiveSession {
         let decision =
             self.adaptation
                 .observe(&self.model, &self.cluster, &self.plan, &snapshot)?;
+        if let Some(tel) = &mut self.tel {
+            // The decision is logged with the snapshot that triggered it:
+            // the window's mean latency (µs) and the measured drift (basis
+            // points), keyed to the epoch the snapshot was taken under.
+            tel.ticks.inc();
+            let drift_bp = (decision.drift * 10_000.0).min(f64::from(u32::MAX)) as u32;
+            tel.drift.set(drift_bp as i64);
+            if decision.strategy.is_some() {
+                tel.replans.inc();
+            }
+            tel.rec.instant(
+                Stage::Adapt,
+                TraceId::session(snapshot.epoch),
+                (decision.window_mean_latency_ms * 1e3) as u64,
+                drift_bp,
+            );
+        }
         let mut swap = None;
         if let Some(strategy) = &decision.strategy {
             let new_plan = strategy.to_plan(&self.model)?;
@@ -716,8 +761,10 @@ mod tests {
         online_cfg.significant_change = 0.0; // Any drift triggers a re-plan.
 
         let opts = DeployOptions::default();
-        let mut adaptive =
-            DistrEdge::serve_adaptive(&m, &c, &planning, &online_cfg, &opts).unwrap();
+        let telemetry = Telemetry::new();
+        let mut adaptive = DistrEdge::serve_adaptive(&m, &c, &planning, &online_cfg, &opts)
+            .unwrap()
+            .with_telemetry(&telemetry);
         let weights = ModelWeights::deterministic(&m, opts.weight_seed);
         let serve_wave = |session: &edge_runtime::Session, wave: u64| {
             for i in 0..3u64 {
@@ -754,6 +801,27 @@ mod tests {
         let report = adaptive.shutdown().unwrap();
         assert_eq!(report.images, 9, "zero loss across the swap");
         assert_eq!(report.epoch, 1);
+
+        // Every adaptation decision left an Adapt instant on the trace and
+        // the controller counters agree with what the ticks did.
+        let trace = telemetry.collect();
+        let adapt_instants: usize = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.stage == Stage::Adapt)
+            .count();
+        assert_eq!(adapt_instants, 3, "one Adapt instant per tick");
+        let value = |name: &str| {
+            telemetry
+                .metrics()
+                .iter()
+                .find(|mm| mm.name == name)
+                .map(|mm| mm.value)
+                .unwrap_or_else(|| panic!("metric {name} not registered"))
+        };
+        assert_eq!(value("controller.adapt_ticks"), 3.0);
+        assert_eq!(value("controller.replans"), 1.0);
     }
 
     #[test]

@@ -33,6 +33,22 @@ impl Priority {
     /// All classes, most urgent first — the order batches are filled in.
     pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
 
+    /// The dense index of this class (`High = 0 … Low = 2`), matching the
+    /// order of [`Priority::ALL`] — indexes per-class counter arrays.
+    pub fn index(self) -> usize {
+        self.class()
+    }
+
+    /// Lower-case label, used in per-class metric names
+    /// (`gateway.shed.deadline.high`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
     fn class(self) -> usize {
         match self {
             Priority::High => 0,

@@ -7,6 +7,7 @@ use crate::config::GatewayConfig;
 use crate::metrics::{GatewayMetrics, LatencyHistogram};
 use crate::GatewayError;
 use edge_runtime::{RuntimeReport, Session, SwapReport, Ticket};
+use edge_telemetry::{Counter, Gauge, Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::ExecutionPlan;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -74,6 +75,7 @@ struct PendingRequest {
     image: Tensor,
     deadline: Option<Instant>,
     enqueued: Instant,
+    priority: Priority,
     state: Arc<ResponseState>,
 }
 
@@ -84,6 +86,10 @@ struct Stats {
     completed: u64,
     shed_deadline: u64,
     shed_overload: u64,
+    /// Deadline sheds split by scheduling class ([`Priority::ALL`] order).
+    shed_deadline_by_class: [u64; 3],
+    /// Overload sheds split by scheduling class ([`Priority::ALL`] order).
+    shed_overload_by_class: [u64; 3],
     dispatched: u64,
     batches: u64,
     est_service_ms: f64,
@@ -115,6 +121,50 @@ struct State {
     stats: Stats,
 }
 
+/// Shed-reason code packed into the high half of a [`Stage::Shed`] arg
+/// (low half carries the [`Priority::index`]).
+const SHED_DEADLINE: u32 = 0;
+/// See [`SHED_DEADLINE`].
+const SHED_OVERLOAD: u32 = 1;
+
+/// The gateway's telemetry endpoints: one span recorder (its own lock —
+/// never held together with the state mutex; always record *after*
+/// dropping the state guard) plus the registry cells the front-end keeps
+/// live regardless of whether span recording is on.
+struct GatewayTelemetry {
+    hub: Telemetry,
+    rec: Mutex<Recorder>,
+    queue_depth: Gauge,
+    completed: Counter,
+    dispatched: Counter,
+    batches: Counter,
+    /// Per-class shed counters, [`Priority::ALL`] order.
+    shed_deadline: [Counter; 3],
+    shed_overload: [Counter; 3],
+}
+
+impl GatewayTelemetry {
+    /// Counts one shed in the registry and drops a [`Stage::Shed`] instant
+    /// on the trace (arg packs `class | reason << 16`).
+    fn shed(&self, priority: Priority, reason: u32) {
+        let counters = if reason == SHED_DEADLINE {
+            &self.shed_deadline
+        } else {
+            &self.shed_overload
+        };
+        counters[priority.index()].inc();
+        if self.hub.is_enabled() {
+            let mut rec = self.rec.lock().expect("telemetry recorder poisoned");
+            rec.instant(
+                Stage::Shed,
+                TraceId::session(0),
+                0,
+                priority.index() as u32 | (reason << 16),
+            );
+        }
+    }
+}
+
 struct Inner {
     config: GatewayConfig,
     state: Mutex<State>,
@@ -122,6 +172,7 @@ struct Inner {
     work: Condvar,
     /// The resident session.  `None` only once `shutdown` has taken it.
     session: RwLock<Option<Session>>,
+    tel: GatewayTelemetry,
 }
 
 impl Inner {
@@ -186,8 +237,10 @@ impl GatewayClient {
         // absorbing them into unbounded latency for everyone behind them.
         if st.batcher.len() >= self.inner.config.queue_capacity {
             st.stats.shed_overload += 1;
+            st.stats.shed_overload_by_class[self.priority.index()] += 1;
             let queue_depth = st.batcher.len();
             drop(st);
+            self.inner.tel.shed(self.priority, SHED_OVERLOAD);
             state.fulfil(Err(GatewayError::Overloaded { queue_depth }));
             return response;
         }
@@ -200,7 +253,9 @@ impl GatewayClient {
         if let (Some(dl), Some(est)) = (deadline, st.stats.estimate()) {
             if !st.batcher.is_empty() && now + est > dl {
                 st.stats.shed_deadline += 1;
+                st.stats.shed_deadline_by_class[self.priority.index()] += 1;
                 drop(st);
+                self.inner.tel.shed(self.priority, SHED_DEADLINE);
                 state.fulfil(Err(GatewayError::DeadlineExceeded));
                 return response;
             }
@@ -210,11 +265,13 @@ impl GatewayClient {
                 image: image.clone(),
                 deadline,
                 enqueued: now,
+                priority: self.priority,
                 state,
             },
             self.priority,
             now,
         );
+        self.inner.tel.queue_depth.set(st.batcher.len() as i64);
         drop(st);
         self.inner.work.notify_all();
         response
@@ -229,9 +286,36 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Puts a gateway in front of a deployed session.
+    /// Puts a gateway in front of a deployed session (untraced — see
+    /// [`Gateway::over_traced`] to attach a telemetry hub).
     pub fn over(session: Session, config: GatewayConfig) -> Result<Self, GatewayError> {
+        Self::over_traced(session, config, &Telemetry::disabled())
+    }
+
+    /// Puts a gateway in front of a deployed session, recording its
+    /// front-end lifecycle on `telemetry`: queue-wait spans per admitted
+    /// image, batch-formation and shed instants, plus registry cells for
+    /// queue depth, dispatch/completion counts and per-class shed reasons.
+    /// Pair with [`edge_runtime::Runtime::deploy_traced`] on the same hub
+    /// to see the full gateway → device → response path on one clock.
+    pub fn over_traced(
+        session: Session,
+        config: GatewayConfig,
+        telemetry: &Telemetry,
+    ) -> Result<Self, GatewayError> {
         config.validate()?;
+        let tel = GatewayTelemetry {
+            hub: telemetry.clone(),
+            rec: Mutex::new(telemetry.recorder("gateway", REQUESTER)),
+            queue_depth: telemetry.gauge("gateway.queue_depth"),
+            completed: telemetry.counter("gateway.completed"),
+            dispatched: telemetry.counter("gateway.dispatched"),
+            batches: telemetry.counter("gateway.batches"),
+            shed_deadline: Priority::ALL
+                .map(|p| telemetry.counter(&format!("gateway.shed.deadline.{}", p.label()))),
+            shed_overload: Priority::ALL
+                .map(|p| telemetry.counter(&format!("gateway.shed.overload.{}", p.label()))),
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 batcher: Batcher::new(config.max_batch, config.max_linger),
@@ -242,6 +326,7 @@ impl Gateway {
             work: Condvar::new(),
             session: RwLock::new(Some(session)),
             config,
+            tel,
         });
         let dispatcher_inner = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
@@ -345,6 +430,8 @@ fn build_metrics(stats: &Stats, queue_depth: usize, session: RuntimeReport) -> G
         completed: stats.completed,
         shed_deadline: stats.shed_deadline,
         shed_overload: stats.shed_overload,
+        shed_deadline_by_class: stats.shed_deadline_by_class,
+        shed_overload_by_class: stats.shed_overload_by_class,
         queue_depth,
         dispatched: stats.dispatched,
         batches: stats.batches,
@@ -377,6 +464,7 @@ fn dispatch_loop(inner: Arc<Inner>) {
                 st.closed = true;
                 st.batcher.drain_all()
             };
+            inner.tel.queue_depth.set(0);
             let err = GatewayError::Runtime(format!("session failed: {f}"));
             for req in queued {
                 req.state.fulfil(Err(err.clone()));
@@ -393,6 +481,7 @@ fn dispatch_loop(inner: Arc<Inner>) {
                 for req in st.batcher.drain_all() {
                     req.state.fulfil(Err(GatewayError::Closed));
                 }
+                inner.tel.queue_depth.set(0);
                 drop(st);
                 for (_, req) in pending.drain() {
                     req.state.fulfil(Err(GatewayError::Closed));
@@ -416,7 +505,7 @@ fn dispatch_loop(inner: Arc<Inner>) {
                         inner.with_session(|s| s.wait_timeout(ticket, DISPATCH_TICK))
                     {
                         let req = pending.remove(&ticket).expect("ticket is pending");
-                        resolve_completion(&inner, req, output);
+                        resolve_completion(&inner, req, ticket.image(), output);
                     }
                 } else {
                     let _ = inner
@@ -449,6 +538,15 @@ fn dispatch_loop(inner: Arc<Inner>) {
             if !batch.is_empty() {
                 st.stats.batches += 1;
             }
+            inner.tel.queue_depth.set(st.batcher.len() as i64);
+            drop(st);
+            if !batch.is_empty() {
+                inner.tel.batches.inc();
+                if inner.tel.hub.is_enabled() {
+                    let mut rec = inner.tel.rec.lock().expect("telemetry recorder poisoned");
+                    rec.instant(Stage::BatchForm, TraceId::session(0), 0, batch.len() as u32);
+                }
+            }
             batch
         };
 
@@ -476,19 +574,40 @@ fn submit_one(
             let est = inner.lock().stats.estimate();
             let doomed = now >= dl || (!pending.is_empty() && est.is_some_and(|e| now + e > dl));
             if doomed {
-                inner.lock().stats.shed_deadline += 1;
+                let mut st = inner.lock();
+                st.stats.shed_deadline += 1;
+                st.stats.shed_deadline_by_class[req.priority.index()] += 1;
+                drop(st);
+                inner.tel.shed(req.priority, SHED_DEADLINE);
                 req.state.fulfil(Err(GatewayError::DeadlineExceeded));
                 return;
             }
         }
-        let submitted = inner.with_session(|s| s.try_submit(&req.image));
+        let submitted =
+            inner.with_session(|s| s.try_submit(&req.image).map(|t| t.map(|t| (t, s.epoch()))));
         match submitted {
             None => {
                 req.state.fulfil(Err(GatewayError::Closed));
                 return;
             }
-            Some(Ok(Some(ticket))) => {
+            Some(Ok(Some((ticket, epoch)))) => {
                 inner.lock().stats.dispatched += 1;
+                inner.tel.dispatched.inc();
+                // The queue-wait span: enqueue → admission into the session.
+                if let Some(now) = inner.tel.hub.start() {
+                    let mut rec = inner.tel.rec.lock().expect("telemetry recorder poisoned");
+                    rec.span_between(
+                        Stage::GatewayQueue,
+                        TraceId {
+                            epoch,
+                            image: ticket.image(),
+                        },
+                        req.enqueued,
+                        now,
+                        0,
+                        req.priority.index() as u32,
+                    );
+                }
                 pending.insert(ticket, req);
                 return;
             }
@@ -517,13 +636,13 @@ fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<Ticket, PendingRe
             // Not ours (impossible — the gateway owns the session), drop it.
             continue;
         };
-        resolve_completion(inner, req, output);
+        resolve_completion(inner, req, ticket.image(), output);
     }
 }
 
 /// Resolves one completed request: records its latency, enforces its
 /// deadline, and fulfils the client's response.
-fn resolve_completion(inner: &Arc<Inner>, req: PendingRequest, output: Tensor) {
+fn resolve_completion(inner: &Arc<Inner>, req: PendingRequest, image: u32, output: Tensor) {
     let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
     let late = req.deadline.is_some_and(|dl| Instant::now() > dl);
     let mut st = inner.lock();
@@ -532,11 +651,18 @@ fn resolve_completion(inner: &Arc<Inner>, req: PendingRequest, output: Tensor) {
         // The SLO is part of the contract: a late result is a shed
         // result, even though the cluster did the work.
         st.stats.shed_deadline += 1;
+        st.stats.shed_deadline_by_class[req.priority.index()] += 1;
         drop(st);
+        inner.tel.shed(req.priority, SHED_DEADLINE);
         req.state.fulfil(Err(GatewayError::DeadlineExceeded));
     } else {
         st.stats.completed += 1;
         drop(st);
+        inner.tel.completed.inc();
+        if inner.tel.hub.is_enabled() {
+            let mut rec = inner.tel.rec.lock().expect("telemetry recorder poisoned");
+            rec.instant(Stage::Respond, TraceId { epoch: 0, image }, 0, 0);
+        }
         req.state.fulfil(Ok(output));
     }
 }

@@ -100,6 +100,12 @@ pub struct GatewayMetrics {
     pub shed_deadline: u64,
     /// Requests shed with [`crate::GatewayError::Overloaded`] at admission.
     pub shed_overload: u64,
+    /// `shed_deadline` split by scheduling class, in [`crate::Priority::ALL`]
+    /// order (`[high, normal, low]`) — which traffic class is missing its
+    /// SLO, not just how much.
+    pub shed_deadline_by_class: [u64; 3],
+    /// `shed_overload` split by scheduling class, same order.
+    pub shed_overload_by_class: [u64; 3],
     /// Requests waiting in the batcher right now.
     pub queue_depth: usize,
     /// Requests submitted into the session so far.

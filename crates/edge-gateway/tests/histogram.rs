@@ -1,0 +1,81 @@
+//! `LatencyHistogram` edge cases as properties: the empty histogram, the
+//! single sample, and percentile monotonicity / max-boundedness under
+//! arbitrary sample streams.
+
+use edge_gateway::LatencyHistogram;
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_reports_zero_at_every_quantile() {
+    let h = LatencyHistogram::default();
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 0.0, "q = {q}");
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.max_ms(), 0.0);
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    let mut h = LatencyHistogram::default();
+    h.record(7.25);
+    assert_eq!(h.count(), 1);
+    for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 7.25, "q = {q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// p50 ≤ p95 ≤ p99 on any input, and no percentile exceeds the largest
+    /// recorded sample (the geometric bucket upper bound is capped at the
+    /// observed maximum).
+    #[test]
+    fn percentiles_are_monotone_and_capped_by_the_max(
+        samples in proptest::collection::vec(0.01f64..1e6, 1..200),
+    ) {
+        let mut h = LatencyHistogram::default();
+        for &ms in &samples {
+            h.record(ms);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(p99 <= max, "p99 {p99} exceeds the recorded max {max}");
+        prop_assert!(p50 > 0.0, "positive samples cannot yield a zero median");
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Monotone over a dense quantile sweep, not just the three headline
+    /// percentiles — the cumulative-bucket walk can never step backwards.
+    #[test]
+    fn quantile_sweep_never_decreases(
+        samples in proptest::collection::vec(0.0f64..1e4, 1..100),
+    ) {
+        let mut h = LatencyHistogram::default();
+        for &ms in &samples {
+            h.record(ms);
+        }
+        let mut last = 0.0f64;
+        for step in 0..=100 {
+            let p = h.percentile(step as f64 / 100.0);
+            prop_assert!(p >= last, "percentile dipped from {last} to {p} at q {}", step as f64 / 100.0);
+            last = p;
+        }
+    }
+
+    /// Out-of-range quantiles clamp instead of panicking or escaping the
+    /// recorded range.
+    #[test]
+    fn out_of_range_quantiles_clamp(q in -10.0f64..10.0) {
+        let mut h = LatencyHistogram::default();
+        h.record(1.0);
+        h.record(100.0);
+        let p = h.percentile(q);
+        prop_assert!((0.0..=h.max_ms()).contains(&p));
+    }
+}

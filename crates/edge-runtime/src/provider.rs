@@ -40,6 +40,7 @@ use crate::wire::{Frame, FrameKind, ReconfigurePayload};
 use crate::{Result, RuntimeError};
 use cnn_model::exec::{self, ModelWeights, PackedModelWeights};
 use cnn_model::Model;
+use edge_telemetry::{Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::Endpoint;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -66,6 +67,9 @@ pub(crate) struct Assembly {
     needed: (usize, usize),
     band: Tensor,
     covered_rows: usize,
+    /// When the first fragment opened this assembly — the start of the
+    /// merge span recorded when the band completes.
+    created: Instant,
 }
 
 impl Assembly {
@@ -74,7 +78,13 @@ impl Assembly {
             needed,
             band: Tensor::zeros(Shape::new(c, needed.1 - needed.0, w)),
             covered_rows: 0,
+            created: Instant::now(),
         }
+    }
+
+    /// When the assembly was opened (first fragment arrival).
+    pub(crate) fn created(&self) -> Instant {
+        self.created
     }
 
     /// Copies `rows` (full coordinates starting at `row_lo`) into the band.
@@ -236,9 +246,15 @@ pub fn spawn_provider(
     weights: ModelWeights,
     inbox: Receiver<Vec<u8>>,
     txs: HashMap<Endpoint, Box<dyn FrameTx>>,
+    telemetry: &Telemetry,
 ) -> ProviderHandle {
     let (to_comp, comp_rx) = channel::<Frame>();
     let (to_send, send_rx) = channel::<OutMsg>();
+
+    // One ring per thread, named after the Chrome-trace track it becomes.
+    let recv_rec = telemetry.recorder(&format!("dev{d}.recv"), d as u32);
+    let comp_rec = telemetry.recorder(&format!("dev{d}.comp"), d as u32);
+    let send_rec = telemetry.recorder(&format!("dev{d}.send"), d as u32);
 
     let stats = Arc::new(ProviderStats::default());
     // Size the per-volume counters up front so mid-stream snapshots always
@@ -254,20 +270,30 @@ pub fn spawn_provider(
     let recv_stats = Arc::clone(&stats);
     let recv = std::thread::Builder::new()
         .name(format!("edge-rt-recv-{d}"))
-        .spawn(move || receive_loop(inbox, to_comp, recv_stats))
+        .spawn(move || receive_loop(inbox, to_comp, recv_stats, recv_rec))
         .expect("spawn receive thread");
 
     let comp_shared = Arc::clone(&shared);
     let comp_stats = Arc::clone(&stats);
     let comp = std::thread::Builder::new()
         .name(format!("edge-rt-comp-{d}"))
-        .spawn(move || compute_loop(d, comp_shared, weights, comp_rx, to_send, comp_stats))
+        .spawn(move || {
+            compute_loop(
+                d,
+                comp_shared,
+                weights,
+                comp_rx,
+                to_send,
+                comp_stats,
+                comp_rec,
+            )
+        })
         .expect("spawn compute thread");
 
     let send_stats = Arc::clone(&stats);
     let send = std::thread::Builder::new()
         .name(format!("edge-rt-send-{d}"))
-        .spawn(move || send_loop(d, send_rx, txs, send_stats))
+        .spawn(move || send_loop(d, send_rx, txs, send_stats, send_rec))
         .expect("spawn send thread");
 
     ProviderHandle {
@@ -282,14 +308,26 @@ fn receive_loop(
     inbox: Receiver<Vec<u8>>,
     to_comp: Sender<Frame>,
     stats: Arc<ProviderStats>,
+    mut rec: Recorder,
 ) -> Result<()> {
     while let Ok(bytes) = inbox.recv() {
+        let t0 = rec.start();
         {
             let mut recv = stats.recv.lock().expect("recv stats poisoned");
             recv.frames_in += 1;
             recv.bytes_in += bytes.len() as u64;
         }
         let frame = Frame::decode(&bytes)?;
+        if let Some(t0) = t0 {
+            let trace = match frame.kind {
+                FrameKind::Rows => TraceId {
+                    epoch: frame.epoch,
+                    image: frame.image,
+                },
+                _ => TraceId::session(frame.epoch),
+            };
+            rec.span(Stage::Recv, trace, t0, bytes.len() as u64, frame.stage);
+        }
         let halt = frame.kind == FrameKind::Halt;
         if to_comp.send(frame).is_err() {
             break; // Compute died; stop pumping.
@@ -314,8 +352,10 @@ struct ComputeState {
     open_images: HashMap<u32, usize>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
+    rec: Recorder,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_loop(
     d: usize,
     shared: Arc<Shared>,
@@ -323,6 +363,7 @@ fn compute_loop(
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
+    rec: Recorder,
 ) -> Result<()> {
     // Deploy-time packing: turn the sharded raw weights into GEMM panels
     // once, before the first frame, and drop the raw copies.  From here on
@@ -342,6 +383,7 @@ fn compute_loop(
         open_images: HashMap::new(),
         to_send,
         stats,
+        rec,
     };
     while let Ok(frame) = rx.recv() {
         match frame.kind {
@@ -395,6 +437,7 @@ impl ComputeState {
                 self.d, current.id, frame.epoch
             )));
         }
+        let t_install = self.rec.start();
         let payload = ReconfigurePayload::decode(&frame.payload)?;
         let mut installed = 0u64;
         for delta in payload.delta {
@@ -428,6 +471,17 @@ impl ComputeState {
             comp.layers_packed += installed;
         }
         self.shared.slot.store(epoch);
+        if let Some(t0) = t_install {
+            let trace = TraceId::session(frame.epoch);
+            self.rec.span(
+                Stage::Reconfigure,
+                trace,
+                t0,
+                frame.payload.len() as u64,
+                installed as u32,
+            );
+            self.rec.instant(Stage::EpochFlip, trace, 0, self.d as u32);
+        }
         self.to_send
             .send(OutMsg::EpochAck { epoch: frame.epoch })
             .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
@@ -469,6 +523,16 @@ impl ComputeState {
                     self.open_images.remove(&image);
                 }
             }
+            self.rec.span(
+                Stage::Merge,
+                TraceId {
+                    epoch: epoch.id,
+                    image,
+                },
+                asm.created(),
+                0,
+                stage as u32,
+            );
             Ok(Some(asm.into_band()))
         } else {
             Ok(None)
@@ -492,11 +556,23 @@ impl ComputeState {
                 // Head gather complete: run the FC head, return the result.
                 let t0 = Instant::now();
                 let out = exec::run_head_packed(&self.shared.model, &self.weights, &band)?;
+                let t1 = Instant::now();
                 {
                     let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
-                    comp.head_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    comp.head_ms += (t1 - t0).as_secs_f64() * 1e3;
                     comp.head_images += 1;
                 }
+                self.rec.span_between(
+                    Stage::Head,
+                    TraceId {
+                        epoch: epoch.id,
+                        image,
+                    },
+                    t0,
+                    t1,
+                    0,
+                    0,
+                );
                 self.to_send
                     .send(OutMsg::HeadResult {
                         image,
@@ -510,13 +586,25 @@ impl ComputeState {
             let part = &route.parts[stage][self.d];
             let t0 = Instant::now();
             let out = exec::run_part_on_band_packed(&self.shared.model, &self.weights, part, band)?;
-            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let ms = (t1 - t0).as_secs_f64() * 1e3;
             {
                 let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
                 comp.compute_ms += ms;
                 comp.per_volume_ms[stage] += ms;
                 comp.per_volume_images[stage] += 1;
             }
+            self.rec.span_between(
+                Stage::Compute(stage as u16),
+                TraceId {
+                    epoch: epoch.id,
+                    image,
+                },
+                t0,
+                t1,
+                0,
+                0,
+            );
 
             let out = Arc::new(out);
             let out_range = part.output_rows;
@@ -554,20 +642,30 @@ fn send_loop(
     rx: Receiver<OutMsg>,
     mut txs: HashMap<Endpoint, Box<dyn FrameTx>>,
     stats: Arc<ProviderStats>,
+    mut rec: Recorder,
 ) -> Result<()> {
-    let timed_send = |txs: &mut HashMap<Endpoint, Box<dyn FrameTx>>,
-                      to: Endpoint,
-                      frame: &Frame|
+    let mut timed_send = |txs: &mut HashMap<Endpoint, Box<dyn FrameTx>>,
+                          to: Endpoint,
+                          frame: &Frame,
+                          trace: TraceId|
      -> Result<()> {
         let tx = txs
             .get_mut(&to)
             .ok_or_else(|| RuntimeError::Transport(format!("device {d} has no link to {to:?}")))?;
         let t0 = Instant::now();
         let n = tx.send(frame)?;
-        let mut send = stats.send.lock().expect("send stats poisoned");
-        send.tx_ms += t0.elapsed().as_secs_f64() * 1e3;
-        send.frames_out += 1;
-        send.bytes_out += n as u64;
+        let t1 = Instant::now();
+        {
+            let mut send = stats.send.lock().expect("send stats poisoned");
+            send.tx_ms += (t1 - t0).as_secs_f64() * 1e3;
+            send.frames_out += 1;
+            send.bytes_out += n as u64;
+        }
+        let dest = match to {
+            Endpoint::Device(p) => p as u32,
+            Endpoint::Requester => REQUESTER,
+        };
+        rec.span_between(Stage::Tx, trace, t0, t1, n as u64, dest);
         Ok(())
     };
 
@@ -585,7 +683,11 @@ fn send_loop(
                     let rows = slice_rows(&band, lo - out_lo, hi - out_lo)?;
                     let frame =
                         Frame::data(target.kind, epoch.id, image, target.stage, lo as u32, rows);
-                    timed_send(&mut txs, target.to, &frame)?;
+                    let trace = TraceId {
+                        epoch: epoch.id,
+                        image,
+                    };
+                    timed_send(&mut txs, target.to, &frame, trace)?;
                 }
             }
             OutMsg::HeadResult {
@@ -601,10 +703,20 @@ fn send_loop(
                     0,
                     tensor,
                 );
-                timed_send(&mut txs, Endpoint::Requester, &frame)?;
+                let trace = TraceId {
+                    epoch: epoch.id,
+                    image,
+                };
+                timed_send(&mut txs, Endpoint::Requester, &frame, trace)?;
             }
             OutMsg::EpochAck { epoch } => {
-                timed_send(&mut txs, Endpoint::Requester, &Frame::epoch_ack(epoch, d))?;
+                let frame = Frame::epoch_ack(epoch, d);
+                timed_send(
+                    &mut txs,
+                    Endpoint::Requester,
+                    &frame,
+                    TraceId::session(epoch),
+                )?;
             }
         }
     }

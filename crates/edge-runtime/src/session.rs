@@ -43,6 +43,7 @@ use crate::wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 use crate::{Result, RuntimeError};
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
+use edge_telemetry::{Counter, Gauge, Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::{Endpoint, ExecutionPlan};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -74,6 +75,30 @@ impl Runtime {
         weights: &ModelWeights,
         transport: &mut dyn Transport,
         options: &RuntimeOptions,
+    ) -> Result<Session> {
+        Self::deploy_traced(
+            model,
+            plan,
+            weights,
+            transport,
+            options,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Runtime::deploy`], but records every stage of every image's
+    /// lifecycle (scatter, per-band compute, wire tx/rx, merge, head, wait)
+    /// plus swap-protocol events into `telemetry`'s per-thread rings, and
+    /// registers the session's live counters (`session.*`) on its metrics
+    /// registry.  Pass [`Telemetry::disabled`] (what `deploy` does) to make
+    /// every instrumentation point a single relaxed atomic load.
+    pub fn deploy_traced(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+        transport: &mut dyn Transport,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
     ) -> Result<Session> {
         if options.max_in_flight == 0 {
             return Err(RuntimeError::Execution(
@@ -117,7 +142,14 @@ impl Runtime {
                 model: model.clone(),
                 slot: EpochSlot::new(epoch0.clone()),
             });
-            providers.push(spawn_provider(d, shared, device_weights, inbox, txs));
+            providers.push(spawn_provider(
+                d,
+                shared,
+                device_weights,
+                inbox,
+                txs,
+                telemetry,
+            ));
         }
         let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
@@ -133,17 +165,43 @@ impl Runtime {
             recv_timeout: options.recv_timeout,
         };
 
+        let tel = SessionTelemetry {
+            hub: telemetry.clone(),
+            rec: Mutex::new(telemetry.recorder("requester", REQUESTER)),
+            in_flight: telemetry.gauge("session.in_flight"),
+            epoch: telemetry.gauge("session.epoch"),
+            completed: telemetry.counter("session.images_completed"),
+            epoch_flips: telemetry.counter("session.epoch_flips"),
+            reconfigure_bytes: telemetry.counter("session.reconfigure_bytes"),
+        };
+        telemetry
+            .gauge("session.credit_window")
+            .set(options.max_in_flight as i64);
+        let gather_tel = GatherTel {
+            rec: telemetry.recorder("requester.gather", REQUESTER),
+            in_flight: tel.in_flight.clone(),
+            completed: tel.completed.clone(),
+        };
         let shared = Arc::new(SessionShared {
             state: Mutex::new(StreamState::default()),
             results: Condvar::new(),
             credits: Condvar::new(),
+            tel,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let gather_shared = Arc::clone(&shared);
         let gather_stop = Arc::clone(&stop);
         let gather = std::thread::Builder::new()
             .name("edge-rt-gather".into())
-            .spawn(move || gather_loop(requester_inbox, gather_shared, gather_stop, gather_cfg))
+            .spawn(move || {
+                gather_loop(
+                    requester_inbox,
+                    gather_shared,
+                    gather_stop,
+                    gather_cfg,
+                    gather_tel,
+                )
+            })
             .expect("spawn gather thread");
 
         Ok(Session {
@@ -152,6 +210,7 @@ impl Runtime {
                 txs: requester_txs,
                 scatter_ms: vec![0.0; n],
                 targets: route.scatter_targets(),
+                rec: telemetry.recorder("requester.submit", REQUESTER),
             }),
             plan_state: Mutex::new(PlanState {
                 plan: plan.clone(),
@@ -176,9 +235,20 @@ impl Runtime {
         weights: &ModelWeights,
         options: &RuntimeOptions,
     ) -> Result<Session> {
+        Self::deploy_in_process_traced(model, plan, weights, options, &Telemetry::disabled())
+    }
+
+    /// [`Runtime::deploy_traced`] over a fresh in-process channel fabric.
+    pub fn deploy_in_process_traced(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: &ModelWeights,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
+    ) -> Result<Session> {
         let n = plan.volumes.first().map(|v| v.parts.len()).unwrap_or(0);
         let mut transport = ChannelTransport::new(n);
-        Self::deploy(model, plan, weights, &mut transport, options)
+        Self::deploy_traced(model, plan, weights, &mut transport, options, telemetry)
     }
 }
 
@@ -262,6 +332,21 @@ struct StreamState {
     halted: bool,
 }
 
+/// The session's handle on the telemetry hub: the requester-side control
+/// recorder plus the `session.*` registry cells.  The recorder has its own
+/// lock, never held together with the state mutex (record after dropping
+/// the state guard).
+struct SessionTelemetry {
+    hub: Telemetry,
+    /// Requester-side control events: wait spans, swap-protocol spans.
+    rec: Mutex<Recorder>,
+    in_flight: Gauge,
+    epoch: Gauge,
+    completed: Counter,
+    epoch_flips: Counter,
+    reconfigure_bytes: Counter,
+}
+
 struct SessionShared {
     state: Mutex<StreamState>,
     /// Signalled when an output completes (or the session fails).
@@ -269,6 +354,7 @@ struct SessionShared {
     /// Signalled when an in-flight credit frees up, an epoch ack arrives,
     /// or the session fails.
     credits: Condvar,
+    tel: SessionTelemetry,
 }
 
 impl SessionShared {
@@ -292,6 +378,9 @@ struct ScatterState {
     /// Per device, the rows of the model input to send for volume 0 —
     /// per-epoch state, replaced by `apply_plan`.
     targets: Vec<(usize, (usize, usize))>,
+    /// Submit-path spans (whole-submit + per-device scatter); single-writer
+    /// by virtue of living under the scatter lock.
+    rec: Recorder,
 }
 
 /// The session's bookkeeping of what each device holds resident — the diff
@@ -439,6 +528,7 @@ impl Session {
                 self.input_shape
             )));
         }
+        let t_submit = self.shared.tel.hub.start();
         let (ticket, epoch) = {
             let mut st = self.shared.lock();
             loop {
@@ -479,7 +569,12 @@ impl Session {
             st.in_flight += 1;
             st.max_in_flight_observed = st.max_in_flight_observed.max(st.in_flight);
             st.starts.insert(id, Instant::now());
+            self.shared.tel.in_flight.set(st.in_flight as i64);
             (Ticket { image: id }, st.epoch)
+        };
+        let trace = TraceId {
+            epoch,
+            image: ticket.image,
         };
 
         // Scatter outside the state lock so slow links never block
@@ -491,12 +586,22 @@ impl Session {
             let rows = slice_rows(image, lo, hi)?;
             let frame = Frame::data(FrameKind::Rows, epoch, ticket.image, 0, lo as u32, rows);
             let t0 = Instant::now();
-            if let Err(e) = sc.txs[d].send(&frame) {
-                drop(sc);
-                self.shared.fail(&e);
-                return Err(e);
-            }
-            sc.scatter_ms[d] += t0.elapsed().as_secs_f64() * 1e3;
+            let n = match sc.txs[d].send(&frame) {
+                Ok(n) => n,
+                Err(e) => {
+                    drop(sc);
+                    self.shared.fail(&e);
+                    return Err(e);
+                }
+            };
+            let t1 = Instant::now();
+            sc.scatter_ms[d] += (t1 - t0).as_secs_f64() * 1e3;
+            sc.rec
+                .span_between(Stage::Scatter, trace, t0, t1, n as u64, d as u32);
+        }
+        if let Some(t0) = t_submit {
+            // The whole submit call: credit wait (if any) plus the scatter.
+            sc.rec.span(Stage::Submit, trace, t0, 0, 0);
         }
         Ok(Some(ticket))
     }
@@ -517,10 +622,14 @@ impl Session {
     }
 
     fn wait_deadline(&self, ticket: Ticket, deadline: Option<Instant>) -> Result<Option<Tensor>> {
+        let t_wait = self.shared.tel.hub.start();
         let mut st = self.shared.lock();
         loop {
             if let Some(out) = st.outputs.remove(&ticket.image) {
                 st.claimed.insert(ticket.image);
+                let epoch = st.epoch;
+                drop(st);
+                self.record_wait(ticket.image, epoch, t_wait);
                 return Ok(Some(out));
             }
             if st.claimed.contains(&ticket.image) {
@@ -538,22 +647,46 @@ impl Session {
             if let Some(f) = &st.failed {
                 return Err(RuntimeError::Execution(format!("session failed: {f}")));
             }
-            let tick = match deadline {
+            // One bounded condvar wait for the full remaining time: every
+            // transition this loop cares about (a completion, another
+            // waiter claiming the output, a session failure) signals
+            // `results`, so there is nothing to poll for — the old
+            // GATHER_TICK chop woke this thread ~40×/s for nothing.  The
+            // unbounded case still bounds each wait by `recv_timeout` as
+            // belt-and-braces against a missed signal; the gather thread's
+            // wedge detector fires and fails the session long before that.
+            let timeout = match deadline {
                 Some(dl) => {
                     let now = Instant::now();
                     if now >= dl {
+                        let epoch = st.epoch;
+                        drop(st);
+                        self.record_wait(ticket.image, epoch, t_wait);
                         return Ok(None);
                     }
-                    (dl - now).min(GATHER_TICK)
+                    dl - now
                 }
-                None => GATHER_TICK,
+                None => self.options.recv_timeout,
             };
             st = self
                 .shared
                 .results
-                .wait_timeout(st, tick)
+                .wait_timeout(st, timeout)
                 .expect("session state poisoned")
                 .0;
+        }
+    }
+
+    /// Records the time a client spent blocked in `wait`/`wait_timeout`.
+    fn record_wait(&self, image: u32, epoch: u64, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            let mut rec = self
+                .shared
+                .tel
+                .rec
+                .lock()
+                .expect("telemetry recorder poisoned");
+            rec.span(Stage::Wait, TraceId { epoch, image }, t0, 0, 0);
         }
     }
 
@@ -640,6 +773,21 @@ impl Session {
             st.acked = 0;
         }
         let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut rec = self
+                .shared
+                .tel
+                .rec
+                .lock()
+                .expect("telemetry recorder poisoned");
+            rec.span(
+                Stage::Drain,
+                TraceId::session(new_epoch),
+                t_drain,
+                0,
+                drained_images as u32,
+            );
+        }
 
         // 3. Diff the new plan's per-device weight needs against what is
         // already resident and broadcast the Reconfigure frames.  The
@@ -730,6 +878,25 @@ impl Session {
             st.swap_target = 0;
         }
         let reconfigure_ms = t_reconf.elapsed().as_secs_f64() * 1e3;
+        let shipped: usize = delta_bytes.iter().sum();
+        {
+            let tel = &self.shared.tel;
+            let mut rec = tel.rec.lock().expect("telemetry recorder poisoned");
+            let trace = TraceId::session(new_epoch);
+            // Requester view of the reconfigure: broadcast → all acks.
+            rec.span(
+                Stage::Reconfigure,
+                trace,
+                t_reconf,
+                shipped as u64,
+                n as u32,
+            );
+            rec.instant(Stage::EpochFlip, trace, 0, REQUESTER);
+            drop(rec);
+            tel.epoch_flips.inc();
+            tel.reconfigure_bytes.add(shipped as u64);
+            tel.epoch.set(new_epoch as i64);
+        }
 
         // Publish the new residency bookkeeping before reopening admission
         // (a follow-up swap must diff against it).
@@ -905,6 +1072,14 @@ struct GatherConfig {
     recv_timeout: Duration,
 }
 
+/// The gather thread's telemetry: its own ring (merge spans for headless
+/// stitching) plus the completion-side registry cells.
+struct GatherTel {
+    rec: Recorder,
+    in_flight: Gauge,
+    completed: Counter,
+}
+
 /// The session's result pump: receives result frames, stitches headless
 /// outputs, completes tickets, releases credits, counts epoch acks during
 /// swaps, and watches for a wedged cluster.  Returns the requester inbox so
@@ -914,6 +1089,7 @@ fn gather_loop(
     shared: Arc<SessionShared>,
     stop: Arc<AtomicBool>,
     cfg: GatherConfig,
+    mut tel: GatherTel,
 ) -> Receiver<Vec<u8>> {
     let mut assemblies: HashMap<u32, Assembly> = HashMap::new();
     let mut waiting_since: Option<Instant> = None;
@@ -925,7 +1101,9 @@ fn gather_loop(
         match inbox.recv_timeout(tick) {
             Ok(bytes) => {
                 waiting_since = None;
-                if let Err(e) = handle_requester_frame(&bytes, &shared, &cfg, &mut assemblies) {
+                if let Err(e) =
+                    handle_requester_frame(&bytes, &shared, &cfg, &mut assemblies, &mut tel)
+                {
                     shared.fail(&e);
                     return inbox;
                 }
@@ -960,6 +1138,7 @@ fn handle_requester_frame(
     shared: &SessionShared,
     cfg: &GatherConfig,
     assemblies: &mut HashMap<u32, Assembly>,
+    tel: &mut GatherTel,
 ) -> Result<()> {
     let frame = Frame::decode(bytes)?;
     match frame.kind {
@@ -989,7 +1168,18 @@ fn handle_requester_frame(
             .or_insert_with(|| Assembly::new(cfg.result_c, cfg.result_w, (0, cfg.last_height)));
         asm.insert(frame.row_lo as usize, &frame.tensor)?;
         if asm.complete() {
-            Some(assemblies.remove(&image).expect("present").into_band())
+            let asm = assemblies.remove(&image).expect("present");
+            tel.rec.span(
+                Stage::Merge,
+                TraceId {
+                    epoch: frame.epoch,
+                    image,
+                },
+                asm.created(),
+                0,
+                frame.stage,
+            );
+            Some(asm.into_band())
         } else {
             None
         }
@@ -1007,7 +1197,10 @@ fn handle_requester_frame(
     st.latencies_ms.push(latency_ms);
     st.finished += 1;
     st.in_flight -= 1;
+    let in_flight = st.in_flight;
     drop(st);
+    tel.in_flight.set(in_flight as i64);
+    tel.completed.inc();
     shared.results.notify_all();
     shared.credits.notify_all();
     Ok(())
@@ -1312,6 +1505,78 @@ mod tests {
         let three = plan(&m, 3);
         assert!(session.apply_plan(&three).is_err());
         session.shutdown().unwrap();
+    }
+
+    #[test]
+    fn traced_session_records_the_full_image_lifecycle() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 21);
+        let telemetry = Telemetry::new();
+        let session = Runtime::deploy_in_process_traced(
+            &m,
+            &plan(&m, 2),
+            &weights,
+            &RuntimeOptions::default(),
+            &telemetry,
+        )
+        .unwrap();
+        let img = deterministic_input(&m, 2);
+        let t = session.submit(&img).unwrap();
+        session.wait(t).unwrap();
+
+        // A hot swap shows up as swap-protocol events and registry counts.
+        let offload = ExecutionPlan::offload(&m, 0, 2).unwrap();
+        session.apply_plan(&offload).unwrap();
+        session.shutdown().unwrap();
+
+        let report = telemetry.collect();
+        let stages = report.stages_seen(0);
+        for stage in ["submit", "scatter", "recv", "compute", "head", "tx", "wait"] {
+            assert!(
+                stages.contains(&stage),
+                "stage {stage} missing from image 0's trace: {stages:?}"
+            );
+        }
+        assert!(
+            !report.devices_seen(0).is_empty(),
+            "device spans must appear for image 0"
+        );
+        let cp = report.critical_path(0).unwrap();
+        assert!(cp.wall_ms > 0.0);
+        assert!(cp.stages.iter().any(|s| s.stage == cp.dominant));
+
+        let value = |name: &str| {
+            telemetry
+                .metrics()
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.value)
+                .unwrap_or_else(|| panic!("metric {name} not registered"))
+        };
+        assert_eq!(value("session.images_completed"), 1.0);
+        assert_eq!(value("session.epoch_flips"), 1.0);
+        assert_eq!(value("session.in_flight"), 0.0);
+        assert!(value("session.reconfigure_bytes") > 0.0);
+        assert_eq!(value("session.epoch"), 1.0);
+    }
+
+    #[test]
+    fn untraced_session_records_nothing() {
+        let m = model();
+        let weights = ModelWeights::deterministic(&m, 23);
+        let telemetry = Telemetry::disabled();
+        let session = Runtime::deploy_in_process_traced(
+            &m,
+            &plan(&m, 2),
+            &weights,
+            &RuntimeOptions::default(),
+            &telemetry,
+        )
+        .unwrap();
+        let t = session.submit(&deterministic_input(&m, 1)).unwrap();
+        session.wait(t).unwrap();
+        session.shutdown().unwrap();
+        assert_eq!(telemetry.collect().span_count(), 0);
     }
 
     #[test]

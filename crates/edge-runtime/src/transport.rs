@@ -478,6 +478,19 @@ mod tests {
             LinkConfig::constant(8.0), // 1000 bytes/ms
         );
         const FRAMES: u32 = 8;
+        // ~4 KB per frame gives each send ~4 ms of shaped wire time, so the
+        // measured ratio is dominated by pacing rather than by scheduler
+        // noise when the whole workspace's test binaries run in parallel.
+        let big_frame = |image: u32| {
+            Frame::data(
+                FrameKind::Rows,
+                0,
+                image,
+                0,
+                0,
+                Tensor::filled([4, 16, 16], image as f32),
+            )
+        };
         let mut fabric = ShapedTransport::new(ChannelTransport::new(3), &cluster);
         let rx1 = fabric.inbox(Endpoint::Device(1)).unwrap();
         let rx2 = fabric.inbox(Endpoint::Device(2)).unwrap();
@@ -491,7 +504,7 @@ mod tests {
         // Serial reference: one flow alone.
         let t0 = Instant::now();
         for i in 0..FRAMES {
-            tx1.send(&frame(i)).unwrap();
+            tx1.send(&big_frame(i)).unwrap();
         }
         let single_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -500,12 +513,12 @@ mod tests {
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 for i in 0..FRAMES {
-                    tx1.send(&frame(i)).unwrap();
+                    tx1.send(&big_frame(i)).unwrap();
                 }
             });
             scope.spawn(move || {
                 for i in 0..FRAMES {
-                    tx2.send(&frame(i)).unwrap();
+                    tx2.send(&big_frame(i)).unwrap();
                 }
             });
         });

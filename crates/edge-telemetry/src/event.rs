@@ -1,0 +1,322 @@
+//! The typed span event: what one ring-buffer slot records.
+//!
+//! Events are fixed-size — every field packs into six `u64` words
+//! ([`SpanEvent::encode`] / [`SpanEvent::decode`]) so the ring can store
+//! them in plain atomics and a reader can validate a racy read with a
+//! seqlock instead of a lock.
+
+/// The device id used on requester-side tracks (gateway, scatter, wait,
+/// controller) — anything that is not one of the cluster's providers.
+pub const REQUESTER: u32 = u32::MAX;
+
+/// The image id of events that do not belong to one image (swap protocol
+/// instants, batch-form markers, adaptation decisions).
+pub const NO_IMAGE: u32 = u32::MAX;
+
+/// The identity of one request's trace: the serving epoch it was admitted
+/// under plus its image sequence number — exactly the pair every wire
+/// [`Frame`](../edge_runtime/wire/struct.Frame.html) already carries, so
+/// spans recorded on different devices correlate without extra plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// The plan epoch the image was admitted under.
+    pub epoch: u64,
+    /// The image sequence number ([`NO_IMAGE`] for session-level events).
+    pub image: u32,
+}
+
+impl TraceId {
+    /// A trace id for session-level events that belong to no single image.
+    pub fn session(epoch: u64) -> Self {
+        Self {
+            epoch,
+            image: NO_IMAGE,
+        }
+    }
+}
+
+/// The lifecycle stage a span measures.  One ticket's full journey is
+/// `GatewayQueue → BatchForm → Submit → Scatter → Recv → Compute →
+/// Tx/Recv (per hop) → Merge → Head → Respond`, with `Wait` covering the
+/// client side and the swap/adaptation stages annotating session-level
+/// protocol events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Gateway queue residence: enqueue → dispatch.
+    GatewayQueue,
+    /// A dispatch wave was formed (instant; `arg` = wave size).
+    BatchForm,
+    /// One `Session::submit` call: credit wait plus scatter.
+    Submit,
+    /// Requester → device input rows (`arg` = destination device).
+    Scatter,
+    /// A frame taken off a device's transport inbox and decoded.
+    Recv,
+    /// One split-part kernel of layer-volume `.0` on a device.
+    Compute(u16),
+    /// The FC-head kernel on the head device.
+    Head,
+    /// One frame pushed onto the wire (`arg` = destination device, or
+    /// [`REQUESTER`]).
+    Tx,
+    /// Band assembly: first fragment → band complete (`arg` = stage).
+    Merge,
+    /// A client blocked in `Session::wait` / `wait_timeout`.
+    Wait,
+    /// The gateway resolved a response (instant).
+    Respond,
+    /// `apply_plan` draining the in-flight window.
+    Drain,
+    /// Reconfigure: broadcast → every provider acked (requester side), or
+    /// delta install (provider side; `bytes` = payload size).
+    Reconfigure,
+    /// A new epoch became the serving epoch (instant).
+    EpochFlip,
+    /// An adaptation decision (instant; `arg` = drift in basis points,
+    /// `bytes` = window mean latency in microseconds).
+    Adapt,
+    /// A request was shed (instant; `arg` = priority class | reason << 16,
+    /// reason 0 = deadline, 1 = overload).
+    Shed,
+}
+
+impl Stage {
+    /// The stage's name — also the span name in the Chrome trace export and
+    /// the key [`crate::CriticalPath`] aggregates by ([`Stage::Compute`]
+    /// collapses onto one name; the volume stays in the span's arg).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::GatewayQueue => "gateway-queue",
+            Stage::BatchForm => "batch-form",
+            Stage::Submit => "submit",
+            Stage::Scatter => "scatter",
+            Stage::Recv => "recv",
+            Stage::Compute(_) => "compute",
+            Stage::Head => "head",
+            Stage::Tx => "tx",
+            Stage::Merge => "merge",
+            Stage::Wait => "wait",
+            Stage::Respond => "respond",
+            Stage::Drain => "swap-drain",
+            Stage::Reconfigure => "reconfigure",
+            Stage::EpochFlip => "epoch-flip",
+            Stage::Adapt => "adapt",
+            Stage::Shed => "shed",
+        }
+    }
+
+    /// Whether the stage is a point event (Chrome `ph:"i"`), not a span.
+    pub fn is_instant(&self) -> bool {
+        matches!(
+            self,
+            Stage::BatchForm | Stage::Respond | Stage::EpochFlip | Stage::Adapt | Stage::Shed
+        )
+    }
+
+    /// Whether the stage is part of the per-image execution pipeline — the
+    /// candidate set [`crate::TraceReport::critical_path`] picks the
+    /// dominant stage from.  Queueing (`GatewayQueue`) and client blocking
+    /// (`Wait`, `Submit`) are excluded: they *wait on* the pipeline, so
+    /// counting them would always name the symptom instead of the stage
+    /// re-planning can actually move.
+    pub fn is_pipeline(&self) -> bool {
+        matches!(
+            self,
+            Stage::Scatter
+                | Stage::Recv
+                | Stage::Compute(_)
+                | Stage::Head
+                | Stage::Tx
+                | Stage::Merge
+        )
+    }
+
+    fn code(self) -> u16 {
+        match self {
+            Stage::GatewayQueue => 0,
+            Stage::BatchForm => 1,
+            Stage::Submit => 2,
+            Stage::Scatter => 3,
+            Stage::Recv => 4,
+            Stage::Compute(_) => 5,
+            Stage::Head => 6,
+            Stage::Tx => 7,
+            Stage::Merge => 8,
+            Stage::Wait => 9,
+            Stage::Respond => 10,
+            Stage::Drain => 11,
+            Stage::Reconfigure => 12,
+            Stage::EpochFlip => 13,
+            Stage::Adapt => 14,
+            Stage::Shed => 15,
+        }
+    }
+
+    fn stage_arg(self) -> u16 {
+        match self {
+            Stage::Compute(v) => v,
+            _ => 0,
+        }
+    }
+
+    fn from_parts(code: u16, stage_arg: u16) -> Option<Self> {
+        Some(match code {
+            0 => Stage::GatewayQueue,
+            1 => Stage::BatchForm,
+            2 => Stage::Submit,
+            3 => Stage::Scatter,
+            4 => Stage::Recv,
+            5 => Stage::Compute(stage_arg),
+            6 => Stage::Head,
+            7 => Stage::Tx,
+            8 => Stage::Merge,
+            9 => Stage::Wait,
+            10 => Stage::Respond,
+            11 => Stage::Drain,
+            12 => Stage::Reconfigure,
+            13 => Stage::EpochFlip,
+            14 => Stage::Adapt,
+            15 => Stage::Shed,
+            _ => return None,
+        })
+    }
+}
+
+/// Number of `u64` words one encoded event occupies in a ring slot.
+pub(crate) const EVENT_WORDS: usize = 6;
+
+/// One recorded span (or instant, when `t_start_us == t_end_us` and the
+/// stage [`Stage::is_instant`]).  Timestamps are microseconds since the
+/// owning [`crate::Telemetry`] hub's anchor, so spans from every thread and
+/// device share one clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Which request this span belongs to.
+    pub trace: TraceId,
+    /// The device the work ran on ([`REQUESTER`] for requester-side work).
+    pub device: u32,
+    /// What the span measures.
+    pub stage: Stage,
+    /// Start, microseconds on the hub clock.
+    pub t_start_us: u64,
+    /// End, microseconds on the hub clock.
+    pub t_end_us: u64,
+    /// Payload bytes the stage moved (0 when not meaningful).
+    pub bytes: u64,
+    /// Stage-specific argument (destination device, wave size, drift, ...).
+    pub arg: u32,
+}
+
+impl SpanEvent {
+    /// Span duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.t_end_us.saturating_sub(self.t_start_us) as f64 / 1e3
+    }
+
+    pub(crate) fn encode(&self) -> [u64; EVENT_WORDS] {
+        [
+            self.trace.epoch,
+            u64::from(self.trace.image) | (u64::from(self.device) << 32),
+            u64::from(self.stage.code())
+                | (u64::from(self.stage.stage_arg()) << 16)
+                | (u64::from(self.arg) << 32),
+            self.t_start_us,
+            self.t_end_us,
+            self.bytes,
+        ]
+    }
+
+    pub(crate) fn decode(words: &[u64; EVENT_WORDS]) -> Option<Self> {
+        let stage = Stage::from_parts(
+            (words[2] & 0xffff) as u16,
+            ((words[2] >> 16) & 0xffff) as u16,
+        )?;
+        Some(Self {
+            trace: TraceId {
+                epoch: words[0],
+                image: (words[1] & 0xffff_ffff) as u32,
+            },
+            device: (words[1] >> 32) as u32,
+            stage,
+            t_start_us: words[3],
+            t_end_us: words[4],
+            bytes: words[5],
+            arg: (words[2] >> 32) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_words() {
+        let stages = [
+            Stage::GatewayQueue,
+            Stage::BatchForm,
+            Stage::Submit,
+            Stage::Scatter,
+            Stage::Recv,
+            Stage::Compute(7),
+            Stage::Head,
+            Stage::Tx,
+            Stage::Merge,
+            Stage::Wait,
+            Stage::Respond,
+            Stage::Drain,
+            Stage::Reconfigure,
+            Stage::EpochFlip,
+            Stage::Adapt,
+            Stage::Shed,
+        ];
+        for (i, stage) in stages.into_iter().enumerate() {
+            let ev = SpanEvent {
+                trace: TraceId {
+                    epoch: 3,
+                    image: 41 + i as u32,
+                },
+                device: (i as u32) % 4,
+                stage,
+                t_start_us: 1_000 + i as u64,
+                t_end_us: 2_500 + i as u64,
+                bytes: 4096,
+                arg: 0xdead_beef,
+            };
+            assert_eq!(SpanEvent::decode(&ev.encode()), Some(ev));
+        }
+    }
+
+    #[test]
+    fn requester_sentinels_survive_packing() {
+        let ev = SpanEvent {
+            trace: TraceId::session(9),
+            device: REQUESTER,
+            stage: Stage::EpochFlip,
+            t_start_us: 5,
+            t_end_us: 5,
+            bytes: 0,
+            arg: 0,
+        };
+        let back = SpanEvent::decode(&ev.encode()).unwrap();
+        assert_eq!(back.trace.image, NO_IMAGE);
+        assert_eq!(back.device, REQUESTER);
+        assert!(back.stage.is_instant());
+    }
+
+    #[test]
+    fn unknown_stage_codes_decode_to_none() {
+        let mut words = SpanEvent {
+            trace: TraceId { epoch: 0, image: 0 },
+            device: 0,
+            stage: Stage::Tx,
+            t_start_us: 0,
+            t_end_us: 0,
+            bytes: 0,
+            arg: 0,
+        }
+        .encode();
+        words[2] = 999; // No such stage code.
+        assert_eq!(SpanEvent::decode(&words), None);
+    }
+}

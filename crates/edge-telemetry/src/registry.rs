@@ -1,0 +1,127 @@
+//! Named counters and gauges.
+//!
+//! One flat registry per [`crate::Telemetry`] hub replaces the ad-hoc
+//! per-subsystem structs (`GatewayMetrics` totals, `DeviceMetrics` byte
+//! counts, `SwapReport` sums): every subsystem registers cells by name and
+//! a single [`crate::Telemetry::metrics`] call snapshots them all.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing count (events, bytes, sheds, flips).
+/// Cheap to clone — clones share the same cell.
+#[derive(Clone)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that moves both ways (queue depth, in-flight window, credits,
+/// serving epoch).  Cheap to clone — clones share the same cell.
+#[derive(Clone)]
+pub struct Gauge(pub(crate) Arc<AtomicI64>);
+
+impl Gauge {
+    pub(crate) fn detached() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What kind of cell a [`Metric`] snapshot came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MetricKind {
+    /// Monotone count.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+}
+
+/// One named metric's value at snapshot time.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metric {
+    /// Registry name, e.g. `"gateway.shed.deadline.high"`.
+    pub name: String,
+    /// The cell's value at snapshot time.
+    pub value: f64,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+}
+
+pub(crate) enum MetricCell {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+impl MetricCell {
+    pub(crate) fn snapshot(&self, name: &str) -> Metric {
+        match self {
+            MetricCell::Counter(c) => Metric {
+                name: name.to_string(),
+                value: c.get() as f64,
+                kind: MetricKind::Counter,
+            },
+            MetricCell::Gauge(g) => Metric {
+                name: name.to_string(),
+                value: g.get() as f64,
+                kind: MetricKind::Gauge,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clones_share_the_cell() {
+        let a = Counter::detached();
+        let b = a.clone();
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::detached();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,326 @@
+//! Collected-trace analysis: Chrome trace-event export and per-image
+//! critical-path breakdowns.
+
+use crate::event::{SpanEvent, Stage, NO_IMAGE};
+use std::collections::BTreeMap;
+
+/// All events drained from one ring (= one recording thread).
+#[derive(Debug, Clone)]
+pub struct TrackTrace {
+    /// The track name the ring was registered under.
+    pub name: String,
+    /// The device the track's thread works for ([`crate::REQUESTER`] for
+    /// requester-side tracks).
+    pub device: u32,
+    /// Drained events in push order.
+    pub events: Vec<SpanEvent>,
+}
+
+/// Per-stage aggregate on one image's trace.
+#[derive(Debug, Clone)]
+pub struct StageCost {
+    /// Stage name ([`Stage::name`]).
+    pub stage: &'static str,
+    /// Summed span duration in milliseconds.
+    pub total_ms: f64,
+    /// Number of spans of this stage.
+    pub spans: usize,
+    /// Summed payload bytes the stage moved.
+    pub bytes: u64,
+}
+
+/// Where one image's latency went, stage by stage.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// The image analyzed.
+    pub image: u32,
+    /// Earliest span start → latest span end, milliseconds.
+    pub wall_ms: f64,
+    /// Every stage seen for the image, heaviest first.
+    pub stages: Vec<StageCost>,
+    /// The dominant *pipeline* stage name ([`Stage::is_pipeline`]) — the
+    /// stage re-planning can actually move.  Queue / wait stages are listed
+    /// in `stages` but never dominate: they measure waiting *on* the
+    /// pipeline, not the pipeline itself.
+    pub dominant: &'static str,
+}
+
+impl CriticalPath {
+    /// Render the breakdown as an aligned table for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "image {:>4}  wall {:7.2} ms  dominant stage: {}\n",
+            self.image, self.wall_ms, self.dominant
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<14} {:8.2} ms  ({} span{}, {} bytes)\n",
+                s.stage,
+                s.total_ms,
+                s.spans,
+                if s.spans == 1 { "" } else { "s" },
+                s.bytes
+            ));
+        }
+        out
+    }
+}
+
+/// A snapshot of every ring at collection time, ready for export/analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// One entry per ring, in registration order.
+    pub tracks: Vec<TrackTrace>,
+}
+
+impl TraceReport {
+    /// Total number of events across all tracks.
+    pub fn span_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.tracks.iter().flat_map(|t| t.events.iter())
+    }
+
+    /// Every image id that appears in the trace, ascending.
+    pub fn images(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .events()
+            .map(|e| e.trace.image)
+            .filter(|&i| i != NO_IMAGE)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Devices that recorded at least one event for `image` (requester
+    /// tracks excluded), ascending.
+    pub fn devices_seen(&self, image: u32) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .tracks
+            .iter()
+            .filter(|t| t.device != crate::REQUESTER)
+            .filter(|t| t.events.iter().any(|e| e.trace.image == image))
+            .map(|t| t.device)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Stage names that appear on `image`'s trace, in lifecycle order of
+    /// first occurrence.
+    pub fn stages_seen(&self, image: u32) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        let mut spans: Vec<&SpanEvent> = self.events().filter(|e| e.trace.image == image).collect();
+        spans.sort_by_key(|e| e.t_start_us);
+        for e in spans {
+            let name = e.stage.name();
+            if !seen.contains(&name) {
+                seen.push(name);
+            }
+        }
+        seen
+    }
+
+    /// Break down where `image`'s latency went.  Returns `None` if the
+    /// trace holds no span events for the image.
+    pub fn critical_path(&self, image: u32) -> Option<CriticalPath> {
+        let mut by_stage: BTreeMap<&'static str, StageCost> = BTreeMap::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut dominant: Option<(&'static str, f64)> = None;
+        let mut any = false;
+        for e in self.events().filter(|e| e.trace.image == image) {
+            any = true;
+            lo = lo.min(e.t_start_us);
+            hi = hi.max(e.t_end_us);
+            if e.stage.is_instant() {
+                continue;
+            }
+            let cost = by_stage.entry(e.stage.name()).or_insert(StageCost {
+                stage: e.stage.name(),
+                total_ms: 0.0,
+                spans: 0,
+                bytes: 0,
+            });
+            cost.total_ms += e.duration_ms();
+            cost.spans += 1;
+            cost.bytes += e.bytes;
+            if e.stage.is_pipeline() {
+                let total = cost.total_ms;
+                if dominant.is_none_or(|(_, best)| total > best) {
+                    dominant = Some((e.stage.name(), total));
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let mut stages: Vec<StageCost> = by_stage.into_values().collect();
+        stages.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        Some(CriticalPath {
+            image,
+            wall_ms: hi.saturating_sub(lo) as f64 / 1e3,
+            dominant: dominant.map(|(name, _)| name).unwrap_or(""),
+            stages,
+        })
+    }
+
+    /// Export as Chrome trace-event JSON (the `{"traceEvents": [...]}`
+    /// object form) — loadable in Perfetto (<https://ui.perfetto.dev>) or
+    /// `chrome://tracing`.  Each ring becomes one named thread track;
+    /// spans are `ph:"X"` complete events, instants `ph:"i"`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        for (tid, track) in self.tracks.iter().enumerate() {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    track.name
+                ),
+                &mut first,
+            );
+            for e in &track.events {
+                let name = span_name(e);
+                let args = format!(
+                    "{{\"epoch\":{},\"image\":{},\"device\":{},\"bytes\":{},\"arg\":{}}}",
+                    e.trace.epoch,
+                    i64::from(e.trace.image as i32),
+                    i64::from(e.device as i32),
+                    e.bytes,
+                    e.arg
+                );
+                if e.stage.is_instant() {
+                    push(
+                        format!(
+                            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"pid\":1,\
+                             \"tid\":{tid},\"ts\":{},\"args\":{args}}}",
+                            e.t_start_us
+                        ),
+                        &mut first,
+                    );
+                } else {
+                    push(
+                        format!(
+                            "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\
+                             \"ts\":{},\"dur\":{},\"args\":{args}}}",
+                            e.t_start_us,
+                            e.t_end_us.saturating_sub(e.t_start_us)
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn span_name(e: &SpanEvent) -> String {
+    match e.stage {
+        Stage::Compute(v) => format!("compute:v{v}"),
+        s => s.name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceId, REQUESTER};
+
+    fn span(device: u32, image: u32, stage: Stage, t0: u64, t1: u64, bytes: u64) -> SpanEvent {
+        SpanEvent {
+            trace: TraceId { epoch: 0, image },
+            device,
+            stage,
+            t_start_us: t0,
+            t_end_us: t1,
+            bytes,
+            arg: 0,
+        }
+    }
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            tracks: vec![
+                TrackTrace {
+                    name: "requester".into(),
+                    device: REQUESTER,
+                    events: vec![
+                        span(REQUESTER, 7, Stage::Submit, 0, 500, 0),
+                        span(REQUESTER, 7, Stage::Scatter, 10, 400, 3000),
+                        span(REQUESTER, 7, Stage::Wait, 500, 9_000, 0),
+                    ],
+                },
+                TrackTrace {
+                    name: "dev0.comp".into(),
+                    device: 0,
+                    events: vec![
+                        span(0, 7, Stage::Compute(0), 600, 2_600, 0),
+                        span(0, 7, Stage::Head, 7_000, 7_400, 0),
+                    ],
+                },
+                TrackTrace {
+                    name: "dev1.send".into(),
+                    device: 1,
+                    events: vec![span(1, 7, Stage::Tx, 2_700, 6_900, 50_000)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn critical_path_names_the_heaviest_pipeline_stage() {
+        let report = sample_report();
+        let cp = report.critical_path(7).unwrap();
+        // Wait (8.5 ms) is the longest span but only measures blocking on
+        // the pipeline; tx (4.2 ms) is the heaviest pipeline stage.
+        assert_eq!(cp.dominant, "tx");
+        assert!((cp.wall_ms - 9.0).abs() < 1e-9);
+        assert_eq!(cp.stages[0].stage, "wait");
+        assert!(cp.render().contains("dominant stage: tx"));
+    }
+
+    #[test]
+    fn image_and_device_queries() {
+        let report = sample_report();
+        assert_eq!(report.images(), vec![7]);
+        assert_eq!(report.devices_seen(7), vec![0, 1]);
+        let stages = report.stages_seen(7);
+        assert_eq!(stages.first(), Some(&"submit"));
+        assert!(stages.contains(&"tx") && stages.contains(&"compute"));
+        assert!(report.critical_path(99).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_track_per_ring() {
+        let report = sample_report();
+        let json = report.to_chrome_trace();
+        let value: serde::json::Value = serde_json::from_str(&json).expect("trace must parse");
+        let serde::json::Value::Object(fields) = &value else {
+            panic!("top level must be an object");
+        };
+        let (_, serde::json::Value::Array(events)) = &fields[0] else {
+            panic!("traceEvents must be an array");
+        };
+        // 3 thread_name metadata records + 6 events.
+        assert_eq!(events.len(), 9);
+        let rendered = json.as_str();
+        assert!(rendered.contains("\"thread_name\""));
+        assert!(rendered.contains("\"dev1.send\""));
+        assert!(rendered.contains("\"compute:v0\""));
+    }
+}

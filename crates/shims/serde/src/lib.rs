@@ -275,6 +275,15 @@ impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deseria
     }
 }
 
+// A raw `json::Value` deserializes as itself, so callers can parse JSON of
+// unknown shape (`serde_json::from_str::<serde::json::Value>`) and walk the
+// tree — the shim's stand-in for real serde_json's self-describing `Value`.
+impl<'de> Deserialize<'de> for json::Value {
+    fn from_value(v: &json::Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // `Duration` round-trips as `{secs, nanos}`, matching real serde's encoding.
 impl Serialize for std::time::Duration {
     fn to_value(&self) -> json::Value {

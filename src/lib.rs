@@ -15,12 +15,17 @@
 //! * [`neuro`] — the from-scratch MLP / DDPG library,
 //! * [`distredge`] — LC-PSS, OSDS, the baselines and experiment scenarios,
 //! * [`edge_runtime`] — the concurrent execution runtime and its serving
-//!   session API (`Runtime::deploy` → `Session`).
+//!   session API (`Runtime::deploy` → `Session`),
+//! * [`edge_gateway`] — the batching, SLO-aware serving front-end,
+//! * [`edge_telemetry`] — distributed tracing (Chrome-trace export,
+//!   critical-path reports) and the unified metrics registry.
 
 pub use cnn_model;
 pub use device_profile;
 pub use distredge;
+pub use edge_gateway;
 pub use edge_runtime;
+pub use edge_telemetry;
 pub use edgesim;
 pub use netsim;
 pub use neuro;

@@ -147,6 +147,13 @@ fn deadline_misses_are_shed_with_a_typed_error() {
     let metrics = gateway.shutdown().unwrap();
     assert_eq!(metrics.completed, 2);
     assert!(metrics.shed_deadline >= 1);
+    // The shed reason is attributed to the shedding client's class.
+    assert_eq!(
+        metrics.shed_deadline_by_class.iter().sum::<u64>(),
+        metrics.shed_deadline
+    );
+    assert!(metrics.shed_deadline_by_class[Priority::Normal.index()] >= 1);
+    assert_eq!(metrics.shed_overload_by_class, [0, 0, 0]);
     assert!(metrics.est_service_ms > 0.0);
 }
 
@@ -177,6 +184,83 @@ fn overload_is_shed_at_admission_with_a_typed_error() {
     let metrics = gateway.shutdown().unwrap();
     assert_eq!(metrics.completed, 1);
     assert_eq!(metrics.shed_overload, 1);
+    assert_eq!(
+        metrics.shed_overload_by_class,
+        [0, 1, 0],
+        "the overload shed must land on the Normal class"
+    );
+}
+
+#[test]
+fn traced_gateway_records_queue_spans_and_per_class_shed_reasons() {
+    let m = model();
+    let weights = ModelWeights::deterministic(&m, 57);
+    let telemetry = edge_telemetry::Telemetry::new();
+    let plan = two_device_plan(&m);
+    let session = Runtime::deploy_in_process_traced(
+        &m,
+        &plan,
+        &weights,
+        &RuntimeOptions::default().with_max_in_flight(4),
+        &telemetry,
+    )
+    .unwrap();
+    let gateway = Gateway::over_traced(
+        session,
+        GatewayConfig::default().with_max_linger(Duration::ZERO),
+        &telemetry,
+    )
+    .unwrap();
+    let client = gateway.client();
+    client.infer(&deterministic_input(&m, 7)).wait().unwrap();
+    // A Low-priority request with an expired deadline sheds, and the shed
+    // is attributed to its class (not just counted globally).
+    let low = gateway.client().with_priority(Priority::Low);
+    let err = low
+        .infer_with_deadline(&deterministic_input(&m, 8), Duration::ZERO)
+        .wait()
+        .expect_err("an expired deadline cannot be met");
+    assert_eq!(err, GatewayError::DeadlineExceeded);
+
+    let metrics = gateway.shutdown().unwrap();
+    assert_eq!(metrics.completed, 1);
+    assert_eq!(metrics.shed_deadline_by_class[Priority::Low.index()], 1);
+    assert_eq!(
+        metrics.shed_deadline_by_class.iter().sum::<u64>(),
+        metrics.shed_deadline
+    );
+
+    // The served image's trace covers the whole path — gateway queue wait,
+    // session submit/scatter, device recv/compute, and the response — on
+    // one shared hub.
+    let report = telemetry.collect();
+    let stages = report.stages_seen(0);
+    for stage in [
+        "gateway-queue",
+        "submit",
+        "scatter",
+        "recv",
+        "compute",
+        "respond",
+    ] {
+        assert!(
+            stages.contains(&stage),
+            "stage {stage} missing from image 0's trace: {stages:?}"
+        );
+    }
+    let value = |name: &str| {
+        telemetry
+            .metrics()
+            .iter()
+            .find(|mm| mm.name == name)
+            .map(|mm| mm.value)
+            .unwrap_or_else(|| panic!("metric {name} not registered"))
+    };
+    assert_eq!(value("gateway.completed"), 1.0);
+    assert_eq!(value("gateway.dispatched"), 1.0);
+    assert_eq!(value("gateway.shed.deadline.low"), 1.0);
+    assert_eq!(value("gateway.shed.deadline.high"), 0.0);
+    assert_eq!(value("gateway.queue_depth"), 0.0);
 }
 
 #[test]
