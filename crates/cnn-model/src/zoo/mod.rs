@@ -50,6 +50,24 @@ pub fn all_models() -> Vec<Model> {
     ]
 }
 
+/// The canonical id of every model [`by_name`] resolves — the registry a
+/// serving fleet (or a CLI) can enumerate to list its tenants.  Ids are
+/// already in canonical form: lowercase, alphanumeric only.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "vgg16",
+        "resnet50",
+        "inceptionv3",
+        "yolov2",
+        "ssdresnet50",
+        "ssdvgg16",
+        "openpose",
+        "voxelnet",
+        "tinyvgg",
+        "vgg11",
+    ]
+}
+
 /// Looks a model up by name (case-insensitive, hyphen/underscore-insensitive).
 pub fn by_name(name: &str) -> Option<Model> {
     let canon: String = name
@@ -93,6 +111,23 @@ mod tests {
         assert!(by_name("VGG-11").is_some());
         assert!(by_name("SSD_ResNet50").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_registered_name_resolves_and_is_canonical() {
+        for id in names() {
+            let model = by_name(id).unwrap_or_else(|| panic!("{id} not resolvable"));
+            assert!(model.distributable_len() > 0);
+            let canon: String = id
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            assert_eq!(*id, canon, "registry id {id} is not canonical");
+        }
+        // The registry covers every model `all_models` builds, plus the
+        // small/paper-scale extras.
+        assert_eq!(names().len(), all_models().len() + 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::strategy::DistributionStrategy;
 use crate::Result;
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
+use edge_fleet::{FleetConfig, FleetServer, ModelSpec};
 use edge_gateway::{Gateway, GatewayConfig};
 use edge_runtime::runtime::RuntimeOptions;
 use edge_runtime::session::{Runtime, Session};
@@ -188,6 +189,41 @@ impl DistrEdge {
             .map_err(|e| crate::DistrError::Runtime(e.to_string()))
     }
 
+    /// Deploys a planned strategy as a **fleet**: `options.replicas`
+    /// replica sessions — each its own provider cluster, all executing
+    /// from one shared packed weight copy — behind a single gateway with
+    /// least-loaded routing and watermark-driven elastic scale (see
+    /// [`FleetConfig`]).  The model's name is its fleet model id; more
+    /// models can only be added through [`FleetServer::serve`] directly.
+    pub fn serve_fleet(
+        model: &Model,
+        cluster: &Cluster,
+        strategy: &DistributionStrategy,
+        options: &FleetOptions,
+    ) -> Result<FleetServer> {
+        options
+            .fleet
+            .validate()
+            .map_err(|e| crate::DistrError::InvalidConfig(e.to_string()))?;
+        options
+            .gateway
+            .validate()
+            .map_err(|e| crate::DistrError::InvalidConfig(e.to_string()))?;
+        let plan = strategy.to_plan(model)?;
+        let mut spec = ModelSpec::new(model.name(), model.clone(), plan)
+            .with_replicas(options.replicas)
+            .with_weight_seed(options.deploy.weight_seed)
+            .with_runtime(options.deploy.runtime);
+        if options.deploy.shaped {
+            let cluster = cluster.clone();
+            spec = spec.with_transport(std::sync::Arc::new(move |n| {
+                Box::new(ShapedTransport::new(ChannelTransport::new(n), &cluster))
+            }));
+        }
+        FleetServer::serve(vec![spec], options.fleet, options.gateway)
+            .map_err(|e| crate::DistrError::Runtime(e.to_string()))
+    }
+
     /// One-shot wrapper over [`DistrEdge::serve`]: deploys a session,
     /// streams `images` through it with real tensor kernels, and shuts the
     /// cluster down again.
@@ -296,6 +332,60 @@ impl GatewayOptions {
     /// Overrides the gateway knobs.
     pub fn with_gateway(mut self, gateway: GatewayConfig) -> Self {
         self.gateway = gateway;
+        self
+    }
+}
+
+/// Options of [`DistrEdge::serve_fleet`]: per-replica deployment, the
+/// gateway's batching/SLO knobs, the fleet's replica bounds and scale
+/// watermarks, and the initial replica count.  Round-trips through JSON
+/// like the other option bundles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetOptions {
+    /// Per-replica deployment options (transport shaping, credit window,
+    /// weight seed).
+    pub deploy: DeployOptions,
+    /// Gateway batching and admission knobs.
+    pub gateway: GatewayConfig,
+    /// Fleet replica bounds and elastic-scale watermarks.
+    pub fleet: FleetConfig,
+    /// Replicas deployed at serve time.
+    pub replicas: usize,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            deploy: DeployOptions::default(),
+            gateway: GatewayConfig::default(),
+            fleet: FleetConfig::default(),
+            replicas: 2,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// Overrides the per-replica deployment options.
+    pub fn with_deploy(mut self, deploy: DeployOptions) -> Self {
+        self.deploy = deploy;
+        self
+    }
+
+    /// Overrides the gateway knobs.
+    pub fn with_gateway(mut self, gateway: GatewayConfig) -> Self {
+        self.gateway = gateway;
+        self
+    }
+
+    /// Overrides the fleet bounds and watermarks.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Overrides the initial replica count.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
         self
     }
 }
@@ -541,6 +631,45 @@ mod tests {
             );
         let text = serde_json::to_string(&opts).unwrap();
         let back: GatewayOptions = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn serve_fleet_replicates_a_planned_strategy() {
+        use cnn_model::exec::{self, deterministic_input};
+        let m = cnn_model::zoo::tiny_vgg();
+        let c = cluster();
+        let outcome = DistrEdge::plan(&m, &c, &tiny_config()).unwrap();
+        let opts = FleetOptions::default()
+            .with_replicas(2)
+            .with_fleet(FleetConfig::default().with_autoscale(false));
+        let fleet = DistrEdge::serve_fleet(&m, &c, &outcome.strategy, &opts).unwrap();
+        assert_eq!(fleet.replica_count(m.name()), 2);
+        let weights = ModelWeights::deterministic(&m, opts.deploy.weight_seed);
+        let client = fleet.client();
+        let responses: Vec<_> = (0..4)
+            .map(|i| {
+                let img = deterministic_input(&m, 300 + i);
+                (img.clone(), client.infer(&img))
+            })
+            .collect();
+        for (img, response) in responses {
+            let out = response.wait().unwrap();
+            let full = exec::run_full(&m, &weights, &img).unwrap();
+            assert_eq!(&out, full.last().unwrap(), "fleet output must be bit-exact");
+        }
+        let metrics = fleet.shutdown().unwrap();
+        assert_eq!(metrics.completed, 4);
+    }
+
+    #[test]
+    fn fleet_options_round_trip_through_json() {
+        let opts = FleetOptions::default()
+            .with_replicas(3)
+            .with_fleet(FleetConfig::default().with_max_replicas(5))
+            .with_gateway(GatewayConfig::default().with_max_batch(6));
+        let text = serde_json::to_string(&opts).unwrap();
+        let back: FleetOptions = serde_json::from_str(&text).unwrap();
         assert_eq!(back, opts);
     }
 

@@ -38,7 +38,8 @@ pub mod splitter;
 pub mod strategy;
 
 pub use api::{
-    DeployOptions, Deployment, DistrEdge, DistrEdgeConfig, GatewayOptions, PlanningOutcome,
+    DeployOptions, Deployment, DistrEdge, DistrEdgeConfig, FleetOptions, GatewayOptions,
+    PlanningOutcome,
 };
 pub use baselines::Method;
 pub use error::DistrError;

@@ -1,0 +1,112 @@
+//! The replica template: everything needed to deploy one more replica of a
+//! model — its plan, its deterministic weights, its runtime knobs, and the
+//! transport each replica's cluster runs over.
+
+use cnn_model::Model;
+use edge_runtime::runtime::RuntimeOptions;
+use edge_runtime::transport::{ChannelTransport, Transport};
+use edgesim::ExecutionPlan;
+use std::fmt;
+use std::sync::Arc;
+
+/// Builds one replica's transport fabric from its device count.  Each
+/// replica deploys over its *own* fabric (its own provider cluster), so the
+/// factory is called once per replica — at initial serve and again on every
+/// scale-up.  It must therefore be shareable across threads (the monitor
+/// thread scales up).
+pub type TransportFactory = Arc<dyn Fn(usize) -> Box<dyn Transport> + Send + Sync>;
+
+/// One model the fleet serves, plus the template every replica of it
+/// deploys from.  The spec *is* the spare-capacity profile: scaling up
+/// deploys one more identical cluster from it.
+#[derive(Clone)]
+pub struct ModelSpec {
+    /// The model id requests route by ([`edge_gateway::GatewayClient::with_model`]).
+    pub id: String,
+    /// The model itself.
+    pub model: Model,
+    /// The execution plan every replica runs.
+    pub plan: ExecutionPlan,
+    /// Replicas deployed at serve time (scaling adjusts this afterwards
+    /// within the configured bounds).
+    pub replicas: usize,
+    /// Seed of the deterministic weights — packed once, shared by every
+    /// replica.
+    pub weight_seed: u64,
+    /// Per-replica runtime knobs (credit window, timeouts).
+    pub runtime: RuntimeOptions,
+    /// Per-replica transport factory (`None` = in-process channels).
+    transport: Option<TransportFactory>,
+}
+
+impl ModelSpec {
+    /// A spec serving `model` under `plan` as one replica, with default
+    /// runtime knobs, weight seed 7 and in-process transport.
+    pub fn new(id: &str, model: Model, plan: ExecutionPlan) -> Self {
+        Self {
+            id: id.to_string(),
+            model,
+            plan,
+            replicas: 1,
+            weight_seed: 7,
+            runtime: RuntimeOptions::default(),
+            transport: None,
+        }
+    }
+
+    /// Overrides the initial replica count.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Overrides the weight seed.
+    pub fn with_weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+
+    /// Overrides the per-replica runtime knobs.
+    pub fn with_runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the per-replica transport fabric (e.g. a
+    /// [`crate::PacedTransport`] that models each replica cluster's finite
+    /// service rate, or a shaped fabric driven by `netsim` traces).
+    pub fn with_transport(mut self, factory: TransportFactory) -> Self {
+        self.transport = Some(factory);
+        self
+    }
+
+    /// Devices per replica, derived from the plan.
+    pub fn num_devices(&self) -> usize {
+        self.plan
+            .volumes
+            .first()
+            .map(|v| v.parts.len())
+            .unwrap_or(0)
+    }
+
+    /// Builds a fresh fabric for one replica.
+    pub(crate) fn make_transport(&self) -> Box<dyn Transport> {
+        match &self.transport {
+            Some(factory) => factory(self.num_devices()),
+            None => Box::new(ChannelTransport::new(self.num_devices())),
+        }
+    }
+}
+
+impl fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("id", &self.id)
+            .field("model", &self.model.name())
+            .field("replicas", &self.replicas)
+            .field("weight_seed", &self.weight_seed)
+            .field("num_devices", &self.num_devices())
+            .field("custom_transport", &self.transport.is_some())
+            .finish()
+    }
+}

@@ -7,6 +7,12 @@
 //! * `max_linger` — an incomplete batch dispatches once its *oldest* request
 //!   has waited that long, so light traffic never waits for a batch to fill.
 //!
+//! A third, opt-in knob bounds priority starvation: with
+//! [`Batcher::with_max_starvation`] set, any item that has waited that long
+//! jumps the class order and leaves with the next wave — so sustained High
+//! traffic can delay Low work by at most the bound, never indefinitely.
+//! Unset (the default), class order is absolute.
+//!
 //! Every method takes `now` explicitly, which is what makes the linger/size
 //! invariants property-testable without sleeping (see `tests/gateway.rs`).
 
@@ -70,6 +76,9 @@ struct Queued<T> {
 pub struct Batcher<T> {
     max_batch: usize,
     max_linger: Duration,
+    /// Bounded-wait promotion: items that have waited this long leave with
+    /// the next wave regardless of class.  `None` = strict class order.
+    max_starvation: Option<Duration>,
     queues: [VecDeque<Queued<T>>; 3],
     len: usize,
 }
@@ -82,9 +91,20 @@ impl<T> Batcher<T> {
         Self {
             max_batch,
             max_linger,
+            max_starvation: None,
             queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             len: 0,
         }
+    }
+
+    /// Sets (or clears) the starvation bound: with `Some(bound)`, an item
+    /// that has waited `bound` or longer is promoted ahead of class order —
+    /// oldest first — so lower classes inherit a worst-case wait of
+    /// roughly `bound` plus one dispatch interval under sustained
+    /// higher-class load, instead of waiting forever.
+    pub fn with_max_starvation(mut self, max_starvation: Option<Duration>) -> Self {
+        self.max_starvation = max_starvation;
+        self
     }
 
     /// The size knob.
@@ -95,6 +115,11 @@ impl<T> Batcher<T> {
     /// The linger knob.
     pub fn max_linger(&self) -> Duration {
         self.max_linger
+    }
+
+    /// The starvation bound (`None` = strict class order).
+    pub fn max_starvation(&self) -> Option<Duration> {
+        self.max_starvation
     }
 
     /// Enqueues one item arriving at `now`.
@@ -146,9 +171,33 @@ impl<T> Batcher<T> {
     /// urgent class first, arrival order within a class.  The caller passes
     /// the session's free credit count as `limit`, so a wave never exceeds
     /// the in-flight window it is dispatched into.
-    pub fn take_batch(&mut self, limit: usize) -> Vec<T> {
+    ///
+    /// With a starvation bound set, items that have waited `bound` or
+    /// longer at `now` fill the wave first (oldest first, across classes);
+    /// class order applies to whatever room remains.
+    pub fn take_batch(&mut self, limit: usize, now: Instant) -> Vec<T> {
         let cap = self.max_batch.min(limit);
         let mut batch = Vec::new();
+        if let Some(bound) = self.max_starvation {
+            // Promote over-age items oldest-first.  Each queue is in
+            // arrival order, so only fronts need comparing.
+            while batch.len() < cap {
+                let overdue = self
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(c, q)| q.front().map(|e| (c, e.arrived)))
+                    .filter(|(_, arrived)| now.saturating_duration_since(*arrived) >= bound)
+                    .min_by_key(|(_, arrived)| *arrived);
+                match overdue {
+                    Some((class, _)) => {
+                        let e = self.queues[class].pop_front().expect("front exists");
+                        batch.push(e.item);
+                    }
+                    None => break,
+                }
+            }
+        }
         for q in &mut self.queues {
             while batch.len() < cap {
                 match q.pop_front() {
@@ -184,7 +233,7 @@ mod tests {
         assert!(!b.ready(now));
         b.push(2, Priority::Normal, now);
         assert!(b.ready(now), "a full batch must not linger");
-        assert_eq!(b.take_batch(usize::MAX), vec![1, 2]);
+        assert_eq!(b.take_batch(usize::MAX, now), vec![1, 2]);
         assert!(b.is_empty());
     }
 
@@ -209,8 +258,8 @@ mod tests {
         b.push(10, Priority::High, now);
         b.push(20, Priority::Normal, now);
         b.push(11, Priority::High, now);
-        assert_eq!(b.take_batch(3), vec![10, 11, 20]);
-        assert_eq!(b.take_batch(usize::MAX), vec![30]);
+        assert_eq!(b.take_batch(3, now), vec![10, 11, 20]);
+        assert_eq!(b.take_batch(usize::MAX, now), vec![30]);
     }
 
     #[test]
@@ -220,8 +269,31 @@ mod tests {
         for i in 0..5u32 {
             b.push(i, Priority::Normal, now);
         }
-        assert_eq!(b.take_batch(2).len(), 2);
+        assert_eq!(b.take_batch(2, now).len(), 2);
         assert_eq!(b.len(), 3);
         assert_eq!(b.drain_all(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn overdue_items_jump_the_class_order_oldest_first() {
+        let t0 = Instant::now();
+        let bound = Duration::from_millis(50);
+        let mut b = Batcher::new(4, Duration::ZERO).with_max_starvation(Some(bound));
+        b.push(90u32, Priority::Low, t0);
+        b.push(50, Priority::Normal, t0 + Duration::from_millis(10));
+        // Before the bound elapses, strict class order holds.
+        b.push(10, Priority::High, t0 + Duration::from_millis(20));
+        assert_eq!(
+            b.take_batch(1, t0 + Duration::from_millis(30)),
+            vec![10],
+            "nothing is overdue yet"
+        );
+        // Past the bound, the Low item (oldest) and then the Normal one
+        // leave ahead of fresh High arrivals.
+        b.push(11, Priority::High, t0 + Duration::from_millis(65));
+        assert_eq!(
+            b.take_batch(4, t0 + Duration::from_millis(70)),
+            vec![90, 50, 11]
+        );
     }
 }

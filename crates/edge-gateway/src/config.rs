@@ -19,6 +19,12 @@ pub struct GatewayConfig {
     /// instead of growing the queue (and every latency behind it) without
     /// bound.
     pub queue_capacity: usize,
+    /// Priority-fairness bound: a queued request that has waited this long
+    /// is promoted ahead of class order into the next dispatch wave, so
+    /// sustained High-priority load delays Low work by at most roughly
+    /// this bound instead of starving it indefinitely.  `None` (the
+    /// default) keeps strict class order.
+    pub max_starvation: Option<Duration>,
 }
 
 impl Default for GatewayConfig {
@@ -27,6 +33,7 @@ impl Default for GatewayConfig {
             max_batch: 8,
             max_linger: Duration::from_millis(2),
             queue_capacity: 256,
+            max_starvation: None,
         }
     }
 }
@@ -47,6 +54,13 @@ impl GatewayConfig {
     /// Overrides the admission bound.
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Bounds priority starvation: queued requests older than
+    /// `max_starvation` jump the class order.
+    pub fn with_max_starvation(mut self, max_starvation: Duration) -> Self {
+        self.max_starvation = Some(max_starvation);
         self
     }
 
@@ -96,5 +110,9 @@ mod tests {
         let text = serde_json::to_string(&cfg).unwrap();
         let back: GatewayConfig = serde_json::from_str(&text).unwrap();
         assert_eq!(back, cfg);
+        let fair = GatewayConfig::default().with_max_starvation(Duration::from_millis(40));
+        let text = serde_json::to_string(&fair).unwrap();
+        let back: GatewayConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, fair);
     }
 }

@@ -2,11 +2,12 @@
 //! dispatcher thread that turns a many-client request stream into batched,
 //! credit-scheduled, deadline-checked session traffic.
 
+use crate::backend::{Backend, RouteTicket, SessionBackend};
 use crate::batcher::{Batcher, Priority};
 use crate::config::GatewayConfig;
 use crate::metrics::{GatewayMetrics, LatencyHistogram};
 use crate::GatewayError;
-use edge_runtime::{RuntimeReport, Session, SwapReport, Ticket};
+use edge_runtime::{RuntimeReport, Session, SwapReport};
 use edge_telemetry::{Counter, Gauge, Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::ExecutionPlan;
 use std::collections::HashMap;
@@ -73,6 +74,8 @@ impl Response {
 /// One queued inference request.
 struct PendingRequest {
     image: Tensor,
+    /// The model id to route by (`None` = the backend's default model).
+    model: Option<Arc<str>>,
     deadline: Option<Instant>,
     enqueued: Instant,
     priority: Priority,
@@ -170,8 +173,9 @@ struct Inner {
     state: Mutex<State>,
     /// Signalled on every enqueue and on close.
     work: Condvar,
-    /// The resident session.  `None` only once `shutdown` has taken it.
-    session: RwLock<Option<Session>>,
+    /// The resident serving backend (one session, or a fleet of replica
+    /// sessions).  `None` only once `shutdown` has taken it.
+    backend: RwLock<Option<Box<dyn Backend>>>,
     tel: GatewayTelemetry,
 }
 
@@ -180,10 +184,10 @@ impl Inner {
         self.state.lock().expect("gateway state poisoned")
     }
 
-    /// Runs `f` on the live session; `None` once the session was taken.
-    fn with_session<R>(&self, f: impl FnOnce(&Session) -> R) -> Option<R> {
-        let guard = self.session.read().expect("session lock poisoned");
-        guard.as_ref().map(f)
+    /// Runs `f` on the live backend; `None` once the backend was taken.
+    fn with_backend<R>(&self, f: impl FnOnce(&dyn Backend) -> R) -> Option<R> {
+        let guard = self.backend.read().expect("backend lock poisoned");
+        guard.as_deref().map(f)
     }
 }
 
@@ -193,6 +197,7 @@ impl Inner {
 pub struct GatewayClient {
     inner: Arc<Inner>,
     priority: Priority,
+    model: Option<Arc<str>>,
 }
 
 impl GatewayClient {
@@ -205,6 +210,20 @@ impl GatewayClient {
     /// This handle's scheduling class.
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The same handle routing to a specific model id.  A single-session
+    /// gateway serves one model and ignores the id; a fleet backend routes
+    /// by it and resolves requests for ids it does not serve with a
+    /// [`GatewayError::Runtime`] error.
+    pub fn with_model(mut self, model: &str) -> Self {
+        self.model = Some(Arc::from(model));
+        self
+    }
+
+    /// The model id this handle routes to (`None` = backend default).
+    pub fn model(&self) -> Option<&str> {
+        self.model.as_deref()
     }
 
     /// Submits one image with no deadline; never sheds for time, only for
@@ -263,6 +282,7 @@ impl GatewayClient {
         st.batcher.push(
             PendingRequest {
                 image: image.clone(),
+                model: self.model.clone(),
                 deadline,
                 enqueued: now,
                 priority: self.priority,
@@ -303,6 +323,17 @@ impl Gateway {
         config: GatewayConfig,
         telemetry: &Telemetry,
     ) -> Result<Self, GatewayError> {
+        Self::over_backend(Box::new(SessionBackend::new(session)), config, telemetry)
+    }
+
+    /// Puts the gateway's batching/priority/deadline front-end over any
+    /// [`Backend`] — this is the routing seam a fleet of replica sessions
+    /// plugs into.
+    pub fn over_backend(
+        backend: Box<dyn Backend>,
+        config: GatewayConfig,
+        telemetry: &Telemetry,
+    ) -> Result<Self, GatewayError> {
         config.validate()?;
         let tel = GatewayTelemetry {
             hub: telemetry.clone(),
@@ -318,13 +349,14 @@ impl Gateway {
         };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
-                batcher: Batcher::new(config.max_batch, config.max_linger),
+                batcher: Batcher::new(config.max_batch, config.max_linger)
+                    .with_max_starvation(config.max_starvation),
                 closed: false,
                 aborted: false,
                 stats: Stats::default(),
             }),
             work: Condvar::new(),
-            session: RwLock::new(Some(session)),
+            backend: RwLock::new(Some(backend)),
             config,
             tel,
         });
@@ -339,11 +371,13 @@ impl Gateway {
         })
     }
 
-    /// A new client handle (default [`Priority::Normal`]).
+    /// A new client handle (default [`Priority::Normal`], backend-default
+    /// model).
     pub fn client(&self) -> GatewayClient {
         GatewayClient {
             inner: Arc::clone(&self.inner),
             priority: Priority::default(),
+            model: None,
         }
     }
 
@@ -355,9 +389,9 @@ impl Gateway {
     /// resumes at the new epoch.
     pub fn apply_plan(&self, plan: &ExecutionPlan) -> Result<SwapReport, GatewayError> {
         self.inner
-            .with_session(|s| s.apply_plan(plan))
+            .with_backend(|b| b.apply_plan(plan))
             .ok_or(GatewayError::Closed)?
-            .map_err(|e| GatewayError::Runtime(e.to_string()))
+            .map_err(GatewayError::Runtime)
     }
 
     /// Snapshots the gateway counters together with the live session
@@ -366,8 +400,8 @@ impl Gateway {
     pub fn metrics(&self) -> GatewayMetrics {
         let session = self
             .inner
-            .with_session(Session::metrics)
-            .expect("session resident while the gateway is live");
+            .with_backend(|b| b.report())
+            .expect("backend resident while the gateway is live");
         let st = self.inner.lock();
         build_metrics(&st.stats, st.batcher.len(), session)
     }
@@ -382,16 +416,14 @@ impl Gateway {
                 .join()
                 .map_err(|_| GatewayError::Runtime("dispatcher thread panicked".into()))?;
         }
-        let session = self
+        let backend = self
             .inner
-            .session
+            .backend
             .write()
-            .expect("session lock poisoned")
+            .expect("backend lock poisoned")
             .take()
             .ok_or(GatewayError::Closed)?;
-        let report = session
-            .shutdown()
-            .map_err(|e| GatewayError::Runtime(e.to_string()))?;
+        let report = backend.shutdown().map_err(GatewayError::Runtime)?;
         let st = self.inner.lock();
         Ok(build_metrics(&st.stats, st.batcher.len(), report))
     }
@@ -402,8 +434,8 @@ impl Drop for Gateway {
         // A gateway abandoned without `shutdown` still joins its dispatcher
         // and resolves every outstanding response (with `Closed`), so no
         // client blocks forever and no thread outlives the gateway — the
-        // session is taken out of the shared state and dropped here (its
-        // own `Drop` halts and joins every worker), so surviving
+        // backend is taken out of the shared state and dropped here (a
+        // session's own `Drop` halts and joins every worker), so surviving
         // `GatewayClient` handles cannot keep the cluster resident.
         if let Some(handle) = self.dispatcher.take() {
             {
@@ -415,9 +447,9 @@ impl Drop for Gateway {
             let _ = handle.join();
             drop(
                 self.inner
-                    .session
+                    .backend
                     .write()
-                    .expect("session lock poisoned")
+                    .expect("backend lock poisoned")
                     .take(),
             );
         }
@@ -451,13 +483,13 @@ fn build_metrics(stats: &Stats, queue_depth: usize, session: RuntimeReport) -> G
 /// The dispatcher: forms waves out of the batcher, sizes them to the
 /// session's free credits, submits them, and resolves completions.
 fn dispatch_loop(inner: Arc<Inner>) {
-    let mut pending: HashMap<Ticket, PendingRequest> = HashMap::new();
+    let mut pending: HashMap<RouteTicket, PendingRequest> = HashMap::new();
     loop {
         drain_completions(&inner, &mut pending);
 
-        // A failed session can never complete what it holds: resolve
+        // A failed backend can never complete what it holds: resolve
         // everything with the failure and close the gateway.
-        let failure = inner.with_session(Session::failure).flatten();
+        let failure = inner.with_backend(|b| b.failure()).flatten();
         if let Some(f) = failure {
             let queued = {
                 let mut st = inner.lock();
@@ -498,14 +530,14 @@ fn dispatch_loop(inner: Arc<Inner>) {
                     // sleep-polling — any completion wakes the session's
                     // condvar, so results resolve as they land.
                     drop(st);
-                    // Anything but a ready output — timeout, session
-                    // failure, a taken session — is handled by the next
+                    // Anything but a ready output — timeout, backend
+                    // failure, a taken backend — is handled by the next
                     // loop iteration's checks.
                     if let Some(Ok(Some(output))) =
-                        inner.with_session(|s| s.wait_timeout(ticket, DISPATCH_TICK))
+                        inner.with_backend(|b| b.wait_timeout(ticket, DISPATCH_TICK))
                     {
                         let req = pending.remove(&ticket).expect("ticket is pending");
-                        resolve_completion(&inner, req, ticket.image(), output);
+                        resolve_completion(&inner, req, ticket.image, output);
                     }
                 } else {
                     let _ = inner
@@ -531,10 +563,10 @@ fn dispatch_loop(inner: Arc<Inner>) {
             // least one: when the window is saturated the submit path below
             // waits for a credit, which keeps draining completions).
             let credits = inner
-                .with_session(Session::available_credits)
+                .with_backend(|b| b.available_credits())
                 .unwrap_or(0)
                 .max(1);
-            let batch = st.batcher.take_batch(credits);
+            let batch = st.batcher.take_batch(credits, now);
             if !batch.is_empty() {
                 st.stats.batches += 1;
             }
@@ -563,7 +595,7 @@ fn dispatch_loop(inner: Arc<Inner>) {
 fn submit_one(
     inner: &Arc<Inner>,
     req: PendingRequest,
-    pending: &mut HashMap<Ticket, PendingRequest>,
+    pending: &mut HashMap<RouteTicket, PendingRequest>,
 ) {
     loop {
         let now = Instant::now();
@@ -583,14 +615,13 @@ fn submit_one(
                 return;
             }
         }
-        let submitted =
-            inner.with_session(|s| s.try_submit(&req.image).map(|t| t.map(|t| (t, s.epoch()))));
+        let submitted = inner.with_backend(|b| b.try_submit(req.model.as_deref(), &req.image));
         match submitted {
             None => {
                 req.state.fulfil(Err(GatewayError::Closed));
                 return;
             }
-            Some(Ok(Some((ticket, epoch)))) => {
+            Some(Ok(Some(admission))) => {
                 inner.lock().stats.dispatched += 1;
                 inner.tel.dispatched.inc();
                 // The queue-wait span: enqueue → admission into the session.
@@ -599,8 +630,8 @@ fn submit_one(
                     rec.span_between(
                         Stage::GatewayQueue,
                         TraceId {
-                            epoch,
-                            image: ticket.image(),
+                            epoch: admission.epoch,
+                            image: admission.ticket.image,
                         },
                         req.enqueued,
                         now,
@@ -608,7 +639,7 @@ fn submit_one(
                         req.priority.index() as u32,
                     );
                 }
-                pending.insert(ticket, req);
+                pending.insert(admission.ticket, req);
                 return;
             }
             Some(Ok(None)) => {
@@ -616,27 +647,27 @@ fn submit_one(
                 // credits, so collect them first, then block briefly for
                 // one.
                 drain_completions(inner, pending);
-                inner.with_session(|s| s.wait_for_credit(DISPATCH_TICK));
+                inner.with_backend(|b| b.wait_for_credit(DISPATCH_TICK));
             }
             Some(Err(e)) => {
-                req.state.fulfil(Err(GatewayError::Runtime(e.to_string())));
+                req.state.fulfil(Err(GatewayError::Runtime(e)));
                 return;
             }
         }
     }
 }
 
-/// Resolves every completion the session currently has ready.
-fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<Ticket, PendingRequest>) {
+/// Resolves every completion the backend currently has ready.
+fn drain_completions(inner: &Arc<Inner>, pending: &mut HashMap<RouteTicket, PendingRequest>) {
     loop {
-        let Some(Some((ticket, output))) = inner.with_session(Session::try_recv) else {
+        let Some(Some((ticket, output))) = inner.with_backend(|b| b.try_recv()) else {
             return;
         };
         let Some(req) = pending.remove(&ticket) else {
-            // Not ours (impossible — the gateway owns the session), drop it.
+            // Not ours (impossible — the gateway owns the backend), drop it.
             continue;
         };
-        resolve_completion(inner, req, ticket.image(), output);
+        resolve_completion(inner, req, ticket.image, output);
     }
 }
 

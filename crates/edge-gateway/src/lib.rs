@@ -65,11 +65,13 @@
 //! assert_eq!(metrics.session.images, 1);
 //! ```
 
+pub mod backend;
 pub mod batcher;
 pub mod config;
 pub mod gateway;
 pub mod metrics;
 
+pub use backend::{Admission, Backend, RouteTicket, SessionBackend};
 pub use batcher::{Batcher, Priority};
 pub use config::GatewayConfig;
 pub use gateway::{Gateway, GatewayClient, Response};

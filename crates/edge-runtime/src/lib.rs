@@ -72,10 +72,11 @@ pub mod session;
 pub mod transport;
 pub mod wire;
 
+pub use provider::ProviderWeights;
 pub use report::{DeviceMetrics, MeasuredCompute, RuntimeReport};
 pub use routing::{EpochSlot, PlanEpoch, RouteTable};
 pub use runtime::{execute, execute_in_process, RuntimeOptions, RuntimeOutcome};
-pub use session::{Runtime, Session, SwapReport, Ticket};
+pub use session::{Runtime, Session, SessionLoad, SwapReport, Ticket};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport};
 pub use wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 

@@ -208,6 +208,66 @@ impl ProviderStats {
     }
 }
 
+/// What a provider worker is given to make its weights resident.
+///
+/// The classic deploy path shards the raw weights per device and each
+/// compute thread packs its own shard at spawn.  A fleet of replica
+/// sessions serving the *same* model instead shares one deploy-time
+/// [`PackedModelWeights`] artifact across every provider of every replica
+/// via `Arc` — K replicas cost one packing pass and one resident copy.
+pub enum ProviderWeights {
+    /// This device's sharded raw weights; the compute thread packs them
+    /// into GEMM panels at spawn and drops the raw copy.
+    Sharded(ModelWeights),
+    /// A full-model packed artifact shared with other providers (and other
+    /// replica sessions).  No packing happens at spawn, and
+    /// [`ComputeStats::layers_packed`] stays 0 — the observable proof of
+    /// sharing.  Shared packs are immutable: they are deployed with every
+    /// layer resident, so plan swaps never ship weight deltas to them.
+    Prepacked(Arc<PackedModelWeights>),
+}
+
+/// The compute thread's resident weight set: owned-and-growable on the
+/// sharded path, immutable-and-shared on the prepacked path.
+enum ResidentWeights {
+    Owned(PackedModelWeights),
+    Shared(Arc<PackedModelWeights>),
+}
+
+impl ResidentWeights {
+    fn get(&self) -> &PackedModelWeights {
+        match self {
+            ResidentWeights::Owned(w) => w,
+            ResidentWeights::Shared(w) => w,
+        }
+    }
+
+    fn install_layer(
+        &mut self,
+        model: &Model,
+        layer: usize,
+        weights: &[f32],
+        bias: &[f32],
+    ) -> Result<()> {
+        match self {
+            ResidentWeights::Owned(w) => Ok(w.install_layer(model, layer, weights, bias)?),
+            // A shared pack is fully resident by construction, so the
+            // requester's residency diff ships empty deltas to it; a
+            // non-empty delta addressed here is a protocol violation.
+            ResidentWeights::Shared(w) => {
+                if weights.is_empty() && w.is_resident(layer) {
+                    Ok(())
+                } else {
+                    Err(RuntimeError::Execution(format!(
+                        "reconfigure shipped a weight delta for layer {layer} to a provider \
+                         serving shared prepacked weights"
+                    )))
+                }
+            }
+        }
+    }
+}
+
 /// Join handles of one provider's three threads, plus its live counters.
 pub struct ProviderHandle {
     pub(crate) recv: JoinHandle<Result<()>>,
@@ -236,14 +296,16 @@ enum OutMsg {
     EpochAck { epoch: u64 },
 }
 
-/// Spawns the three threads of provider `d`.  `weights` is the device's
-/// sharded weight set — only the layers `d`'s parts need are resident; the
-/// compute thread packs it into GEMM panels once at spawn (then drops the
-/// raw copy) and grows the packed set on `Reconfigure` deltas.
+/// Spawns the three threads of provider `d`.  On the
+/// [`ProviderWeights::Sharded`] path only the layers `d`'s parts need are
+/// resident; the compute thread packs them into GEMM panels once at spawn
+/// (then drops the raw copy) and grows the packed set on `Reconfigure`
+/// deltas.  On the [`ProviderWeights::Prepacked`] path the worker shares an
+/// immutable full-model pack and never packs anything itself.
 pub fn spawn_provider(
     d: usize,
     shared: Arc<Shared>,
-    weights: ModelWeights,
+    weights: ProviderWeights,
     inbox: Receiver<Vec<u8>>,
     txs: HashMap<Endpoint, Box<dyn FrameTx>>,
     telemetry: &Telemetry,
@@ -342,10 +404,11 @@ fn receive_loop(
 struct ComputeState {
     d: usize,
     shared: Arc<Shared>,
-    /// The device's resident weights, packed into GEMM panels at spawn
-    /// (deploy time) and grown in place by `Reconfigure` delta shards —
-    /// never touched on the frame path.
-    weights: PackedModelWeights,
+    /// The device's resident weights: packed into GEMM panels at spawn
+    /// (deploy time) and grown in place by `Reconfigure` delta shards on
+    /// the owned path, or an immutable shared full-model pack — never
+    /// touched on the frame path either way.
+    weights: ResidentWeights,
     assemblies: HashMap<(u32, u32), Assembly>,
     /// Open-assembly count per image — tracked incrementally so the
     /// high-water mark costs O(1) per frame, not a scan of all assemblies.
@@ -359,26 +422,34 @@ struct ComputeState {
 fn compute_loop(
     d: usize,
     shared: Arc<Shared>,
-    weights: ModelWeights,
+    weights: ProviderWeights,
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
     rec: Recorder,
 ) -> Result<()> {
-    // Deploy-time packing: turn the sharded raw weights into GEMM panels
-    // once, before the first frame, and drop the raw copies.  From here on
-    // the only packing this worker ever does is per-layer `Reconfigure`
-    // delta installs.
-    let packed = PackedModelWeights::pack(&shared.model, &weights)?;
-    drop(weights);
-    {
-        let mut comp = stats.comp.lock().expect("comp stats poisoned");
-        comp.layers_packed += packed.packed_layer_count() as u64;
-    }
+    let resident = match weights {
+        // Deploy-time packing: turn the sharded raw weights into GEMM
+        // panels once, before the first frame, and drop the raw copies.
+        // From here on the only packing this worker ever does is per-layer
+        // `Reconfigure` delta installs.
+        ProviderWeights::Sharded(raw) => {
+            let packed = PackedModelWeights::pack(&shared.model, &raw)?;
+            drop(raw);
+            {
+                let mut comp = stats.comp.lock().expect("comp stats poisoned");
+                comp.layers_packed += packed.packed_layer_count() as u64;
+            }
+            ResidentWeights::Owned(packed)
+        }
+        // Someone else already paid the packing pass; `layers_packed`
+        // stays 0 on this worker.
+        ProviderWeights::Prepacked(shared_pack) => ResidentWeights::Shared(shared_pack),
+    };
     let mut state = ComputeState {
         d,
         shared,
-        weights: packed,
+        weights: resident,
         assemblies: HashMap::new(),
         open_images: HashMap::new(),
         to_send,
@@ -441,11 +512,11 @@ impl ComputeState {
         let payload = ReconfigurePayload::decode(&frame.payload)?;
         let mut installed = 0u64;
         for delta in payload.delta {
-            if delta.layer >= self.weights.layers().len() {
+            if delta.layer >= self.weights.get().layers().len() {
                 return Err(RuntimeError::Wire(format!(
                     "reconfigure delta addresses layer {} of a {}-layer model",
                     delta.layer,
-                    self.weights.layers().len()
+                    self.weights.get().layers().len()
                 )));
             }
             // Pack only what shipped: layers already resident were diffed
@@ -555,7 +626,7 @@ impl ComputeState {
             if stage == finish {
                 // Head gather complete: run the FC head, return the result.
                 let t0 = Instant::now();
-                let out = exec::run_head_packed(&self.shared.model, &self.weights, &band)?;
+                let out = exec::run_head_packed(&self.shared.model, self.weights.get(), &band)?;
                 let t1 = Instant::now();
                 {
                     let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
@@ -585,7 +656,8 @@ impl ComputeState {
 
             let part = &route.parts[stage][self.d];
             let t0 = Instant::now();
-            let out = exec::run_part_on_band_packed(&self.shared.model, &self.weights, part, band)?;
+            let out =
+                exec::run_part_on_band_packed(&self.shared.model, self.weights.get(), part, band)?;
             let t1 = Instant::now();
             let ms = (t1 - t0).as_secs_f64() * 1e3;
             {

@@ -34,14 +34,14 @@
 //! one-shot [`crate::runtime::execute`] entry points are thin wrappers that
 //! deploy a session, stream a batch through it and shut it down.
 
-use crate::provider::{spawn_provider, Assembly, ProviderHandle, Shared};
+use crate::provider::{spawn_provider, Assembly, ProviderHandle, ProviderWeights, Shared};
 use crate::report::RuntimeReport;
 use crate::routing::{EpochSlot, PlanEpoch, RouteTable};
 use crate::runtime::RuntimeOptions;
 use crate::transport::{ChannelTransport, FrameTx, Transport};
 use crate::wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 use crate::{Result, RuntimeError};
-use cnn_model::exec::ModelWeights;
+use cnn_model::exec::{ModelWeights, PackedModelWeights};
 use cnn_model::Model;
 use edge_telemetry::{Counter, Gauge, Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::{Endpoint, ExecutionPlan};
@@ -62,6 +62,16 @@ const GATHER_TICK: Duration = Duration::from_millis(25);
 /// The deployment entry point of the serving API.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Runtime;
+
+/// How a deploy makes weights resident: sharded-per-device raw weights
+/// (packed at spawn), or one shared full-model pack.
+enum DeployWeights {
+    Sharded(Arc<ModelWeights>),
+    Prepacked {
+        raw: Arc<ModelWeights>,
+        packed: Arc<PackedModelWeights>,
+    },
+}
 
 impl Runtime {
     /// Deploys `plan` onto resident provider workers over `transport` and
@@ -100,6 +110,62 @@ impl Runtime {
         options: &RuntimeOptions,
         telemetry: &Telemetry,
     ) -> Result<Session> {
+        Self::deploy_impl(
+            model,
+            plan,
+            DeployWeights::Sharded(Arc::new(weights.clone())),
+            transport,
+            options,
+            telemetry,
+        )
+    }
+
+    /// Deploys with a pre-packed full-model weight artifact shared across
+    /// every provider via `Arc` — no per-device sharding, no packing pass
+    /// at spawn.  This is the fleet path: K replica sessions of the same
+    /// model all deploy from one `Arc<PackedModelWeights>`, so K replicas
+    /// cost one packing pass and one resident copy
+    /// (`DeviceMetrics::layers_packed` stays 0 on every such provider).
+    ///
+    /// `raw` is kept for the swap protocol's delta diffing; because every
+    /// layer is already resident, `apply_plan` ships zero weight bytes.
+    pub fn deploy_prepacked(
+        model: &Model,
+        plan: &ExecutionPlan,
+        raw: Arc<ModelWeights>,
+        packed: Arc<PackedModelWeights>,
+        transport: &mut dyn Transport,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
+    ) -> Result<Session> {
+        // Weightless layers (pools) are resident without holding GEMM
+        // panels, so residency — not the packed-panel count — is the
+        // full-model check.
+        let resident = (0..model.len()).filter(|&i| packed.is_resident(i)).count();
+        if resident != model.len() {
+            return Err(RuntimeError::Execution(format!(
+                "shared pack holds {resident} of {} layers; prepacked deploys need the full model resident",
+                model.len()
+            )));
+        }
+        Self::deploy_impl(
+            model,
+            plan,
+            DeployWeights::Prepacked { raw, packed },
+            transport,
+            options,
+            telemetry,
+        )
+    }
+
+    fn deploy_impl(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: DeployWeights,
+        transport: &mut dyn Transport,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
+    ) -> Result<Session> {
         if options.max_in_flight == 0 {
             return Err(RuntimeError::Execution(
                 "max_in_flight must be at least 1".into(),
@@ -109,21 +175,44 @@ impl Runtime {
         let route = &epoch0.route;
         let n = route.num_devices;
 
-        // Weight sharding: each provider is handed only the layers its
-        // assigned parts run (plus the FC head on the head device), instead
-        // of preloading the full model everywhere.  The per-part layer sets
-        // are exactly what `cnn_model::memory::part_footprint` accounts —
-        // and they are the diff basis `apply_plan` uses to ship only delta
-        // shards on a swap.
-        let keep_sets: Vec<HashSet<usize>> = (0..n).map(|d| route.keep_layers(model, d)).collect();
-        let sharded: Vec<ModelWeights> = keep_sets.iter().map(|k| weights.shard(k)).collect();
-        let resident_bytes: Vec<usize> = sharded.iter().map(ModelWeights::resident_bytes).collect();
+        // Weight residency per device.  On the sharded path each provider
+        // is handed only the layers its assigned parts run (plus the FC
+        // head on the head device), instead of preloading the full model
+        // everywhere; the per-part layer sets are exactly what
+        // `cnn_model::memory::part_footprint` accounts — and they are the
+        // diff basis `apply_plan` uses to ship only delta shards on a swap.
+        // On the prepacked path every device shares the one full-model
+        // pack, so every layer is resident and swap deltas are empty.
+        let (keep_sets, provider_weights, resident_bytes, raw_weights): (
+            Vec<HashSet<usize>>,
+            Vec<ProviderWeights>,
+            Vec<usize>,
+            Arc<ModelWeights>,
+        ) = match weights {
+            DeployWeights::Sharded(raw) => {
+                let keep: Vec<HashSet<usize>> =
+                    (0..n).map(|d| route.keep_layers(model, d)).collect();
+                let sharded: Vec<ModelWeights> = keep.iter().map(|k| raw.shard(k)).collect();
+                let bytes: Vec<usize> = sharded.iter().map(ModelWeights::resident_bytes).collect();
+                let pw = sharded.into_iter().map(ProviderWeights::Sharded).collect();
+                (keep, pw, bytes, raw)
+            }
+            DeployWeights::Prepacked { raw, packed } => {
+                let all: HashSet<usize> = (0..model.len()).collect();
+                let keep = vec![all; n];
+                let bytes = vec![packed.resident_bytes(); n];
+                let pw = (0..n)
+                    .map(|_| ProviderWeights::Prepacked(Arc::clone(&packed)))
+                    .collect();
+                (keep, pw, bytes, raw)
+            }
+        };
 
         // Wire up the fabric: requester inbox first, then one worker per
         // device with links to every peer and back to the requester.
         let requester_inbox = transport.inbox(Endpoint::Requester)?;
         let mut providers: Vec<ProviderHandle> = Vec::with_capacity(n);
-        for (d, device_weights) in sharded.into_iter().enumerate() {
+        for (d, device_weights) in provider_weights.into_iter().enumerate() {
             let inbox = transport.inbox(Endpoint::Device(d))?;
             let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
             for peer in 0..n {
@@ -218,7 +307,7 @@ impl Runtime {
                 resident_bytes,
             }),
             model: model.clone(),
-            weights: Arc::new(weights.clone()),
+            weights: raw_weights,
             input_shape: model.input().as_array(),
             options: *options,
             stop,
@@ -250,6 +339,20 @@ impl Runtime {
         let mut transport = ChannelTransport::new(n);
         Self::deploy_traced(model, plan, weights, &mut transport, options, telemetry)
     }
+}
+
+/// A point-in-time load snapshot of one session, cheap enough to take per
+/// routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionLoad {
+    /// Submits that would currently succeed without blocking (0 when the
+    /// session has failed, halted, or is mid-swap).
+    pub free_credits: usize,
+    /// Completed outputs sitting unclaimed in the session — work the
+    /// consumer side has not drained yet.
+    pub queue_depth: usize,
+    /// Images currently in the pipeline.
+    pub in_flight: usize,
 }
 
 /// A claim on the output of one submitted image.
@@ -449,6 +552,32 @@ impl Session {
     /// Images currently in the pipeline.
     pub fn in_flight(&self) -> usize {
         self.shared.lock().in_flight
+    }
+
+    /// Reconstructs the [`Ticket`] of an already-submitted image, for
+    /// callers that track claims by image id across several sessions (the
+    /// gateway's routing seam).  `None` if no such image was ever
+    /// submitted here.
+    pub fn ticket_for(&self, image: u32) -> Option<Ticket> {
+        (u64::from(image) < self.shared.lock().submitted).then_some(Ticket { image })
+    }
+
+    /// A cheap load snapshot — one lock acquisition, three numbers — for
+    /// schedulers that compare many sessions per routing decision (the
+    /// fleet router) and must not pay the full [`Session::metrics`]
+    /// collection per candidate.
+    pub fn load(&self) -> SessionLoad {
+        let st = self.shared.lock();
+        let free_credits = if st.failed.is_some() || st.halted || st.swapping {
+            0
+        } else {
+            self.options.max_in_flight.saturating_sub(st.in_flight)
+        };
+        SessionLoad {
+            free_credits,
+            queue_depth: st.outputs.len(),
+            in_flight: st.in_flight,
+        }
     }
 
     /// Free credits in the in-flight window right now: how many `submit`

@@ -78,6 +78,16 @@ pub enum Stage {
     /// A request was shed (instant; `arg` = priority class | reason << 16,
     /// reason 0 = deadline, 1 = overload).
     Shed,
+    /// A fleet routing decision (instant; `arg` = replica id the image was
+    /// routed to) — lets a Perfetto trace show which replica served each
+    /// image.
+    FleetRoute,
+    /// A fleet scale-up: spawning a replica from the shared prepacked
+    /// weights (`arg` = new replica id, `bytes` = resident weight bytes).
+    FleetScaleUp,
+    /// A fleet scale-down: drain + retire of one replica (`arg` = retired
+    /// replica id).
+    FleetScaleDown,
 }
 
 impl Stage {
@@ -102,6 +112,9 @@ impl Stage {
             Stage::EpochFlip => "epoch-flip",
             Stage::Adapt => "adapt",
             Stage::Shed => "shed",
+            Stage::FleetRoute => "fleet.route",
+            Stage::FleetScaleUp => "fleet.scale_up",
+            Stage::FleetScaleDown => "fleet.scale_down",
         }
     }
 
@@ -109,7 +122,12 @@ impl Stage {
     pub fn is_instant(&self) -> bool {
         matches!(
             self,
-            Stage::BatchForm | Stage::Respond | Stage::EpochFlip | Stage::Adapt | Stage::Shed
+            Stage::BatchForm
+                | Stage::Respond
+                | Stage::EpochFlip
+                | Stage::Adapt
+                | Stage::Shed
+                | Stage::FleetRoute
         )
     }
 
@@ -149,6 +167,9 @@ impl Stage {
             Stage::EpochFlip => 13,
             Stage::Adapt => 14,
             Stage::Shed => 15,
+            Stage::FleetRoute => 16,
+            Stage::FleetScaleUp => 17,
+            Stage::FleetScaleDown => 18,
         }
     }
 
@@ -177,6 +198,9 @@ impl Stage {
             13 => Stage::EpochFlip,
             14 => Stage::Adapt,
             15 => Stage::Shed,
+            16 => Stage::FleetRoute,
+            17 => Stage::FleetScaleUp,
+            18 => Stage::FleetScaleDown,
             _ => return None,
         })
     }
@@ -269,6 +293,9 @@ mod tests {
             Stage::EpochFlip,
             Stage::Adapt,
             Stage::Shed,
+            Stage::FleetRoute,
+            Stage::FleetScaleUp,
+            Stage::FleetScaleDown,
         ];
         for (i, stage) in stages.into_iter().enumerate() {
             let ev = SpanEvent {

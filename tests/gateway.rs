@@ -336,6 +336,100 @@ fn requests_after_shutdown_resolve_to_closed() {
     assert_eq!(err, GatewayError::Closed);
 }
 
+/// Sustained High-priority load must not starve Low work indefinitely.
+/// Driven with synthetic clocks on the batcher directly: one Low item
+/// arrives, then High traffic keeps every wave full forever.  Without a
+/// starvation bound the Low item never leaves; with
+/// `with_max_starvation(bound)` it is dispatched once its wait crosses the
+/// bound — i.e. its wait is bounded by `bound` plus one dispatch interval.
+#[test]
+fn sustained_high_load_cannot_starve_low_beyond_the_bound() {
+    let t0 = Instant::now();
+    let tick = Duration::from_millis(10);
+    let bound = Duration::from_millis(50);
+    const LOW: usize = 9_999;
+
+    // Adversarial arrival schedule: every tick, two fresh High items show
+    // up and exactly two credits are available — so strict class order
+    // never reaches the Low queue.
+    let run = |mut b: Batcher<usize>| -> Option<Duration> {
+        b.push(LOW, Priority::Low, t0);
+        for step in 0..40u64 {
+            let now = t0 + tick * (step as u32 + 1);
+            b.push(2 * step as usize, Priority::High, now);
+            b.push(2 * step as usize + 1, Priority::High, now);
+            let wave = b.take_batch(2, now);
+            assert_eq!(wave.len(), 2, "waves stay saturated with High work");
+            if wave.contains(&LOW) {
+                return Some(now - t0);
+            }
+        }
+        None
+    };
+
+    // Strict class order: the Low item starves for the whole experiment.
+    let strict = Batcher::new(2, Duration::ZERO);
+    assert_eq!(
+        run(strict),
+        None,
+        "without a bound, sustained High load starves Low indefinitely"
+    );
+
+    // Bounded: the Low item leaves with the first wave after its wait
+    // crosses the bound, displacing a fresh High arrival.
+    let fair = Batcher::new(2, Duration::ZERO).with_max_starvation(Some(bound));
+    let waited = run(fair).expect("the bound must free the Low item");
+    assert!(waited >= bound, "promotion cannot fire early");
+    assert!(
+        waited <= bound + tick,
+        "Low waited {waited:?}, beyond the bound plus one dispatch interval"
+    );
+}
+
+/// The same fairness contract end-to-end: a live gateway configured with
+/// `with_max_starvation` completes a Low request while High clients hammer
+/// it, instead of shedding it on deadline.
+#[test]
+fn gateway_with_starvation_bound_serves_low_under_high_load() {
+    let m = model();
+    let weights = ModelWeights::deterministic(&m, 97);
+    let gateway = deploy_gateway(
+        &m,
+        &weights,
+        GatewayConfig::default()
+            .with_max_batch(2)
+            .with_max_linger(Duration::from_millis(1))
+            .with_max_starvation(Duration::from_millis(25)),
+    );
+
+    let out = std::thread::scope(|scope| {
+        // Two High-priority clients keep the queue saturated.
+        for client_id in 0..2u64 {
+            let client = gateway.client().with_priority(Priority::High);
+            let m = &m;
+            scope.spawn(move || {
+                for i in 0..24u64 {
+                    let img = deterministic_input(m, 500 * client_id + i);
+                    client.infer(&img).wait().expect("high request failed");
+                }
+            });
+        }
+        // One Low request submitted into the thick of it must still finish.
+        let low = gateway.client().with_priority(Priority::Low);
+        let img = deterministic_input(&m, 4_242);
+        let handle = scope.spawn(move || low.infer(&img).wait());
+        handle.join().expect("low client panicked")
+    });
+    let img = deterministic_input(&m, 4_242);
+    let oracle = exec::run_full(&m, &weights, &img).unwrap().pop().unwrap();
+    assert_eq!(
+        out.expect("the bounded batcher must serve the Low request"),
+        oracle
+    );
+    let metrics = gateway.shutdown().unwrap();
+    assert_eq!(metrics.completed, 49, "all 48 High + 1 Low completed");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -362,7 +456,7 @@ proptest! {
             let now = base + Duration::from_millis(*off);
             // Dispatch everything due before this arrival.
             while batcher.ready(now) {
-                let batch = batcher.take_batch(usize::MAX);
+                let batch = batcher.take_batch(usize::MAX, now);
                 prop_assert!(!batch.is_empty(), "a due wave cannot be empty");
                 prop_assert!(batch.len() <= max_batch, "wave exceeds max_batch");
                 emitted.push(batch);
@@ -379,7 +473,7 @@ proptest! {
         let end = base + Duration::from_millis(51) + linger;
         while !batcher.is_empty() {
             prop_assert!(batcher.ready(end), "leftovers must be due after the linger");
-            let batch = batcher.take_batch(usize::MAX);
+            let batch = batcher.take_batch(usize::MAX, end);
             prop_assert!(!batch.is_empty() && batch.len() <= max_batch);
             emitted.push(batch);
         }
