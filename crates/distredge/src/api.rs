@@ -14,6 +14,7 @@ use crate::strategy::DistributionStrategy;
 use crate::Result;
 use cnn_model::exec::ModelWeights;
 use cnn_model::Model;
+use edge_cluster::{BackoffPolicy, ClusterConfig, ClusterCoordinator, ClusterSession};
 use edge_fleet::{FleetConfig, FleetServer, ModelSpec};
 use edge_gateway::{Gateway, GatewayConfig};
 use edge_runtime::runtime::RuntimeOptions;
@@ -224,6 +225,35 @@ impl DistrEdge {
             .map_err(|e| crate::DistrError::Runtime(e.to_string()))
     }
 
+    /// Serves a planned strategy over a **real multi-process cluster**:
+    /// every device in the plan is a separate `distredge-node` process
+    /// (possibly on another machine) named by `cluster`.  The coordinator
+    /// bootstraps each node over TCP with the model, the plan and its
+    /// weight shard, then returns a [`ClusterSession`] with the familiar
+    /// `submit` / `wait` / `metrics` / `apply_plan` surface.  A node that
+    /// drops mid-stream is re-dialed with exponential backoff,
+    /// re-handshaken at the current epoch, and every in-flight image is
+    /// replayed — submitted work completes with zero loss.
+    pub fn serve_cluster(
+        model: &Model,
+        strategy: &DistributionStrategy,
+        cluster: &ClusterConfig,
+        options: &ClusterOptions,
+    ) -> Result<ClusterSession> {
+        let plan = strategy.to_plan(model)?;
+        let weights = ModelWeights::deterministic(model, options.weight_seed);
+        ClusterCoordinator::serve(
+            model,
+            &plan,
+            weights,
+            cluster,
+            &options.runtime,
+            &options.backoff,
+            &edge_telemetry::Telemetry::disabled(),
+        )
+        .map_err(|e| crate::DistrError::Runtime(e.to_string()))
+    }
+
     /// One-shot wrapper over [`DistrEdge::serve`]: deploys a session,
     /// streams `images` through it with real tensor kernels, and shuts the
     /// cluster down again.
@@ -306,6 +336,50 @@ impl DeployOptions {
     /// Overrides the provider weight seed.
     pub fn with_weight_seed(mut self, seed: u64) -> Self {
         self.weight_seed = seed;
+        self
+    }
+}
+
+/// Options of [`DistrEdge::serve_cluster`]: runtime streaming knobs, the
+/// deterministic weight seed every node's shard is cut from, and the
+/// reconnect backoff policy.  Round-trips through JSON like
+/// [`DeployOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOptions {
+    /// Runtime streaming options (credit window, timeouts).
+    pub runtime: RuntimeOptions,
+    /// Seed of the deterministic weights the shards are cut from.
+    pub weight_seed: u64,
+    /// Exponential backoff for link reconnects.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeOptions::default(),
+            weight_seed: 7,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// Overrides the runtime streaming options.
+    pub fn with_runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the shard weight seed.
+    pub fn with_weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+
+    /// Overrides the reconnect backoff policy.
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
         self
     }
 }
@@ -562,6 +636,17 @@ mod tests {
             );
         let text = serde_json::to_string(&opts).unwrap();
         let back: DeployOptions = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, opts);
+    }
+
+    #[test]
+    fn cluster_options_round_trip_through_json() {
+        let opts = ClusterOptions::default()
+            .with_weight_seed(13)
+            .with_runtime(RuntimeOptions::default().with_max_in_flight(3))
+            .with_backoff(BackoffPolicy::fast());
+        let text = serde_json::to_string(&opts).unwrap();
+        let back: ClusterOptions = serde_json::from_str(&text).unwrap();
         assert_eq!(back, opts);
     }
 

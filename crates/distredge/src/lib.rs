@@ -38,8 +38,8 @@ pub mod splitter;
 pub mod strategy;
 
 pub use api::{
-    DeployOptions, Deployment, DistrEdge, DistrEdgeConfig, FleetOptions, GatewayOptions,
-    PlanningOutcome,
+    ClusterOptions, DeployOptions, Deployment, DistrEdge, DistrEdgeConfig, FleetOptions,
+    GatewayOptions, PlanningOutcome,
 };
 pub use baselines::Method;
 pub use error::DistrError;

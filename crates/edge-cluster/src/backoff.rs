@@ -1,0 +1,185 @@
+//! Exponential backoff for reconnect paths.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Exponential backoff: delays grow by `factor` from `base` up to `max`,
+/// and a whole retry episode gives up after `max_elapsed`.  Round-trips
+/// through JSON so serving configs can carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// First retry delay.
+    pub base: Duration,
+    /// Multiplier applied to the delay after every failed attempt.
+    pub factor: f64,
+    /// Ceiling any single delay is clamped to.
+    pub max: Duration,
+    /// Total time budget for one retry episode before giving up.
+    pub max_elapsed: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(50),
+            factor: 2.0,
+            max: Duration::from_secs(2),
+            max_elapsed: Duration::from_secs(30),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A fast policy for tests: short delays, short episode budget.
+    pub fn fast() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            factor: 2.0,
+            max: Duration::from_millis(200),
+            max_elapsed: Duration::from_secs(10),
+        }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based), exponentially
+    /// grown and clamped to `max`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let grown = self.base.as_secs_f64() * self.factor.powi(attempt as i32);
+        let capped = grown.min(self.max.as_secs_f64()).max(0.0);
+        Duration::from_secs_f64(capped)
+    }
+
+    /// The give-up deadline for an episode starting at `start`.
+    pub fn deadline_from(&self, start: Instant) -> Instant {
+        start + self.max_elapsed
+    }
+
+    /// Runs `op` until it succeeds, a non-retryable error surfaces, the
+    /// episode budget is exhausted, or `abort` returns true.  Sleeps the
+    /// policy's delay between attempts.  Returns the successful value
+    /// together with the number of attempts made, or the last error.
+    pub fn retry<T, E>(
+        &self,
+        mut abort: impl FnMut() -> bool,
+        retryable: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> std::result::Result<T, E>,
+    ) -> std::result::Result<(T, u32), E> {
+        let start = Instant::now();
+        let deadline = self.deadline_from(start);
+        let mut attempt: u32 = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok((v, attempt + 1)),
+                Err(e) => {
+                    attempt += 1;
+                    let delay = self.delay(attempt - 1);
+                    let now = Instant::now();
+                    if !retryable(&e) || abort() || now + delay >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_clamp() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            max: Duration::from_millis(500),
+            max_elapsed: Duration::from_secs(5),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(100));
+        assert_eq!(p.delay(1), Duration::from_millis(200));
+        assert_eq!(p.delay(2), Duration::from_millis(400));
+        assert_eq!(p.delay(3), Duration::from_millis(500));
+        assert_eq!(p.delay(30), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn retry_counts_attempts_and_succeeds() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(1),
+            factor: 1.0,
+            max: Duration::from_millis(1),
+            max_elapsed: Duration::from_secs(5),
+        };
+        let mut failures_left = 3;
+        let (value, attempts) = p
+            .retry(
+                || false,
+                |_e: &&str| true,
+                || {
+                    if failures_left > 0 {
+                        failures_left -= 1;
+                        Err("not yet")
+                    } else {
+                        Ok(42)
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(attempts, 4);
+    }
+
+    #[test]
+    fn retry_stops_on_non_retryable() {
+        let p = BackoffPolicy::fast();
+        let mut calls = 0;
+        let r: std::result::Result<((), u32), &str> = p.retry(
+            || false,
+            |e| *e != "fatal",
+            || {
+                calls += 1;
+                Err("fatal")
+            },
+        );
+        assert_eq!(r.unwrap_err(), "fatal");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_honours_abort() {
+        let p = BackoffPolicy::fast();
+        let mut calls = 0;
+        let r: std::result::Result<((), u32), &str> = p.retry(
+            || true,
+            |_| true,
+            || {
+                calls += 1;
+                Err("down")
+            },
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_gives_up_at_deadline() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(5),
+            factor: 2.0,
+            max: Duration::from_millis(20),
+            max_elapsed: Duration::from_millis(60),
+        };
+        let t0 = Instant::now();
+        let r: std::result::Result<((), u32), &str> = p.retry(|| false, |_| true, || Err("down"));
+        assert!(r.is_err());
+        assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = BackoffPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: BackoffPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

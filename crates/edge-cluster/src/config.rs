@@ -1,0 +1,363 @@
+//! Node and cluster peer configuration.
+//!
+//! A `distredge-node` process starts from a [`NodeConfig`] (its device id
+//! and listen address); the coordinator starts from a [`ClusterConfig`]
+//! naming every peer.  Both load from JSON or from a small TOML subset
+//! (`key = value` pairs plus `[[node]]` array-of-tables), so a cluster can
+//! be described in the format AutoDiCE-style deploy tooling emits without
+//! pulling a TOML dependency into the workspace.
+
+use crate::{ClusterError, Result};
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One node process: which device it serves and where it listens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Device index this node serves (must match the coordinator's plan).
+    pub device: usize,
+    /// Listen address, e.g. `127.0.0.1:7701`.
+    pub listen: String,
+    /// Optional device-profile label (informational; the coordinator's
+    /// plan already encodes the split this device runs).  Missing keys
+    /// read as `None`.
+    pub profile: Option<String>,
+}
+
+impl NodeConfig {
+    /// Parses a node config from JSON or the TOML subset (auto-detected).
+    pub fn parse_str(text: &str) -> Result<Self> {
+        let value = parse_config_text(text)?;
+        serde_json::from_value(&value)
+            .map_err(|e| ClusterError::Config(format!("bad node config: {e}")))
+    }
+
+    /// Loads a node config from a `.json` or `.toml` file.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ClusterError::Config(format!("read {}: {e}", path.display())))?;
+        Self::parse_str(&text)
+    }
+}
+
+/// One peer entry in the coordinator's cluster config.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerSpec {
+    /// Device index the peer serves.
+    pub device: usize,
+    /// Address the peer listens on (as reachable from the coordinator and
+    /// from the other nodes).
+    pub addr: String,
+    /// Optional device-profile label.
+    pub profile: Option<String>,
+}
+
+/// The coordinator's view of the cluster: every node's device id and
+/// address.  In config files the entry list is spelled `node` (TOML
+/// `[[node]]` array-of-tables, JSON `"node": [...]`); `nodes` is accepted
+/// too.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// One entry per node.
+    pub nodes: Vec<PeerSpec>,
+}
+
+impl ClusterConfig {
+    /// Parses a cluster config from JSON or the TOML subset
+    /// (auto-detected).  TOML uses `[[node]]` array-of-tables; JSON uses a
+    /// `"node": [...]` array.
+    pub fn parse_str(text: &str) -> Result<Self> {
+        let mut value = parse_config_text(text)?;
+        // Config files spell the entry list `node` (TOML array-of-tables
+        // idiom); the struct field is `nodes`.
+        if let Value::Object(pairs) = &mut value {
+            for (key, _) in pairs.iter_mut() {
+                if key == "node" {
+                    *key = "nodes".to_string();
+                }
+            }
+        }
+        let cfg: Self = serde_json::from_value(&value)
+            .map_err(|e| ClusterError::Config(format!("bad cluster config: {e}")))?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Loads a cluster config from a `.json` or `.toml` file.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ClusterError::Config(format!("read {}: {e}", path.display())))?;
+        Self::parse_str(&text)
+    }
+
+    /// Checks the entries form a dense device set `0..n` with no
+    /// duplicates.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(ClusterError::Config("cluster config has no nodes".into()));
+        }
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        for node in &self.nodes {
+            if node.device >= n {
+                return Err(ClusterError::Config(format!(
+                    "device {} out of range for a {n}-node cluster",
+                    node.device
+                )));
+            }
+            if seen[node.device] {
+                return Err(ClusterError::Config(format!(
+                    "device {} appears twice",
+                    node.device
+                )));
+            }
+            seen[node.device] = true;
+        }
+        Ok(())
+    }
+
+    /// The address of device `d`, if configured.
+    pub fn addr_of(&self, d: usize) -> Option<&str> {
+        self.nodes
+            .iter()
+            .find(|p| p.device == d)
+            .map(|p| p.addr.as_str())
+    }
+
+    /// `(device, addr)` pairs sorted by device — the peer table shipped in
+    /// the bootstrap handshake.
+    pub fn peer_table(&self) -> Vec<(usize, String)> {
+        let mut peers: Vec<(usize, String)> = self
+            .nodes
+            .iter()
+            .map(|p| (p.device, p.addr.clone()))
+            .collect();
+        peers.sort_by_key(|&(d, _)| d);
+        peers
+    }
+}
+
+/// Parses either JSON (first non-space byte `{`) or the TOML subset into a
+/// JSON value tree.
+fn parse_config_text(text: &str) -> Result<Value> {
+    if text.trim_start().starts_with('{') {
+        serde_json::from_str(text).map_err(|e| ClusterError::Config(format!("bad JSON: {e}")))
+    } else {
+        parse_mini_toml(text)
+    }
+}
+
+/// What a top-level TOML name holds while parsing: a plain value, a
+/// `[section]` table, or a `[[section]]` array of tables.
+enum TomlItem {
+    Value(Value),
+    Table(BTreeMap<String, Value>),
+    Array(Vec<BTreeMap<String, Value>>),
+}
+
+/// A deliberately small TOML reader: top-level `key = value` pairs,
+/// `[section]` tables and `[[section]]` array-of-tables, with string /
+/// integer / float / boolean values.  That covers the whole config surface
+/// of this crate; anything fancier is rejected with a clear error.
+fn parse_mini_toml(text: &str) -> Result<Value> {
+    let mut root: BTreeMap<String, TomlItem> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    // The open `[section]` / `[[section]]` name that `key = value` lines
+    // currently land in (`None` = top level).
+    let mut open: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ClusterError::Config(format!("TOML line {}: {msg}", lineno + 1));
+
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            match root
+                .entry(name.clone())
+                .or_insert_with(|| TomlItem::Array(Vec::new()))
+            {
+                TomlItem::Array(items) => items.push(BTreeMap::new()),
+                _ => return Err(err(format!("`{name}` is both a value and a table array"))),
+            }
+            if !order.contains(&name) {
+                order.push(name.clone());
+            }
+            open = Some(name);
+        } else if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            if root.contains_key(&name) {
+                return Err(err(format!("table `{name}` defined twice")));
+            }
+            root.insert(name.clone(), TomlItem::Table(BTreeMap::new()));
+            order.push(name.clone());
+            open = Some(name);
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim().to_string();
+            let value = parse_toml_value(value.trim()).map_err(&err)?;
+            let target = match &open {
+                None => {
+                    if root.contains_key(&key) {
+                        return Err(err(format!("key `{key}` defined twice")));
+                    }
+                    root.insert(key.clone(), TomlItem::Value(value));
+                    order.push(key);
+                    continue;
+                }
+                Some(name) => match root.get_mut(name).expect("open section exists") {
+                    TomlItem::Table(map) => map,
+                    TomlItem::Array(items) => items.last_mut().expect("array has an entry"),
+                    TomlItem::Value(_) => unreachable!("sections are never plain values"),
+                },
+            };
+            if target.insert(key.clone(), value).is_some() {
+                return Err(err(format!("key `{key}` defined twice")));
+            }
+        } else {
+            return Err(err(format!("cannot parse `{line}`")));
+        }
+    }
+
+    let object = order
+        .into_iter()
+        .map(|name| {
+            let item = root.remove(&name).expect("ordered name exists");
+            let value = match item {
+                TomlItem::Value(v) => v,
+                TomlItem::Table(map) => Value::Object(map.into_iter().collect()),
+                TomlItem::Array(items) => Value::Array(
+                    items
+                        .into_iter()
+                        .map(|map| Value::Object(map.into_iter().collect()))
+                        .collect(),
+                ),
+            };
+            (name, value)
+        })
+        .collect();
+    Ok(Value::Object(object))
+}
+
+/// Drops a `#` comment, respecting `"` string quoting.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(text: &str) -> std::result::Result<Value, String> {
+    if let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        if inner.contains('"') {
+            return Err(format!("unsupported quoting in `{text}`"));
+        }
+        return Ok(Value::String(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Number(i as f64));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Number(f));
+    }
+    Err(format!("cannot parse value `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_config_from_toml() {
+        let cfg = NodeConfig::parse_str(
+            "# node 1\ndevice = 1\nlisten = \"127.0.0.1:7701\"\nprofile = \"pi4\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.device, 1);
+        assert_eq!(cfg.listen, "127.0.0.1:7701");
+        assert_eq!(cfg.profile.as_deref(), Some("pi4"));
+    }
+
+    #[test]
+    fn node_config_from_json() {
+        let cfg = NodeConfig::parse_str(r#"{"device": 0, "listen": "127.0.0.1:7700"}"#).unwrap();
+        assert_eq!(cfg.device, 0);
+        assert_eq!(cfg.profile, None);
+    }
+
+    #[test]
+    fn cluster_config_from_toml_array_of_tables() {
+        let text = r#"
+# three nodes on loopback
+[[node]]
+device = 0
+addr = "127.0.0.1:7700"
+
+[[node]]
+device = 1
+addr = "127.0.0.1:7701"
+profile = "nano"
+
+[[node]]
+device = 2
+addr = "127.0.0.1:7702"
+"#;
+        let cfg = ClusterConfig::parse_str(text).unwrap();
+        assert_eq!(cfg.nodes.len(), 3);
+        assert_eq!(cfg.addr_of(2), Some("127.0.0.1:7702"));
+        assert_eq!(cfg.nodes[1].profile.as_deref(), Some("nano"));
+        assert_eq!(cfg.peer_table()[0], (0, "127.0.0.1:7700".to_string()));
+    }
+
+    #[test]
+    fn cluster_config_round_trips_through_json() {
+        let cfg = ClusterConfig {
+            nodes: vec![
+                PeerSpec {
+                    device: 0,
+                    addr: "127.0.0.1:7700".into(),
+                    profile: None,
+                },
+                PeerSpec {
+                    device: 1,
+                    addr: "127.0.0.1:7701".into(),
+                    profile: Some("pi4".into()),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back = ClusterConfig::parse_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_devices_rejected() {
+        let dup = r#"{"node": [{"device": 0, "addr": "a"}, {"device": 0, "addr": "b"}]}"#;
+        assert!(ClusterConfig::parse_str(dup).is_err());
+        let gap = r#"{"node": [{"device": 0, "addr": "a"}, {"device": 2, "addr": "b"}]}"#;
+        assert!(ClusterConfig::parse_str(gap).is_err());
+        assert!(ClusterConfig::parse_str(r#"{"node": []}"#).is_err());
+    }
+
+    #[test]
+    fn mini_toml_rejects_garbage() {
+        assert!(NodeConfig::parse_str("device 0\n").is_err());
+        assert!(NodeConfig::parse_str("device = ???\n").is_err());
+        assert!(NodeConfig::parse_str("[node]\n[node]\n").is_err());
+    }
+}

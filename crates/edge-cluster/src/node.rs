@@ -1,0 +1,469 @@
+//! The `distredge-node` runloop: one provider worker behind a TCP
+//! listener.
+//!
+//! A node knows nothing at start except its device id and listen address.
+//! The first coordinator [`Hello`](crate::proto::Hello) bootstraps
+//! everything — model, peer table, plan epoch, weight shard — and spawns
+//! the provider's three-thread pipeline (`edge-runtime`'s
+//! `spawn_provider`).  After that the runloop only routes connections:
+//!
+//! * repeat `Hello` (coordinator reconnect) → re-attach the socket, reply
+//!   with the installed epoch; the provider itself never restarts,
+//! * `Link` preamble (peer halo connection) → pump frames into the
+//!   provider inbox,
+//! * provider exit (a `Halt` frame, or a worker error) → the runloop
+//!   returns.
+//!
+//! Outbound links reconnect lazily: the coordinator-facing
+//! [`CoordTx`] waits for the supervisor to re-dial us, while peer-facing
+//! [`PeerTx`] links re-dial the peer's listener themselves with
+//! exponential backoff.
+
+use crate::backoff::BackoffPolicy;
+use crate::config::NodeConfig;
+use crate::proto::{self, Hello, Welcome, PREAMBLE_HELLO, PREAMBLE_LINK};
+use crate::{ClusterError, Result};
+use cnn_model::exec::ModelWeights;
+use edge_runtime::provider::{spawn_provider, Shared};
+use edge_runtime::routing::{EpochSlot, PlanEpoch};
+use edge_runtime::transport::{read_raw_frame, FrameTx};
+use edge_runtime::wire::Frame;
+use edge_runtime::{ProviderWeights, RuntimeError};
+use edge_telemetry::Telemetry;
+use edgesim::Endpoint;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the node runloop.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeOptions {
+    /// How long a result send waits for the coordinator to re-dial before
+    /// the provider gives up (covers the coordinator's whole backoff
+    /// episode).
+    pub coord_wait: Duration,
+    /// Backoff for re-dialing peer halo links.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        Self {
+            coord_wait: Duration::from_secs(60),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// The coordinator-facing socket slot.  The accept loop installs a fresh
+/// stream on every `Hello`; the provider's send thread (through
+/// [`CoordTx`]) waits here when the link is down instead of failing.
+struct CoordSlot {
+    state: Mutex<CoordState>,
+    cond: Condvar,
+}
+
+struct CoordState {
+    stream: Option<TcpStream>,
+    /// Bumped on every install so a sender that broke generation `g`
+    /// doesn't clear a newer stream.
+    generation: u64,
+    /// Set when the runloop is exiting; senders stop waiting.
+    closed: bool,
+}
+
+impl CoordSlot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CoordState {
+                stream: None,
+                generation: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Installs a fresh coordinator stream (accept loop, on `Hello`).
+    fn install(&self, stream: TcpStream) {
+        let mut st = self.state.lock().expect("coord slot poisoned");
+        st.generation += 1;
+        st.stream = Some(stream);
+        self.cond.notify_all();
+    }
+
+    /// Drops the stream of generation `generation` after a write error,
+    /// unless a newer one was already installed.
+    fn mark_broken(&self, generation: u64) {
+        let mut st = self.state.lock().expect("coord slot poisoned");
+        if st.generation == generation {
+            st.stream = None;
+        }
+    }
+
+    /// Blocks until a stream is installed (or `deadline`), returning a
+    /// writable clone and its generation.
+    fn wait_stream(&self, deadline: Instant) -> edge_runtime::Result<(TcpStream, u64)> {
+        let mut st = self.state.lock().expect("coord slot poisoned");
+        loop {
+            if st.closed {
+                return Err(RuntimeError::transport_disconnected(
+                    "node is shutting down",
+                ));
+            }
+            if let Some(stream) = &st.stream {
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| RuntimeError::transport_io(format!("clone coord stream: {e}")))?;
+                return Ok((clone, st.generation));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::transport_timeout(
+                    "coordinator did not reconnect in time",
+                ));
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(st, deadline - now)
+                .expect("coord slot poisoned");
+            st = next;
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("coord slot poisoned");
+        st.closed = true;
+        st.stream = None;
+        self.cond.notify_all();
+    }
+}
+
+/// Result frames → coordinator.  When the socket is down, waits for the
+/// accept loop to install the re-dialed one instead of erroring: the
+/// coordinator owns reconnection, a node just keeps serving.
+struct CoordTx {
+    slot: Arc<CoordSlot>,
+    wait: Duration,
+    cached: Option<(TcpStream, u64)>,
+}
+
+impl FrameTx for CoordTx {
+    fn send(&mut self, frame: &Frame) -> edge_runtime::Result<usize> {
+        let bytes = frame.encode();
+        let deadline = Instant::now() + self.wait;
+        loop {
+            if self.cached.is_none() {
+                self.cached = Some(self.slot.wait_stream(deadline)?);
+            }
+            let (stream, generation) = self.cached.as_mut().expect("just filled");
+            match stream.write_all(&bytes) {
+                Ok(()) => return Ok(bytes.len()),
+                Err(_) => {
+                    self.slot.mark_broken(*generation);
+                    self.cached = None;
+                    // Loop: wait for a fresh coordinator connection.
+                }
+            }
+        }
+    }
+}
+
+/// Halo frames → one peer node.  Dials the peer's listener lazily and
+/// re-dials with exponential backoff on a broken pipe, so a peer that is
+/// restarting mid-stream costs retries, not the session.
+struct PeerTx {
+    from: usize,
+    to: usize,
+    addr: String,
+    backoff: BackoffPolicy,
+    stream: Option<TcpStream>,
+}
+
+impl PeerTx {
+    fn connect(&self) -> edge_runtime::Result<TcpStream> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| {
+            RuntimeError::Transport(
+                edge_runtime::TransportError::new(
+                    edge_runtime::TransportErrorKind::Disconnected,
+                    format!("connect to peer {} at {}: {e}", self.to, self.addr),
+                )
+                .at(Endpoint::Device(self.to)),
+            )
+        })?;
+        stream.set_nodelay(true).ok();
+        proto::write_link(&mut stream, self.from)?;
+        Ok(stream)
+    }
+}
+
+impl FrameTx for PeerTx {
+    fn send(&mut self, frame: &Frame) -> edge_runtime::Result<usize> {
+        let bytes = frame.encode();
+        if let Some(stream) = &mut self.stream {
+            if stream.write_all(&bytes).is_ok() {
+                return Ok(bytes.len());
+            }
+            self.stream = None;
+        }
+        // (Re)connect with backoff, then retry the write on the fresh
+        // socket.
+        let (mut stream, _attempts) = self.backoff.retry(
+            || false,
+            |e: &RuntimeError| e.as_transport().is_some_and(|t| t.is_retryable()),
+            || self.connect(),
+        )?;
+        stream
+            .write_all(&bytes)
+            .map_err(|e| RuntimeError::transport_io(format!("write to peer {}: {e}", self.to)))?;
+        self.stream = Some(stream);
+        Ok(bytes.len())
+    }
+}
+
+/// Runs a node until its provider halts.  See the module docs for the
+/// connection protocol.
+pub fn run_node(cfg: &NodeConfig) -> Result<()> {
+    run_node_with(cfg, &NodeOptions::default(), &Telemetry::disabled())
+}
+
+/// [`run_node`] with explicit options and telemetry.
+pub fn run_node_with(cfg: &NodeConfig, options: &NodeOptions, telemetry: &Telemetry) -> Result<()> {
+    let listener = TcpListener::bind(&cfg.listen)
+        .map_err(|e| ClusterError::Config(format!("bind {}: {e}", cfg.listen)))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| ClusterError::Config(format!("local_addr: {e}")))?;
+
+    let coord = Arc::new(CoordSlot::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let outcome: Arc<Mutex<Option<edge_runtime::Result<()>>>> = Arc::new(Mutex::new(None));
+    // Filled at bootstrap; used to route later connections.
+    let mut running: Option<RunningNode> = None;
+
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) => {
+                if done.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(ClusterError::Config(format!("accept on {local}: {e}")));
+            }
+        };
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        stream.set_nodelay(true).ok();
+        // Bound the handshake read so a silent dialer cannot wedge the
+        // accept loop; cleared again before long-lived frame pumping.
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+
+        let mut preamble = [0u8; 1];
+        if std::io::Read::read_exact(&mut stream, &mut preamble).is_err() {
+            continue; // dialer vanished before saying anything
+        }
+        match preamble[0] {
+            PREAMBLE_HELLO => {
+                let hello = match proto::read_hello(&mut stream) {
+                    Ok(h) => h,
+                    Err(_) => continue, // corrupt handshake: drop, coordinator retries
+                };
+                match &running {
+                    None => {
+                        let node = bootstrap(
+                            cfg, hello, stream, options, telemetry, &coord, &done, &outcome,
+                        )?;
+                        running = Some(node);
+                    }
+                    Some(node) => {
+                        // Coordinator reconnect: confirm the epoch we are
+                        // actually running and re-attach the socket.
+                        let epoch = node.shared.slot.load().id;
+                        if proto::write_welcome(
+                            &mut stream,
+                            &Welcome {
+                                device: cfg.device,
+                                epoch,
+                            },
+                        )
+                        .is_err()
+                        {
+                            continue;
+                        }
+                        attach_coordinator(&coord, stream, node.inbox.clone());
+                    }
+                }
+            }
+            PREAMBLE_LINK => {
+                let Ok(_from) = proto::read_link(&mut stream) else {
+                    continue;
+                };
+                let Some(node) = &running else {
+                    continue; // halo link before bootstrap: peer will re-dial
+                };
+                spawn_inbox_pump(stream, node.inbox.clone());
+            }
+            _ => continue, // unknown preamble: drop the connection
+        }
+    }
+
+    coord.close();
+    let result = outcome
+        .lock()
+        .expect("node outcome poisoned")
+        .take()
+        .unwrap_or(Ok(()));
+    result.map_err(ClusterError::Runtime)
+}
+
+/// What the runloop keeps after bootstrap.
+struct RunningNode {
+    shared: Arc<Shared>,
+    inbox: Sender<Vec<u8>>,
+}
+
+/// Installs model + plan + shard from the first `Hello`, spawns the
+/// provider pipeline, and wires the coordinator socket.
+#[allow(clippy::too_many_arguments)]
+fn bootstrap(
+    cfg: &NodeConfig,
+    hello: Hello,
+    mut stream: TcpStream,
+    options: &NodeOptions,
+    telemetry: &Telemetry,
+    coord: &Arc<CoordSlot>,
+    done: &Arc<AtomicBool>,
+    outcome: &Arc<Mutex<Option<edge_runtime::Result<()>>>>,
+) -> Result<RunningNode> {
+    if hello.device != cfg.device {
+        return Err(ClusterError::Config(format!(
+            "coordinator addressed device {}, this node serves device {}",
+            hello.device, cfg.device
+        )));
+    }
+    let model = hello.model;
+    let n_layers = model.len();
+
+    // Materialise this device's weight shard from the payload deltas.
+    let mut layers = vec![(Vec::new(), Vec::new()); n_layers];
+    for delta in hello.payload.delta {
+        if delta.layer >= n_layers {
+            return Err(ClusterError::Runtime(RuntimeError::transport_protocol(
+                format!("shard delta for layer {} of {n_layers}", delta.layer),
+            )));
+        }
+        layers[delta.layer] = (delta.weights, delta.bias);
+    }
+    let weights = ModelWeights { layers };
+
+    let epoch =
+        PlanEpoch::new(hello.epoch, &model, &hello.payload.plan).map_err(ClusterError::Runtime)?;
+    let shared = Arc::new(Shared {
+        model,
+        slot: EpochSlot::new(epoch),
+    });
+
+    // Outbound halo links to every other peer, lazy-dialing.
+    let mut txs: HashMap<Endpoint, Box<dyn FrameTx>> = HashMap::new();
+    for (peer, addr) in &hello.peers {
+        if *peer != cfg.device {
+            txs.insert(
+                Endpoint::Device(*peer),
+                Box::new(PeerTx {
+                    from: cfg.device,
+                    to: *peer,
+                    addr: addr.clone(),
+                    backoff: options.backoff,
+                    stream: None,
+                }),
+            );
+        }
+    }
+    txs.insert(
+        Endpoint::Requester,
+        Box::new(CoordTx {
+            slot: Arc::clone(coord),
+            wait: options.coord_wait,
+            cached: None,
+        }),
+    );
+
+    let (inbox_tx, inbox_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let provider = spawn_provider(
+        cfg.device,
+        Arc::clone(&shared),
+        ProviderWeights::Sharded(weights),
+        inbox_rx,
+        txs,
+        telemetry,
+    );
+
+    // Confirm the install, then hand the socket to the frame plumbing.
+    proto::write_welcome(
+        &mut stream,
+        &Welcome {
+            device: cfg.device,
+            epoch: hello.epoch,
+        },
+    )
+    .map_err(ClusterError::Runtime)?;
+    attach_coordinator(coord, stream, inbox_tx.clone());
+
+    // When the provider exits (Halt or error), record the outcome and poke
+    // the accept loop awake so `run_node` returns.
+    let listen = cfg.listen.clone();
+    let done = Arc::clone(done);
+    let outcome = Arc::clone(outcome);
+    std::thread::spawn(move || {
+        let result = provider.join();
+        *outcome.lock().expect("node outcome poisoned") = Some(result);
+        done.store(true, Ordering::SeqCst);
+        // Self-connect to unblock `listener.accept()`.
+        let _ = TcpStream::connect(&listen);
+    });
+
+    Ok(RunningNode {
+        shared,
+        inbox: inbox_tx,
+    })
+}
+
+/// Registers a coordinator stream: install the write half for result
+/// frames, pump the read half (scatter / reconfigure / halt frames) into
+/// the provider inbox.
+fn attach_coordinator(coord: &Arc<CoordSlot>, stream: TcpStream, inbox: Sender<Vec<u8>>) {
+    stream.set_read_timeout(None).ok();
+    match stream.try_clone() {
+        Ok(write_half) => {
+            coord.install(write_half);
+            spawn_inbox_pump(stream, inbox);
+        }
+        Err(_) => {
+            // Could not split the socket; treat as a failed dial — the
+            // coordinator will reconnect.
+        }
+    }
+}
+
+/// Reads frames off `stream` into the provider inbox until EOF or error.
+/// EOF is not an error here: the dialer reconnecting is the recovery
+/// protocol working.
+fn spawn_inbox_pump(stream: TcpStream, inbox: Sender<Vec<u8>>) {
+    stream.set_read_timeout(None).ok();
+    let mut stream = stream;
+    std::thread::spawn(move || loop {
+        match read_raw_frame(&mut stream) {
+            Ok(Some(bytes)) => {
+                if inbox.send(bytes).is_err() {
+                    return; // provider exited
+                }
+            }
+            Ok(None) | Err(_) => return,
+        }
+    });
+}

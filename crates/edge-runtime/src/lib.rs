@@ -76,11 +76,82 @@ pub use provider::ProviderWeights;
 pub use report::{DeviceMetrics, MeasuredCompute, RuntimeReport};
 pub use routing::{EpochSlot, PlanEpoch, RouteTable};
 pub use runtime::{execute, execute_in_process, RuntimeOptions, RuntimeOutcome};
-pub use session::{Runtime, Session, SessionLoad, SwapReport, Ticket};
+pub use session::{ResyncReport, Runtime, Session, SessionLoad, SwapReport, Ticket};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport};
-pub use wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
+pub use wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta, MAX_FRAME_LEN};
 
+use edgesim::Endpoint;
 use std::fmt;
+
+/// What class of transport failure occurred — reconnect logic keys off this
+/// to decide whether a retry can possibly help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportErrorKind {
+    /// An I/O operation failed mid-flight (reset, broken pipe, short read).
+    Io,
+    /// The peer is gone: EOF, refused connection, or a closed channel.
+    Disconnected,
+    /// A deadline elapsed waiting on the peer.
+    Timeout,
+    /// The peer sent bytes that violate the wire protocol (bad magic,
+    /// oversized length prefix, unknown frame kind, epoch misuse).
+    Protocol,
+    /// The endpoint/topology itself is wrong (unknown peer, inbox reused).
+    Config,
+}
+
+/// A structured transport failure: which peer, what class, and detail text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// The peer the failure is attributed to, when known.
+    pub peer: Option<Endpoint>,
+    /// Failure class; drives retry decisions.
+    pub kind: TransportErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl TransportError {
+    /// A new error of `kind` with no peer attribution.
+    pub fn new(kind: TransportErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            peer: None,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attributes the error to `peer`.
+    pub fn at(mut self, peer: Endpoint) -> Self {
+        self.peer = Some(peer);
+        self
+    }
+
+    /// Whether reconnecting and retrying can plausibly clear this error.
+    /// Protocol violations and topology mistakes are never retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.kind,
+            TransportErrorKind::Io | TransportErrorKind::Disconnected | TransportErrorKind::Timeout
+        )
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TransportErrorKind::Io => "io",
+            TransportErrorKind::Disconnected => "disconnected",
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::Protocol => "protocol",
+            TransportErrorKind::Config => "config",
+        };
+        match self.peer {
+            Some(peer) => write!(f, "[{kind}] {peer:?}: {}", self.detail),
+            None => write!(f, "[{kind}] {}", self.detail),
+        }
+    }
+}
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -88,11 +159,49 @@ pub enum RuntimeError {
     /// A wire frame could not be decoded.
     Wire(String),
     /// The transport failed (peer gone, socket error, ...).
-    Transport(String),
+    Transport(TransportError),
     /// The plan and model disagree, or a kernel failed.
     Execution(String),
     /// A worker thread panicked.
     WorkerPanic(String),
+}
+
+impl RuntimeError {
+    /// An I/O-class transport error (retryable).
+    pub fn transport_io(detail: impl Into<String>) -> Self {
+        RuntimeError::Transport(TransportError::new(TransportErrorKind::Io, detail))
+    }
+
+    /// A peer-gone transport error (retryable).
+    pub fn transport_disconnected(detail: impl Into<String>) -> Self {
+        RuntimeError::Transport(TransportError::new(
+            TransportErrorKind::Disconnected,
+            detail,
+        ))
+    }
+
+    /// A deadline-elapsed transport error (retryable).
+    pub fn transport_timeout(detail: impl Into<String>) -> Self {
+        RuntimeError::Transport(TransportError::new(TransportErrorKind::Timeout, detail))
+    }
+
+    /// A wire-protocol violation (not retryable).
+    pub fn transport_protocol(detail: impl Into<String>) -> Self {
+        RuntimeError::Transport(TransportError::new(TransportErrorKind::Protocol, detail))
+    }
+
+    /// A topology/config mistake (not retryable).
+    pub fn transport_config(detail: impl Into<String>) -> Self {
+        RuntimeError::Transport(TransportError::new(TransportErrorKind::Config, detail))
+    }
+
+    /// The structured transport payload, when this is a transport error.
+    pub fn as_transport(&self) -> Option<&TransportError> {
+        match self {
+            RuntimeError::Transport(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {

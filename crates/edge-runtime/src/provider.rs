@@ -37,7 +37,7 @@ use crate::report::DeviceMetrics;
 use crate::routing::{overlap, EpochSlot, PlanEpoch};
 use crate::transport::FrameTx;
 use crate::wire::{Frame, FrameKind, ReconfigurePayload};
-use crate::{Result, RuntimeError};
+use crate::{Result, RuntimeError, TransportError, TransportErrorKind};
 use cnn_model::exec::{self, ModelWeights, PackedModelWeights};
 use cnn_model::Model;
 use edge_telemetry::{Recorder, Stage, Telemetry, TraceId, REQUESTER};
@@ -158,6 +158,10 @@ pub struct ComputeStats {
     /// *only*.  Steady-state serving never moves this counter: per-frame
     /// packing would be a regression the residency tests catch here.
     pub layers_packed: u64,
+    /// Data frames dropped because they carried an epoch older than the
+    /// installed one — expected debris after an epoch re-sync, never
+    /// triggered by a drained plan swap.
+    pub stale_frames: u64,
 }
 
 /// Send-thread counters.
@@ -274,6 +278,35 @@ pub struct ProviderHandle {
     pub(crate) comp: JoinHandle<Result<()>>,
     pub(crate) send: JoinHandle<Result<()>>,
     pub(crate) stats: Arc<ProviderStats>,
+}
+
+impl ProviderHandle {
+    /// Waits for the provider's three threads to exit (they do once a
+    /// `Halt` frame reaches the inbox, or on a worker error); the first
+    /// thread error wins.  This is how a standalone node process (the
+    /// `edge-cluster` runloop) blocks on its provider's lifetime.
+    pub fn join(self) -> Result<()> {
+        let mut err: Option<RuntimeError> = None;
+        for (role, h) in [
+            ("receive", self.recv),
+            ("compute", self.comp),
+            ("send", self.send),
+        ] {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    err.get_or_insert(e);
+                }
+                Err(_) => {
+                    err.get_or_insert(RuntimeError::WorkerPanic(format!("{role} thread")));
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 enum OutMsg {
@@ -474,14 +507,22 @@ fn compute_loop(
 
 impl ComputeState {
     /// Inserts rows into the (image, stage) assembly of the current epoch;
-    /// if that completes the band, runs the compute chain from there.  A
-    /// frame of any other epoch is a protocol violation: the swap drains
-    /// the old epoch completely, and admission only resumes once every
-    /// device has acked the new one, so no frame can run ahead of or
-    /// behind this device's installed epoch.
+    /// if that completes the band, runs the compute chain from there.
+    ///
+    /// A frame from an *older* epoch is dropped: after an epoch re-sync
+    /// (a rejoined device) a surviving peer can have old-epoch bands still
+    /// queued on its send side, and those must evaporate rather than kill
+    /// the worker.  A frame from a *future* epoch is a protocol violation —
+    /// admission only resumes once every device has acked the new epoch, so
+    /// no frame can legally run ahead of this device's installed epoch.
     fn handle_rows(&mut self, frame: Frame) -> Result<()> {
         let current = self.shared.slot.load();
-        if frame.epoch != current.id {
+        if frame.epoch < current.id {
+            let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
+            comp.stale_frames += 1;
+            return Ok(());
+        }
+        if frame.epoch > current.id {
             return Err(RuntimeError::Execution(format!(
                 "device {} received a frame of epoch {} while serving epoch {}",
                 self.d, frame.epoch, current.id
@@ -542,6 +583,13 @@ impl ComputeState {
             comp.layers_packed += installed;
         }
         self.shared.slot.store(epoch);
+        // Partial band assemblies belong to the epoch that produced them.
+        // On a drained swap there are none; on an epoch re-sync (device
+        // rejoin) they are half-built attempts whose missing rows died with
+        // the old peer — the requester replays those images at the new
+        // epoch, so keeping stale fragments would double-count rows.
+        self.assemblies.clear();
+        self.open_images.clear();
         if let Some(t0) = t_install {
             let trace = TraceId::session(frame.epoch);
             self.rec.span(
@@ -555,7 +603,7 @@ impl ComputeState {
         }
         self.to_send
             .send(OutMsg::EpochAck { epoch: frame.epoch })
-            .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
+            .map_err(|_| RuntimeError::transport_disconnected("send thread is gone"))?;
         Ok(())
     }
 
@@ -650,7 +698,7 @@ impl ComputeState {
                         tensor: out,
                         epoch: Arc::clone(epoch),
                     })
-                    .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
+                    .map_err(|_| RuntimeError::transport_disconnected("send thread is gone"))?;
                 return Ok(());
             }
 
@@ -687,7 +735,7 @@ impl ComputeState {
                     band: Arc::clone(&out),
                     epoch: Arc::clone(epoch),
                 })
-                .map_err(|_| RuntimeError::Transport("send thread is gone".into()))?;
+                .map_err(|_| RuntimeError::transport_disconnected("send thread is gone"))?;
 
             // Keep whatever the next stage needs from us locally.
             let next = stage + 1;
@@ -721,9 +769,15 @@ fn send_loop(
                           frame: &Frame,
                           trace: TraceId|
      -> Result<()> {
-        let tx = txs
-            .get_mut(&to)
-            .ok_or_else(|| RuntimeError::Transport(format!("device {d} has no link to {to:?}")))?;
+        let tx = txs.get_mut(&to).ok_or_else(|| {
+            RuntimeError::Transport(
+                TransportError::new(
+                    TransportErrorKind::Config,
+                    format!("device {d} has no link to this peer"),
+                )
+                .at(to),
+            )
+        })?;
         let t0 = Instant::now();
         let n = tx.send(frame)?;
         let t1 = Instant::now();

@@ -158,6 +158,53 @@ impl Runtime {
         )
     }
 
+    /// Deploys the *requester side only*: the gather thread, the scatter
+    /// links and the swap machinery — no local provider workers.  The
+    /// transport's device endpoints are expected to be served by remote
+    /// processes (the `edge-cluster` crate's `distredge-node`) that were
+    /// bootstrapped with the same model, plan and weight shards before this
+    /// call.  [`Session::metrics`] consequently reports no per-device
+    /// counters; completion and latency accounting are unaffected.
+    pub fn deploy_remote(
+        model: &Model,
+        plan: &ExecutionPlan,
+        weights: Arc<ModelWeights>,
+        transport: &mut dyn Transport,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
+    ) -> Result<Session> {
+        if options.max_in_flight == 0 {
+            return Err(RuntimeError::Execution(
+                "max_in_flight must be at least 1".into(),
+            ));
+        }
+        let epoch0 = PlanEpoch::new(0, model, plan)?;
+        let route = &epoch0.route;
+        let n = route.num_devices;
+        let keep_sets: Vec<HashSet<usize>> = (0..n).map(|d| route.keep_layers(model, d)).collect();
+        let resident_bytes: Vec<usize> = keep_sets
+            .iter()
+            .map(|k| weights.shard(k).resident_bytes())
+            .collect();
+        let requester_inbox = transport.inbox(Endpoint::Requester)?;
+        let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
+            .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
+            .collect::<Result<_>>()?;
+        Ok(Self::finish_deploy(
+            model,
+            plan,
+            route,
+            requester_inbox,
+            requester_txs,
+            Vec::new(),
+            keep_sets,
+            resident_bytes,
+            weights,
+            options,
+            telemetry,
+        ))
+    }
+
     fn deploy_impl(
         model: &Model,
         plan: &ExecutionPlan,
@@ -244,6 +291,38 @@ impl Runtime {
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
             .collect::<Result<_>>()?;
 
+        Ok(Self::finish_deploy(
+            model,
+            plan,
+            route,
+            requester_inbox,
+            requester_txs,
+            providers,
+            keep_sets,
+            resident_bytes,
+            raw_weights,
+            options,
+            telemetry,
+        ))
+    }
+
+    /// The transport-independent tail of every deploy: spawn the gather
+    /// thread, set up telemetry, assemble the [`Session`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_deploy(
+        model: &Model,
+        plan: &ExecutionPlan,
+        route: &RouteTable,
+        requester_inbox: Receiver<Vec<u8>>,
+        requester_txs: Vec<Box<dyn FrameTx>>,
+        providers: Vec<ProviderHandle>,
+        keep_sets: Vec<HashSet<usize>>,
+        resident_bytes: Vec<usize>,
+        raw_weights: Arc<ModelWeights>,
+        options: &RuntimeOptions,
+        telemetry: &Telemetry,
+    ) -> Session {
+        let n = route.num_devices;
         let finish_stage = route.finish_stage() as usize;
         let (result_c, result_w) = route.stage_geom(finish_stage);
         let gather_cfg = GatherConfig {
@@ -293,7 +372,7 @@ impl Runtime {
             })
             .expect("spawn gather thread");
 
-        Ok(Session {
+        Session {
             shared,
             scatter: Mutex::new(ScatterState {
                 txs: requester_txs,
@@ -314,7 +393,7 @@ impl Runtime {
             gather: Some(gather),
             providers,
             t_start: Instant::now(),
-        })
+        }
     }
 
     /// Deploys over a fresh in-process channel fabric.
@@ -402,6 +481,17 @@ impl SwapReport {
     }
 }
 
+/// What one [`Session::resync_epoch`] recovery pass did.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResyncReport {
+    /// The epoch the session now serves.
+    pub epoch: u64,
+    /// In-flight images re-scattered at the new epoch.
+    pub replayed: usize,
+    /// End-to-end re-sync time (broadcast + acks + replay).
+    pub total_ms: f64,
+}
+
 #[derive(Default)]
 struct StreamState {
     /// Images submitted so far (the next ticket id).
@@ -416,6 +506,9 @@ struct StreamState {
     claimed: HashSet<u32>,
     /// Submission timestamps of in-flight images.
     starts: HashMap<u32, Instant>,
+    /// The retained inputs of in-flight images (bounded by the credit
+    /// window), so an epoch re-sync can replay work lost to a dead device.
+    pending: HashMap<u32, Tensor>,
     /// Per-image latency in completion order.
     latencies_ms: Vec<f64>,
     /// Completed images.
@@ -698,6 +791,7 @@ impl Session {
             st.in_flight += 1;
             st.max_in_flight_observed = st.max_in_flight_observed.max(st.in_flight);
             st.starts.insert(id, Instant::now());
+            st.pending.insert(id, image.clone());
             self.shared.tel.in_flight.set(st.in_flight as i64);
             (Ticket { image: id }, st.epoch)
         };
@@ -852,7 +946,13 @@ impl Session {
         let t_total = Instant::now();
         plan.validate(&self.model).map_err(RuntimeError::from)?;
         let route = RouteTable::new(&self.model, plan)?;
-        let n = self.providers.len();
+        // Device count comes from the scatter links, not `providers`:
+        // remote sessions (`deploy_remote`) drive external node processes
+        // and hold no local provider handles.
+        let n = {
+            let sc = self.scatter.lock().expect("scatter state poisoned");
+            sc.txs.len()
+        };
         if route.num_devices != n {
             return Err(RuntimeError::Execution(format!(
                 "new plan addresses {} devices, session has {n}",
@@ -986,7 +1086,7 @@ impl Session {
                     // rather than reopening admission into the wreckage.
                     let acked = st.acked;
                     drop(st);
-                    let err = RuntimeError::Transport(format!(
+                    let err = RuntimeError::transport_timeout(format!(
                         "timed out waiting for epoch {new_epoch} acks ({acked}/{n} received)"
                     ));
                     self.shared.fail(&err);
@@ -1059,6 +1159,186 @@ impl Session {
             total_ms: t_total.elapsed().as_secs_f64() * 1e3,
             delta_bytes,
             reused_bytes,
+        })
+    }
+
+    /// Re-synchronises the cluster onto a fresh epoch after one or more
+    /// devices re-joined — a remote provider process died and was restarted,
+    /// then re-handshaked at the current epoch (the `edge-cluster`
+    /// supervisor's recovery path).  Admission pauses, every device installs
+    /// `current + 1` carrying the *same* plan and an empty weight delta, the
+    /// rejoined devices' residency bookkeeping resets to exactly the current
+    /// plan's keep-set (what the re-handshake shipped — the restart dropped
+    /// everything the old process held), and every image still in flight is
+    /// re-scattered at the new epoch.
+    ///
+    /// Unlike [`Session::apply_plan`] the in-flight window is *not* drained
+    /// first — the point is precisely that some of its results will never
+    /// arrive.  Replaying at a fresh epoch (instead of re-sending at the
+    /// current one) is what makes this safe: surviving providers discard
+    /// their partial band assemblies when they install the new epoch and
+    /// drop data frames tagged with older epochs, and the gather side
+    /// ignores duplicate results, so an original result racing its replayed
+    /// twin resolves to exactly one completion.  Original submission
+    /// timestamps are kept, so reported latencies include the outage.
+    pub fn resync_epoch(&self, rejoined: &[usize]) -> Result<ResyncReport> {
+        let t_total = Instant::now();
+        let n = {
+            let sc = self.scatter.lock().expect("scatter state poisoned");
+            sc.txs.len()
+        };
+        if let Some(&d) = rejoined.iter().find(|&&d| d >= n) {
+            return Err(RuntimeError::Execution(format!(
+                "rejoined device {d} out of range (session has {n})"
+            )));
+        }
+
+        // 1. Pause admission at the current epoch (no drain).
+        let old_epoch = {
+            let mut st = self.shared.lock();
+            if let Some(f) = &st.failed {
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            if st.halted {
+                return Err(RuntimeError::Execution(
+                    "session is shutting down; cannot re-sync".into(),
+                ));
+            }
+            if st.swapping {
+                return Err(RuntimeError::Execution(
+                    "another plan swap is already in progress".into(),
+                ));
+            }
+            st.swapping = true;
+            st.swap_target = st.epoch + 1;
+            st.acked = 0;
+            st.epoch
+        };
+        let new_epoch = old_epoch + 1;
+
+        // 2. Reset the rejoined devices' residency bookkeeping to the
+        // current plan's keep-set and build the bump payload: same plan,
+        // no weight delta.
+        let (payload, targets) = {
+            let mut ps = self.plan_state.lock().expect("plan state poisoned");
+            let route = match RouteTable::new(&self.model, &ps.plan) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.shared.lock().swapping = false;
+                    return Err(e);
+                }
+            };
+            for &d in rejoined {
+                let keep = route.keep_layers(&self.model, d);
+                ps.resident_bytes[d] = keep
+                    .iter()
+                    .map(|&l| {
+                        (self.weights.layers[l].0.len() + self.weights.layers[l].1.len())
+                            * std::mem::size_of::<f32>()
+                    })
+                    .sum();
+                ps.keep[d] = keep;
+            }
+            (
+                ReconfigurePayload {
+                    plan: ps.plan.clone(),
+                    delta: Vec::new(),
+                },
+                route.scatter_targets(),
+            )
+        };
+
+        // 3. Broadcast the epoch bump and wait for every device's ack.
+        {
+            let mut sc = self.scatter.lock().expect("scatter state poisoned");
+            let frame = Frame::reconfigure(new_epoch, payload.encode()?);
+            for d in 0..n {
+                if let Err(e) = sc.txs[d].send(&frame) {
+                    drop(sc);
+                    self.shared.fail(&e);
+                    return Err(e);
+                }
+            }
+        }
+        {
+            let deadline = Instant::now() + self.options.recv_timeout;
+            let mut st = self.shared.lock();
+            while st.failed.is_none() && st.acked < n {
+                let now = Instant::now();
+                if now >= deadline {
+                    let acked = st.acked;
+                    drop(st);
+                    let err = RuntimeError::transport_timeout(format!(
+                        "timed out waiting for epoch {new_epoch} re-sync acks ({acked}/{n} received)"
+                    ));
+                    self.shared.fail(&err);
+                    return Err(err);
+                }
+                st = self
+                    .shared
+                    .credits
+                    .wait_timeout(st, GATHER_TICK.min(deadline - now))
+                    .expect("session state poisoned")
+                    .0;
+            }
+            if let Some(f) = st.failed.clone() {
+                st.swapping = false;
+                return Err(RuntimeError::Execution(format!("session failed: {f}")));
+            }
+            st.epoch = new_epoch;
+            st.swap_target = 0;
+        }
+        {
+            let tel = &self.shared.tel;
+            let mut rec = tel.rec.lock().expect("telemetry recorder poisoned");
+            rec.instant(Stage::EpochFlip, TraceId::session(new_epoch), 0, REQUESTER);
+            drop(rec);
+            tel.epoch_flips.inc();
+            tel.epoch.set(new_epoch as i64);
+        }
+
+        // 4. Replay every image still in flight at the new epoch.  The
+        // retained inputs are snapshotted *after* the ack barrier, so images
+        // that completed while the bump was in progress are not replayed.
+        let replay: Vec<(u32, Tensor)> = {
+            let st = self.shared.lock();
+            let mut ids: Vec<u32> = st.starts.keys().copied().collect();
+            ids.sort_unstable();
+            ids.iter()
+                .filter_map(|id| st.pending.get(id).map(|t| (*id, t.clone())))
+                .collect()
+        };
+        {
+            let mut sc = self.scatter.lock().expect("scatter state poisoned");
+            for (image, tensor) in &replay {
+                for &(d, (lo, hi)) in &targets {
+                    let result = match slice_rows(tensor, lo, hi) {
+                        Ok(rows) => sc.txs[d].send(&Frame::data(
+                            FrameKind::Rows,
+                            new_epoch,
+                            *image,
+                            0,
+                            lo as u32,
+                            rows,
+                        )),
+                        Err(e) => Err(RuntimeError::from(e)),
+                    };
+                    if let Err(e) = result {
+                        drop(sc);
+                        self.shared.fail(&e);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // 5. Resume admission.
+        self.shared.lock().swapping = false;
+        self.shared.credits.notify_all();
+        Ok(ResyncReport {
+            epoch: new_epoch,
+            replayed: replay.len(),
+            total_ms: t_total.elapsed().as_secs_f64() * 1e3,
         })
     }
 
@@ -1220,7 +1500,7 @@ fn gather_loop(
     cfg: GatherConfig,
     mut tel: GatherTel,
 ) -> Receiver<Vec<u8>> {
-    let mut assemblies: HashMap<u32, Assembly> = HashMap::new();
+    let mut assemblies: HashMap<(u32, u64), Assembly> = HashMap::new();
     let mut waiting_since: Option<Instant> = None;
     let tick = GATHER_TICK.min(cfg.recv_timeout);
     loop {
@@ -1245,8 +1525,8 @@ fn gather_loop(
                 if starving {
                     let since = *waiting_since.get_or_insert_with(Instant::now);
                     if since.elapsed() >= cfg.recv_timeout {
-                        shared.fail(&RuntimeError::Transport(
-                            "timed out waiting for results".into(),
+                        shared.fail(&RuntimeError::transport_timeout(
+                            "timed out waiting for results",
                         ));
                         return inbox;
                     }
@@ -1266,7 +1546,7 @@ fn handle_requester_frame(
     bytes: &[u8],
     shared: &SessionShared,
     cfg: &GatherConfig,
-    assemblies: &mut HashMap<u32, Assembly>,
+    assemblies: &mut HashMap<(u32, u64), Assembly>,
     tel: &mut GatherTel,
 ) -> Result<()> {
     let frame = Frame::decode(bytes)?;
@@ -1292,12 +1572,20 @@ fn handle_requester_frame(
         // The head output arrives whole.
         Some(frame.tensor)
     } else {
+        // Keyed by (image, epoch): after an epoch re-sync, bands of the
+        // original attempt and of the replay can interleave at the inbox,
+        // and rows from two different epochs must never stitch into one
+        // output.
+        let key = (image, frame.epoch);
         let asm = assemblies
-            .entry(image)
+            .entry(key)
             .or_insert_with(|| Assembly::new(cfg.result_c, cfg.result_w, (0, cfg.last_height)));
         asm.insert(frame.row_lo as usize, &frame.tensor)?;
         if asm.complete() {
-            let asm = assemblies.remove(&image).expect("present");
+            let asm = assemblies.remove(&key).expect("present");
+            // Any partial assembly of the same image under another epoch is
+            // an abandoned attempt — drop it.
+            assemblies.retain(|&(img, _), _| img != image);
             tel.rec.span(
                 Stage::Merge,
                 TraceId {
@@ -1317,10 +1605,19 @@ fn handle_requester_frame(
 
     let mut st = shared.lock();
     let Some(start) = st.starts.remove(&image) else {
-        return Err(RuntimeError::Execution(format!(
-            "duplicate result for image {image}"
-        )));
+        // No longer in flight: after an epoch re-sync the original result
+        // can race its replayed twin — whichever lands second is dropped.
+        // A result for an image that was never submitted is a protocol
+        // violation.
+        return if u64::from(image) < st.submitted {
+            Ok(())
+        } else {
+            Err(RuntimeError::Execution(format!(
+                "result for image {image} which was never submitted"
+            )))
+        };
     };
+    st.pending.remove(&image);
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
     st.outputs.insert(image, out);
     st.latencies_ms.push(latency_ms);

@@ -8,8 +8,8 @@
 //! decorator that paces sends with a token-bucket driven by `netsim`
 //! bandwidth traces so a laptop can reproduce the testbed's shaped WiFi.
 
-use crate::wire::Frame;
-use crate::{Result, RuntimeError};
+use crate::wire::{check_frame_len, Frame};
+use crate::{Result, RuntimeError, TransportError, TransportErrorKind};
 use edgesim::{Cluster, Endpoint};
 use netsim::BandwidthTrace;
 use std::collections::HashMap;
@@ -77,7 +77,7 @@ impl FrameTx for ChannelTx {
         let n = bytes.len();
         self.tx
             .send(bytes)
-            .map_err(|_| RuntimeError::Transport("receiver endpoint is gone".into()))?;
+            .map_err(|_| RuntimeError::transport_disconnected("receiver endpoint is gone"))?;
         Ok(n)
     }
 }
@@ -87,15 +87,21 @@ impl Transport for ChannelTransport {
         let tx = self
             .senders
             .get(&to)
-            .ok_or_else(|| RuntimeError::Transport(format!("unknown endpoint {to:?}")))?
+            .ok_or_else(|| {
+                RuntimeError::Transport(
+                    TransportError::new(TransportErrorKind::Config, "unknown endpoint").at(to),
+                )
+            })?
             .clone();
         Ok(Box::new(ChannelTx { tx }))
     }
 
     fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
-        self.receivers
-            .remove(&at)
-            .ok_or_else(|| RuntimeError::Transport(format!("inbox of {at:?} already taken")))
+        self.receivers.remove(&at).ok_or_else(|| {
+            RuntimeError::Transport(
+                TransportError::new(TransportErrorKind::Config, "inbox already taken").at(at),
+            )
+        })
     }
 }
 
@@ -125,10 +131,10 @@ impl TcpTransport {
         endpoints.extend((0..num_devices).map(Endpoint::Device));
         for ep in endpoints {
             let listener = TcpListener::bind(("127.0.0.1", 0))
-                .map_err(|e| RuntimeError::Transport(format!("bind failed: {e}")))?;
+                .map_err(|e| RuntimeError::transport_io(format!("bind failed: {e}")))?;
             let addr = listener
                 .local_addr()
-                .map_err(|e| RuntimeError::Transport(format!("local_addr failed: {e}")))?;
+                .map_err(|e| RuntimeError::transport_io(format!("local_addr failed: {e}")))?;
             let (tx, rx) = channel::<Vec<u8>>();
             addrs.insert(ep, addr);
             receivers.insert(ep, rx);
@@ -172,21 +178,45 @@ fn accept_loop(listener: TcpListener, inbox: Sender<Vec<u8>>, shutdown: Arc<Atom
 
 /// Reads one length-prefixed frame as raw bytes (prefix included), without
 /// decoding the payload.  Returns `None` on clean EOF at a frame boundary.
-fn read_raw_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>> {
-    use std::io::Read;
+/// The length prefix is capped at [`crate::MAX_FRAME_LEN`] before any
+/// allocation happens, so a corrupt header cannot balloon memory.
+/// Fills `len_buf` from the stream: `Ok(false)` on clean EOF before any
+/// byte, an `Io` transport error on EOF *inside* the prefix (a mid-frame
+/// disconnect, not a frame boundary).
+fn read_len_prefix(stream: &mut impl std::io::Read, len_buf: &mut [u8; 4]) -> Result<bool> {
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(RuntimeError::transport_io(format!(
+                        "EOF inside length prefix after {got} bytes"
+                    )))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RuntimeError::transport_io(format!("read failed: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+pub fn read_raw_frame(stream: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(RuntimeError::Transport(format!("read failed: {e}"))),
+    if !read_len_prefix(stream, &mut len_buf)? {
+        return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf) as usize;
+    check_frame_len(len)?;
     let mut bytes = Vec::with_capacity(4 + len);
     bytes.extend_from_slice(&len_buf);
     bytes.resize(4 + len, 0);
     stream
         .read_exact(&mut bytes[4..])
-        .map_err(|e| RuntimeError::Transport(format!("truncated frame: {e}")))?;
+        .map_err(|e| RuntimeError::transport_io(format!("truncated frame: {e}")))?;
     Ok(Some(bytes))
 }
 
@@ -199,29 +229,39 @@ impl FrameTx for TcpTx {
         let bytes = frame.encode();
         self.stream
             .write_all(&bytes)
-            .map_err(|e| RuntimeError::Transport(format!("tcp write failed: {e}")))?;
+            .map_err(|e| RuntimeError::transport_io(format!("tcp write failed: {e}")))?;
         Ok(bytes.len())
     }
 }
 
 impl Transport for TcpTransport {
     fn open(&mut self, _from: Endpoint, to: Endpoint) -> Result<Box<dyn FrameTx>> {
-        let addr = self
-            .addrs
-            .get(&to)
-            .ok_or_else(|| RuntimeError::Transport(format!("unknown endpoint {to:?}")))?;
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| RuntimeError::Transport(format!("connect to {to:?} failed: {e}")))?;
+        let addr = self.addrs.get(&to).ok_or_else(|| {
+            RuntimeError::Transport(
+                TransportError::new(TransportErrorKind::Config, "unknown endpoint").at(to),
+            )
+        })?;
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            RuntimeError::Transport(
+                TransportError::new(
+                    TransportErrorKind::Disconnected,
+                    format!("connect failed: {e}"),
+                )
+                .at(to),
+            )
+        })?;
         stream
             .set_nodelay(true)
-            .map_err(|e| RuntimeError::Transport(format!("set_nodelay failed: {e}")))?;
+            .map_err(|e| RuntimeError::transport_io(format!("set_nodelay failed: {e}")))?;
         Ok(Box::new(TcpTx { stream }))
     }
 
     fn inbox(&mut self, at: Endpoint) -> Result<Receiver<Vec<u8>>> {
-        self.receivers
-            .remove(&at)
-            .ok_or_else(|| RuntimeError::Transport(format!("inbox of {at:?} already taken")))
+        self.receivers.remove(&at).ok_or_else(|| {
+            RuntimeError::Transport(
+                TransportError::new(TransportErrorKind::Config, "inbox already taken").at(at),
+            )
+        })
     }
 }
 

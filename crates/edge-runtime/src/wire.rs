@@ -34,6 +34,25 @@ use tensor::{slab, Tensor};
 /// Frame magic (sanity check against stream desync).
 pub const MAGIC: u16 = 0xED6E;
 
+/// Upper bound on a frame's body length (bytes after the length prefix).
+///
+/// Weight-bearing `Reconfigure` payloads for paper-scale models run to
+/// hundreds of megabytes, so the cap is generous — its job is to reject a
+/// corrupt or adversarial length prefix *before* the allocation, not to
+/// bound legitimate traffic.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Rejects a length prefix larger than [`MAX_FRAME_LEN`] with a typed
+/// protocol error, so a corrupt header cannot drive an unbounded allocation.
+pub fn check_frame_len(len: usize) -> Result<()> {
+    if len > MAX_FRAME_LEN {
+        return Err(RuntimeError::transport_protocol(format!(
+            "frame length {len} exceeds cap {MAX_FRAME_LEN}"
+        )));
+    }
+    Ok(())
+}
+
 /// Byte length of the frame header after the length prefix
 /// (magic + kind + epoch + image + stage + row_lo).
 const HEADER_LEN: usize = 2 + 1 + 8 + 4 + 4 + 4;
@@ -236,6 +255,7 @@ impl Frame {
             return Err(RuntimeError::Wire("missing length prefix".into()));
         }
         let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        check_frame_len(len)?;
         if bytes.len() != 4 + len {
             return Err(RuntimeError::Wire(format!(
                 "length prefix {len} does not match body of {}",
@@ -248,22 +268,33 @@ impl Frame {
     /// Writes the frame to a byte stream (TCP framing).
     pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
         w.write_all(&self.encode())
-            .map_err(|e| RuntimeError::Transport(format!("write failed: {e}")))
+            .map_err(|e| RuntimeError::transport_io(format!("write failed: {e}")))
     }
 
-    /// Reads one frame from a byte stream.  Returns `None` on clean EOF at a
-    /// frame boundary.
+    /// Reads one frame from a byte stream.  Returns `None` on clean EOF at
+    /// a frame boundary; EOF *inside* the length prefix is a truncation
+    /// error, not a boundary.
     pub fn read_from(r: &mut impl Read) -> Result<Option<Self>> {
         let mut len_buf = [0u8; 4];
-        match r.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(RuntimeError::Transport(format!("read failed: {e}"))),
+        let mut got = 0;
+        while got < 4 {
+            match r.read(&mut len_buf[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(RuntimeError::transport_io(format!(
+                        "EOF inside length prefix after {got} bytes"
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(RuntimeError::transport_io(format!("read failed: {e}"))),
+            }
         }
         let len = u32::from_le_bytes(len_buf) as usize;
+        check_frame_len(len)?;
         let mut body = vec![0u8; len];
         r.read_exact(&mut body)
-            .map_err(|e| RuntimeError::Transport(format!("truncated frame: {e}")))?;
+            .map_err(|e| RuntimeError::transport_io(format!("truncated frame: {e}")))?;
         Self::decode_body(&body).map(Some)
     }
 }
@@ -442,6 +473,28 @@ mod tests {
         let bytes = sample_frame().encode();
         assert!(Frame::decode(&bytes[..bytes.len() - 2]).is_err());
         assert!(Frame::decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        // A corrupt header claiming a multi-gigabyte body must be rejected
+        // with a typed protocol error before any allocation happens.
+        let mut bytes = sample_frame().encode();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        let t = err.as_transport().expect("typed transport error");
+        assert_eq!(t.kind, crate::TransportErrorKind::Protocol);
+        assert!(!t.is_retryable());
+
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 64]);
+        let mut cursor = std::io::Cursor::new(stream);
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert_eq!(
+            err.as_transport().unwrap().kind,
+            crate::TransportErrorKind::Protocol
+        );
     }
 
     #[test]

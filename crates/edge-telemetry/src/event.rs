@@ -88,6 +88,17 @@ pub enum Stage {
     /// A fleet scale-down: drain + retire of one replica (`arg` = retired
     /// replica id).
     FleetScaleDown,
+    /// A cluster coordinator establishing the TCP connection to one node
+    /// (`arg` = device id).
+    ClusterConnect,
+    /// The bootstrap handshake with one node: plan + weight shard shipped,
+    /// welcome received (`arg` = device id, `bytes` = handshake payload
+    /// bytes).
+    ClusterHandshake,
+    /// A reconnect-with-backoff recovery of one node's link, ending with a
+    /// re-handshake at the current epoch (`arg` = device id, `bytes` =
+    /// connection attempts).
+    ClusterReconnect,
 }
 
 impl Stage {
@@ -115,6 +126,9 @@ impl Stage {
             Stage::FleetRoute => "fleet.route",
             Stage::FleetScaleUp => "fleet.scale_up",
             Stage::FleetScaleDown => "fleet.scale_down",
+            Stage::ClusterConnect => "cluster.connect",
+            Stage::ClusterHandshake => "cluster.handshake",
+            Stage::ClusterReconnect => "cluster.reconnect",
         }
     }
 
@@ -170,6 +184,9 @@ impl Stage {
             Stage::FleetRoute => 16,
             Stage::FleetScaleUp => 17,
             Stage::FleetScaleDown => 18,
+            Stage::ClusterConnect => 19,
+            Stage::ClusterHandshake => 20,
+            Stage::ClusterReconnect => 21,
         }
     }
 
@@ -201,6 +218,9 @@ impl Stage {
             16 => Stage::FleetRoute,
             17 => Stage::FleetScaleUp,
             18 => Stage::FleetScaleDown,
+            19 => Stage::ClusterConnect,
+            20 => Stage::ClusterHandshake,
+            21 => Stage::ClusterReconnect,
             _ => return None,
         })
     }
@@ -296,6 +316,9 @@ mod tests {
             Stage::FleetRoute,
             Stage::FleetScaleUp,
             Stage::FleetScaleDown,
+            Stage::ClusterConnect,
+            Stage::ClusterHandshake,
+            Stage::ClusterReconnect,
         ];
         for (i, stage) in stages.into_iter().enumerate() {
             let ev = SpanEvent {

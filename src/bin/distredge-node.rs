@@ -1,0 +1,90 @@
+//! `distredge-node` — one cluster node process.
+//!
+//! Serves one device of a DistrEdge cluster: binds the listen address,
+//! waits for a coordinator's bootstrap handshake (model + plan + weight
+//! shard), then runs the provider pipeline until halted.
+//!
+//! ```text
+//! distredge-node --config node0.toml
+//! distredge-node --device 0 --listen 127.0.0.1:7700 [--profile pi4]
+//! ```
+
+use edge_cluster::{run_node, NodeConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: distredge-node --config <file.toml|file.json>
+       distredge-node --device <N> --listen <addr> [--profile <name>]";
+
+fn parse_args(args: &[String]) -> Result<NodeConfig, String> {
+    let mut config_path: Option<String> = None;
+    let mut device: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut profile: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config_path = Some(value("--config")?),
+            "--device" => {
+                device = Some(
+                    value("--device")?
+                        .parse()
+                        .map_err(|e| format!("bad --device: {e}"))?,
+                )
+            }
+            "--listen" => listen = Some(value("--listen")?),
+            "--profile" => profile = Some(value("--profile")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    match (config_path, device, listen) {
+        (Some(path), None, None) => {
+            NodeConfig::from_file(&path).map_err(|e| format!("load {path}: {e}"))
+        }
+        (None, Some(device), Some(listen)) => Ok(NodeConfig {
+            device,
+            listen,
+            profile,
+        }),
+        _ => Err(format!(
+            "need either --config, or both --device and --listen\n{USAGE}"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "distredge-node: device {} listening on {}{}",
+        cfg.device,
+        cfg.listen,
+        cfg.profile
+            .as_deref()
+            .map(|p| format!(" (profile {p})"))
+            .unwrap_or_default()
+    );
+    match run_node(&cfg) {
+        Ok(()) => {
+            println!("distredge-node: device {} halted", cfg.device);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("distredge-node: device {}: {e}", cfg.device);
+            ExitCode::FAILURE
+        }
+    }
+}

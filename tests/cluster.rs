@@ -1,0 +1,229 @@
+//! Multi-process cluster serving: real `distredge-node` OS processes over
+//! loopback TCP, driven by an in-test coordinator.
+//!
+//! Covers the two cluster acceptance claims: (1) three separate node
+//! processes serve `tiny_vgg` bit-exactly against single-device
+//! execution, and (2) killing a node mid-stream and restarting it with
+//! the same config reconnects with backoff, re-handshakes at the current
+//! epoch, and completes every submitted image — zero loss.
+
+use cnn_model::exec::{deterministic_input, run_full, ModelWeights};
+use cnn_model::{zoo, Model, PartitionScheme, VolumeSplit};
+use edge_cluster::{BackoffPolicy, ClusterConfig, ClusterCoordinator, PeerSpec};
+use edge_runtime::RuntimeOptions;
+use edge_telemetry::Telemetry;
+use edgesim::ExecutionPlan;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills its node processes on drop so a failing assertion doesn't leak
+/// listeners.
+struct NodeProcs {
+    children: Vec<Option<Child>>,
+}
+
+impl NodeProcs {
+    fn spawn(addrs: &[String]) -> Self {
+        let children = addrs
+            .iter()
+            .enumerate()
+            .map(|(device, addr)| Some(spawn_node(device, addr)))
+            .collect();
+        Self { children }
+    }
+
+    fn kill(&mut self, device: usize) {
+        if let Some(mut child) = self.children[device].take() {
+            child.kill().expect("kill node");
+            child.wait().expect("reap node");
+        }
+    }
+
+    fn restart(&mut self, device: usize, addr: &str) {
+        self.kill(device);
+        self.children[device] = Some(spawn_node(device, addr));
+    }
+
+    /// Waits for every remaining node to exit cleanly (post-Halt).
+    fn join(mut self) {
+        for slot in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let status = child.wait().expect("node exit status");
+                assert!(status.success(), "node exited with {status}");
+            }
+        }
+    }
+}
+
+impl Drop for NodeProcs {
+    fn drop(&mut self) {
+        for slot in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+fn spawn_node(device: usize, addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_distredge-node"))
+        .args(["--device", &device.to_string(), "--listen", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn distredge-node")
+}
+
+/// Reserves `n` distinct loopback ports (std listeners set `SO_REUSEADDR`
+/// on Unix, so the node processes can rebind them).
+fn free_addrs(n: usize) -> Vec<String> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    holds
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect()
+}
+
+fn cluster_config(addrs: &[String]) -> ClusterConfig {
+    ClusterConfig {
+        nodes: addrs
+            .iter()
+            .enumerate()
+            .map(|(device, addr)| PeerSpec {
+                device,
+                addr: addr.clone(),
+                profile: None,
+            })
+            .collect(),
+    }
+}
+
+fn equal_split_plan(model: &Model, n: usize) -> ExecutionPlan {
+    let scheme = PartitionScheme::new(model, vec![0, 6, model.distributable_len()]).unwrap();
+    let splits: Vec<VolumeSplit> = scheme
+        .volumes()
+        .iter()
+        .map(|v| VolumeSplit::equal(n, v.last_output_height(model)))
+        .collect();
+    ExecutionPlan::from_splits(model, &scheme, &splits, n).unwrap()
+}
+
+#[test]
+fn three_node_processes_serve_tiny_vgg_bit_exactly() {
+    let model = zoo::tiny_vgg();
+    let plan = equal_split_plan(&model, 3);
+    let weights = ModelWeights::deterministic(&model, 5);
+    let addrs = free_addrs(3);
+    let procs = NodeProcs::spawn(&addrs);
+
+    // The bootstrap handshake retries with backoff, so serving can start
+    // before the node processes finish binding their listeners.
+    let session = ClusterCoordinator::serve(
+        &model,
+        &plan,
+        weights.clone(),
+        &cluster_config(&addrs),
+        &RuntimeOptions::default().with_max_in_flight(3),
+        &BackoffPolicy::default(),
+        &Telemetry::disabled(),
+    )
+    .expect("cluster bootstrap");
+
+    let images: Vec<_> = (0..4).map(|s| deterministic_input(&model, s)).collect();
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|im| session.submit(im).expect("submit"))
+        .collect();
+    for (ticket, image) in tickets.into_iter().zip(&images) {
+        let output = session
+            .wait_timeout(ticket, Duration::from_secs(120))
+            .expect("wait")
+            .expect("image within deadline");
+        let expected = run_full(&model, &weights, image).unwrap().pop().unwrap();
+        assert_eq!(
+            output.data(),
+            expected.data(),
+            "cluster output must be bit-exact vs single-device"
+        );
+    }
+
+    let report = session.shutdown().expect("shutdown");
+    assert_eq!(report.images, 4);
+    procs.join();
+}
+
+#[test]
+fn killed_node_reconnects_and_no_image_is_lost() {
+    let model = zoo::tiny_vgg();
+    let plan = equal_split_plan(&model, 3);
+    let weights = ModelWeights::deterministic(&model, 9);
+    let addrs = free_addrs(3);
+    let mut procs = NodeProcs::spawn(&addrs);
+
+    let session = ClusterCoordinator::serve(
+        &model,
+        &plan,
+        weights.clone(),
+        &cluster_config(&addrs),
+        &RuntimeOptions::default().with_max_in_flight(2),
+        &BackoffPolicy::default(),
+        &Telemetry::disabled(),
+    )
+    .expect("cluster bootstrap");
+    assert_eq!(session.epoch(), 0);
+
+    let images: Vec<_> = (0..8).map(|s| deterministic_input(&model, s)).collect();
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|im| session.submit(im).expect("submit"))
+        .collect();
+
+    // Let the stream get going, then kill device 1 mid-flight and restart
+    // it with the same config.  The supervisor must reconnect with
+    // backoff, re-handshake at the current epoch, resync, and replay the
+    // in-flight images.
+    let mut tickets = tickets.into_iter().zip(images.iter());
+    let (first_ticket, first_image) = tickets.next().unwrap();
+    let first = session
+        .wait_timeout(first_ticket, Duration::from_secs(120))
+        .expect("first image before the kill")
+        .expect("first image within deadline");
+    let expected = run_full(&model, &weights, first_image)
+        .unwrap()
+        .pop()
+        .unwrap();
+    assert_eq!(first.data(), expected.data());
+
+    procs.restart(1, &addrs[1]);
+
+    for (ticket, image) in tickets {
+        let output = session
+            .wait_timeout(ticket, Duration::from_secs(120))
+            .expect("image completes across the reconnect")
+            .expect("image within deadline across the reconnect");
+        let expected = run_full(&model, &weights, image).unwrap().pop().unwrap();
+        assert_eq!(
+            output.data(),
+            expected.data(),
+            "replayed image must still be bit-exact"
+        );
+    }
+
+    assert!(
+        session.resyncs() >= 1,
+        "supervisor must have re-handshaken the killed node"
+    );
+    assert!(
+        session.epoch() >= 1,
+        "resync must advance the epoch past the bootstrap plan"
+    );
+    assert!(session.failure().is_none(), "session must not be poisoned");
+
+    let report = session.shutdown().expect("shutdown");
+    assert_eq!(report.images, 8, "zero image loss across the kill");
+    drop(procs);
+}
