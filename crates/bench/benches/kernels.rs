@@ -1,12 +1,16 @@
-//! Kernel benchmarks: the packed im2col + GEMM conv path against the direct
-//! loop-nest oracle, plus end-to-end runtime throughput.
+//! Kernel benchmarks: every conv variant (direct oracle, packed GEMM on the
+//! scalar and SIMD micro-kernel arms, Winograd F(2×2,3×3)) plus end-to-end
+//! runtime throughput.
 //!
-//! Emits `BENCH_kernels.json` at the workspace root with per-shape timings
-//! (direct vs packed ns and the speedup, with the filter prepacked outside
-//! the timed region — packing is deploy-time work), and end-to-end IPS for
-//! the `tiny_vgg` test model and the paper-scale `vgg11` on the packed
-//! runtime.  The acceptance bar tracked across commits: ≥5× over the direct
-//! kernel on a VGG-style 3×3 convolution with `c_in = c_out = 64`.
+//! Emits `BENCH_kernels.json` at the workspace root with per-shape,
+//! per-variant timings and GFLOP/s (filters prepacked outside the timed
+//! region — packing is deploy-time work), and end-to-end IPS for the
+//! `tiny_vgg` test model and the paper-scale `vgg11` on the packed runtime.
+//! All GFLOP/s figures are *effective* rates against the direct-conv flop
+//! count (`2·f²·c_in·c_out·h·w`), so Winograd's multiply savings show up as
+//! a higher rate through the same roof-line lens.  The acceptance bar
+//! tracked across commits: the VGG 3×3 `c64` shape's packed-SIMD rate ≥ 2×
+//! the scalar baseline this ladder started from (18 GFLOP/s).
 
 use cnn_model::exec::{deterministic_input, ModelWeights};
 use cnn_model::{zoo, Model, PartitionScheme, VolumeSplit};
@@ -17,12 +21,12 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 use tensor::ops::{
-    conv2d_rows_direct, conv2d_rows_packed, im2col_weight_len, maxpool2d, pack_conv_filter,
-    Activation,
+    conv2d_rows_direct, conv2d_rows_gemm, conv2d_rows_winograd, im2col_weight_len, kernel_arch,
+    maxpool2d, pack_conv_filter, set_kernel_override, Activation, KernelArch,
 };
 use tensor::Tensor;
 
-/// One convolution shape measured direct-vs-packed.
+/// One convolution shape measured across every kernel variant.
 #[derive(Serialize, Clone)]
 struct ConvShape {
     label: String,
@@ -32,6 +36,15 @@ struct ConvShape {
     w: usize,
     f: usize,
     direct_ns: f64,
+    direct_gflops: f64,
+    packed_scalar_ns: f64,
+    packed_scalar_gflops: f64,
+    packed_simd_ns: f64,
+    packed_simd_gflops: f64,
+    /// Winograd F(2×2,3×3); zero when the shape is not eligible.
+    winograd_ns: f64,
+    winograd_gflops: f64,
+    /// Legacy trajectory fields (packed = the SIMD GEMM path).
     packed_ns: f64,
     speedup: f64,
     packed_gflops: f64,
@@ -49,9 +62,11 @@ struct EndToEnd {
 
 #[derive(Serialize)]
 struct KernelBench {
-    /// Per-shape direct vs packed timings.
+    /// The micro-kernel arm auto-dispatch selected on this machine.
+    simd_arch: String,
+    /// Per-shape, per-variant timings.
     conv: Vec<ConvShape>,
-    /// The acceptance shape's speedup (VGG-style 3×3, c_in = c_out = 64).
+    /// The acceptance shape's direct→packed-SIMD speedup.
     vgg_3x3_c64_speedup: f64,
     /// End-to-end IPS through the runtime (deploy-time packing, three
     /// providers).
@@ -97,7 +112,7 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
     for &(label, c_in, c_out, hw, f) in shapes {
         let input = conv_input(c_in, hw, hw);
         let (weights, bias) = conv_weights(c_in, c_out, f);
-        let filter = pack_conv_filter(&weights, c_in, c_out, f).unwrap();
+        let filter = pack_conv_filter(&weights, c_in, c_out, f, 1).unwrap();
         let run_direct = || {
             conv2d_rows_direct(
                 &input,
@@ -115,17 +130,34 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
             )
             .unwrap()
         };
-        let run_packed = || {
-            conv2d_rows_packed(
+        let run_gemm = || {
+            conv2d_rows_gemm(
                 &input,
                 0,
                 hw,
                 0,
                 hw,
-                &filter,
+                filter.gemm(),
                 &bias,
                 f,
                 1,
+                1,
+                Activation::Relu,
+            )
+            .unwrap()
+        };
+        // The Winograd path, pinned directly — the router only takes it at
+        // `winograd_preferred` channel counts, but the bench reports every
+        // eligible shape so the crossover stays visible.
+        let run_winograd = || {
+            conv2d_rows_winograd(
+                &input,
+                0,
+                hw,
+                0,
+                hw,
+                filter.winograd().unwrap(),
+                &bias,
                 1,
                 Activation::Relu,
             )
@@ -135,8 +167,17 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
         // slow side being measured.
         let direct_samples = if c_in >= 256 { 2 } else { 5 };
         let direct_ns = time_ns(direct_samples, run_direct);
-        let packed_ns = time_ns(10, run_packed);
+        set_kernel_override(Some(KernelArch::Scalar));
+        let packed_scalar_ns = time_ns(10, run_gemm);
+        set_kernel_override(None);
+        let packed_simd_ns = time_ns(10, run_gemm);
+        let winograd_ns = if filter.winograd().is_some() {
+            time_ns(10, run_winograd)
+        } else {
+            0.0
+        };
         let flops = 2.0 * (f * f * c_in * c_out * hw * hw) as f64;
+        let gflops = |ns: f64| if ns > 0.0 { flops / ns } else { 0.0 };
         out.push(ConvShape {
             label: label.to_string(),
             c_in,
@@ -145,12 +186,19 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
             w: hw,
             f,
             direct_ns,
-            packed_ns,
-            speedup: direct_ns / packed_ns,
-            packed_gflops: flops / packed_ns,
+            direct_gflops: gflops(direct_ns),
+            packed_scalar_ns,
+            packed_scalar_gflops: gflops(packed_scalar_ns),
+            packed_simd_ns,
+            packed_simd_gflops: gflops(packed_simd_ns),
+            winograd_ns,
+            winograd_gflops: gflops(winograd_ns),
+            packed_ns: packed_simd_ns,
+            speedup: direct_ns / packed_simd_ns,
+            packed_gflops: gflops(packed_simd_ns),
         });
-        group.bench_with_input(BenchmarkId::new("packed", label), &label, |b, _| {
-            b.iter(run_packed)
+        group.bench_with_input(BenchmarkId::new("packed_simd", label), &label, |b, _| {
+            b.iter(run_gemm)
         });
     }
     group.finish();
@@ -220,18 +268,20 @@ fn bench_kernels(c: &mut Criterion) {
         .map(|s| s.speedup)
         .unwrap_or(0.0);
     let out = KernelBench {
+        simd_arch: kernel_arch().label().to_string(),
         conv,
         vgg_3x3_c64_speedup,
         end_to_end: e2e,
     };
+    println!("micro-kernel arm: {}", out.simd_arch);
     for s in &out.conv {
         println!(
-            "conv {:<24} direct {:>10.2} µs  packed {:>10.2} µs  speedup {:>5.1}x  ({:.1} GFLOP/s)",
+            "conv {:<24} direct {:>7.1}  scalar {:>7.1}  simd {:>7.1}  winograd {:>7.1}  GFLOP/s",
             s.label,
-            s.direct_ns / 1e3,
-            s.packed_ns / 1e3,
-            s.speedup,
-            s.packed_gflops
+            s.direct_gflops,
+            s.packed_scalar_gflops,
+            s.packed_simd_gflops,
+            s.winograd_gflops,
         );
     }
     for e in &out.end_to_end {

@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tensor::ops::{
     conv2d_rows, conv2d_rows_packed, linear, linear_packed, maxpool2d_rows, pack_conv_filter,
-    pack_linear_filter, Activation, PackedFilter,
+    pack_linear_filter, Activation, PackedConvFilter, PackedFilter,
 };
 use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
@@ -89,12 +89,20 @@ impl ModelWeights {
 /// One layer's weights in GEMM-panel form.
 #[derive(Debug, Clone)]
 pub enum PackedLayerWeights {
-    /// A conv or FC layer packed for the GEMM micro-kernel: the filter is a
-    /// `[c_out] × [c_in·f·f]` (conv) or `[out] × [in]` (FC) panel matrix.
-    Packed {
+    /// A conv layer packed for every path its geometry can take: the im2col
+    /// `[c_out] × [c_in·f·f]` panels always, plus the Winograd-transformed
+    /// panels for stride-1 3×3 layers (see [`tensor::ops::PackedConvFilter`]).
+    Conv {
+        /// Prepacked conv panels (GEMM + Winograd where eligible).
+        filter: PackedConvFilter,
+        /// One bias entry per output channel.
+        bias: Vec<f32>,
+    },
+    /// An FC layer packed into `[out] × [in]` GEMM panels.
+    Fc {
         /// Prepacked GEMM panels.
         filter: PackedFilter,
-        /// One bias entry per output channel / feature.
+        /// One bias entry per output feature.
         bias: Vec<f32>,
     },
     /// A pooling layer — no weights to pack.
@@ -142,17 +150,20 @@ impl PackedModelWeights {
     fn pack_layer(layer: &Layer, w: &[f32], b: &[f32]) -> Result<PackedLayerWeights> {
         let packed = match layer.op {
             LayerOp::MaxPool { .. } => PackedLayerWeights::Pool,
-            LayerOp::Conv { c_out, f, .. } => {
+            LayerOp::Conv {
+                c_out, f, stride, ..
+            } => {
                 if w.is_empty() && b.is_empty() {
                     PackedLayerWeights::Absent
                 } else {
-                    let filter = pack_conv_filter(w, layer.input.c, c_out, f).map_err(|e| {
-                        crate::ModelError::InvalidGeometry {
-                            layer: layer.index,
-                            reason: e.to_string(),
-                        }
-                    })?;
-                    PackedLayerWeights::Packed {
+                    let filter =
+                        pack_conv_filter(w, layer.input.c, c_out, f, stride).map_err(|e| {
+                            crate::ModelError::InvalidGeometry {
+                                layer: layer.index,
+                                reason: e.to_string(),
+                            }
+                        })?;
+                    PackedLayerWeights::Conv {
                         filter,
                         bias: b.to_vec(),
                     }
@@ -167,7 +178,7 @@ impl PackedModelWeights {
                             layer: layer.index,
                             reason: e.to_string(),
                         })?;
-                    PackedLayerWeights::Packed {
+                    PackedLayerWeights::Fc {
                         filter,
                         bias: b.to_vec(),
                     }
@@ -213,7 +224,12 @@ impl PackedModelWeights {
     pub fn packed_layer_count(&self) -> usize {
         self.layers
             .iter()
-            .filter(|l| matches!(l, PackedLayerWeights::Packed { .. }))
+            .filter(|l| {
+                matches!(
+                    l,
+                    PackedLayerWeights::Conv { .. } | PackedLayerWeights::Fc { .. }
+                )
+            })
             .count()
     }
 
@@ -222,7 +238,10 @@ impl PackedModelWeights {
         self.layers
             .iter()
             .map(|l| match l {
-                PackedLayerWeights::Packed { filter, bias } => {
+                PackedLayerWeights::Conv { filter, bias } => {
+                    filter.bytes() + bias.len() * std::mem::size_of::<f32>()
+                }
+                PackedLayerWeights::Fc { filter, bias } => {
                     filter.bytes() + bias.len() * std::mem::size_of::<f32>()
                 }
                 _ => 0,
@@ -330,7 +349,7 @@ fn run_layer_rows_packed(
                 act,
                 ..
             },
-            PackedLayerWeights::Packed { filter, bias },
+            PackedLayerWeights::Conv { filter, bias },
         ) => conv2d_rows_packed(
             input,
             in_row_offset,
@@ -355,7 +374,7 @@ fn run_layer_rows_packed(
             *stride,
         )
         .map_err(|e| geometry_err(e.to_string()))?,
-        (LayerOp::Fc { .. }, PackedLayerWeights::Packed { filter, bias }) => {
+        (LayerOp::Fc { .. }, PackedLayerWeights::Fc { filter, bias }) => {
             linear_packed(input, filter, bias, Activation::Relu)
                 .map_err(|e| geometry_err(e.to_string()))?
         }

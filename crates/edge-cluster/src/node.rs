@@ -403,7 +403,11 @@ fn bootstrap(
         telemetry,
     );
 
-    // Confirm the install, then hand the socket to the frame plumbing.
+    // Confirm the install only after the compute thread has packed its
+    // shard into GEMM panels — the requester treats `Welcome` as "this node
+    // serves its first frame at full speed", matching the in-process
+    // deploy barrier.
+    provider.wait_ready().map_err(ClusterError::Runtime)?;
     proto::write_welcome(
         &mut stream,
         &Welcome {

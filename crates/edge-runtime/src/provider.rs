@@ -31,7 +31,10 @@
 //! raw copies; a `Reconfigure` delta repacks only the layers that actually
 //! shipped.  The per-frame kernels consume the packed panels directly — no
 //! frame ever pays packing cost ([`ComputeStats::layers_packed`] is the
-//! observable proof: it moves at deploy and swap time only).
+//! observable proof: it moves at deploy and swap time only).  The compute
+//! thread signals [`ProviderHandle::wait_ready`] once its pack completes,
+//! so deploy — and the session's throughput clock — finishes only after
+//! every provider can serve its first frame at full speed.
 
 use crate::report::DeviceMetrics;
 use crate::routing::{overlap, EpochSlot, PlanEpoch};
@@ -278,9 +281,28 @@ pub struct ProviderHandle {
     pub(crate) comp: JoinHandle<Result<()>>,
     pub(crate) send: JoinHandle<Result<()>>,
     pub(crate) stats: Arc<ProviderStats>,
+    /// Signalled once by the compute thread when its resident weights are
+    /// ready to serve frames (after the spawn-time packing pass on the
+    /// sharded path; immediately on the prepacked path).  Behind a mutex
+    /// only so the handle stays `Sync` inside a shared `Session`.
+    ready: Mutex<Receiver<()>>,
 }
 
 impl ProviderHandle {
+    /// Blocks until the compute thread's resident weights are ready — the
+    /// deploy-side half of the packing barrier.  Deploy completes (and the
+    /// throughput clock starts) only after this returns, so spawn-time
+    /// packing is deploy cost, never stream cost.  Errors if the compute
+    /// thread exited before signalling (its packing pass failed).
+    pub fn wait_ready(&self) -> Result<()> {
+        let ready = self.ready.lock().expect("ready channel poisoned");
+        ready.recv().map_err(|_| {
+            RuntimeError::Execution(
+                "provider compute thread exited before its weights were ready".into(),
+            )
+        })
+    }
+
     /// Waits for the provider's three threads to exit (they do once a
     /// `Halt` frame reaches the inbox, or on a worker error); the first
     /// thread error wins.  This is how a standalone node process (the
@@ -345,6 +367,7 @@ pub fn spawn_provider(
 ) -> ProviderHandle {
     let (to_comp, comp_rx) = channel::<Frame>();
     let (to_send, send_rx) = channel::<OutMsg>();
+    let (ready_tx, ready_rx) = channel::<()>();
 
     // One ring per thread, named after the Chrome-trace track it becomes.
     let recv_rec = telemetry.recorder(&format!("dev{d}.recv"), d as u32);
@@ -377,6 +400,7 @@ pub fn spawn_provider(
                 d,
                 comp_shared,
                 weights,
+                ready_tx,
                 comp_rx,
                 to_send,
                 comp_stats,
@@ -396,6 +420,7 @@ pub fn spawn_provider(
         comp,
         send,
         stats,
+        ready: Mutex::new(ready_rx),
     }
 }
 
@@ -456,6 +481,7 @@ fn compute_loop(
     d: usize,
     shared: Arc<Shared>,
     weights: ProviderWeights,
+    ready: Sender<()>,
     rx: Receiver<Frame>,
     to_send: Sender<OutMsg>,
     stats: Arc<ProviderStats>,
@@ -479,6 +505,11 @@ fn compute_loop(
         // stays 0 on this worker.
         ProviderWeights::Prepacked(shared_pack) => ResidentWeights::Shared(shared_pack),
     };
+    // Packing done (or skipped): release the deploy barrier.  A dropped
+    // receiver just means nobody is waiting (a rejoined cluster node's
+    // requester, for example), which is fine.
+    let _ = ready.send(());
+    drop(ready);
     let mut state = ComputeState {
         d,
         shared,

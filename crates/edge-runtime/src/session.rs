@@ -190,7 +190,7 @@ impl Runtime {
         let requester_txs: Vec<Box<dyn FrameTx>> = (0..n)
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
             .collect::<Result<_>>()?;
-        Ok(Self::finish_deploy(
+        Self::finish_deploy(
             model,
             plan,
             route,
@@ -202,7 +202,7 @@ impl Runtime {
             weights,
             options,
             telemetry,
-        ))
+        )
     }
 
     fn deploy_impl(
@@ -291,7 +291,7 @@ impl Runtime {
             .map(|d| transport.open(Endpoint::Requester, Endpoint::Device(d)))
             .collect::<Result<_>>()?;
 
-        Ok(Self::finish_deploy(
+        Self::finish_deploy(
             model,
             plan,
             route,
@@ -303,11 +303,21 @@ impl Runtime {
             raw_weights,
             options,
             telemetry,
-        ))
+        )
     }
 
-    /// The transport-independent tail of every deploy: spawn the gather
+    /// The transport-independent tail of every deploy: wait for every local
+    /// provider's spawn-time packing pass to finish, then spawn the gather
     /// thread, set up telemetry, assemble the [`Session`].
+    ///
+    /// The packing barrier runs *before* `t_start` is taken, so the
+    /// session's measured wall (and [`RuntimeReport::measured_ips`]) covers
+    /// streaming only — deploy-time packing is deploy cost, exactly as the
+    /// per-frame "no packing, ever" contract promises.  Remote deploys pass
+    /// no local providers and skip the barrier (their nodes pack before
+    /// acking bootstrap).
+    ///
+    /// [`RuntimeReport::measured_ips`]: crate::report::RuntimeReport
     #[allow(clippy::too_many_arguments)]
     fn finish_deploy(
         model: &Model,
@@ -321,7 +331,10 @@ impl Runtime {
         raw_weights: Arc<ModelWeights>,
         options: &RuntimeOptions,
         telemetry: &Telemetry,
-    ) -> Session {
+    ) -> Result<Session> {
+        for p in &providers {
+            p.wait_ready()?;
+        }
         let n = route.num_devices;
         let finish_stage = route.finish_stage() as usize;
         let (result_c, result_w) = route.stage_geom(finish_stage);
@@ -372,7 +385,7 @@ impl Runtime {
             })
             .expect("spawn gather thread");
 
-        Session {
+        Ok(Session {
             shared,
             scatter: Mutex::new(ScatterState {
                 txs: requester_txs,
@@ -393,7 +406,7 @@ impl Runtime {
             gather: Some(gather),
             providers,
             t_start: Instant::now(),
-        }
+        })
     }
 
     /// Deploys over a fresh in-process channel fabric.

@@ -1,0 +1,149 @@
+//! Runtime micro-kernel dispatch.
+//!
+//! The GEMM micro-kernel exists in three arms that compute **bit-identical**
+//! results (same per-element multiply-then-add sequence, same `k` order —
+//! see the numerical contract in [`super::gemm`]):
+//!
+//! * **Scalar** — the portable Rust loop, always available.  The compiler
+//!   auto-vectorises it where it can, but makes no width or layout promises.
+//! * **Avx2** — explicit 256-bit `std::arch` kernel: the full `MR × NR`
+//!   accumulator tile lives in twelve `ymm` registers.
+//! * **Avx512** — explicit 512-bit kernel: one `zmm` register holds a whole
+//!   `NR`-column accumulator row.
+//!
+//! The SIMD arms deliberately use *separate* multiply and add instructions
+//! rather than fused FMA: an FMA rounds once where `mul` + `add` round
+//! twice, so a fused kernel would not be bit-exact against the scalar
+//! fallback — and bit-exactness across dispatch arms is what lets every
+//! distributed-equivalence suite in this workspace run unchanged on any
+//! mix of machines.  The register-tile widening (and the 512-bit arm)
+//! recovers the throughput that fusing would have bought.
+//!
+//! Selection is per *process*: detected once from CPUID, overridable for
+//! tests and benches via [`set_kernel_override`] or the environment
+//! (`DISTREDGE_FORCE_SCALAR=1`, or `DISTREDGE_KERNEL=scalar|avx2|avx512`).
+//! An override never selects an arm the hardware cannot run: requests are
+//! clamped to the detected capability.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// One micro-kernel implementation arm, ordered by capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelArch {
+    /// Portable Rust loop — always available, the dispatch floor.
+    Scalar,
+    /// 256-bit `std::arch` kernel (x86-64 with AVX2).
+    Avx2,
+    /// 512-bit `std::arch` kernel (x86-64 with AVX-512F).
+    Avx512,
+}
+
+impl KernelArch {
+    /// Short lowercase label (`"scalar"`, `"avx2"`, `"avx512"`) for benches
+    /// and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelArch::Scalar => "scalar",
+            KernelArch::Avx2 => "avx2",
+            KernelArch::Avx512 => "avx512",
+        }
+    }
+}
+
+/// What the hardware supports, detected once per process.
+fn detected() -> KernelArch {
+    static DETECTED: OnceLock<KernelArch> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return KernelArch::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelArch::Avx2;
+            }
+        }
+        KernelArch::Scalar
+    })
+}
+
+/// The environment's standing request, read once per process.
+fn env_request() -> Option<KernelArch> {
+    static ENV: OnceLock<Option<KernelArch>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        if let Ok(v) = std::env::var("DISTREDGE_KERNEL") {
+            match v.to_ascii_lowercase().as_str() {
+                "scalar" => return Some(KernelArch::Scalar),
+                "avx2" => return Some(KernelArch::Avx2),
+                "avx512" => return Some(KernelArch::Avx512),
+                _ => {}
+            }
+        }
+        match std::env::var("DISTREDGE_FORCE_SCALAR") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Some(KernelArch::Scalar),
+            _ => None,
+        }
+    })
+}
+
+/// Programmatic override: 0 = none, else `KernelArch as u8 + 1`.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every subsequent GEMM call in this process onto `arch` (clamped
+/// to what the hardware supports), or restores automatic selection with
+/// `None`.  Test and bench plumbing — takes precedence over the
+/// environment.  The choice is read once per GEMM entry call and passed
+/// down, so worker threads inside one call never see a torn switch.
+pub fn set_kernel_override(arch: Option<KernelArch>) {
+    let v = match arch {
+        None => 0,
+        Some(KernelArch::Scalar) => 1,
+        Some(KernelArch::Avx2) => 2,
+        Some(KernelArch::Avx512) => 3,
+    };
+    OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The micro-kernel arm GEMM calls will run right now: the programmatic
+/// override if set, else the environment request, else full hardware
+/// capability — always clamped to what the hardware can execute.
+pub fn kernel_arch() -> KernelArch {
+    let requested = match OVERRIDE.load(Ordering::SeqCst) {
+        1 => Some(KernelArch::Scalar),
+        2 => Some(KernelArch::Avx2),
+        3 => Some(KernelArch::Avx512),
+        _ => env_request(),
+    };
+    match requested {
+        Some(arch) => arch.min(detected()),
+        None => detected(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_clamps_and_restores() {
+        // Whatever the hardware, forcing scalar always lands on scalar …
+        set_kernel_override(Some(KernelArch::Scalar));
+        assert_eq!(kernel_arch(), KernelArch::Scalar);
+        // … and a request above capability clamps instead of mis-dispatching.
+        set_kernel_override(Some(KernelArch::Avx512));
+        assert!(kernel_arch() <= detected());
+        set_kernel_override(None);
+        assert_eq!(
+            kernel_arch(),
+            detected().min(env_request().unwrap_or(detected()))
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KernelArch::Scalar.label(), "scalar");
+        assert_eq!(KernelArch::Avx2.label(), "avx2");
+        assert_eq!(KernelArch::Avx512.label(), "avx512");
+    }
+}

@@ -22,19 +22,26 @@
 //!
 //! Numerical contract: for a given output element, additions happen in
 //! exactly the order `bias, k=0, 1, …, K-1` — a single accumulator, never
-//! split across `k` — regardless of tile sizes, thread counts or whether
-//! the columns were computed in one call or many.  This is what makes the
-//! packed path deterministic: a band computed on a provider is bit-identical
-//! to the same rows of a full-output call, so the runtime's bit-exactness
-//! guarantees survive the fast path.
+//! split across `k`, each step a separate IEEE multiply then add (never a
+//! fused multiply-add) — regardless of tile sizes, thread counts, whether
+//! the columns were computed in one call or many, or which micro-kernel
+//! arm ([`super::dispatch`]) executed it.  This is what makes the packed
+//! path deterministic: a band computed on a provider is bit-identical to
+//! the same rows of a full-output call even across machines with different
+//! SIMD capability, so the runtime's bit-exactness guarantees survive the
+//! fast path.
 
 use super::activation::Activation;
+use super::dispatch::{kernel_arch, KernelArch};
 use crate::error::TensorError;
 use crate::Result;
 use rayon::prelude::*;
 
 /// Rows per register tile (output channels / features per micro-kernel).
-pub const MR: usize = 4;
+/// Six rows × sixteen columns fills the 256-bit register file: twelve
+/// `ymm` accumulators plus two B-panel vectors and one broadcast leave one
+/// register spare.
+pub const MR: usize = 6;
 /// Columns per register tile (output pixels per micro-kernel).
 pub const NR: usize = 16;
 /// K-dimension block: one B slice is at most `KC × tile` floats.
@@ -100,7 +107,7 @@ impl PackedFilter {
     /// The packed panel of rows `p*MR ..`, restricted to k slice
     /// `[k0, k1)`: a contiguous `(k1-k0) × MR` block.
     #[inline]
-    fn panel(&self, p: usize, k0: usize, k1: usize) -> &[f32] {
+    pub(super) fn panel(&self, p: usize, k0: usize, k1: usize) -> &[f32] {
         let base = p * self.k * MR;
         &self.data[base + k0 * MR..base + k1 * MR]
     }
@@ -128,9 +135,12 @@ where
 const MIN_COLS_FOR_TILING: usize = 4 * NR;
 /// Parallel grain target: aim for this many tasks per available thread.
 const TASKS_PER_THREAD: usize = 3;
-/// Upper bound on a column tile (bounds the B slice at `KC × 2048` floats,
-/// 2 MiB — comfortably inside a shared L2/L3 slice).
-const MAX_TILE_COLS: usize = 2048;
+/// Upper bound on a column tile.  Every A row panel re-streams the tile's
+/// B slice once per K block, so the slice (`KC × MAX_TILE_COLS` floats,
+/// 256 KiB) must stay L2-resident; letting it grow toward L3 costs ~35% on
+/// wide layers (56×56 images on few cores reach multi-thousand-column
+/// tiles without this cap).
+const MAX_TILE_COLS: usize = 256;
 
 fn num_threads() -> usize {
     std::thread::available_parallelism()
@@ -165,6 +175,10 @@ pub fn gemm_bias_act_into<F: PanelFill>(
     if n == 0 || m == 0 {
         return Ok(());
     }
+    // Resolve the micro-kernel arm once per call and pass it down by value:
+    // every rayon task inside this call runs the same arm, so a concurrent
+    // override flip can never mix arms within one output.
+    let arch = kernel_arch();
 
     if n >= MIN_COLS_FOR_TILING {
         // Wide output: parallelise over column tiles (output row bands for
@@ -190,6 +204,7 @@ pub fn gemm_bias_act_into<F: PanelFill>(
                     bslice.fill(0.0);
                     fill.fill(k0, k1, j0, j1, bslice);
                     gemm_block(
+                        arch,
                         a,
                         0,
                         m,
@@ -259,7 +274,7 @@ pub fn gemm_bias_act_into<F: PanelFill>(
                 for k0 in (0..k).step_by(KC) {
                     let k1 = (k0 + KC).min(k);
                     // Re-slice the whole-k B into this k block's panels.
-                    gemm_block(a, r0, r1, k0, k1, &bbuf, k, 0, n, bias, act, chunk, n);
+                    gemm_block(arch, a, r0, r1, k0, k1, &bbuf, k, 0, n, bias, act, chunk, n);
                 }
             });
     }
@@ -276,6 +291,7 @@ pub fn gemm_bias_act_into<F: PanelFill>(
 /// across row tasks.  `c` covers rows `[r0, r1)` with row stride `c_stride`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_block(
+    arch: KernelArch,
     a: &PackedFilter,
     r0: usize,
     r1: usize,
@@ -314,7 +330,7 @@ fn gemm_block(
                     acc[r][..jn].copy_from_slice(row);
                 }
             }
-            microkernel(a.panel(p, k0, k1), bpanel, &mut acc);
+            microkernel(arch, a.panel(p, k0, k1), bpanel, &mut acc);
             for r in 0..rows {
                 let row = &mut c[(p * MR + r - r0) * c_stride + j0..][..jn];
                 if last {
@@ -331,11 +347,29 @@ fn gemm_block(
 }
 
 /// The register tile: streams one A panel (`kc × MR`) against one B panel
-/// (`kc × NR`), accumulating `MR × NR` partial sums.  The `j` loop is over
-/// independent output elements, so the compiler vectorises it without
-/// reordering the `k` accumulation — the order every caller relies on.
+/// (`kc × NR`), accumulating `MR × NR` partial sums through the dispatched
+/// micro-kernel arm.  Every arm performs the identical per-element op
+/// sequence (`acc = acc + a·b`, separate multiply and add, `k` ascending),
+/// so the arms are bit-interchangeable — the order every caller relies on.
 #[inline]
-fn microkernel(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+fn microkernel(arch: KernelArch, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    match arch {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `kernel_arch()` clamps to CPUID-detected capability, so
+        // the required target features are present when these arms are
+        // selected.
+        KernelArch::Avx512 => unsafe { microkernel_avx512(a, b, acc) },
+        #[cfg(target_arch = "x86_64")]
+        KernelArch::Avx2 => unsafe { microkernel_avx2(a, b, acc) },
+        _ => microkernel_scalar(a, b, acc),
+    }
+}
+
+/// Portable micro-kernel — the always-available dispatch floor.  The `j`
+/// loop is over independent output elements, so the compiler may vectorise
+/// it without reordering the `k` accumulation.
+#[inline]
+fn microkernel_scalar(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
         for r in 0..MR {
             let ar = av[r];
@@ -344,6 +378,81 @@ fn microkernel(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
                 row[j] += ar * bj;
             }
         }
+    }
+}
+
+/// 256-bit explicit micro-kernel: the whole `MR × NR` accumulator tile
+/// lives in twelve `ymm` registers (two per row), with one broadcast and
+/// two B vectors in flight.  Multiply and add are issued as separate
+/// instructions — see [`super::dispatch`] for why fusing is off the table.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2, `a.len() == kc*MR` and
+/// `b.len() == kc*NR` for the same `kc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len() / MR, b.len() / NR);
+    let kc = a.len() / MR;
+    let cp = acc.as_mut_ptr() as *mut f32;
+    // Load the accumulator tile: rows r at lanes [0,8) and [8,16).
+    let mut c0 = [_mm256_setzero_ps(); MR];
+    let mut c1 = [_mm256_setzero_ps(); MR];
+    for r in 0..MR {
+        c0[r] = _mm256_loadu_ps(cp.add(r * NR));
+        c1[r] = _mm256_loadu_ps(cp.add(r * NR + 8));
+    }
+    let mut pa = a.as_ptr();
+    let mut pb = b.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(pb);
+        let b1 = _mm256_loadu_ps(pb.add(8));
+        for r in 0..MR {
+            let ar = _mm256_set1_ps(*pa.add(r));
+            c0[r] = _mm256_add_ps(c0[r], _mm256_mul_ps(ar, b0));
+            c1[r] = _mm256_add_ps(c1[r], _mm256_mul_ps(ar, b1));
+        }
+        pa = pa.add(MR);
+        pb = pb.add(NR);
+    }
+    for r in 0..MR {
+        _mm256_storeu_ps(cp.add(r * NR), c0[r]);
+        _mm256_storeu_ps(cp.add(r * NR + 8), c1[r]);
+    }
+}
+
+/// 512-bit explicit micro-kernel: one `zmm` register holds a whole
+/// `NR`-column accumulator row, six in flight.  Same non-fused op sequence
+/// as every other arm.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX-512F, `a.len() == kc*MR` and
+/// `b.len() == kc*NR` for the same `kc`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len() / MR, b.len() / NR);
+    let kc = a.len() / MR;
+    let cp = acc.as_mut_ptr() as *mut f32;
+    let mut c = [_mm512_setzero_ps(); MR];
+    for (r, cr) in c.iter_mut().enumerate() {
+        *cr = _mm512_loadu_ps(cp.add(r * NR));
+    }
+    let mut pa = a.as_ptr();
+    let mut pb = b.as_ptr();
+    for _ in 0..kc {
+        let bv = _mm512_loadu_ps(pb);
+        for (r, cr) in c.iter_mut().enumerate() {
+            let ar = _mm512_set1_ps(*pa.add(r));
+            *cr = _mm512_add_ps(*cr, _mm512_mul_ps(ar, bv));
+        }
+        pa = pa.add(MR);
+        pb = pb.add(NR);
+    }
+    for (r, cr) in c.iter().enumerate() {
+        _mm512_storeu_ps(cp.add(r * NR), *cr);
     }
 }
 
@@ -397,18 +506,18 @@ mod tests {
 
     #[test]
     fn pack_layout_round_trips() {
-        let (m, k) = (5, 3);
+        let (m, k) = (MR + 1, 3);
         let w: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
         let packed = PackedFilter::pack(&w, m, k).unwrap();
         assert_eq!(packed.m(), m);
         assert_eq!(packed.k(), k);
-        // Panel 0 rows 0..4, panel 1 holds row 4 plus zero padding.
+        // Panel 0 rows 0..MR, panel 1 holds row MR plus zero padding.
         let p0 = packed.panel(0, 0, k);
         assert_eq!(p0[0], w[0]); // row 0, k 0
         assert_eq!(p0[1], w[k]); // row 1, k 0
         assert_eq!(p0[MR], w[1]); // row 0, k 1
         let p1 = packed.panel(1, 0, k);
-        assert_eq!(p1[0], w[4 * k]); // row 4, k 0
+        assert_eq!(p1[0], w[MR * k]); // row MR, k 0
         assert_eq!(p1[1], 0.0); // padding row
     }
 

@@ -1,21 +1,27 @@
 //! Compute kernels: convolution, pooling, activation, and linear layers.
 //!
 //! Convolutions and linear layers route through the packed im2col + blocked
-//! GEMM path in [`gemm`]; the direct loop-nest kernels
+//! GEMM path in [`gemm`] — with stride-1 3×3 convolutions taking the
+//! Winograd F(2×2,3×3) shortcut in [`winograd`] — behind the runtime
+//! micro-kernel dispatch in [`dispatch`].  The direct loop-nest kernels
 //! ([`conv2d_direct`] / [`conv2d_rows_direct`] / [`linear_direct`]) remain
-//! as the oracles the fast path is validated against.
+//! as the oracles the fast paths are validated against.
 
 mod activation;
 mod conv;
+pub mod dispatch;
 pub mod gemm;
 mod linear;
 mod pool;
+pub mod winograd;
 
 pub use activation::{apply_activation, Activation};
 pub use conv::{
-    conv2d, conv2d_direct, conv2d_rows, conv2d_rows_direct, conv2d_rows_packed, im2col_weight_len,
-    pack_conv_filter,
+    conv2d, conv2d_direct, conv2d_rows, conv2d_rows_direct, conv2d_rows_gemm, conv2d_rows_packed,
+    im2col_weight_len, pack_conv_filter, PackedConvFilter,
 };
+pub use dispatch::{kernel_arch, set_kernel_override, KernelArch};
 pub use gemm::PackedFilter;
 pub use linear::{linear, linear_direct, linear_packed, pack_linear_filter};
 pub use pool::{maxpool2d, maxpool2d_rows};
+pub use winograd::{conv2d_rows_winograd, winograd_eligible, winograd_preferred, WinogradFilter};

@@ -1,21 +1,26 @@
-//! Property-based equivalence of the packed im2col + GEMM convolution path
-//! against the direct loop-nest oracle.
+//! Property-based equivalence of the packed convolution paths against the
+//! direct loop-nest oracle.
 //!
-//! Two invariants across random geometries (channels, filter, stride,
-//! padding, band splits):
+//! Invariants across random geometries (channels, filter, stride, padding,
+//! band splits):
 //!
-//! * **oracle agreement** — the GEMM path matches the direct kernel within
-//!   `1e-4` (the paths sum in different orders only over the zero-padding
-//!   taps the direct kernel skips);
-//! * **band determinism** — on the *packed* path, computing a band split
-//!   and stitching is *bit-exact* against the full-output call, for any
-//!   cut points.  This is the stronger property the distributed runtime's
-//!   bit-exactness tests rely on.
+//! * **oracle agreement (GEMM)** — the im2col GEMM path matches the direct
+//!   kernel within `1e-4` (the paths sum in different orders only over the
+//!   zero-padding taps the direct kernel skips);
+//! * **oracle agreement (Winograd)** — the Winograd F(2×2,3×3) path matches
+//!   the direct kernel within a *relative* `1e-3` (its summation order
+//!   differs by construction), over full outputs and halo-overlapped row
+//!   bands alike;
+//! * **band determinism** — on the routed packed path (GEMM or Winograd
+//!   per layer geometry), computing a band split and stitching is
+//!   *bit-exact* against the full-output call, for any cut points.  This
+//!   is the stronger property the distributed runtime's bit-exactness
+//!   tests rely on.
 
 use proptest::prelude::*;
 use tensor::ops::{
-    conv2d_direct, conv2d_rows_packed, im2col_weight_len, linear_direct, linear_packed,
-    pack_conv_filter, pack_linear_filter, Activation,
+    conv2d_direct, conv2d_rows_gemm, conv2d_rows_packed, conv2d_rows_winograd, im2col_weight_len,
+    linear_direct, linear_packed, pack_conv_filter, pack_linear_filter, Activation,
 };
 use tensor::shape::{conv_out_dim, input_rows_for_output};
 use tensor::slice::{concat_rows, slice_rows};
@@ -66,9 +71,11 @@ proptest! {
         prop_assume!(conv_out_dim(w, f, stride, padding).is_some());
 
         let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, stride, padding, Activation::Relu);
-        let filter = pack_conv_filter(&weights, c_in, c_out, f).unwrap();
-        let fast = conv2d_rows_packed(
-            &input, 0, h, 0, oracle.height(), &filter, &bias, f, stride, padding, Activation::Relu,
+        // Pin the GEMM path (the router would send stride-1 3×3 draws to
+        // Winograd, which has its own tolerance and property below).
+        let filter = pack_conv_filter(&weights, c_in, c_out, f, stride).unwrap();
+        let fast = conv2d_rows_gemm(
+            &input, 0, h, 0, oracle.height(), filter.gemm(), &bias, f, stride, padding, Activation::Relu,
         ).unwrap();
         prop_assert_eq!(fast.shape(), oracle.shape());
         let diff = fast.max_abs_diff(&oracle).unwrap();
@@ -93,7 +100,7 @@ proptest! {
         let input = pseudo_tensor(c_in, h, w, seed);
         let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0xdef);
         let bias = pseudo_weights(c_out, seed ^ 0x456);
-        let filter = pack_conv_filter(&weights, c_in, c_out, f).unwrap();
+        let filter = pack_conv_filter(&weights, c_in, c_out, f, stride).unwrap();
         let out_h = conv_out_dim(h, f, stride, padding).unwrap();
         prop_assume!(out_h >= 3);
 
@@ -123,6 +130,70 @@ proptest! {
         }
         let stitched = concat_rows(&bands).unwrap();
         prop_assert_eq!(stitched, full);
+    }
+
+    /// The Winograd path (pinned directly — the router only takes it at
+    /// `winograd_preferred` channel counts) ≡ direct oracle within relative
+    /// 1e-3 — over the full output and over halo-overlapped row bands —
+    /// and banded Winograd outputs stitch bit-exactly into the full
+    /// Winograd output.
+    #[test]
+    fn winograd_matches_direct_oracle_and_stitches_bitwise(
+        c_in in 1usize..6,
+        c_out in 1usize..10,
+        h in 6usize..26,
+        w in 4usize..16,
+        padding in 0usize..3,
+        seed in any::<u64>(),
+        cut_a in 0.1f64..0.9,
+        cut_b in 0.1f64..0.9,
+    ) {
+        let (f, stride) = (3usize, 1usize);
+        prop_assume!(conv_out_dim(h, f, stride, padding).is_some());
+        prop_assume!(conv_out_dim(w, f, stride, padding).is_some());
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0xbeef);
+        let bias = pseudo_weights(c_out, seed ^ 0xfeed);
+        let filter = pack_conv_filter(&weights, c_in, c_out, f, stride).unwrap();
+        prop_assert!(filter.winograd().is_some(), "stride-1 3x3 must pack winograd panels");
+        let wino = filter.winograd().unwrap();
+        let out_h = conv_out_dim(h, f, stride, padding).unwrap();
+        prop_assume!(out_h >= 3);
+
+        let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, stride, padding, Activation::Relu);
+        let full = conv2d_rows_winograd(
+            &input, 0, h, 0, out_h, wino, &bias, padding, Activation::Relu,
+        ).unwrap();
+        prop_assert_eq!(full.shape(), oracle.shape());
+        for (i, (&a, &b)) in full.data().iter().zip(oracle.data()).enumerate() {
+            let tol = 1e-3 * (1.0 + a.abs().max(b.abs()));
+            prop_assert!((a - b).abs() <= tol, "winograd vs direct at [{i}]: {a} vs {b}");
+        }
+
+        // Random (possibly odd — tile-splitting) cuts: each band computed
+        // from its minimal halo slice must equal the full output's rows
+        // bitwise, and the stitch must reassemble the full output.
+        let mut cuts = [
+            ((out_h as f64 * cut_a) as usize).clamp(1, out_h - 1),
+            ((out_h as f64 * cut_b) as usize).clamp(1, out_h - 1),
+        ];
+        cuts.sort_unstable();
+        let bounds = [0, cuts[0], cuts[1], out_h];
+        let mut bands = Vec::new();
+        for pair in bounds.windows(2) {
+            let (lo_out, hi_out) = (pair[0], pair[1]);
+            if lo_out == hi_out {
+                continue;
+            }
+            let (lo, hi) = input_rows_for_output(lo_out, hi_out, f, stride, padding, h);
+            let band_in = slice_rows(&input, lo, hi).unwrap();
+            let band = conv2d_rows_winograd(
+                &band_in, lo, h, lo_out, hi_out, wino, &bias, padding, Activation::Relu,
+            ).unwrap();
+            prop_assert_eq!(&band, &slice_rows(&full, lo_out, hi_out).unwrap());
+            bands.push(band);
+        }
+        prop_assert_eq!(concat_rows(&bands).unwrap(), full);
     }
 
     /// GEMM-routed linear ≡ serial oracle within 1e-4, and prepacked ≡

@@ -1,0 +1,144 @@
+//! Property-based bit-exactness across micro-kernel dispatch arms.
+//!
+//! Every arm (scalar / AVX2 / AVX-512) implements the identical per-element
+//! op sequence — separate multiply and add, ascending `k` — so forcing the
+//! scalar fallback must reproduce the auto-dispatched output *bitwise*, on
+//! the GEMM conv path, the Winograd path and the FC path alike.  This is
+//! the property that lets a heterogeneous device fleet (or a CI box without
+//! AVX) interoperate with bit-exact distributed execution, and it is what
+//! the `DISTREDGE_FORCE_SCALAR` CI job leans on.
+//!
+//! The override is process-global, so the tests serialise on a mutex.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use tensor::ops::{
+    conv2d_rows_packed, conv2d_rows_winograd, im2col_weight_len, kernel_arch, linear_packed,
+    pack_conv_filter, pack_linear_filter, set_kernel_override, Activation, KernelArch,
+};
+use tensor::shape::conv_out_dim;
+use tensor::Tensor;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once per arm the hardware can execute (always at least
+/// scalar), returning the per-arm outputs for comparison.  Restores
+/// automatic dispatch afterwards even on panic (the next lock holder
+/// re-forces its own arm anyway).
+fn with_each_arm<T>(mut body: impl FnMut(KernelArch) -> T) -> Vec<(KernelArch, T)> {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_kernel_override(None);
+    let top = kernel_arch();
+    let mut out = Vec::new();
+    for arm in [KernelArch::Scalar, KernelArch::Avx2, KernelArch::Avx512] {
+        if arm > top {
+            break;
+        }
+        set_kernel_override(Some(arm));
+        out.push((arm, body(arm)));
+    }
+    set_kernel_override(None);
+    out
+}
+
+fn pseudo_tensor(c: usize, h: usize, w: usize, seed: u64) -> Tensor {
+    Tensor::from_fn([c, h, w], |ci, y, x| {
+        let v = (ci as u64)
+            .wrapping_mul(2654435761)
+            .wrapping_add((y as u64).wrapping_mul(40503))
+            .wrapping_add((x as u64).wrapping_mul(9973))
+            .wrapping_add(seed);
+        ((v % 2048) as f32 / 1024.0) - 1.0
+    })
+}
+
+fn pseudo_weights(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((v % 1000) as f32 / 500.0) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conv outputs are bit-identical across every dispatch arm, on both
+    /// the routed packed path and — for stride-1 3×3 draws — the Winograd
+    /// path pinned directly (its 16 batched GEMMs run the same
+    /// micro-kernel, and the router only takes it at `winograd_preferred`
+    /// channel counts these small draws never reach).
+    #[test]
+    fn conv_is_bit_exact_across_dispatch_arms(
+        c_in in 1usize..6,
+        c_out in 1usize..12,
+        h in 6usize..22,
+        w in 4usize..14,
+        f in 1usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let padding = f / 2;
+        prop_assume!(conv_out_dim(h, f, stride, padding).is_some());
+        prop_assume!(conv_out_dim(w, f, stride, padding).is_some());
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0x51ac);
+        let bias = pseudo_weights(c_out, seed ^ 0xd15b);
+        let filter = pack_conv_filter(&weights, c_in, c_out, f, stride).unwrap();
+        let out_h = conv_out_dim(h, f, stride, padding).unwrap();
+
+        let runs = with_each_arm(|_| {
+            let routed = conv2d_rows_packed(
+                &input, 0, h, 0, out_h, &filter, &bias, f, stride, padding, Activation::Relu,
+            ).unwrap();
+            let wino = filter.winograd().map(|w| {
+                conv2d_rows_winograd(
+                    &input, 0, h, 0, out_h, w, &bias, padding, Activation::Relu,
+                ).unwrap()
+            });
+            (routed, wino)
+        });
+        let (base_arm, baseline) = &runs[0];
+        prop_assert_eq!(*base_arm, KernelArch::Scalar);
+        for (arm, out) in &runs[1..] {
+            prop_assert!(
+                out.0 == baseline.0,
+                "{} arm diverged from scalar on the routed path (f={}, stride={})",
+                arm.label(), f, stride
+            );
+            prop_assert!(
+                out.1 == baseline.1,
+                "{} arm diverged from scalar on the winograd path (f={}, stride={})",
+                arm.label(), f, stride
+            );
+        }
+    }
+
+    /// The FC path (narrow GEMV route through the same micro-kernel) is
+    /// bit-identical across every dispatch arm.
+    #[test]
+    fn linear_is_bit_exact_across_dispatch_arms(
+        in_features in 1usize..600,
+        out_features in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let input = Tensor::from_vec(
+            [in_features, 1, 1],
+            pseudo_weights(in_features, seed),
+        ).unwrap();
+        let weights = pseudo_weights(in_features * out_features, seed ^ 0x777);
+        let bias = pseudo_weights(out_features, seed ^ 0x888);
+        let filter = pack_linear_filter(&weights, in_features, out_features).unwrap();
+
+        let runs = with_each_arm(|_| {
+            linear_packed(&input, &filter, &bias, Activation::Relu).unwrap()
+        });
+        let (_, baseline) = &runs[0];
+        for (arm, out) in &runs[1..] {
+            prop_assert!(out == baseline, "{} arm diverged from scalar", arm.label());
+        }
+    }
+}
