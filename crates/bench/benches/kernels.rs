@@ -21,8 +21,10 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 use tensor::ops::{
-    conv2d_rows_direct, conv2d_rows_gemm, conv2d_rows_winograd, im2col_weight_len, kernel_arch,
-    maxpool2d, pack_conv_filter, set_kernel_override, Activation, KernelArch,
+    conv2d_rows_direct, conv2d_rows_gemm, conv2d_rows_packed, conv2d_rows_winograd,
+    im2col_weight_len, kernel_arch, maxpool2d, pack_conv_filter, pack_conv_filter_with,
+    qkernel_arch, quant_scale, set_kernel_override, set_qkernel_override, winograd_preferred,
+    Activation, KernelArch, QKernelArch,
 };
 use tensor::Tensor;
 
@@ -44,6 +46,20 @@ struct ConvShape {
     /// Winograd F(2×2,3×3); zero when the shape is not eligible.
     winograd_ns: f64,
     winograd_gflops: f64,
+    /// Whether the packed router would actually take the Winograd path for
+    /// this shape (`winograd_preferred` channel counts).  Rows timed below
+    /// the preference threshold are pinned measurements of a path the
+    /// router does not serve — this flag keeps them from being read as the
+    /// production route.
+    winograd_routed: bool,
+    /// Int8 quantized GEMM, scalar arm (the bit-exactness reference).
+    int8_scalar_ns: f64,
+    int8_scalar_gops: f64,
+    /// Int8 quantized GEMM on the auto-dispatched arm (VNNI here).
+    int8_simd_ns: f64,
+    int8_simd_gops: f64,
+    /// Effective int8 rate over the f32 SIMD GEMM rate on the same shape.
+    int8_vs_f32_simd: f64,
     /// Legacy trajectory fields (packed = the SIMD GEMM path).
     packed_ns: f64,
     speedup: f64,
@@ -64,10 +80,15 @@ struct EndToEnd {
 struct KernelBench {
     /// The micro-kernel arm auto-dispatch selected on this machine.
     simd_arch: String,
+    /// The int8 micro-kernel arm auto-dispatch selected on this machine.
+    qkernel_arch: String,
     /// Per-shape, per-variant timings.
     conv: Vec<ConvShape>,
     /// The acceptance shape's direct→packed-SIMD speedup.
     vgg_3x3_c64_speedup: f64,
+    /// Int8 acceptance: effective int8 GOP/s over f32 SIMD GFLOP/s on the
+    /// deep 3×3 c512 shape (the bar is ≥ 1.5×).
+    deep_3x3_c512_int8_vs_f32: f64,
     /// End-to-end IPS through the runtime (deploy-time packing, three
     /// providers).
     end_to_end: Vec<EndToEnd>,
@@ -137,7 +158,7 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
                 hw,
                 0,
                 hw,
-                filter.gemm(),
+                filter.gemm().unwrap(),
                 &bias,
                 f,
                 1,
@@ -163,6 +184,26 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
             )
             .unwrap()
         };
+        // The int8 quantized path: weights packed into i8 panels, the
+        // activation scale calibrated from this input.
+        let scale_in = quant_scale(input.data());
+        let qfilter = pack_conv_filter_with(&weights, c_in, c_out, f, 1, Some(scale_in)).unwrap();
+        let run_q8 = || {
+            conv2d_rows_packed(
+                &input,
+                0,
+                hw,
+                0,
+                hw,
+                &qfilter,
+                &bias,
+                f,
+                1,
+                1,
+                Activation::Relu,
+            )
+            .unwrap()
+        };
         // The direct oracle gets fewer samples on the big shapes: it is the
         // slow side being measured.
         let direct_samples = if c_in >= 256 { 2 } else { 5 };
@@ -176,6 +217,10 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
         } else {
             0.0
         };
+        set_qkernel_override(Some(QKernelArch::Scalar));
+        let int8_scalar_ns = time_ns(10, run_q8);
+        set_qkernel_override(None);
+        let int8_simd_ns = time_ns(10, run_q8);
         let flops = 2.0 * (f * f * c_in * c_out * hw * hw) as f64;
         let gflops = |ns: f64| if ns > 0.0 { flops / ns } else { 0.0 };
         out.push(ConvShape {
@@ -193,6 +238,16 @@ fn bench_conv_paths(c: &mut Criterion) -> Vec<ConvShape> {
             packed_simd_gflops: gflops(packed_simd_ns),
             winograd_ns,
             winograd_gflops: gflops(winograd_ns),
+            winograd_routed: filter.winograd().is_some() && winograd_preferred(c_in, c_out),
+            int8_scalar_ns,
+            int8_scalar_gops: gflops(int8_scalar_ns),
+            int8_simd_ns,
+            int8_simd_gops: gflops(int8_simd_ns),
+            int8_vs_f32_simd: if packed_simd_ns > 0.0 {
+                packed_simd_ns / int8_simd_ns
+            } else {
+                0.0
+            },
             packed_ns: packed_simd_ns,
             speedup: direct_ns / packed_simd_ns,
             packed_gflops: gflops(packed_simd_ns),
@@ -267,21 +322,34 @@ fn bench_kernels(c: &mut Criterion) {
         .find(|s| s.label == "vgg_3x3_c64_56")
         .map(|s| s.speedup)
         .unwrap_or(0.0);
+    let deep_3x3_c512_int8_vs_f32 = conv
+        .iter()
+        .find(|s| s.label == "deep_3x3_c512_14")
+        .map(|s| s.int8_vs_f32_simd)
+        .unwrap_or(0.0);
     let out = KernelBench {
         simd_arch: kernel_arch().label().to_string(),
+        qkernel_arch: qkernel_arch().label().to_string(),
         conv,
         vgg_3x3_c64_speedup,
+        deep_3x3_c512_int8_vs_f32,
         end_to_end: e2e,
     };
-    println!("micro-kernel arm: {}", out.simd_arch);
+    println!(
+        "micro-kernel arm: {} (int8: {})",
+        out.simd_arch, out.qkernel_arch
+    );
     for s in &out.conv {
         println!(
-            "conv {:<24} direct {:>7.1}  scalar {:>7.1}  simd {:>7.1}  winograd {:>7.1}  GFLOP/s",
+            "conv {:<24} direct {:>7.1}  scalar {:>7.1}  simd {:>7.1}  winograd {:>7.1}{}  int8 {:>7.1} ({:.2}x f32 simd)  GFLOP/s",
             s.label,
             s.direct_gflops,
             s.packed_scalar_gflops,
             s.packed_simd_gflops,
             s.winograd_gflops,
+            if s.winograd_routed { "" } else { " (not routed)" },
+            s.int8_simd_gops,
+            s.int8_vs_f32_simd,
         );
     }
     for e in &out.end_to_end {

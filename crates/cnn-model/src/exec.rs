@@ -21,8 +21,9 @@ use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tensor::ops::{
-    conv2d_rows, conv2d_rows_packed, linear, linear_packed, maxpool2d_rows, pack_conv_filter,
-    pack_linear_filter, Activation, PackedConvFilter, PackedFilter,
+    conv2d_rows, conv2d_rows_packed, linear, linear_packed, linear_q8, maxpool2d_rows,
+    pack_conv_filter_with, pack_linear_filter, quant_scale, Activation, PackedConvFilter,
+    PackedFilter, QuantizedFilter,
 };
 use tensor::slice::slice_rows;
 use tensor::{Shape, Tensor};
@@ -86,6 +87,105 @@ impl ModelWeights {
     }
 }
 
+/// Per-layer activation scales for int8 quantized serving.
+///
+/// Entry `i` is the symmetric quantization scale of layer `i`'s *input*
+/// activations (`0.0` = the layer stays on the f32 path).  The spec is
+/// computed once at deploy on the device that holds the full weights
+/// ([`QuantSpec::calibrate`]) and shipped to providers alongside their
+/// weight shards — every device quantizing a layer against the *same*
+/// static scale is what keeps band outputs bitwise stitchable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSpec {
+    scales: Vec<f32>,
+}
+
+impl QuantSpec {
+    /// Minimum GEMM depth `c_in·f·f` for a conv layer to take the int8
+    /// path.  Below this the per-column quantization overhead eats the
+    /// int8 throughput win (the VGG stem's K=27 stays f32).
+    pub const CONV_MIN_K: usize = 72;
+    /// Minimum `in_features` for an FC layer to take the int8 path.
+    pub const FC_MIN_IN: usize = 256;
+
+    /// Wraps raw per-layer scales (`0.0` = not quantized).
+    pub fn new(scales: Vec<f32>) -> Self {
+        Self { scales }
+    }
+
+    /// Calibrates activation scales for `model` by running the f32
+    /// reference over deterministic probe inputs and recording each
+    /// quantizable layer's input range.  Requires the *full* weights —
+    /// this runs on the deploying device, never on a provider holding a
+    /// shard.
+    pub fn calibrate(model: &Model, weights: &ModelWeights) -> Result<Self> {
+        let mut max_abs = vec![0.0f32; model.len()];
+        for seed in [0xCA11u64, 0xCA12, 0xCA13] {
+            let input = deterministic_input(model, seed);
+            let outs = run_full(model, weights, &input)?;
+            for i in 0..model.len() {
+                let t = if i == 0 { &input } else { &outs[i - 1] };
+                for &v in t.data() {
+                    max_abs[i] = max_abs[i].max(v.abs());
+                }
+            }
+        }
+        let scales = model
+            .layers()
+            .iter()
+            .zip(&max_abs)
+            .map(|(layer, &m)| {
+                if Self::layer_is_quantizable(layer) {
+                    quant_scale(&[m])
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Ok(Self { scales })
+    }
+
+    /// Whether the routing policy sends this layer to the int8 kernels.
+    pub fn layer_is_quantizable(layer: &Layer) -> bool {
+        let k = match layer.op {
+            LayerOp::Conv { f, .. } => {
+                let k = layer.input.c * f * f;
+                if k < Self::CONV_MIN_K {
+                    return false;
+                }
+                k
+            }
+            LayerOp::Fc { .. } => {
+                let k = layer.input.volume();
+                if k < Self::FC_MIN_IN {
+                    return false;
+                }
+                k
+            }
+            LayerOp::MaxPool { .. } => return false,
+        };
+        k <= tensor::ops::qgemm::MAX_QUANT_K
+    }
+
+    /// The input scale for layer `index`, or `None` when the layer runs f32.
+    pub fn layer_scale(&self, index: usize) -> Option<f32> {
+        match self.scales.get(index) {
+            Some(&s) if s > 0.0 => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Raw per-layer scales (`0.0` = not quantized).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Number of layers routed to the int8 kernels.
+    pub fn quantized_layer_count(&self) -> usize {
+        self.scales.iter().filter(|&&s| s > 0.0).count()
+    }
+}
+
 /// One layer's weights in GEMM-panel form.
 #[derive(Debug, Clone)]
 pub enum PackedLayerWeights {
@@ -102,6 +202,15 @@ pub enum PackedLayerWeights {
     Fc {
         /// Prepacked GEMM panels.
         filter: PackedFilter,
+        /// One bias entry per output feature.
+        bias: Vec<f32>,
+    },
+    /// An FC layer packed into int8 quad panels for the quantized path.
+    QFc {
+        /// Prepacked int8 panels with per-row corrections.
+        filter: QuantizedFilter,
+        /// Calibrated input-activation scale.
+        scale_in: f32,
         /// One bias entry per output feature.
         bias: Vec<f32>,
     },
@@ -122,12 +231,27 @@ pub enum PackedLayerWeights {
 #[derive(Debug, Clone)]
 pub struct PackedModelWeights {
     layers: Vec<PackedLayerWeights>,
+    quant: Option<QuantSpec>,
 }
 
 impl PackedModelWeights {
     /// Packs every resident layer of `weights` (empty layers of a shard
-    /// become [`PackedLayerWeights::Absent`]).
+    /// become [`PackedLayerWeights::Absent`]) on the f32 paths.
     pub fn pack(model: &Model, weights: &ModelWeights) -> Result<Self> {
+        Self::pack_with(model, weights, None)
+    }
+
+    /// [`PackedModelWeights::pack`] with an optional quantization spec:
+    /// layers the spec covers are packed **int8-only** (quad panels plus a
+    /// per-layer weight scale — no f32 panels kept, which is where the ~4×
+    /// resident-weight shrink comes from); the rest pack exactly as the
+    /// f32 path does.  The spec is retained so `Reconfigure` delta shards
+    /// repack the same way via [`PackedModelWeights::install_layer`].
+    pub fn pack_with(
+        model: &Model,
+        weights: &ModelWeights,
+        quant: Option<&QuantSpec>,
+    ) -> Result<Self> {
         if weights.layers.len() != model.len() {
             return Err(crate::ModelError::InvalidGeometry {
                 layer: 0,
@@ -142,12 +266,27 @@ impl PackedModelWeights {
             .layers()
             .iter()
             .zip(&weights.layers)
-            .map(|(layer, (w, b))| Self::pack_layer(layer, w, b))
+            .enumerate()
+            .map(|(i, (layer, (w, b)))| {
+                Self::pack_layer(layer, w, b, quant.and_then(|q| q.layer_scale(i)))
+            })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { layers })
+        Ok(Self {
+            layers,
+            quant: quant.cloned(),
+        })
     }
 
-    fn pack_layer(layer: &Layer, w: &[f32], b: &[f32]) -> Result<PackedLayerWeights> {
+    fn pack_layer(
+        layer: &Layer,
+        w: &[f32],
+        b: &[f32],
+        scale_in: Option<f32>,
+    ) -> Result<PackedLayerWeights> {
+        let geometry_err = |e: tensor::TensorError| crate::ModelError::InvalidGeometry {
+            layer: layer.index,
+            reason: e.to_string(),
+        };
         let packed = match layer.op {
             LayerOp::MaxPool { .. } => PackedLayerWeights::Pool,
             LayerOp::Conv {
@@ -157,12 +296,8 @@ impl PackedModelWeights {
                     PackedLayerWeights::Absent
                 } else {
                     let filter =
-                        pack_conv_filter(w, layer.input.c, c_out, f, stride).map_err(|e| {
-                            crate::ModelError::InvalidGeometry {
-                                layer: layer.index,
-                                reason: e.to_string(),
-                            }
-                        })?;
+                        pack_conv_filter_with(w, layer.input.c, c_out, f, stride, scale_in)
+                            .map_err(geometry_err)?;
                     PackedLayerWeights::Conv {
                         filter,
                         bias: b.to_vec(),
@@ -172,12 +307,17 @@ impl PackedModelWeights {
             LayerOp::Fc { out_features } => {
                 if w.is_empty() && b.is_empty() {
                     PackedLayerWeights::Absent
+                } else if let Some(scale_in) = scale_in {
+                    let filter = QuantizedFilter::pack(w, out_features, layer.input.volume())
+                        .map_err(geometry_err)?;
+                    PackedLayerWeights::QFc {
+                        filter,
+                        scale_in,
+                        bias: b.to_vec(),
+                    }
                 } else {
                     let filter = pack_linear_filter(w, layer.input.volume(), out_features)
-                        .map_err(|e| crate::ModelError::InvalidGeometry {
-                            layer: layer.index,
-                            reason: e.to_string(),
-                        })?;
+                        .map_err(geometry_err)?;
                     PackedLayerWeights::Fc {
                         filter,
                         bias: b.to_vec(),
@@ -190,6 +330,8 @@ impl PackedModelWeights {
 
     /// Packs and installs one layer's raw weights (a `Reconfigure` delta
     /// shard) — the only packing a running provider ever does after deploy.
+    /// Honors the quantization spec the pack was built with, so a delta
+    /// shard lands on the same kernel path as a fresh deploy.
     pub fn install_layer(
         &mut self,
         model: &Model,
@@ -205,8 +347,14 @@ impl PackedModelWeights {
                     layer: index,
                     reason: format!("model has {} layers", model.len()),
                 })?;
-        self.layers[index] = Self::pack_layer(layer, w, b)?;
+        let scale_in = self.quant.as_ref().and_then(|q| q.layer_scale(index));
+        self.layers[index] = Self::pack_layer(layer, w, b, scale_in)?;
         Ok(())
+    }
+
+    /// The quantization spec this pack was built with, if any.
+    pub fn quant(&self) -> Option<&QuantSpec> {
+        self.quant.as_ref()
     }
 
     /// Per-layer packed weights.
@@ -227,7 +375,9 @@ impl PackedModelWeights {
             .filter(|l| {
                 matches!(
                     l,
-                    PackedLayerWeights::Conv { .. } | PackedLayerWeights::Fc { .. }
+                    PackedLayerWeights::Conv { .. }
+                        | PackedLayerWeights::Fc { .. }
+                        | PackedLayerWeights::QFc { .. }
                 )
             })
             .count()
@@ -242,6 +392,9 @@ impl PackedModelWeights {
                     filter.bytes() + bias.len() * std::mem::size_of::<f32>()
                 }
                 PackedLayerWeights::Fc { filter, bias } => {
+                    filter.bytes() + bias.len() * std::mem::size_of::<f32>()
+                }
+                PackedLayerWeights::QFc { filter, bias, .. } => {
                     filter.bytes() + bias.len() * std::mem::size_of::<f32>()
                 }
                 _ => 0,
@@ -378,6 +531,15 @@ fn run_layer_rows_packed(
             linear_packed(input, filter, bias, Activation::Relu)
                 .map_err(|e| geometry_err(e.to_string()))?
         }
+        (
+            LayerOp::Fc { .. },
+            PackedLayerWeights::QFc {
+                filter,
+                scale_in,
+                bias,
+            },
+        ) => linear_q8(input, filter, *scale_in, bias, Activation::Relu)
+            .map_err(|e| geometry_err(e.to_string()))?,
         (_, PackedLayerWeights::Absent) => {
             return Err(geometry_err(
                 "layer weights are not resident on this device".into(),
@@ -402,6 +564,21 @@ pub fn run_full(model: &Model, weights: &ModelWeights, input: &Tensor) -> Result
         outputs.push(current.clone());
     }
     Ok(outputs)
+}
+
+/// Runs the full model from prepacked weights, returning the final output —
+/// the single-device reference for packed (including quantized) execution.
+pub fn run_full_packed(
+    model: &Model,
+    packed: &PackedModelWeights,
+    input: &Tensor,
+) -> Result<Tensor> {
+    let mut current = input.clone();
+    for layer in model.layers() {
+        let w = &packed.layers()[layer.index];
+        current = run_layer_rows_packed(layer, w, &current, 0, 0, layer.output.h)?;
+    }
+    Ok(current)
 }
 
 /// Runs one split-part of a layer-volume.
@@ -739,6 +916,104 @@ mod tests {
         assert_eq!(a, b);
         // Out-of-range installs are rejected.
         assert!(packed.install_layer(&m, 99, &[], &[]).is_err());
+    }
+
+    fn quantizable_model() -> Model {
+        Model::new(
+            "quant-test",
+            Shape::new(8, 16, 16),
+            &[
+                LayerOp::conv(16, 3, 1, 1), // K = 8·9 = 72 → int8
+                LayerOp::conv(16, 3, 1, 1), // K = 144 → int8
+                LayerOp::pool(2, 2),
+                LayerOp::fc(10), // in = 16·8·8 = 1024 → int8
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn calibrated_spec_follows_the_routing_policy() {
+        let m = quantizable_model();
+        let w = ModelWeights::deterministic(&m, 41);
+        let spec = QuantSpec::calibrate(&m, &w).unwrap();
+        assert_eq!(spec.quantized_layer_count(), 3);
+        assert!(spec.layer_scale(0).is_some());
+        assert!(spec.layer_scale(2).is_none(), "pool layers never quantize");
+        assert!(spec.layer_scale(3).is_some());
+        // A shallow stem stays f32: K = 2·9 = 18 < CONV_MIN_K.
+        let shallow = small_model();
+        let sw = ModelWeights::deterministic(&shallow, 41);
+        let sspec = QuantSpec::calibrate(&shallow, &sw).unwrap();
+        assert!(sspec.layer_scale(0).is_none());
+    }
+
+    #[test]
+    fn quantized_pack_shrinks_resident_bytes() {
+        let m = quantizable_model();
+        let w = ModelWeights::deterministic(&m, 43);
+        let spec = QuantSpec::calibrate(&m, &w).unwrap();
+        let f32_pack = PackedModelWeights::pack(&m, &w).unwrap();
+        let q_pack = PackedModelWeights::pack_with(&m, &w, Some(&spec)).unwrap();
+        let shrink = f32_pack.resident_bytes() as f64 / q_pack.resident_bytes() as f64;
+        assert!(shrink >= 3.0, "resident shrink only {shrink:.2}×");
+    }
+
+    #[test]
+    fn quantized_run_tracks_f32_reference() {
+        let m = quantizable_model();
+        let w = ModelWeights::deterministic(&m, 47);
+        let spec = QuantSpec::calibrate(&m, &w).unwrap();
+        let q_pack = PackedModelWeights::pack_with(&m, &w, Some(&spec)).unwrap();
+        let input = deterministic_input(&m, 47);
+        let oracle = run_full(&m, &w, &input).unwrap().pop().unwrap();
+        let quantized = run_full_packed(&m, &q_pack, &input).unwrap();
+        assert_eq!(quantized.shape(), oracle.shape());
+        let scale: f32 = oracle.data().iter().fold(0.1f32, |a, v| a.max(v.abs()));
+        let diff = quantized.max_abs_diff(&oracle).unwrap();
+        assert!(
+            diff <= 0.05 * scale,
+            "quantized output drifts {diff} (range {scale})"
+        );
+    }
+
+    #[test]
+    fn quantized_bands_stitch_bitwise_and_install_keeps_spec() {
+        let m = quantizable_model();
+        let w = ModelWeights::deterministic(&m, 53);
+        let spec = QuantSpec::calibrate(&m, &w).unwrap();
+        let q_pack = PackedModelWeights::pack_with(&m, &w, Some(&spec)).unwrap();
+        assert_eq!(q_pack.quant(), Some(&spec));
+        let input = deterministic_input(&m, 53);
+        // Three bands over the conv prefix stitch to the one-band run
+        // bitwise — every device quantizes against the same static scales.
+        let v = LayerVolume::new(0, m.distributable_len());
+        let h = v.last_output_height(&m);
+        let whole = {
+            let plan = PartPlan::plan(&m, v, 0, h).unwrap();
+            let band = slice_rows(&input, plan.input_rows.0, plan.input_rows.1).unwrap();
+            run_part_on_band_packed(&m, &q_pack, &plan, band).unwrap()
+        };
+        let mut parts = Vec::new();
+        for (lo, hi) in [(0, h / 3), (h / 3, 2 * h / 3), (2 * h / 3, h)] {
+            let plan = PartPlan::plan(&m, v, lo, hi).unwrap();
+            let band = slice_rows(&input, plan.input_rows.0, plan.input_rows.1).unwrap();
+            parts.push(run_part_on_band_packed(&m, &q_pack, &plan, band).unwrap());
+        }
+        let stitched = concat_rows(&parts).unwrap();
+        assert_eq!(stitched, whole, "quantized bands must stitch bitwise");
+        // A Reconfigure delta repacks onto the same int8 path.
+        let mut repacked = q_pack.clone();
+        repacked
+            .install_layer(&m, 3, &w.layers[3].0, &w.layers[3].1)
+            .unwrap();
+        assert!(matches!(
+            repacked.layers()[3],
+            PackedLayerWeights::QFc { .. }
+        ));
+        let a = run_full_packed(&m, &q_pack, &input).unwrap();
+        let b = run_full_packed(&m, &repacked, &input).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -338,6 +338,15 @@ impl DeployOptions {
         self.weight_seed = seed;
         self
     }
+
+    /// Serves with int8 quantized inference: calibrated int8 GEMM kernels
+    /// on eligible layers, ~4× smaller resident weight packs, and q8
+    /// activation transfer between devices.  Outputs track the f32
+    /// reference within the quantization tolerance instead of bit-exactly.
+    pub fn with_quantized(mut self, on: bool) -> Self {
+        self.runtime.quantized = on;
+        self
+    }
 }
 
 /// Options of [`DistrEdge::serve_cluster`]: runtime streaming knobs, the

@@ -21,7 +21,7 @@ use crate::backoff::BackoffPolicy;
 use crate::config::ClusterConfig;
 use crate::proto::{self, Hello};
 use crate::{ClusterError, Result};
-use cnn_model::exec::ModelWeights;
+use cnn_model::exec::{ModelWeights, QuantSpec};
 use cnn_model::Model;
 use edge_runtime::routing::RouteTable;
 use edge_runtime::transport::{read_raw_frame, FrameTx, Transport};
@@ -46,6 +46,10 @@ use tensor::Tensor;
 struct HandshakeSource {
     model: Model,
     weights: Arc<ModelWeights>,
+    /// Per-layer int8 scales when the cluster serves quantized; every
+    /// (re-)handshake ships the spec so restarted nodes pack the same int8
+    /// panels and keep speaking q8 on the wire.
+    quant: Option<QuantSpec>,
     /// `(epoch, plan)` the cluster currently runs.
     state: Mutex<(u64, ExecutionPlan)>,
 }
@@ -74,7 +78,11 @@ impl HandshakeSource {
             epoch,
             peers: peers.to_vec(),
             model: self.model.clone(),
-            payload: ReconfigurePayload { plan, delta },
+            payload: ReconfigurePayload {
+                plan,
+                delta,
+                quant: self.quant.clone(),
+            },
         })
     }
 
@@ -394,6 +402,13 @@ impl ClusterCoordinator {
         }
 
         let weights = Arc::new(weights);
+        // Quantized clusters calibrate once on the coordinator (it holds
+        // the full weights); nodes receive the spec via their Hello.
+        let quant = runtime
+            .quantized
+            .then(|| QuantSpec::calibrate(model, &weights))
+            .transpose()
+            .map_err(|e| ClusterError::Runtime(RuntimeError::from(e)))?;
         let peers = config.peer_table();
         let links: Vec<Arc<PeerLink>> = peers
             .iter()
@@ -407,6 +422,7 @@ impl ClusterCoordinator {
             source: HandshakeSource {
                 model: model.clone(),
                 weights: Arc::clone(&weights),
+                quant,
                 state: Mutex::new((0, plan.clone())),
             },
             backoff: *backoff,

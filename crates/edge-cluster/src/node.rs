@@ -361,11 +361,15 @@ fn bootstrap(
     }
     let weights = ModelWeights { layers };
 
-    let epoch =
-        PlanEpoch::new(hello.epoch, &model, &hello.payload.plan).map_err(ClusterError::Runtime)?;
+    // A Hello carrying a quant spec bootstraps quantized serving: the
+    // shard packs int8 panels and inter-device rows travel as q8 slabs.
+    let epoch = PlanEpoch::new(hello.epoch, &model, &hello.payload.plan)
+        .map_err(ClusterError::Runtime)?
+        .with_wire_q8(hello.payload.quant.is_some());
     let shared = Arc::new(Shared {
         model,
         slot: EpochSlot::new(epoch),
+        quant: hello.payload.quant.clone(),
     });
 
     // Outbound halo links to every other peer, lazy-dialing.

@@ -232,7 +232,11 @@ mod tests {
             epoch: 7,
             peers: vec![(0, "127.0.0.1:7700".into()), (1, "127.0.0.1:7701".into())],
             model,
-            payload: ReconfigurePayload { plan, delta },
+            payload: ReconfigurePayload {
+                plan,
+                delta,
+                quant: Some(cnn_model::exec::QuantSpec::new(vec![0.0, 0.125])),
+            },
         };
         let mut buf = Vec::new();
         let written = write_hello(&mut buf, &hello).unwrap();
@@ -283,6 +287,7 @@ mod tests {
                     weights: weights.layers[0].0.clone(),
                     bias: weights.layers[0].1.clone(),
                 }],
+                quant: None,
             },
         };
         let mut buf = Vec::new();

@@ -41,7 +41,7 @@ use crate::routing::{overlap, EpochSlot, PlanEpoch};
 use crate::transport::FrameTx;
 use crate::wire::{Frame, FrameKind, ReconfigurePayload};
 use crate::{Result, RuntimeError, TransportError, TransportErrorKind};
-use cnn_model::exec::{self, ModelWeights, PackedModelWeights};
+use cnn_model::exec::{self, ModelWeights, PackedModelWeights, QuantSpec};
 use cnn_model::Model;
 use edge_telemetry::{Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::Endpoint;
@@ -62,6 +62,11 @@ pub struct Shared {
     pub model: Model,
     /// The current plan epoch, swapped in place on `Reconfigure`.
     pub slot: EpochSlot,
+    /// Per-layer int8 quantization scales, when the session serves
+    /// quantized.  The spawn-time packing pass (and every `Reconfigure`
+    /// delta install) builds int8 panels for the layers this spec routes to
+    /// the quantized kernels; `None` packs the classic f32 panels.
+    pub quant: Option<QuantSpec>,
 }
 
 /// An in-progress input band: rows arrive from several sources (peers, the
@@ -493,7 +498,7 @@ fn compute_loop(
         // From here on the only packing this worker ever does is per-layer
         // `Reconfigure` delta installs.
         ProviderWeights::Sharded(raw) => {
-            let packed = PackedModelWeights::pack(&shared.model, &raw)?;
+            let packed = PackedModelWeights::pack_with(&shared.model, &raw, shared.quant.as_ref())?;
             drop(raw);
             {
                 let mut comp = stats.comp.lock().expect("comp stats poisoned");
@@ -603,7 +608,10 @@ impl ComputeState {
                 installed += 1;
             }
         }
-        let epoch = PlanEpoch::new(frame.epoch, &self.shared.model, &payload.plan)?;
+        // The epoch's wire precision is re-negotiated on every reconfigure:
+        // a payload carrying a quant spec keeps serving q8 activations.
+        let epoch = PlanEpoch::new(frame.epoch, &self.shared.model, &payload.plan)?
+            .with_wire_q8(payload.quant.is_some());
         {
             let mut comp = self.stats.comp.lock().expect("comp stats poisoned");
             if epoch.route.num_volumes > comp.per_volume_ms.len() {
@@ -838,8 +846,13 @@ fn send_loop(
                 for target in epoch.route.send_targets(stage, d) {
                     let (lo, hi) = target.rows;
                     let rows = slice_rows(&band, lo - out_lo, hi - out_lo)?;
-                    let frame =
-                        Frame::data(target.kind, epoch.id, image, target.stage, lo as u32, rows);
+                    // Inter-device activations travel as q8 slabs on
+                    // quantized epochs; head/requester results stay f32.
+                    let frame = if epoch.wire_q8 && target.kind == FrameKind::Rows {
+                        Frame::rows_q8(epoch.id, image, target.stage, lo as u32, &rows)
+                    } else {
+                        Frame::data(target.kind, epoch.id, image, target.stage, lo as u32, rows)
+                    };
                     let trace = TraceId {
                         epoch: epoch.id,
                         image,

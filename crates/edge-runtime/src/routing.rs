@@ -223,16 +223,28 @@ pub struct PlanEpoch {
     pub plan: ExecutionPlan,
     /// The routing derived from the plan.
     pub route: RouteTable,
+    /// Whether inter-device `Rows` frames travel as int8 (q8 slabs) this
+    /// epoch.  Negotiated at deploy/reconfigure time: every participant of
+    /// an epoch agrees, so a band producer quantizes exactly when its
+    /// consumers expect quantized frames.  `Result` frames stay f32.
+    pub wire_q8: bool,
 }
 
 impl PlanEpoch {
-    /// Builds epoch `id` for `plan` on `model`.
+    /// Builds epoch `id` for `plan` on `model` (f32 activation transfer).
     pub fn new(id: u64, model: &Model, plan: &ExecutionPlan) -> Result<Self> {
         Ok(Self {
             id,
             plan: plan.clone(),
             route: RouteTable::new(model, plan)?,
+            wire_q8: false,
         })
+    }
+
+    /// Switches this epoch's inter-device activation transfer to int8.
+    pub fn with_wire_q8(mut self, on: bool) -> Self {
+        self.wire_q8 = on;
+        self
     }
 }
 

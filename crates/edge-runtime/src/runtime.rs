@@ -32,6 +32,14 @@ pub struct RuntimeOptions {
     /// `Session::apply_plan` drain or its epoch acks take longer than this,
     /// the swap fails instead of blocking admission forever.
     pub recv_timeout: Duration,
+    /// Serve with int8 quantized inference: eligible layers run the
+    /// int8×int8→i32 GEMM kernels from per-layer calibrated activation
+    /// scales, quantized layers keep int8-only weight panels resident
+    /// (~4× smaller), and inter-device `Rows` activations travel as q8
+    /// slabs (~4× fewer wire bytes).  Outputs track the f32 reference
+    /// within the quantization tolerance instead of bit-exactly.
+    #[serde(default)]
+    pub quantized: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -39,6 +47,7 @@ impl Default for RuntimeOptions {
         Self {
             max_in_flight: 4,
             recv_timeout: Duration::from_secs(120),
+            quantized: false,
         }
     }
 }
@@ -53,6 +62,12 @@ impl RuntimeOptions {
     /// Overrides the result-frame timeout.
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Enables int8 quantized serving (see [`RuntimeOptions::quantized`]).
+    pub fn with_quantized(mut self, on: bool) -> Self {
+        self.quantized = on;
         self
     }
 }
@@ -267,6 +282,7 @@ mod tests {
         let opts = RuntimeOptions {
             max_in_flight: 2,
             recv_timeout: Duration::from_micros(1),
+            quantized: false,
         };
         let mut tcp = TcpTransport::new(2).unwrap();
         let result = execute(&m, &plan, &weights, &images, &mut tcp, &opts);

@@ -41,7 +41,7 @@ use crate::runtime::RuntimeOptions;
 use crate::transport::{ChannelTransport, FrameTx, Transport};
 use crate::wire::{Frame, FrameKind, ReconfigurePayload, WeightDelta};
 use crate::{Result, RuntimeError};
-use cnn_model::exec::{ModelWeights, PackedModelWeights};
+use cnn_model::exec::{ModelWeights, PackedModelWeights, QuantSpec};
 use cnn_model::Model;
 use edge_telemetry::{Counter, Gauge, Recorder, Stage, Telemetry, TraceId, REQUESTER};
 use edgesim::{Endpoint, ExecutionPlan};
@@ -178,7 +178,13 @@ impl Runtime {
                 "max_in_flight must be at least 1".into(),
             ));
         }
-        let epoch0 = PlanEpoch::new(0, model, plan)?;
+        // Quantized remote deploys calibrate here and ship the spec to the
+        // node processes through the handshake (edge-cluster's hello).
+        let quant = options
+            .quantized
+            .then(|| QuantSpec::calibrate(model, &weights))
+            .transpose()?;
+        let epoch0 = PlanEpoch::new(0, model, plan)?.with_wire_q8(quant.is_some());
         let route = &epoch0.route;
         let n = route.num_devices;
         let keep_sets: Vec<HashSet<usize>> = (0..n).map(|d| route.keep_layers(model, d)).collect();
@@ -200,6 +206,7 @@ impl Runtime {
             keep_sets,
             resident_bytes,
             weights,
+            quant,
             options,
             telemetry,
         )
@@ -218,7 +225,30 @@ impl Runtime {
                 "max_in_flight must be at least 1".into(),
             ));
         }
-        let epoch0 = PlanEpoch::new(0, model, plan)?;
+        // Quantized serving calibrates per-layer activation scales up
+        // front (on the sharded path, from the full raw weights; on the
+        // prepacked path the artifact must already carry its spec — the
+        // panels were built at pack time and cannot change here).  The spec
+        // reaches every provider through `Shared` and every later epoch
+        // through the `Reconfigure` payloads, and flips the epoch's wire
+        // precision to q8.
+        let quant: Option<QuantSpec> = if options.quantized {
+            Some(match &weights {
+                DeployWeights::Sharded(raw) => QuantSpec::calibrate(model, raw)?,
+                DeployWeights::Prepacked { packed, .. } => {
+                    packed.quant().cloned().ok_or_else(|| {
+                        RuntimeError::Execution(
+                            "quantized deploy needs a prepacked artifact built with a \
+                             QuantSpec (PackedModelWeights::pack_with)"
+                                .into(),
+                        )
+                    })?
+                }
+            })
+        } else {
+            None
+        };
+        let epoch0 = PlanEpoch::new(0, model, plan)?.with_wire_q8(quant.is_some());
         let route = &epoch0.route;
         let n = route.num_devices;
 
@@ -277,6 +307,7 @@ impl Runtime {
             let shared = Arc::new(Shared {
                 model: model.clone(),
                 slot: EpochSlot::new(epoch0.clone()),
+                quant: quant.clone(),
             });
             providers.push(spawn_provider(
                 d,
@@ -301,6 +332,7 @@ impl Runtime {
             keep_sets,
             resident_bytes,
             raw_weights,
+            quant,
             options,
             telemetry,
         )
@@ -329,6 +361,7 @@ impl Runtime {
         keep_sets: Vec<HashSet<usize>>,
         resident_bytes: Vec<usize>,
         raw_weights: Arc<ModelWeights>,
+        quant: Option<QuantSpec>,
         options: &RuntimeOptions,
         telemetry: &Telemetry,
     ) -> Result<Session> {
@@ -400,6 +433,7 @@ impl Runtime {
             }),
             model: model.clone(),
             weights: raw_weights,
+            quant,
             input_shape: model.input().as_array(),
             options: *options,
             stop,
@@ -612,6 +646,11 @@ pub struct Session {
     model: Model,
     /// The full weight set, kept for delta-shard computation on swaps.
     weights: Arc<ModelWeights>,
+    /// The quantization spec the session serves with (`None` = f32).  It
+    /// rides every `Reconfigure` payload so each new epoch re-negotiates
+    /// the same kernel routing and q8 wire precision, and switches the
+    /// scatter path to q8 input frames.
+    quant: Option<QuantSpec>,
     input_shape: [usize; 3],
     options: RuntimeOptions,
     stop: Arc<AtomicBool>,
@@ -624,6 +663,12 @@ impl Session {
     /// The credit window: the maximum number of images in flight.
     pub fn credit_window(&self) -> usize {
         self.options.max_in_flight
+    }
+
+    /// Whether the session serves int8 quantized (calibrated kernels plus
+    /// q8 activation transfer).
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// The serving epoch: `0` at deploy, bumped by every
@@ -820,7 +865,11 @@ impl Session {
         let targets = sc.targets.clone();
         for (d, (lo, hi)) in targets {
             let rows = slice_rows(image, lo, hi)?;
-            let frame = Frame::data(FrameKind::Rows, epoch, ticket.image, 0, lo as u32, rows);
+            let frame = if self.quant.is_some() {
+                Frame::rows_q8(epoch, ticket.image, 0, lo as u32, &rows)
+            } else {
+                Frame::data(FrameKind::Rows, epoch, ticket.image, 0, lo as u32, rows)
+            };
             let t0 = Instant::now();
             let n = match sc.txs[d].send(&frame) {
                 Ok(n) => n,
@@ -1065,6 +1114,7 @@ impl Session {
                 payloads.push(ReconfigurePayload {
                     plan: plan.clone(),
                     delta,
+                    quant: self.quant.clone(),
                 });
                 // Residency is a union across epochs: nothing is evicted.
                 keeps.push(ps.keep[d].union(&needed).copied().collect());
@@ -1256,6 +1306,7 @@ impl Session {
                 ReconfigurePayload {
                     plan: ps.plan.clone(),
                     delta: Vec::new(),
+                    quant: self.quant.clone(),
                 },
                 route.scatter_targets(),
             )
@@ -1326,14 +1377,14 @@ impl Session {
             for (image, tensor) in &replay {
                 for &(d, (lo, hi)) in &targets {
                     let result = match slice_rows(tensor, lo, hi) {
-                        Ok(rows) => sc.txs[d].send(&Frame::data(
-                            FrameKind::Rows,
-                            new_epoch,
-                            *image,
-                            0,
-                            lo as u32,
-                            rows,
-                        )),
+                        Ok(rows) => {
+                            let frame = if self.quant.is_some() {
+                                Frame::rows_q8(new_epoch, *image, 0, lo as u32, &rows)
+                            } else {
+                                Frame::data(FrameKind::Rows, new_epoch, *image, 0, lo as u32, rows)
+                            };
+                            sc.txs[d].send(&frame)
+                        }
                         Err(e) => Err(RuntimeError::from(e)),
                     };
                     if let Err(e) = result {
@@ -2016,6 +2067,70 @@ mod tests {
         session.wait(t).unwrap();
         session.shutdown().unwrap();
         assert_eq!(telemetry.collect().span_count(), 0);
+    }
+
+    #[test]
+    fn quantized_session_tracks_f32_within_tolerance() {
+        // Deep enough channels that the stem conv (k = 8·9 = 72) and the FC
+        // head (384 inputs) both route to the int8 kernels.
+        let m = Model::new(
+            "session-q8",
+            Shape::new(8, 16, 12),
+            &[
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::conv(8, 3, 1, 1),
+                LayerOp::pool(2, 2),
+                LayerOp::fc(5),
+            ],
+        )
+        .unwrap();
+        let weights = ModelWeights::deterministic(&m, 33);
+        let plan = plan(&m, 2);
+        let options = RuntimeOptions::default().with_quantized(true);
+        let session = Runtime::deploy_in_process(&m, &plan, &weights, &options).unwrap();
+        assert!(session.quantized());
+
+        for seed in 0..3u64 {
+            let img = deterministic_input(&m, seed);
+            let reference = exec::run_full(&m, &weights, &img)
+                .unwrap()
+                .last()
+                .unwrap()
+                .clone();
+            let t = session.submit(&img).unwrap();
+            let out = session.wait(t).unwrap();
+            assert_eq!(out.shape(), reference.shape());
+            let range = reference
+                .data()
+                .iter()
+                .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+                .max(1e-6);
+            let diff = out.max_abs_diff(&reference).unwrap();
+            assert!(
+                diff <= 0.05 * range,
+                "quantized output drifted: diff {diff} vs range {range} (seed {seed})"
+            );
+        }
+
+        // A hot swap re-negotiates the quantized epoch: outputs stay within
+        // the same tolerance after the flip.
+        let offload = ExecutionPlan::offload(&m, 0, 2).unwrap();
+        session.apply_plan(&offload).unwrap();
+        let img = deterministic_input(&m, 7);
+        let reference = exec::run_full(&m, &weights, &img)
+            .unwrap()
+            .last()
+            .unwrap()
+            .clone();
+        let t = session.submit(&img).unwrap();
+        let out = session.wait(t).unwrap();
+        let range = reference
+            .data()
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+            .max(1e-6);
+        assert!(out.max_abs_diff(&reference).unwrap() <= 0.05 * range);
+        session.shutdown().unwrap();
     }
 
     #[test]

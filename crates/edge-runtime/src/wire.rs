@@ -25,10 +25,22 @@
 //! layers the receiving device does not already hold resident (the delta
 //! shard), so a hot plan swap never re-ships weights a device kept from an
 //! earlier epoch.
+//!
+//! When a deployment negotiates **quantized activation transfer**, `Rows`
+//! frames ship their band as a q8 slab (one i8 code per element plus one
+//! f32 scale, ~4× smaller) under the dedicated wire kind byte
+//! [`KIND_ROWS_Q8`].  The kind byte — not a flag on [`FrameKind`] — marks
+//! the quantized body, so an f32 session decoding a q8 frame (or vice
+//! versa) still sees a plain `Rows` frame with a usable f32 tensor: the
+//! decoder dequantizes into [`Frame::tensor`] and keeps the raw codes in
+//! [`Frame::quant`] so re-encoding is byte-exact.  `Result` frames always
+//! stay f32 — the requester gets full-precision outputs back.
 
 use crate::{Result, RuntimeError};
+use cnn_model::exec::QuantSpec;
 use edgesim::ExecutionPlan;
 use std::io::{Read, Write};
+use tensor::ops::{dequantize_slice, quant_scale, quantize_slice};
 use tensor::{slab, Tensor};
 
 /// Frame magic (sanity check against stream desync).
@@ -97,6 +109,22 @@ impl FrameKind {
     }
 }
 
+/// Wire kind byte of a `Rows` frame whose body is a q8 slab.  Maps back to
+/// [`FrameKind::Rows`] at decode; the quantized body is visible only via
+/// [`Frame::quant`].
+pub const KIND_ROWS_Q8: u8 = 5;
+
+/// The int8 codes of a quantized `Rows` frame, kept alongside the
+/// dequantized [`Frame::tensor`] so consumers stay precision-agnostic and
+/// re-encoding reproduces the received bytes exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantBand {
+    /// Symmetric dequantization step of the codes.
+    pub scale: f32,
+    /// One i8 code per tensor element, CHW order.
+    pub data: Vec<i8>,
+}
+
 /// One wire message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
@@ -114,10 +142,13 @@ pub struct Frame {
     pub stage: u32,
     /// First carried row in full-feature-map coordinates.
     pub row_lo: u32,
-    /// The row band, `[c, rows, w]` (empty for control frames).
+    /// The row band, `[c, rows, w]` (empty for control frames).  For a
+    /// quantized frame this is the *dequantized* view of [`Frame::quant`].
     pub tensor: Tensor,
     /// Raw payload of `Reconfigure` frames (empty for every other kind).
     pub payload: Vec<u8>,
+    /// The int8 codes when the frame travels quantized (`Rows` only).
+    pub quant: Option<QuantBand>,
 }
 
 impl Frame {
@@ -138,6 +169,28 @@ impl Frame {
             row_lo,
             tensor,
             payload: Vec::new(),
+            quant: None,
+        }
+    }
+
+    /// A `Rows` frame that travels as int8: the band is quantized against
+    /// its own max-abs scale here, and `tensor` becomes the dequantized
+    /// view — so the sender's local picture of the band matches what every
+    /// receiver reconstructs, and `decode(encode(f)) == f` holds bitwise.
+    pub fn rows_q8(epoch: u64, image: u32, stage: u32, row_lo: u32, tensor: &Tensor) -> Self {
+        let scale = quant_scale(tensor.data());
+        let data = quantize_slice(tensor.data(), scale);
+        let deq = Tensor::from_vec(tensor.shape(), dequantize_slice(&data, scale))
+            .expect("dequantized band keeps its shape");
+        Frame {
+            kind: FrameKind::Rows,
+            epoch,
+            image,
+            stage,
+            row_lo,
+            tensor: deq,
+            payload: Vec::new(),
+            quant: Some(QuantBand { scale, data }),
         }
     }
 
@@ -156,6 +209,7 @@ impl Frame {
             row_lo: 0,
             tensor: Tensor::zeros([0, 0, 0]),
             payload,
+            quant: None,
         }
     }
 
@@ -177,10 +231,12 @@ impl Frame {
     }
 
     fn body_len(&self) -> usize {
+        let [c, h, w] = self.tensor.shape();
         let tail = if self.kind == FrameKind::Reconfigure {
             self.payload.len()
+        } else if self.kind == FrameKind::Rows && self.quant.is_some() {
+            slab::q8_slab_len(c, h, w)
         } else {
-            let [c, h, w] = self.tensor.shape();
             slab::slab_len(c, h, w)
         };
         HEADER_LEN + tail
@@ -194,16 +250,27 @@ impl Frame {
     /// Encodes the frame, length prefix included.
     pub fn encode(&self) -> Vec<u8> {
         let body_len = self.body_len();
+        let quant = match &self.quant {
+            Some(q) if self.kind == FrameKind::Rows => Some(q),
+            _ => None,
+        };
         let mut out = Vec::with_capacity(4 + body_len);
         out.extend_from_slice(&(body_len as u32).to_le_bytes());
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(self.kind.to_u8());
+        out.push(if quant.is_some() {
+            KIND_ROWS_Q8
+        } else {
+            self.kind.to_u8()
+        });
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.image.to_le_bytes());
         out.extend_from_slice(&self.stage.to_le_bytes());
         out.extend_from_slice(&self.row_lo.to_le_bytes());
         if self.kind == FrameKind::Reconfigure {
             out.extend_from_slice(&self.payload);
+        } else if let Some(q) = quant {
+            slab::write_q8_slab(self.tensor.shape().into(), q.scale, &q.data, &mut out)
+                .expect("quant codes match the tensor shape");
         } else {
             slab::write_slab(&self.tensor, &mut out);
         }
@@ -222,7 +289,12 @@ impl Frame {
         if magic != MAGIC {
             return Err(RuntimeError::Wire(format!("bad magic {magic:#06x}")));
         }
-        let kind = FrameKind::from_u8(body[2])?;
+        let quantized = body[2] == KIND_ROWS_Q8;
+        let kind = if quantized {
+            FrameKind::Rows
+        } else {
+            FrameKind::from_u8(body[2])?
+        };
         let u32_at =
             |at: usize| u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]]);
         let epoch = u64::from_le_bytes([
@@ -231,12 +303,24 @@ impl Frame {
         let image = u32_at(11);
         let stage = u32_at(15);
         let row_lo = u32_at(19);
-        let (tensor, payload) = if kind == FrameKind::Reconfigure {
-            (Tensor::zeros([0, 0, 0]), body[HEADER_LEN..].to_vec())
+        let (tensor, payload, quant) = if kind == FrameKind::Reconfigure {
+            (Tensor::zeros([0, 0, 0]), body[HEADER_LEN..].to_vec(), None)
+        } else if quantized {
+            let (shape, scale, data, used) = slab::read_q8_slab(&body[HEADER_LEN..])
+                .map_err(|e| RuntimeError::Wire(format!("bad q8 slab: {e}")))?;
+            if used != body.len() - HEADER_LEN {
+                return Err(RuntimeError::Wire(format!(
+                    "q8 slab has {} trailing bytes",
+                    body.len() - HEADER_LEN - used
+                )));
+            }
+            let tensor = Tensor::from_vec(shape, dequantize_slice(&data, scale))
+                .map_err(|e| RuntimeError::Wire(format!("bad q8 slab: {e}")))?;
+            (tensor, Vec::new(), Some(QuantBand { scale, data }))
         } else {
             let tensor = slab::from_slab(&body[HEADER_LEN..])
                 .map_err(|e| RuntimeError::Wire(format!("bad slab: {e}")))?;
-            (tensor, Vec::new())
+            (tensor, Vec::new(), None)
         };
         Ok(Frame {
             kind,
@@ -246,6 +330,7 @@ impl Frame {
             row_lo,
             tensor,
             payload,
+            quant,
         })
     }
 
@@ -322,15 +407,23 @@ impl WeightDelta {
 /// plus only the weight layers the receiving device is missing.
 ///
 /// Encoding: `[plan_json_len: u32][plan JSON][n: u32]` followed by `n`
-/// entries of `[layer: u32][w_len: u32][b_len: u32][w: f32s][b: f32s]`.
-/// The plan rides as JSON (it is small and already serde-enabled); the
-/// weight data — the bulk of the payload — is raw little-endian f32.
+/// entries of `[layer: u32][w_len: u32][b_len: u32][w: f32s][b: f32s]`,
+/// then an optional quantization section `[flag: u8 = 1][n: u32][scales:
+/// f32s]` (absent or `flag = 0` means the epoch runs f32).  The plan rides
+/// as JSON (it is small and already serde-enabled); the weight data — the
+/// bulk of the payload — is raw little-endian f32.  Payloads from older
+/// peers simply end after the delta entries and decode with no quant spec,
+/// so f32 and int8 builds interoperate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigurePayload {
     /// The execution plan of the new epoch.
     pub plan: ExecutionPlan,
     /// Weight layers the receiving device must add to its resident set.
     pub delta: Vec<WeightDelta>,
+    /// Per-layer activation scales when the epoch serves quantized; the
+    /// receiver packs its shard against these and ships `Rows` frames as
+    /// q8 slabs.
+    pub quant: Option<QuantSpec>,
 }
 
 impl ReconfigurePayload {
@@ -358,6 +451,16 @@ impl ReconfigurePayload {
             for v in &d.bias {
                 out.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        match &self.quant {
+            Some(spec) => {
+                out.push(1);
+                out.extend_from_slice(&(spec.scales().len() as u32).to_le_bytes());
+                for s in spec.scales() {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            None => out.push(0),
         }
         Ok(out)
     }
@@ -412,13 +515,33 @@ impl ReconfigurePayload {
                 bias,
             });
         }
+        // The quantization section is optional: payloads from builds that
+        // predate int8 serving end right after the delta entries.
+        let quant = if at == bytes.len() {
+            None
+        } else {
+            let flag = bytes[at];
+            at += 1;
+            match flag {
+                0 => None,
+                1 => {
+                    let n = read_u32(bytes, &mut at)? as usize;
+                    Some(QuantSpec::new(read_f32s(bytes, &mut at, n)?))
+                }
+                other => {
+                    return Err(RuntimeError::Wire(format!(
+                        "unknown quant section flag {other}"
+                    )))
+                }
+            }
+        };
         if at != bytes.len() {
             return Err(RuntimeError::Wire(format!(
                 "reconfigure payload has {} trailing bytes",
                 bytes.len() - at
             )));
         }
-        Ok(Self { plan, delta })
+        Ok(Self { plan, delta, quant })
     }
 }
 
@@ -513,6 +636,51 @@ mod tests {
         assert_eq!(back.image, 2);
     }
 
+    #[test]
+    fn q8_frame_roundtrips_byte_exact_and_shrinks() {
+        let t = Tensor::from_fn([8, 16, 12], |c, y, x| {
+            ((c + 2 * y) as f32 - x as f32) * 0.17
+        });
+        let f32_frame = Frame::data(FrameKind::Rows, 2, 9, 1, 4, t.clone());
+        let q = Frame::rows_q8(2, 9, 1, 4, &t);
+        assert_eq!(q.kind, FrameKind::Rows);
+        assert_eq!(q.row_hi(), 20);
+        // The q8 body is ~4× smaller than the f32 slab.
+        assert!(q.encoded_len() * 3 < f32_frame.encoded_len());
+        let bytes = q.encode();
+        assert_eq!(bytes.len(), q.encoded_len());
+        let back = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-exact");
+        // The carried view is the dequantized band — within half a step of
+        // the original, and identical on sender and receiver.
+        let step = back.quant.as_ref().unwrap().scale;
+        assert!(back.tensor.max_abs_diff(&t).unwrap() <= 0.5 * step + 1e-6);
+        // Truncated q8 bodies are rejected.
+        assert!(Frame::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn q8_frame_streams_alongside_f32_frames() {
+        // An f32 consumer and a q8 producer share one stream: both kinds
+        // decode to FrameKind::Rows with a usable f32 tensor.
+        let t = Tensor::from_fn([2, 3, 4], |c, y, x| (c + y + x) as f32 * 0.25 - 0.9);
+        let mut buf = Vec::new();
+        Frame::rows_q8(1, 0, 0, 0, &t).write_to(&mut buf).unwrap();
+        Frame::data(FrameKind::Rows, 1, 1, 0, 0, t.clone())
+            .write_to(&mut buf)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let a = Frame::read_from(&mut cursor).unwrap().unwrap();
+        let b = Frame::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(a.kind, FrameKind::Rows);
+        assert!(a.quant.is_some());
+        assert_eq!(a.tensor.shape(), t.shape());
+        assert_eq!(b.kind, FrameKind::Rows);
+        assert!(b.quant.is_none());
+        assert_eq!(b.tensor, t);
+    }
+
     fn sample_plan() -> ExecutionPlan {
         use cnn_model::{LayerOp, Model};
         use tensor::Shape;
@@ -545,11 +713,24 @@ mod tests {
                     bias: vec![1.0, 2.0],
                 },
             ],
+            quant: None,
         };
         let bytes = payload.encode().unwrap();
         let back = ReconfigurePayload::decode(&bytes).unwrap();
         assert_eq!(back, payload);
         assert_eq!(back.delta_bytes(), (3 + 1 + 2) * 4);
+        // A quant spec rides along and rountrips exactly.
+        let quantized = ReconfigurePayload {
+            quant: Some(QuantSpec::new(vec![0.0, 0.031, 0.0])),
+            ..payload.clone()
+        };
+        let back = ReconfigurePayload::decode(&quantized.encode().unwrap()).unwrap();
+        assert_eq!(back, quantized);
+        // A payload that simply ends after the delta entries (an f32-era
+        // peer) decodes with no quant spec.
+        let legacy = &bytes[..bytes.len() - 1];
+        let back = ReconfigurePayload::decode(legacy).unwrap();
+        assert_eq!(back, payload);
     }
 
     #[test]
@@ -561,6 +742,7 @@ mod tests {
                 weights: vec![9.0; 8],
                 bias: vec![-1.0],
             }],
+            quant: None,
         };
         let frame = Frame::reconfigure(3, payload.encode().unwrap());
         let back = Frame::decode(&frame.encode()).unwrap();
@@ -578,6 +760,7 @@ mod tests {
                 weights: vec![1.0, 2.0],
                 bias: vec![],
             }],
+            quant: None,
         };
         let bytes = payload.encode().unwrap();
         assert!(ReconfigurePayload::decode(&bytes[..bytes.len() - 3]).is_err());

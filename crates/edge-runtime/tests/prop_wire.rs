@@ -135,7 +135,14 @@ proptest! {
                 bias: (0..b_len).map(|i| i as f32 - 2.0).collect(),
             })
             .collect();
-        let payload = ReconfigurePayload { plan, delta };
+        // Half the cases carry a quant spec so the optional tail of the
+        // codec is exercised both ways.
+        let quant = seed.is_multiple_of(2).then(|| {
+            cnn_model::exec::QuantSpec::new(
+                (0..n_layers).map(|i| i as f32 * 0.015625).collect(),
+            )
+        });
+        let payload = ReconfigurePayload { plan, delta, quant };
         let bytes = payload.encode().unwrap();
         let back = ReconfigurePayload::decode(&bytes).unwrap();
         prop_assert_eq!(back, payload);

@@ -33,6 +33,7 @@
 
 use super::activation::Activation;
 use super::gemm::{gemm_bias_act_into, PackedFilter, NR};
+use super::qgemm::{qgemm_bias_act_into, quant_byte, QuantizedFilter, QK};
 use super::winograd::{
     conv2d_rows_winograd, winograd_eligible, winograd_preferred, WinogradFilter,
 };
@@ -47,17 +48,24 @@ pub const fn im2col_weight_len(c_in: usize, c_out: usize, f: usize) -> usize {
     c_out * c_in * f * f
 }
 
-/// A convolution filter prepacked for every kernel path its geometry can
-/// take: the im2col GEMM panels always, plus the Winograd-transformed
-/// panels when the layer is stride-1 3×3 (see [`winograd_eligible`]).
+/// A convolution filter prepacked for the kernel path chosen for its
+/// layer: the f32 im2col GEMM panels (plus the Winograd-transformed panels
+/// when the layer is stride-1 3×3, see [`winograd_eligible`]), **or** the
+/// int8 quantized panels when the deploy opted the layer into the
+/// quantized path — quantized layers carry *only* the i8 panels, which is
+/// what drops resident weight bytes ~4×.
 ///
-/// Built once at deploy time by [`pack_conv_filter`]; consumed per frame by
-/// [`conv2d_rows_packed`], which routes on geometry alone so every band of
-/// a layer — on any device — takes the same path.
+/// Built once at deploy time by [`pack_conv_filter`] /
+/// [`pack_conv_filter_with`]; consumed per frame by
+/// [`conv2d_rows_packed`], which routes on what was packed — so every band
+/// of a layer, on any device, takes the same path.
 #[derive(Debug, Clone)]
 pub struct PackedConvFilter {
-    gemm: PackedFilter,
+    c_out: usize,
+    gemm: Option<PackedFilter>,
     wino: Option<WinogradFilter>,
+    quant: Option<QuantizedFilter>,
+    scale_in: f32,
     f: usize,
     stride: usize,
 }
@@ -65,12 +73,12 @@ pub struct PackedConvFilter {
 impl PackedConvFilter {
     /// Number of output channels.
     pub fn c_out(&self) -> usize {
-        self.gemm.m()
+        self.c_out
     }
 
-    /// The im2col GEMM panels (always present).
-    pub fn gemm(&self) -> &PackedFilter {
-        &self.gemm
+    /// The f32 im2col GEMM panels (absent on quantized-only packs).
+    pub fn gemm(&self) -> Option<&PackedFilter> {
+        self.gemm.as_ref()
     }
 
     /// The Winograd-transformed panels, if the geometry is eligible.
@@ -78,14 +86,27 @@ impl PackedConvFilter {
         self.wino.as_ref()
     }
 
+    /// The int8 quantized panels, if this layer was packed quantized.
+    pub fn quant(&self) -> Option<&QuantizedFilter> {
+        self.quant.as_ref()
+    }
+
+    /// The calibrated input-activation scale the quantized panels expect
+    /// (`1.0` on f32 packs).
+    pub fn scale_in(&self) -> f32 {
+        self.scale_in
+    }
+
     /// Bytes resident across every packed form.
     pub fn bytes(&self) -> usize {
-        self.gemm.bytes() + self.wino.as_ref().map_or(0, WinogradFilter::bytes)
+        self.gemm.as_ref().map_or(0, PackedFilter::bytes)
+            + self.wino.as_ref().map_or(0, WinogradFilter::bytes)
+            + self.quant.as_ref().map_or(0, QuantizedFilter::bytes)
     }
 }
 
-/// Packs `[c_out][c_in][f][f]` convolution weights into every panel form
-/// the layer geometry can use (see [`PackedConvFilter`]).
+/// Packs `[c_out][c_in][f][f]` convolution weights into every f32 panel
+/// form the layer geometry can use (see [`PackedConvFilter`]).
 ///
 /// This is the deploy-time half of the packed conv path: the result drops
 /// into [`conv2d_rows_packed`] for every subsequent frame.
@@ -96,12 +117,40 @@ pub fn pack_conv_filter(
     f: usize,
     stride: usize,
 ) -> Result<PackedConvFilter> {
+    pack_conv_filter_with(weights, c_in, c_out, f, stride, None)
+}
+
+/// Packs convolution weights, choosing the panel form from the quantization
+/// decision: `quant_scale_in: Some(s_in)` packs **only** the int8 panels
+/// (against the calibrated input-activation scale `s_in`), `None` packs the
+/// f32 forms exactly like [`pack_conv_filter`].  What gets packed here is
+/// what [`conv2d_rows_packed`] routes to.
+pub fn pack_conv_filter_with(
+    weights: &[f32],
+    c_in: usize,
+    c_out: usize,
+    f: usize,
+    stride: usize,
+    quant_scale_in: Option<f32>,
+) -> Result<PackedConvFilter> {
     if weights.len() != im2col_weight_len(c_in, c_out, f) {
         return Err(TensorError::KernelConfig(format!(
             "conv weights length {} != c_out*c_in*f*f = {}",
             weights.len(),
             im2col_weight_len(c_in, c_out, f)
         )));
+    }
+    if let Some(scale_in) = quant_scale_in {
+        let quant = QuantizedFilter::pack(weights, c_out, c_in * f * f)?;
+        return Ok(PackedConvFilter {
+            c_out,
+            gemm: None,
+            wino: None,
+            quant: Some(quant),
+            scale_in,
+            f,
+            stride,
+        });
     }
     let gemm = PackedFilter::pack(weights, c_out, c_in * f * f)?;
     let wino = if winograd_eligible(f, stride) {
@@ -110,8 +159,11 @@ pub fn pack_conv_filter(
         None
     };
     Ok(PackedConvFilter {
-        gemm,
+        c_out,
+        gemm: Some(gemm),
         wino,
+        quant: None,
+        scale_in: 1.0,
         f,
         stride,
     })
@@ -246,18 +298,19 @@ pub fn conv2d_rows(
 }
 
 /// Convolution of a row band over a prepacked filter — the per-frame hot
-/// path.  Routes by layer geometry alone: stride-1 3×3 layers with enough
-/// channels to amortise the transforms (see
+/// path.  Routes by what deploy packed: int8 panels take the quantized
+/// GEMM path, otherwise stride-1 3×3 layers with enough channels to
+/// amortise the transforms (see
 /// [`winograd_preferred`](super::winograd::winograd_preferred)) take the
-/// Winograd F(2×2,3×3) path, everything else the im2col GEMM path.
+/// Winograd F(2×2,3×3) path, everything else the f32 im2col GEMM path.
 ///
-/// Because the route depends only on `(f, stride, c_in, c_out)` — never on
-/// the band shape — every band of a layer takes the same path on every
-/// device, and banded outputs stitch bit-exactly against a full-input
-/// call.
+/// Because the route depends only on the pack — never on the band shape —
+/// every band of a layer takes the same path on every device, and banded
+/// outputs stitch bit-exactly against a full-input call.
 ///
-/// `filter` must come from [`pack_conv_filter`] with matching geometry.
-/// Band semantics are identical to [`conv2d_rows`].
+/// `filter` must come from [`pack_conv_filter`] /
+/// [`pack_conv_filter_with`] with matching geometry.  Band semantics are
+/// identical to [`conv2d_rows`].
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_rows_packed(
     input: &Tensor,
@@ -278,6 +331,22 @@ pub fn conv2d_rows_packed(
             filter.f, filter.stride
         )));
     }
+    if let Some(quant) = filter.quant() {
+        return conv2d_rows_q8(
+            input,
+            in_row_offset,
+            orig_h_in,
+            out_start,
+            out_end,
+            quant,
+            filter.scale_in,
+            bias,
+            f,
+            stride,
+            padding,
+            act,
+        );
+    }
     if let Some(wino) = filter
         .winograd()
         .filter(|w| winograd_preferred(w.c_in(), w.c_out()))
@@ -294,13 +363,16 @@ pub fn conv2d_rows_packed(
             act,
         );
     }
+    let gemm = filter.gemm().ok_or_else(|| {
+        TensorError::KernelConfig("packed filter carries no f32 GEMM panels".into())
+    })?;
     conv2d_rows_gemm(
         input,
         in_row_offset,
         orig_h_in,
         out_start,
         out_end,
-        filter.gemm(),
+        gemm,
         bias,
         f,
         stride,
@@ -430,6 +502,113 @@ pub fn conv2d_rows_gemm(
 
     let mut data = vec![0.0f32; c_out * n];
     gemm_bias_act_into(filter, bias, act, n, &fill, &mut data)?;
+    Tensor::from_vec(Shape::new(c_out, out_rows, out_w), data)
+}
+
+/// Convolution of a row band on the **int8 quantized** im2col GEMM path
+/// over prepacked i8 panels: the band's activations are quantized against
+/// the calibrated `scale_in` on the fly (inside the panel fill, one byte
+/// per im2col element), multiplied in i32, and dequantized in the fused
+/// epilogue with bias and activation.
+///
+/// `scale_in` must be the *same* for every band of a layer (it is fixed at
+/// deploy-time calibration); together with order-independent integer
+/// accumulation and the fixed f32 epilogue this keeps banded outputs
+/// bit-exact against a full-input call — on any int8 dispatch arm.
+/// Accuracy against the f32 path is bounded by the quantization step
+/// (relative ~1/127 per tensor), validated end-to-end in
+/// `prop_conv_gemm.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_rows_q8(
+    input: &Tensor,
+    in_row_offset: usize,
+    orig_h_in: usize,
+    out_start: usize,
+    out_end: usize,
+    filter: &QuantizedFilter,
+    scale_in: f32,
+    bias: &[f32],
+    f: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Result<Tensor> {
+    let c_out = filter.m();
+    let geom = validate_band(
+        input,
+        in_row_offset,
+        orig_h_in,
+        out_start,
+        out_end,
+        bias.len(),
+        c_out,
+        f,
+        stride,
+        padding,
+    )?;
+    if filter.k() != geom.c_in * f * f {
+        return Err(TensorError::KernelConfig(format!(
+            "quantized filter k {} != c_in*f*f = {}",
+            filter.k(),
+            geom.c_in * f * f
+        )));
+    }
+    let out_rows = out_end - out_start;
+    let out_w = geom.out_w;
+    let n = out_rows * out_w;
+    let (band_h, w_in) = (geom.band_h, geom.w_in);
+    let in_data = input.data();
+    let ff = f * f;
+
+    // The quantizing im2col filler: same geometry walk as the f32 filler,
+    // but each element is quantized to its offset byte as it is written.
+    // Padding positions stay at the 128 the driver pre-filled — exactly
+    // the quantization of zero under any scale.
+    let fill = move |k0: usize, k1: usize, j0: usize, j1: usize, buf: &mut [u8]| {
+        let kcq = (k1 - k0).div_ceil(QK);
+        for k_abs in k0..k1 {
+            let kk = k_abs - k0;
+            let (qd, l) = (kk / QK, kk % QK);
+            let ic = k_abs / ff;
+            let ky = (k_abs % ff) / f;
+            let kx = k_abs % f;
+            let ox_lo = padding.saturating_sub(kx).div_ceil(stride);
+            let ox_hi = if w_in + padding > kx {
+                ((w_in - 1 + padding - kx) / stride + 1).min(out_w)
+            } else {
+                0
+            };
+            let in_plane = ic * band_h * w_in;
+            let oy_first = j0 / out_w;
+            let oy_last = (j1 - 1) / out_w;
+            for oy_local in oy_first..=oy_last {
+                let iy = ((out_start + oy_local) * stride + ky) as isize - padding as isize;
+                if iy < 0 || iy >= orig_h_in as isize {
+                    continue; // zero-padding row: the buffer is already 128
+                }
+                let band_y = iy as usize - in_row_offset;
+                debug_assert!(band_y < band_h, "halo check guarantees coverage");
+                let in_row = in_plane + band_y * w_in;
+                let seg0 = j0.max(oy_local * out_w);
+                let seg1 = j1.min((oy_local + 1) * out_w);
+                let ox_a = (seg0 - oy_local * out_w).max(ox_lo);
+                let ox_b = (seg1 - oy_local * out_w).min(ox_hi);
+                if ox_a >= ox_b {
+                    continue;
+                }
+                let mut ix = ox_a * stride + kx - padding;
+                for ox in ox_a..ox_b {
+                    let jj = oy_local * out_w + ox - j0;
+                    buf[(((jj / NR) * kcq + qd) * NR + (jj % NR)) * QK + l] =
+                        quant_byte(in_data[in_row + ix], scale_in);
+                    ix += stride;
+                }
+            }
+        }
+    };
+
+    let mut data = vec![0.0f32; c_out * n];
+    qgemm_bias_act_into(filter, bias, act, scale_in, n, &fill, &mut data)?;
     Tensor::from_vec(Shape::new(c_out, out_rows, out_w), data)
 }
 
@@ -683,6 +862,86 @@ mod tests {
         assert_eq!(routed, wino, "preferred channels must route to Winograd");
         let oracle = conv2d_direct(&input, &weights, &bias, c_out, 3, 1, 1, Activation::Relu);
         assert_close_rel(&routed, &oracle, 1e-3, "routed winograd c128");
+    }
+
+    #[test]
+    fn quantized_pack_routes_tracks_oracle_and_stitches() {
+        use super::super::qgemm::quant_scale;
+        let (c_in, c_out, h, w, f, s, p) = (8usize, 10usize, 12usize, 11usize, 3, 1, 1);
+        let input = det_input(c_in, h, w);
+        let weights = det_weights(c_in, c_out, f);
+        let bias: Vec<f32> = (0..c_out).map(|i| (i as f32) * 0.01 - 0.05).collect();
+        let scale_in = quant_scale(input.data());
+        let filter = pack_conv_filter_with(&weights, c_in, c_out, f, s, Some(scale_in)).unwrap();
+        assert!(filter.quant().is_some() && filter.gemm().is_none());
+        let routed = conv2d_rows_packed(
+            &input,
+            0,
+            h,
+            0,
+            h,
+            &filter,
+            &bias,
+            f,
+            s,
+            p,
+            Activation::Relu,
+        )
+        .unwrap();
+
+        // Analytic quantization error bound per output element:
+        // |Δout| ≤ s_w/2·Σ|a| + s_a/2·Σ|w| + K·s_a·s_w/4 (ReLU is
+        // 1-Lipschitz), where Σ|a| is the receptive-field L1 of the input.
+        let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, s, p, Activation::Relu);
+        let scale_w = filter.quant().unwrap().scale();
+        let abs_in = Tensor::from_fn(input.shape(), |c, y, x| input.get(c, y, x).abs());
+        let ones = vec![1.0; im2col_weight_len(c_in, 1, f)];
+        let a_l1 = conv2d_direct(&abs_in, &ones, &[0.0], 1, f, s, p, Activation::None);
+        let k = c_in * f * f;
+        for oc in 0..c_out {
+            let w_l1: f32 = weights[oc * k..(oc + 1) * k].iter().map(|v| v.abs()).sum();
+            for oy in 0..routed.height() {
+                for ox in 0..routed.width() {
+                    let bound = 0.5 * scale_w * a_l1.get(0, oy, ox)
+                        + 0.5 * scale_in * w_l1
+                        + 0.25 * (k as f32) * scale_in * scale_w
+                        + 1e-3 * (1.0 + oracle.get(oc, oy, ox).abs());
+                    let diff = (routed.get(oc, oy, ox) - oracle.get(oc, oy, ox)).abs();
+                    assert!(
+                        diff <= bound,
+                        "[{oc},{oy},{ox}] diff {diff} > bound {bound}"
+                    );
+                }
+            }
+        }
+
+        // Bands computed with the same deploy-time scale stitch bit-exactly.
+        let full = routed;
+        let cuts = [4usize, 9, 12];
+        let mut start = 0usize;
+        let mut bands = Vec::new();
+        for &end in &cuts {
+            let (lo, hi) = input_rows_for_output(start, end, f, s, p, h);
+            let band_in = slice_rows(&input, lo, hi).unwrap();
+            let band = conv2d_rows_packed(
+                &band_in,
+                lo,
+                h,
+                start,
+                end,
+                &filter,
+                &bias,
+                f,
+                s,
+                p,
+                Activation::Relu,
+            )
+            .unwrap();
+            bands.push(band);
+            start = end;
+        }
+        let stitched = concat_rows(&bands).unwrap();
+        assert_eq!(stitched, full, "quantized bands must stitch bit-exactly");
     }
 
     #[test]

@@ -23,7 +23,17 @@
 //! tests and benches via [`set_kernel_override`] or the environment
 //! (`DISTREDGE_FORCE_SCALAR=1`, or `DISTREDGE_KERNEL=scalar|avx2|avx512`).
 //! An override never selects an arm the hardware cannot run: requests are
-//! clamped to the detected capability.
+//! clamped to the detected capability.  An *unrecognised* kernel name in
+//! the environment panics with the valid names — a typo in CI must not
+//! silently un-pin the kernel under test.
+//!
+//! The int8 quantized GEMM ([`super::qgemm`]) has its own parallel arm
+//! family ([`QKernelArch`]): scalar / AVX2 / AVX-512 VNNI (`vpdpbusd`).
+//! Integer accumulation is order-independent, so all int8 arms are
+//! bit-exact by construction; the same clamp-to-capability rules apply via
+//! `DISTREDGE_QKERNEL=scalar|avx2|vnni` and [`set_qkernel_override`].
+//! `DISTREDGE_QUANT=1` opts a whole deployment into the quantized path
+//! (see `cnn-model`'s router policy).
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -68,7 +78,10 @@ fn detected() -> KernelArch {
     })
 }
 
-/// The environment's standing request, read once per process.
+/// The environment's standing request, read once per process.  An
+/// unrecognised `DISTREDGE_KERNEL` value panics: a typo must not silently
+/// fall back to auto-detection and un-pin the kernel a CI step meant to
+/// test.
 fn env_request() -> Option<KernelArch> {
     static ENV: OnceLock<Option<KernelArch>> = OnceLock::new();
     *ENV.get_or_init(|| {
@@ -77,7 +90,10 @@ fn env_request() -> Option<KernelArch> {
                 "scalar" => return Some(KernelArch::Scalar),
                 "avx2" => return Some(KernelArch::Avx2),
                 "avx512" => return Some(KernelArch::Avx512),
-                _ => {}
+                other => panic!(
+                    "DISTREDGE_KERNEL={other:?} is not a kernel arm; \
+                     valid names: scalar, avx2, avx512"
+                ),
             }
         }
         match std::env::var("DISTREDGE_FORCE_SCALAR") {
@@ -121,6 +137,121 @@ pub fn kernel_arch() -> KernelArch {
     }
 }
 
+/// One int8 micro-kernel implementation arm, ordered by capability.
+///
+/// The int8 GEMM accumulates in `i32`, so every arm computes the identical
+/// integer sum — bit-exactness across arms holds by construction, unlike
+/// the f32 family where the op sequence had to be pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QKernelArch {
+    /// Portable Rust loop — always available, the dispatch floor.
+    Scalar,
+    /// 256-bit `std::arch` kernel (x86-64 with AVX2), exact 32-bit lane
+    /// multiplies.
+    Avx2,
+    /// 512-bit AVX-512 VNNI kernel (`vpdpbusd` u8×i8→i32 dot product).
+    Vnni,
+}
+
+impl QKernelArch {
+    /// Short lowercase label (`"scalar"`, `"avx2"`, `"vnni"`) for benches
+    /// and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            QKernelArch::Scalar => "scalar",
+            QKernelArch::Avx2 => "avx2",
+            QKernelArch::Vnni => "vnni",
+        }
+    }
+}
+
+/// What the hardware supports for int8, detected once per process.
+fn q_detected() -> QKernelArch {
+    static DETECTED: OnceLock<QKernelArch> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vnni")
+            {
+                return QKernelArch::Vnni;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return QKernelArch::Avx2;
+            }
+        }
+        QKernelArch::Scalar
+    })
+}
+
+/// The environment's standing int8 request, read once per process.
+/// `DISTREDGE_FORCE_SCALAR` forces the int8 scalar arm too, so one CI
+/// switch pins every kernel family.  Unrecognised `DISTREDGE_QKERNEL`
+/// values panic, same as `DISTREDGE_KERNEL`.
+fn q_env_request() -> Option<QKernelArch> {
+    static ENV: OnceLock<Option<QKernelArch>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        if let Ok(v) = std::env::var("DISTREDGE_QKERNEL") {
+            match v.to_ascii_lowercase().as_str() {
+                "scalar" => return Some(QKernelArch::Scalar),
+                "avx2" => return Some(QKernelArch::Avx2),
+                "vnni" => return Some(QKernelArch::Vnni),
+                other => panic!(
+                    "DISTREDGE_QKERNEL={other:?} is not an int8 kernel arm; \
+                     valid names: scalar, avx2, vnni"
+                ),
+            }
+        }
+        match std::env::var("DISTREDGE_FORCE_SCALAR") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Some(QKernelArch::Scalar),
+            _ => None,
+        }
+    })
+}
+
+/// Programmatic int8 override: 0 = none, else `QKernelArch as u8 + 1`.
+static Q_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every subsequent int8 GEMM call in this process onto `arch`
+/// (clamped to hardware capability), or restores automatic selection with
+/// `None`.  Same semantics as [`set_kernel_override`], independent state.
+pub fn set_qkernel_override(arch: Option<QKernelArch>) {
+    let v = match arch {
+        None => 0,
+        Some(QKernelArch::Scalar) => 1,
+        Some(QKernelArch::Avx2) => 2,
+        Some(QKernelArch::Vnni) => 3,
+    };
+    Q_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The int8 micro-kernel arm quantized GEMM calls will run right now:
+/// programmatic override, else environment request, else full hardware
+/// capability — always clamped to what the hardware can execute.
+pub fn qkernel_arch() -> QKernelArch {
+    let requested = match Q_OVERRIDE.load(Ordering::SeqCst) {
+        1 => Some(QKernelArch::Scalar),
+        2 => Some(QKernelArch::Avx2),
+        3 => Some(QKernelArch::Vnni),
+        _ => q_env_request(),
+    };
+    match requested {
+        Some(arch) => arch.min(q_detected()),
+        None => q_detected(),
+    }
+}
+
+/// Whether `DISTREDGE_QUANT` opts deployments into the int8 quantized
+/// path by default (`1` or `true`).  Read once per process; explicit
+/// `RuntimeOptions::quantized` settings take precedence in the runtime.
+pub fn quant_env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        matches!(std::env::var("DISTREDGE_QUANT"),
+                 Ok(v) if v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +276,21 @@ mod tests {
         assert_eq!(KernelArch::Scalar.label(), "scalar");
         assert_eq!(KernelArch::Avx2.label(), "avx2");
         assert_eq!(KernelArch::Avx512.label(), "avx512");
+        assert_eq!(QKernelArch::Scalar.label(), "scalar");
+        assert_eq!(QKernelArch::Avx2.label(), "avx2");
+        assert_eq!(QKernelArch::Vnni.label(), "vnni");
+    }
+
+    #[test]
+    fn qoverride_clamps_and_restores() {
+        set_qkernel_override(Some(QKernelArch::Scalar));
+        assert_eq!(qkernel_arch(), QKernelArch::Scalar);
+        set_qkernel_override(Some(QKernelArch::Vnni));
+        assert!(qkernel_arch() <= q_detected());
+        set_qkernel_override(None);
+        assert_eq!(
+            qkernel_arch(),
+            q_detected().min(q_env_request().unwrap_or(q_detected()))
+        );
     }
 }

@@ -10,6 +10,7 @@
 
 use super::activation::Activation;
 use super::gemm::{gemm_bias_act_into, PackedFilter, NR};
+use super::qgemm::{qgemm_bias_act_into, quant_byte, QuantizedFilter, QK};
 use crate::error::TensorError;
 use crate::shape::Shape;
 use crate::{Result, Tensor};
@@ -86,6 +87,38 @@ pub fn linear_packed(
     };
     let mut out = vec![0.0f32; filter.m()];
     gemm_bias_act_into(filter, bias, act, 1, &fill, &mut out)?;
+    Tensor::from_vec(Shape::new(filter.m(), 1, 1), out)
+}
+
+/// Fully-connected layer on the **int8 quantized** path over a prepacked
+/// [`QuantizedFilter`]: the input vector is quantized against the
+/// calibrated `scale_in` as the single B column is filled, multiplied in
+/// i32, and dequantized in the fused epilogue.  Same result on every int8
+/// dispatch arm; accuracy against [`linear_packed`] is bounded by the
+/// quantization step (see `ops::qgemm`).
+pub fn linear_q8(
+    input: &Tensor,
+    filter: &QuantizedFilter,
+    scale_in: f32,
+    bias: &[f32],
+    act: Activation,
+) -> Result<Tensor> {
+    if filter.k() != input.len() {
+        return Err(TensorError::KernelConfig(format!(
+            "quantized linear filter expects {} inputs, got {}",
+            filter.k(),
+            input.len()
+        )));
+    }
+    let x = input.data();
+    // One quantized column: element k lives at quad k/QK, byte lane k%QK.
+    let fill = move |k0: usize, k1: usize, _j0: usize, _j1: usize, buf: &mut [u8]| {
+        for (kk, &v) in x[k0..k1].iter().enumerate() {
+            buf[(kk / QK) * NR * QK + (kk % QK)] = quant_byte(v, scale_in);
+        }
+    };
+    let mut out = vec![0.0f32; filter.m()];
+    qgemm_bias_act_into(filter, bias, act, scale_in, 1, &fill, &mut out)?;
     Tensor::from_vec(Shape::new(filter.m(), 1, 1), out)
 }
 
@@ -181,6 +214,40 @@ mod tests {
         let filter = pack_linear_filter(&weights, inf, outf).unwrap();
         let prepacked = linear_packed(&input, &filter, &bias, Activation::Relu).unwrap();
         assert_eq!(per_call, prepacked);
+    }
+
+    #[test]
+    fn quantized_fc_tracks_oracle_within_bound() {
+        use super::super::qgemm::quant_scale;
+        for &(inf, outf) in &[(64usize, 9usize), (300, 17), (1024, 33)] {
+            let input = Tensor::from_vec(
+                [inf, 1, 1],
+                (0..inf).map(|i| ((i % 13) as f32) * 0.1 - 0.6).collect(),
+            )
+            .unwrap();
+            let weights: Vec<f32> = (0..inf * outf)
+                .map(|i| ((i % 19) as f32 - 9.0) * 0.03)
+                .collect();
+            let bias: Vec<f32> = (0..outf).map(|i| (i as f32) * 0.02 - 0.1).collect();
+            let scale_in = quant_scale(input.data());
+            let filter = QuantizedFilter::pack(&weights, outf, inf).unwrap();
+            let q = linear_q8(&input, &filter, scale_in, &bias, Activation::None).unwrap();
+            let oracle = linear_direct(&input, &weights, &bias, outf, Activation::None).unwrap();
+            // |Δ| ≤ s_w/2·Σ|x| + s_a/2·Σ|w| + K·s_a·s_w/4 per output.
+            let sx: f32 = input.data().iter().map(|v| v.abs()).sum();
+            for o in 0..outf {
+                let sw: f32 = weights[o * inf..(o + 1) * inf]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum();
+                let bound = 0.5 * filter.scale() * sx
+                    + 0.5 * scale_in * sw
+                    + 0.25 * (inf as f32) * scale_in * filter.scale()
+                    + 1e-3 * (1.0 + oracle.data()[o].abs());
+                let diff = (q.data()[o] - oracle.data()[o]).abs();
+                assert!(diff <= bound, "({inf},{outf})[{o}]: {diff} > {bound}");
+            }
+        }
     }
 
     #[test]

@@ -13,15 +13,22 @@ pub mod dispatch;
 pub mod gemm;
 mod linear;
 mod pool;
+pub mod qgemm;
 pub mod winograd;
 
 pub use activation::{apply_activation, Activation};
 pub use conv::{
     conv2d, conv2d_direct, conv2d_rows, conv2d_rows_direct, conv2d_rows_gemm, conv2d_rows_packed,
-    im2col_weight_len, pack_conv_filter, PackedConvFilter,
+    conv2d_rows_q8, im2col_weight_len, pack_conv_filter, pack_conv_filter_with, PackedConvFilter,
 };
-pub use dispatch::{kernel_arch, set_kernel_override, KernelArch};
+pub use dispatch::{
+    kernel_arch, qkernel_arch, quant_env_enabled, set_kernel_override, set_qkernel_override,
+    KernelArch, QKernelArch,
+};
 pub use gemm::PackedFilter;
-pub use linear::{linear, linear_direct, linear_packed, pack_linear_filter};
+pub use linear::{linear, linear_direct, linear_packed, linear_q8, pack_linear_filter};
 pub use pool::{maxpool2d, maxpool2d_rows};
+pub use qgemm::{
+    dequantize_slice, quant_byte, quant_scale, quantize_i8, quantize_slice, QuantizedFilter,
+};
 pub use winograd::{conv2d_rows_winograd, winograd_eligible, winograd_preferred, WinogradFilter};

@@ -5,6 +5,10 @@
 //! The format is deliberately trivial: receivers know the expected geometry
 //! from their routing tables, so the header exists only as a cheap
 //! consistency check.
+//!
+//! A **q8 slab** is the quantized variant used by int8 activation
+//! transfer: `[c: u32][h: u32][w: u32][scale: f32 LE][data: c*h*w i8]` —
+//! one byte per element plus one scale, ~4× smaller than the f32 slab.
 
 use crate::error::TensorError;
 use crate::shape::Shape;
@@ -77,6 +81,52 @@ pub fn read_slab(bytes: &[u8]) -> Result<(Tensor, usize)> {
     Ok((Tensor::from_vec(Shape::new(c, h, w), data)?, len))
 }
 
+/// Byte length of a q8 slab holding a `[c, h, w]` tensor.
+pub fn q8_slab_len(c: usize, h: usize, w: usize) -> usize {
+    16 + c * h * w
+}
+
+/// Appends the q8 slab encoding of an already-quantized tensor to `out`.
+///
+/// `data` holds the symmetric int8 codes (one per element, CHW order) and
+/// `scale` the dequantization step; callers produce both via
+/// `ops::quant_scale` / `ops::quantize_slice`.
+pub fn write_q8_slab(shape: Shape, scale: f32, data: &[i8], out: &mut Vec<u8>) -> Result<()> {
+    let (c, h, w) = (shape.c, shape.h, shape.w);
+    if data.len() != c * h * w {
+        return Err(TensorError::KernelConfig(format!(
+            "q8 slab data length {} != c*h*w = {}",
+            data.len(),
+            c * h * w
+        )));
+    }
+    out.reserve(q8_slab_len(c, h, w));
+    out.extend_from_slice(&(c as u32).to_le_bytes());
+    out.extend_from_slice(&(h as u32).to_le_bytes());
+    out.extend_from_slice(&(w as u32).to_le_bytes());
+    out.extend_from_slice(&scale.to_le_bytes());
+    out.extend(data.iter().map(|&q| q as u8));
+    Ok(())
+}
+
+/// Decodes a q8 slab produced by [`write_q8_slab`], returning the shape,
+/// scale, int8 codes, and the number of bytes consumed.
+pub fn read_q8_slab(bytes: &[u8]) -> Result<(Shape, f32, Vec<i8>, usize)> {
+    let c = read_u32(bytes, 0)? as usize;
+    let h = read_u32(bytes, 4)? as usize;
+    let w = read_u32(bytes, 8)? as usize;
+    let scale = f32::from_le_bytes(read_u32(bytes, 12)?.to_le_bytes());
+    let len = q8_slab_len(c, h, w);
+    if bytes.len() < len {
+        return Err(TensorError::KernelConfig(format!(
+            "q8 slab truncated: header promises {len} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let data = bytes[16..len].iter().map(|&b| b as i8).collect();
+    Ok((Shape::new(c, h, w), scale, data, len))
+}
+
 /// Decodes a slab that must span the whole input exactly.
 pub fn from_slab(bytes: &[u8]) -> Result<Tensor> {
     let (t, used) = read_slab(bytes)?;
@@ -134,6 +184,25 @@ mod tests {
         let (back, used) = read_slab(&bytes).unwrap();
         assert_eq!(back, t);
         assert_eq!(used, bytes.len() - 1);
+    }
+
+    #[test]
+    fn q8_slab_roundtrips_and_rejects_truncation() {
+        let shape = Shape::new(2, 3, 4);
+        let data: Vec<i8> = (0..24).map(|i| (i * 11 % 255) as i8).collect();
+        let mut bytes = Vec::new();
+        write_q8_slab(shape, 0.042, &data, &mut bytes).unwrap();
+        assert_eq!(bytes.len(), q8_slab_len(2, 3, 4));
+        let (s, scale, back, used) = read_q8_slab(&bytes).unwrap();
+        assert_eq!(s.as_array(), [2, 3, 4]);
+        assert_eq!(scale, 0.042);
+        assert_eq!(back, data);
+        assert_eq!(used, bytes.len());
+        assert!(read_q8_slab(&bytes[..bytes.len() - 1]).is_err());
+        assert!(read_q8_slab(&bytes[..10]).is_err());
+        // Mismatched data length is rejected at encode time.
+        let mut out = Vec::new();
+        assert!(write_q8_slab(shape, 1.0, &data[..23], &mut out).is_err());
     }
 
     #[test]

@@ -20,7 +20,8 @@
 use proptest::prelude::*;
 use tensor::ops::{
     conv2d_direct, conv2d_rows_gemm, conv2d_rows_packed, conv2d_rows_winograd, im2col_weight_len,
-    linear_direct, linear_packed, pack_conv_filter, pack_linear_filter, Activation,
+    linear_direct, linear_packed, pack_conv_filter, pack_conv_filter_with, pack_linear_filter,
+    qkernel_arch, quant_scale, set_qkernel_override, Activation, QKernelArch,
 };
 use tensor::shape::{conv_out_dim, input_rows_for_output};
 use tensor::slice::{concat_rows, slice_rows};
@@ -75,7 +76,8 @@ proptest! {
         // Winograd, which has its own tolerance and property below).
         let filter = pack_conv_filter(&weights, c_in, c_out, f, stride).unwrap();
         let fast = conv2d_rows_gemm(
-            &input, 0, h, 0, oracle.height(), filter.gemm(), &bias, f, stride, padding, Activation::Relu,
+            &input, 0, h, 0, oracle.height(), filter.gemm().unwrap(), &bias, f, stride, padding,
+            Activation::Relu,
         ).unwrap();
         prop_assert_eq!(fast.shape(), oracle.shape());
         let diff = fast.max_abs_diff(&oracle).unwrap();
@@ -194,6 +196,127 @@ proptest! {
             bands.push(band);
         }
         prop_assert_eq!(concat_rows(&bands).unwrap(), full);
+    }
+
+    /// Int8 quantized path ≡ direct f32 oracle within the *analytic*
+    /// quantization error bound, over random geometries — the
+    /// ROADMAP-prescribed analogue of the Winograd rel-1e-3 oracle, with
+    /// the tolerance derived instead of guessed:
+    /// `|Δ| ≤ s_w/2·Σ|a| + s_a/2·Σ|w| + K·s_a·s_w/4` per output element
+    /// (half-ulp rounding on each side plus the cross term; ReLU is
+    /// 1-Lipschitz so the bound survives the activation).
+    #[test]
+    fn quantized_conv_matches_direct_within_bound(
+        c_in in 1usize..6,
+        c_out in 1usize..10,
+        h in 6usize..24,
+        w in 4usize..14,
+        f in 1usize..5,
+        stride in 1usize..3,
+        pad_excess in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let padding = f / 2 + pad_excess;
+        prop_assume!(conv_out_dim(h, f, stride, padding).is_some());
+        prop_assume!(conv_out_dim(w, f, stride, padding).is_some());
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0x9a7);
+        let bias = pseudo_weights(c_out, seed ^ 0x5c3);
+        let scale_in = quant_scale(input.data());
+        let filter = pack_conv_filter_with(&weights, c_in, c_out, f, stride, Some(scale_in)).unwrap();
+        prop_assert!(filter.quant().is_some() && filter.gemm().is_none());
+        let out_h = conv_out_dim(h, f, stride, padding).unwrap();
+
+        let q = conv2d_rows_packed(
+            &input, 0, h, 0, out_h, &filter, &bias, f, stride, padding, Activation::Relu,
+        ).unwrap();
+        let oracle = conv2d_direct(&input, &weights, &bias, c_out, f, stride, padding, Activation::Relu);
+        prop_assert_eq!(q.shape(), oracle.shape());
+
+        let scale_w = filter.quant().unwrap().scale();
+        let abs_in = Tensor::from_fn(input.shape(), |c, y, x| input.get(c, y, x).abs());
+        let ones = vec![1.0; im2col_weight_len(c_in, 1, f)];
+        let a_l1 = conv2d_direct(&abs_in, &ones, &[0.0], 1, f, stride, padding, Activation::None);
+        let k = c_in * f * f;
+        for oc in 0..c_out {
+            let w_l1: f32 = weights[oc * k..(oc + 1) * k].iter().map(|v| v.abs()).sum();
+            for oy in 0..q.height() {
+                for ox in 0..q.width() {
+                    let bound = 0.5 * scale_w * a_l1.get(0, oy, ox)
+                        + 0.5 * scale_in * w_l1
+                        + 0.25 * (k as f32) * scale_in * scale_w
+                        + 1e-3 * (1.0 + oracle.get(oc, oy, ox).abs());
+                    let diff = (q.get(oc, oy, ox) - oracle.get(oc, oy, ox)).abs();
+                    prop_assert!(diff <= bound, "[{},{},{}] diff {} > bound {}", oc, oy, ox, diff, bound);
+                }
+            }
+        }
+    }
+
+    /// On the int8 path, banded execution with minimal halos stitches
+    /// *bit-exactly* into the full output (the deploy-time activation
+    /// scale is shared by every band), and every available int8 dispatch
+    /// arm produces bit-identical outputs.
+    #[test]
+    fn quantized_band_stitch_is_bit_exact_across_arms(
+        c_in in 1usize..5,
+        c_out in 1usize..8,
+        h in 8usize..24,
+        w in 4usize..12,
+        f in 1usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+        cut_a in 0.1f64..0.9,
+        cut_b in 0.1f64..0.9,
+    ) {
+        let padding = f / 2;
+        let input = pseudo_tensor(c_in, h, w, seed);
+        let weights = pseudo_weights(im2col_weight_len(c_in, c_out, f), seed ^ 0x111);
+        let bias = pseudo_weights(c_out, seed ^ 0x222);
+        let scale_in = quant_scale(input.data());
+        let filter = pack_conv_filter_with(&weights, c_in, c_out, f, stride, Some(scale_in)).unwrap();
+        let out_h = conv_out_dim(h, f, stride, padding).unwrap();
+        prop_assume!(out_h >= 3);
+
+        let mut cuts = [
+            ((out_h as f64 * cut_a) as usize).clamp(1, out_h - 1),
+            ((out_h as f64 * cut_b) as usize).clamp(1, out_h - 1),
+        ];
+        cuts.sort_unstable();
+        let bounds = [0, cuts[0], cuts[1], out_h];
+
+        let mut per_arm: Vec<Tensor> = Vec::new();
+        for arm in [QKernelArch::Scalar, QKernelArch::Avx2, QKernelArch::Vnni] {
+            set_qkernel_override(Some(arm));
+            if qkernel_arch() != arm {
+                continue; // hardware tops out below this arm
+            }
+            let full = conv2d_rows_packed(
+                &input, 0, h, 0, out_h, &filter, &bias, f, stride, padding, Activation::LeakyRelu,
+            ).unwrap();
+            let mut bands = Vec::new();
+            for pair in bounds.windows(2) {
+                let (lo_out, hi_out) = (pair[0], pair[1]);
+                if lo_out == hi_out {
+                    continue;
+                }
+                let (lo, hi) = input_rows_for_output(lo_out, hi_out, f, stride, padding, h);
+                let band_in = slice_rows(&input, lo, hi).unwrap();
+                let band = conv2d_rows_packed(
+                    &band_in, lo, h, lo_out, hi_out, &filter, &bias, f, stride, padding,
+                    Activation::LeakyRelu,
+                ).unwrap();
+                bands.push(band);
+            }
+            let stitched = concat_rows(&bands).unwrap();
+            prop_assert!(stitched == full, "int8 bands must stitch bit-exactly ({})",
+                arm.label());
+            per_arm.push(full);
+        }
+        set_qkernel_override(None);
+        for pair in per_arm.windows(2) {
+            prop_assert!(pair[0] == pair[1], "int8 dispatch arms must be bit-exact");
+        }
     }
 
     /// GEMM-routed linear ≡ serial oracle within 1e-4, and prepacked ≡

@@ -64,6 +64,119 @@ fn distribution_never_inflates_per_device_memory_beyond_the_whole_model() {
     }
 }
 
+/// A deep-channel model where every conv and the FC head clear the int8
+/// routing thresholds (`c_in·f² ≥ 72`, FC inputs ≥ 256).
+fn quantizable_model() -> cnn_model::Model {
+    use cnn_model::{LayerOp, Model};
+    Model::new(
+        "budget-q8",
+        tensor::Shape::new(16, 32, 32),
+        &[
+            LayerOp::conv(32, 3, 1, 1),
+            LayerOp::conv(32, 3, 1, 1),
+            LayerOp::pool(2, 2),
+            LayerOp::conv(64, 3, 1, 1),
+            LayerOp::fc(10),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn quantized_pack_shrinks_resident_weights_about_4x() {
+    use cnn_model::exec::{ModelWeights, PackedModelWeights, QuantSpec};
+    let model = quantizable_model();
+    let weights = ModelWeights::deterministic(&model, 41);
+    let spec = QuantSpec::calibrate(&model, &weights).unwrap();
+    assert_eq!(spec.quantized_layer_count(), 4, "all weighted layers route");
+
+    let f32_pack = PackedModelWeights::pack(&model, &weights).unwrap();
+    let q8_pack = PackedModelWeights::pack_with(&model, &weights, Some(&spec)).unwrap();
+    let f32_bytes = f32_pack.resident_bytes();
+    let q8_bytes = q8_pack.resident_bytes();
+    // Quantized layers keep int8-only panels: one byte per weight instead
+    // of four (plus the f32 Winograd panels the f32 pack also carries), so
+    // the resident set shrinks well past 3x and approaches 4x+.
+    assert!(
+        f32_bytes as f64 >= 3.0 * q8_bytes as f64,
+        "quantized pack must shrink residency >= 3x: f32 {f32_bytes} vs int8 {q8_bytes}"
+    );
+}
+
+#[test]
+fn quantized_frames_cut_per_image_wire_bytes_at_least_3x() {
+    use cnn_model::exec::{deterministic_input, ModelWeights};
+    use cnn_model::{PartitionScheme, VolumeSplit};
+    use edge_runtime::runtime::RuntimeOptions;
+    use edge_runtime::session::Runtime;
+    use edge_runtime::transport::{ChannelTransport, FrameTx, Transport};
+    use edge_runtime::wire::Frame;
+    use edgesim::{Endpoint, ExecutionPlan};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::Receiver;
+    use std::sync::Arc;
+
+    /// A channel fabric that counts every byte its links carry.
+    struct CountingTransport {
+        inner: ChannelTransport,
+        bytes: Arc<AtomicUsize>,
+    }
+    struct CountingTx {
+        inner: Box<dyn FrameTx>,
+        bytes: Arc<AtomicUsize>,
+    }
+    impl FrameTx for CountingTx {
+        fn send(&mut self, frame: &Frame) -> edge_runtime::Result<usize> {
+            let n = self.inner.send(frame)?;
+            self.bytes.fetch_add(n, Ordering::SeqCst);
+            Ok(n)
+        }
+    }
+    impl Transport for CountingTransport {
+        fn open(&mut self, from: Endpoint, to: Endpoint) -> edge_runtime::Result<Box<dyn FrameTx>> {
+            Ok(Box::new(CountingTx {
+                inner: self.inner.open(from, to)?,
+                bytes: Arc::clone(&self.bytes),
+            }))
+        }
+        fn inbox(&mut self, at: Endpoint) -> edge_runtime::Result<Receiver<Vec<u8>>> {
+            self.inner.inbox(at)
+        }
+    }
+
+    let model = quantizable_model();
+    let weights = ModelWeights::deterministic(&model, 43);
+    let scheme = PartitionScheme::single_volume(&model);
+    let split = VolumeSplit::equal(3, model.prefix_output().h);
+    let plan = ExecutionPlan::from_splits(&model, &scheme, &[split], 3).unwrap();
+
+    // Stream the same images through an f32 and a quantized session over
+    // counting fabrics; everything but the wire precision is identical.
+    let mut wire_bytes = [0usize; 2];
+    for (slot, quantized) in [(0usize, false), (1usize, true)] {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut transport = CountingTransport {
+            inner: ChannelTransport::new(3),
+            bytes: Arc::clone(&counter),
+        };
+        let options = RuntimeOptions::default().with_quantized(quantized);
+        let session = Runtime::deploy(&model, &plan, &weights, &mut transport, &options).unwrap();
+        for seed in 0..2u64 {
+            let t = session.submit(&deterministic_input(&model, seed)).unwrap();
+            session.wait(t).unwrap();
+        }
+        // Snapshot before shutdown so halt frames don't blur the ratio.
+        wire_bytes[slot] = counter.load(Ordering::SeqCst);
+        session.shutdown().unwrap();
+    }
+    assert!(
+        wire_bytes[0] >= 3 * wire_bytes[1],
+        "q8 activation transfer must cut wire bytes >= 3x: f32 {} vs int8 {}",
+        wire_bytes[0],
+        wire_bytes[1]
+    );
+}
+
 #[test]
 fn offload_concentrates_memory_on_a_single_device() {
     let model = cnn_model::zoo::resnet50();
